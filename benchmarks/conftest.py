@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each module in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Scales are reduced to suit a
+pure-Python run: event counts in the tens of thousands instead of
+millions.  Absolute performance numbers are therefore Python-scale;
+EXPERIMENTS.md compares the *shapes* against the paper.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis import render_table  # noqa: E402
+from repro.datasets import (  # noqa: E402
+    AzureConfig,
+    BorgConfig,
+    TaxiConfig,
+    generate_azure,
+    generate_borg,
+    generate_taxi,
+)
+
+#: default stream size for characterization benches
+N_EVENTS = 20_000
+#: default op count for store-performance benches
+N_OPS = 20_000
+
+
+@pytest.fixture(scope="session")
+def borg():
+    """(task_events, job_events) at benchmark scale."""
+    return generate_borg(BorgConfig(target_events=N_EVENTS))
+
+
+@pytest.fixture(scope="session")
+def taxi():
+    return generate_taxi(TaxiConfig(target_events=N_EVENTS))
+
+
+@pytest.fixture(scope="session")
+def azure():
+    return generate_azure(AzureConfig(target_events=N_EVENTS))
+
+
+def emit(capsys, headers, rows, title):
+    """Print a paper-style table through pytest's capture."""
+    with capsys.disabled():
+        print()
+        print(render_table(headers, rows, title=title))
+        print()

@@ -1,0 +1,53 @@
+"""Ablation: embedded vs external state management (paper §8 / intro).
+
+The paper's introduction cites evidence that moving state out of the
+process costs up to an order of magnitude in latency; its section 8
+sketches how Gadget extends to external stores.  This bench runs the
+same Gadget workload against an embedded store and the same store
+behind a localhost socket.
+"""
+
+from conftest import emit
+from repro.core import GadgetConfig, SourceConfig, TraceReplayer, generate_workload_trace
+from repro.kvstores import StoreServer, create_connector, create_store
+from repro.kvstores.remote import RemoteStoreClient
+
+
+def run_comparison():
+    trace = generate_workload_trace(
+        "continuous-aggregation",
+        [SourceConfig(num_events=10_000)],
+        GadgetConfig(),
+    )
+    rows = []
+    results = {}
+    for store_name in ("rocksdb", "faster"):
+        embedded = TraceReplayer(create_connector(store_name)).replay(trace)
+        with StoreServer(create_store(store_name)) as server:
+            host, port = server.address
+            with RemoteStoreClient(host, port, store_name) as client:
+                external = TraceReplayer(client).replay(trace)
+        for deployment, result in (("embedded", embedded), ("external", external)):
+            rows.append(
+                [store_name, deployment,
+                 round(result.throughput_ops / 1000, 1),
+                 round(result.latency_percentile(50), 1),
+                 round(result.latency_percentile(99.9), 1)]
+            )
+        results[store_name] = (embedded, external)
+    return rows, results
+
+
+def test_ablation_external_state(benchmark, capsys):
+    rows, results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    emit(
+        capsys,
+        ["store", "deployment", "kops", "p50 us", "p99.9 us"],
+        rows,
+        "Ablation: embedded vs external state management",
+    )
+    for store_name, (embedded, external) in results.items():
+        # The IPC hop costs each access dearly -- the reason embedded
+        # stores are the streaming default.
+        assert external.throughput_ops < embedded.throughput_ops / 2, store_name
+        assert external.latency_percentile(50) > embedded.latency_percentile(50)

@@ -1,0 +1,231 @@
+"""Ablation studies for the store design choices DESIGN.md calls out.
+
+Not a paper figure -- these benches isolate the mechanisms the paper's
+explanations rely on:
+
+* **bloom filters** gate the LSM's read amplification
+* **block cache size** trades memory for read latency
+* **FASTER's mutable fraction** controls how many updates stay in-place
+* **Lethe's delete persistence threshold** bounds tombstone lifetime
+"""
+
+import random
+
+from conftest import emit
+from repro.core import GadgetConfig, TraceReplayer, generate_workload_trace
+from repro.kvstores import connect
+from repro.kvstores.faster import FasterConfig, FasterStore
+from repro.kvstores.lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
+
+
+def run_ops(store, ops):
+    """Apply (op, key) pairs and return the throughput in kops."""
+    import time
+
+    connector = connect(store)
+    begin = time.perf_counter()
+    for op, key in ops:
+        if op == "put":
+            connector.put(key, b"v" * 64)
+        else:
+            connector.get(key)
+    elapsed = time.perf_counter() - begin
+    return len(ops) / elapsed / 1000.0
+
+
+def make_reads(n_keys=3000, n_ops=20_000, seed=3):
+    """Point reads over a flushed key space, one third of them misses."""
+    rng = random.Random(seed)
+    keys = [f"k{i:06d}".encode() for i in range(n_keys)]
+    reads = [rng.choice(keys) for _ in range(n_ops)]
+    # Missing keys interleave with existing ones so only the bloom
+    # filter (not the table's key range) can reject them.
+    reads += [f"k{i:06d}q".encode() for i in range(n_ops // 2)]
+    rng.shuffle(reads)
+    return keys, reads
+
+
+def test_ablation_bloom_filters(benchmark, capsys):
+    """Disabling bloom filters must increase block reads per get."""
+    keys, reads = make_reads()
+
+    def run():
+        import time
+
+        rows = []
+        for bits in (0, 10):
+            store = RocksLSMStore(LSMConfig(bits_per_key=bits))
+            for key in keys:
+                store.put(key, b"v" * 128)
+            store.flush()
+            begin = time.perf_counter()
+            for key in reads:
+                store.get(key)
+            elapsed = time.perf_counter() - begin
+            cache = store.block_cache
+            rows.append(
+                [f"{bits} bits/key", round(len(reads) / elapsed / 1000, 1),
+                 store.stats.bytes_read, cache.hits + cache.misses]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, ["bloom", "kops", "bytes read", "block accesses"], rows,
+         "Ablation: LSM bloom filters (reads, 33% misses)")
+    no_bloom, with_bloom = rows
+    # Bloom filters cut block accesses for missing keys.
+    assert with_bloom[3] < no_bloom[3]
+
+
+def test_ablation_block_cache_size(benchmark, capsys):
+    """Larger block caches must raise hit rates on skewed reads."""
+    rng = random.Random(5)
+    keys = [f"k{i:06d}".encode() for i in range(4000)]
+    ops = [("put", key) for key in keys]
+    ops += [("get", keys[int(rng.random() ** 3 * len(keys))]) for _ in range(30_000)]
+
+    def run():
+        rows = []
+        for cache_kb in (4, 64, 512):
+            store = RocksLSMStore(LSMConfig(block_cache_size=cache_kb * 1024))
+            kops = run_ops(store, ops)
+            cache = store.block_cache
+            total = cache.hits + cache.misses
+            hit_rate = cache.hits / total if total else 0.0
+            rows.append([f"{cache_kb} KB", round(kops, 1), round(hit_rate, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, ["block cache", "kops", "hit rate"], rows,
+         "Ablation: LSM block cache size (skewed reads)")
+    hit_rates = [r[2] for r in rows]
+    assert hit_rates == sorted(hit_rates)
+
+
+def test_ablation_faster_mutable_fraction(benchmark, capsys):
+    """A larger mutable region keeps more updates in place."""
+    rng = random.Random(7)
+    keys = [f"k{i:05d}".encode() for i in range(800)]
+    updates = [rng.choice(keys) for _ in range(30_000)]
+
+    def run():
+        rows = []
+        for fraction in (0.1, 0.5, 0.9):
+            store = FasterStore(
+                FasterConfig(memory_budget=64 * 1024, mutable_fraction=fraction)
+            )
+            for key in keys:
+                store.put(key, b"v" * 32)
+            for key in updates:
+                store.put(key, b"w" * 32)
+            stats = store.fill_stats()
+            in_place = stats["in_place_updates"]
+            rows.append(
+                [f"{fraction:.0%}", in_place,
+                 stats["appends"], round(in_place / len(updates), 3)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, ["mutable fraction", "in-place", "appends", "in-place ratio"],
+         rows, "Ablation: FASTER mutable region size")
+    ratios = [r[3] for r in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]
+
+
+def test_ablation_lethe_delete_threshold(benchmark, capsys):
+    """Lower delete-persistence thresholds purge tombstones sooner.
+
+    This is the paper's section 8 observation that streaming deletes
+    are predictable and compaction can exploit them.
+    """
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    def run():
+        rows = []
+        for threshold in (0.0, 1e9):
+            clock = FakeClock()
+            store = LetheStore(
+                LetheConfig(
+                    write_buffer_size=8 * 1024,
+                    level_base_bytes=32 * 1024,
+                    target_file_size=16 * 1024,
+                    delete_persistence_threshold_s=threshold,
+                    fade_check_interval=500,
+                ),
+                clock=clock,
+            )
+            for i in range(3000):
+                store.put(f"k{i:05d}".encode(), b"v" * 48)
+            for i in range(3000):
+                store.delete(f"k{i:05d}".encode())
+            store.flush()
+            clock.now += 100.0
+            for i in range(3000):
+                store.put(f"z{i:05d}".encode(), b"v" * 48)
+            store.flush()
+            remaining = sum(
+                t.num_tombstones for level in store._levels for t in level
+            )
+            label = "eager (0s)" if threshold == 0.0 else "never"
+            rows.append(
+                [label, remaining, store.fade_compactions,
+                 store.compaction_stats.tombstones_dropped]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, ["threshold", "tombstones left", "fade compactions",
+                  "tombstones dropped"], rows,
+         "Ablation: Lethe delete persistence threshold")
+    eager, never = rows
+    assert eager[1] <= never[1]
+    assert eager[2] > 0
+
+
+def test_ablation_cache_recommendation(benchmark, capsys):
+    """The stack-distance cache model (section 8 extension) must
+    predict the hit rate an actual LRU cache achieves."""
+    from collections import OrderedDict
+
+    from repro.analysis import recommend_cache_size
+    from repro.core import SourceConfig
+
+    def run():
+        trace = generate_workload_trace(
+            "tumbling-incremental",
+            [SourceConfig(num_events=15_000)],
+            GadgetConfig(),
+        )
+        recommendation = recommend_cache_size(trace, target_hit_ratio=0.8)
+        assert recommendation is not None
+        # Simulate an LRU key cache of the recommended size.
+        lru = OrderedDict()
+        hits = 0
+        keys = trace.key_sequence()
+        for key in keys:
+            if key in lru:
+                hits += 1
+                lru.move_to_end(key)
+            else:
+                lru[key] = True
+                if len(lru) > recommendation.cache_keys:
+                    lru.popitem(last=False)
+        measured = hits / len(keys)
+        return [[recommendation.cache_keys,
+                 round(recommendation.expected_hit_ratio, 3),
+                 round(measured, 3)]]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(capsys, ["recommended keys", "predicted hit rate", "measured hit rate"],
+         rows, "Ablation: cache-size recommendation accuracy")
+    predicted, measured = rows[0][1], rows[0][2]
+    assert abs(predicted - measured) < 0.01
+    assert measured >= 0.8

@@ -1,0 +1,64 @@
+"""Figure 10: Gadget traces vs real traces, locality comparison.
+
+Paper claim: for the three representative operators, Gadget produces
+traces with almost identical stack-distance distributions and unique
+sequence counts as the real (engine) traces.
+"""
+
+from conftest import emit
+from repro.analysis import average_stack_distance, total_unique_sequences
+from repro.core import GadgetConfig, generate_workload_trace
+from repro.streaming import (
+    ContinuousAggregation,
+    RuntimeConfig,
+    SlidingWindows,
+    TumblingWindows,
+    WindowJoinOperator,
+    WindowOperator,
+    run_operator,
+)
+
+RCFG = RuntimeConfig(interleave="time")
+GCFG = GadgetConfig(interleave="time")
+
+
+def run_accuracy(tasks, jobs):
+    cases = [
+        ("Aggregation", lambda: ContinuousAggregation(),
+         "continuous-aggregation", 1),
+        ("Tumbling-Incr", lambda: WindowOperator(TumblingWindows(5000)),
+         "tumbling-incremental", 1),
+        ("Sliding-Join",
+         lambda: WindowJoinOperator(SlidingWindows(5000, 1000)),
+         "sliding-join", 2),
+    ]
+    rows = []
+    for name, factory, workload, inputs in cases:
+        streams = [tasks] if inputs == 1 else [tasks, jobs]
+        real = run_operator(factory(), streams, RCFG)
+        gadget = generate_workload_trace(workload, streams, GCFG)
+        rows.append(
+            [name,
+             len(real), len(gadget),
+             round(average_stack_distance(real.key_sequence()), 1),
+             round(average_stack_distance(gadget.key_sequence()), 1),
+             total_unique_sequences(real.key_sequence(), 10),
+             total_unique_sequences(gadget.key_sequence(), 10)]
+        )
+    return rows
+
+
+def test_fig10_gadget_accuracy(benchmark, capsys, borg):
+    rows = benchmark.pedantic(run_accuracy, args=borg, rounds=1, iterations=1)
+    emit(
+        capsys,
+        ["operator", "ops(real)", "ops(gadget)", "stackdist(real)",
+         "stackdist(gadget)", "uniqseq(real)", "uniqseq(gadget)"],
+        rows,
+        "Figure 10: Gadget vs real traces (Borg)",
+    )
+    for row in rows:
+        name, len_r, len_g, sd_r, sd_g, us_r, us_g = row
+        assert abs(len_r - len_g) <= 0.01 * len_r, name
+        assert abs(sd_r - sd_g) <= 0.05 * max(sd_r, 1), name
+        assert abs(us_r - us_g) <= 0.05 * us_r, name

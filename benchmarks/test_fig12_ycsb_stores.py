@@ -1,0 +1,48 @@
+"""Figure 12: the four stores on YCSB core workloads A, D, and F
+(zipfian, 1K keys, 8-byte keys, 256-byte values).
+
+Paper claims: FASTER has the highest throughput across the core
+workloads; BerkeleyDB beats the LSM stores on the update-heavy
+workloads A and F, while RocksDB/Lethe do well on the read-latest
+workload D.
+"""
+
+from conftest import N_OPS, emit
+from repro.core import PerformanceEvaluator
+from repro.ycsb import YCSBWorkload
+
+STORES = ("rocksdb", "lethe", "faster", "berkeleydb")
+
+
+def run_matrix():
+    evaluator = PerformanceEvaluator(stores=STORES)
+    rows = []
+    for name in ("A", "D", "F"):
+        workload = YCSBWorkload.core(
+            name, record_count=1000, operation_count=N_OPS,
+            key_size=8, value_size=256,
+        )
+        trace = workload.generate()
+        # YCSB's load phase: records are preloaded before transactions.
+        for row in evaluator.evaluate(f"ycsb-{name}", trace,
+                                      setup=workload.preload):
+            rows.append(
+                [name, row.store, round(row.throughput_kops, 1),
+                 round(row.p50_us, 1), round(row.p999_us, 1)]
+            )
+    return rows
+
+
+def test_fig12_ycsb_core_workloads(benchmark, capsys):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    emit(
+        capsys,
+        ["workload", "store", "kops", "p50 us", "p99.9 us"],
+        rows,
+        "Figure 12: YCSB core workloads A/D/F across stores",
+    )
+    throughput = {(r[0], r[1]): r[2] for r in rows}
+    for workload in ("A", "D", "F"):
+        per_store = {s: throughput[(workload, s)] for s in STORES}
+        # FASTER's O(1) in-place path wins every core workload.
+        assert per_store["faster"] == max(per_store.values()), workload

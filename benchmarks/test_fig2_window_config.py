@@ -1,0 +1,54 @@
+"""Figure 2: effect of window length / session gap on workload
+composition (Taxi).
+
+Paper claim: smaller window lengths and session gaps produce a higher
+proportion of delete operations, because windows hold fewer updates and
+expire more often.
+"""
+
+from conftest import emit
+from repro.analysis import composition_of
+from repro.streaming import (
+    RuntimeConfig,
+    SessionWindowOperator,
+    TumblingWindows,
+    WindowOperator,
+    run_operator,
+)
+
+RCFG = RuntimeConfig(interleave="time")
+
+WINDOW_LENGTHS_MS = [1_000, 5_000, 30_000, 60_000]
+SESSION_GAPS_MS = [30_000, 120_000, 600_000]
+
+
+def sweep(trips):
+    rows = []
+    for length in WINDOW_LENGTHS_MS:
+        trace = run_operator(WindowOperator(TumblingWindows(length)), [trips], RCFG)
+        comp = composition_of(trace)
+        rows.append([f"tumbling {length // 1000}s", comp.get, comp.put,
+                     comp.merge, comp.delete])
+    for gap in SESSION_GAPS_MS:
+        trace = run_operator(SessionWindowOperator(gap), [trips], RCFG)
+        comp = composition_of(trace)
+        rows.append([f"session gap {gap // 1000}s", comp.get, comp.put,
+                     comp.merge, comp.delete])
+    return rows
+
+
+def test_fig2_window_config(benchmark, capsys, taxi):
+    trips, _ = taxi
+    rows = benchmark.pedantic(sweep, args=(trips,), rounds=1, iterations=1)
+    emit(
+        capsys,
+        ["configuration", "GET", "PUT", "MERGE", "DELETE"],
+        rows,
+        "Figure 2: window configuration vs composition (Taxi)",
+    )
+    window_deletes = [r[4] for r in rows[: len(WINDOW_LENGTHS_MS)]]
+    session_deletes = [r[4] for r in rows[len(WINDOW_LENGTHS_MS):]]
+    # Smaller windows -> strictly more deletes.
+    assert all(a >= b for a, b in zip(window_deletes, window_deletes[1:]))
+    # Smaller session gaps -> more deletes.
+    assert session_deletes[0] >= session_deletes[-1]

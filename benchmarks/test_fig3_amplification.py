@@ -1,0 +1,73 @@
+"""Figure 3: event and keyspace amplification for the Borg stream.
+
+Paper claims: all operators except tumbling-holistic generate at least
+2 state accesses per event; all operators amplify the key space except
+continuous aggregation (exactly 1.0).
+"""
+
+from conftest import emit
+from repro.analysis import combined_amplification, measure_amplification
+from repro.streaming import (
+    ContinuousAggregation,
+    ContinuousJoinOperator,
+    IntervalJoinOperator,
+    RuntimeConfig,
+    SessionWindowOperator,
+    SlidingWindows,
+    TumblingWindows,
+    WindowOperator,
+    run_operator,
+)
+
+RCFG = RuntimeConfig(interleave="time")
+
+
+def run_amplification(tasks, jobs):
+    operators = [
+        ("Tumbling-Incr", lambda: WindowOperator(TumblingWindows(5000)), 1),
+        ("Tumbling-Hol", lambda: WindowOperator(TumblingWindows(5000), holistic=True), 1),
+        ("Sliding-Incr", lambda: WindowOperator(SlidingWindows(5000, 1000)), 1),
+        ("Sliding-Hol", lambda: WindowOperator(SlidingWindows(5000, 1000), holistic=True), 1),
+        ("Session-Incr", lambda: SessionWindowOperator(120_000), 1),
+        ("Join-Interval", lambda: IntervalJoinOperator(120_000, 180_000), 2),
+        ("Join-Cont", lambda: ContinuousJoinOperator({"finish"}), 2),
+        ("Aggregation", lambda: ContinuousAggregation(), 1),
+    ]
+    rows = []
+    for name, factory, inputs in operators:
+        streams = [tasks] if inputs == 1 else [tasks, jobs]
+        trace = run_operator(factory(), streams, RCFG)
+        if inputs == 1:
+            amp = measure_amplification(tasks, trace)
+        else:
+            amp = combined_amplification(streams, trace)
+        rows.append(
+            [name, round(amp.event_amplification, 2),
+             round(amp.keyspace_amplification, 2),
+             amp.distinct_input_keys, amp.distinct_state_keys]
+        )
+    return rows
+
+
+def test_fig3_amplification(benchmark, capsys, borg):
+    tasks, jobs = borg
+    rows = benchmark.pedantic(run_amplification, args=borg, rounds=1, iterations=1)
+    emit(
+        capsys,
+        ["operator", "event-amp", "key-amp", "input-keys", "state-keys"],
+        rows,
+        "Figure 3: event and keyspace amplification (Borg)",
+    )
+    by_name = {r[0]: r for r in rows}
+    # >= 2 accesses per event for all but tumbling-holistic.
+    for name, row in by_name.items():
+        if name != "Tumbling-Hol":
+            assert row[1] >= 1.9, name
+    # Sliding windows amplify ~2x the window/slide ratio.
+    assert by_name["Sliding-Incr"][1] > 4 * by_name["Tumbling-Incr"][1] / 1.2
+    # Aggregation is exactly (2.0 events, 1.0 keys).
+    assert by_name["Aggregation"][1] == 2.0
+    assert by_name["Aggregation"][2] == 1.0
+    # Time-based operators amplify the key space.
+    assert by_name["Tumbling-Incr"][2] > 1.0
+    assert by_name["Join-Interval"][2] > 1.0

@@ -1,0 +1,53 @@
+"""Figure 4: varying the slide of a 10-minute window (Taxi).
+
+Paper claim: amplification is proportional to length/slide, since each
+event lands in that many window buckets.
+"""
+
+from conftest import emit
+from repro.analysis import measure_amplification
+from repro.streaming import (
+    RuntimeConfig,
+    SlidingWindows,
+    WindowOperator,
+    run_operator,
+)
+
+RCFG = RuntimeConfig(interleave="time")
+WINDOW_MS = 600_000
+SLIDES_MS = [60_000, 120_000, 300_000, 600_000]
+
+
+def sweep(trips):
+    rows = []
+    for slide in SLIDES_MS:
+        operator = WindowOperator(SlidingWindows(WINDOW_MS, slide))
+        trace = run_operator(operator, [trips], RCFG)
+        amp = measure_amplification(trips, trace)
+        ratio = WINDOW_MS // slide
+        rows.append(
+            [f"slide {slide // 1000}s", ratio,
+             round(amp.event_amplification, 2),
+             round(amp.keyspace_amplification, 2)]
+        )
+    return rows
+
+
+def test_fig4_slide_amplification(benchmark, capsys, taxi):
+    trips, _ = taxi
+    rows = benchmark.pedantic(sweep, args=(trips,), rounds=1, iterations=1)
+    emit(
+        capsys,
+        ["slide", "length/slide", "event-amp", "key-amp"],
+        rows,
+        "Figure 4: slide vs amplification, 10-min window (Taxi)",
+    )
+    # Event amplification decreases as the slide grows ...
+    amps = [r[2] for r in rows]
+    assert all(a > b for a, b in zip(amps, amps[1:]))
+    # ... and tracks the length/slide ratio: ~2 accesses per bucket.
+    for row in rows:
+        assert row[2] >= 2 * row[1] * 0.9
+    # Keyspace amplification also shrinks with larger slides.
+    key_amps = [r[3] for r in rows]
+    assert key_amps[0] > key_amps[-1]

@@ -1,0 +1,78 @@
+"""Figure 5: locality and ephemerality of streaming state workloads
+(Borg), for the three representative operators.
+
+Paper claims: real traces have far lower average stack distance and far
+fewer unique key sequences than their shuffled counterparts; window
+state working sets drain, aggregation working sets grow.
+"""
+
+import random
+
+from conftest import emit
+from repro.analysis import (
+    average_stack_distance,
+    total_unique_sequences,
+    working_set_over_time,
+)
+from repro.streaming import (
+    ContinuousAggregation,
+    IntervalJoinOperator,
+    RuntimeConfig,
+    TumblingWindows,
+    WindowOperator,
+    run_operator,
+)
+from repro.trace import shuffled_trace
+
+RCFG = RuntimeConfig(interleave="time")
+
+
+def run_locality(tasks, jobs):
+    operators = [
+        ("Aggregation", lambda: ContinuousAggregation(), 1),
+        ("Tumbling-Incr", lambda: WindowOperator(TumblingWindows(5000)), 1),
+        ("Interval-Join", lambda: IntervalJoinOperator(120_000, 180_000), 2),
+    ]
+    rng = random.Random(11)
+    rows = []
+    details = {}
+    for name, factory, inputs in operators:
+        streams = [tasks] if inputs == 1 else [tasks, jobs]
+        trace = run_operator(factory(), streams, RCFG)
+        shuffled = shuffled_trace(trace, rng)
+        avg_real = average_stack_distance(trace.key_sequence())
+        avg_shuf = average_stack_distance(shuffled.key_sequence())
+        seq_real = total_unique_sequences(trace.key_sequence(), 10)
+        seq_shuf = total_unique_sequences(shuffled.key_sequence(), 10)
+        ws = [size for _, size in working_set_over_time(trace, 100)]
+        rows.append(
+            [name, round(avg_real, 1), round(avg_shuf, 1), seq_real, seq_shuf,
+             max(ws), ws[-1]]
+        )
+        details[name] = ws
+    return rows, details
+
+
+def test_fig5_locality(benchmark, capsys, borg):
+    rows, working_sets = benchmark.pedantic(
+        run_locality, args=borg, rounds=1, iterations=1
+    )
+    emit(
+        capsys,
+        ["operator", "stackdist", "stackdist(shuf)", "uniq-seq",
+         "uniq-seq(shuf)", "ws-max", "ws-final"],
+        rows,
+        "Figure 5: locality and ephemerality (Borg)",
+    )
+    for row in rows:
+        name, avg_real, avg_shuf, seq_real, seq_shuf, ws_max, ws_final = row
+        # Temporal locality: much lower stack distances than chance.
+        assert avg_real < avg_shuf / 2, name
+        # Spatial locality: fewer unique sequences than chance.
+        assert seq_real < seq_shuf, name
+    by_name = {r[0]: r for r in rows}
+    # Windows are ephemeral: the working set drains at the end.
+    assert by_name["Tumbling-Incr"][6] < by_name["Tumbling-Incr"][5] / 2
+    # Aggregation state only grows.
+    agg_ws = working_sets["Aggregation"]
+    assert agg_ws[-1] == max(agg_ws)

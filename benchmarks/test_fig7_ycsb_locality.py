@@ -1,0 +1,129 @@
+"""Figure 7 + Table 3: tuned YCSB traces vs real streaming traces.
+
+Paper claims:
+
+* YCSB-latest (temporal locality) shows poor spatial locality, close
+  to the shuffled trace; YCSB-sequential (spatial) distorts temporal
+  locality; neither matches the real trace on both metrics.
+* Real streaming workloads have far shorter key TTLs than the closest
+  YCSB workloads (Table 3), and YCSB traces contain many single-access
+  keys, which never happens in streaming traces.
+"""
+
+import random
+
+from conftest import emit
+from repro.analysis import (
+    average_stack_distance,
+    single_access_key_fraction,
+    total_unique_sequences,
+    ttl_percentiles,
+)
+from repro.streaming import (
+    ContinuousAggregation,
+    RuntimeConfig,
+    TumblingWindows,
+    WindowOperator,
+    run_operator,
+)
+from repro.trace import shuffled_trace
+from repro.ycsb import YCSBConfig, YCSBWorkload
+
+RCFG = RuntimeConfig(interleave="time")
+
+
+def tuned_ycsb(real_trace, distribution):
+    """YCSB workload tuned to the real trace (section 4 methodology):
+    same op count, same distinct keys, same read/update ratio, no
+    inserts, no deletes."""
+    counts = real_trace.op_counts()
+    from repro.trace import OpType
+
+    reads = counts[OpType.GET]
+    writes = counts[OpType.PUT] + counts[OpType.MERGE] + counts[OpType.DELETE]
+    total = reads + writes
+    config = YCSBConfig(
+        record_count=real_trace.distinct_keys(),
+        operation_count=total,
+        read_proportion=reads / total,
+        update_proportion=writes / total,
+        request_distribution=distribution,
+    )
+    return YCSBWorkload(config).generate()
+
+
+def run_comparison(tasks):
+    operators = [
+        ("Aggregation", lambda: ContinuousAggregation()),
+        ("Tumbling-Incr", lambda: WindowOperator(TumblingWindows(5000))),
+    ]
+    rng = random.Random(23)
+    locality_rows = []
+    ttl_rows = []
+    single_rows = []
+    for name, factory in operators:
+        real = run_operator(factory(), [tasks], RCFG)
+        shuffled = shuffled_trace(real, rng)
+        ycsb_latest = tuned_ycsb(real, "latest")
+        ycsb_sequential = tuned_ycsb(real, "sequential")
+        for label, trace in [
+            ("real", real),
+            ("shuffled", shuffled),
+            ("YCSB-L", ycsb_latest),
+            ("YCSB-S", ycsb_sequential),
+        ]:
+            keys = trace.key_sequence()
+            locality_rows.append(
+                [name, label, round(average_stack_distance(keys), 1),
+                 total_unique_sequences(keys, 10)]
+            )
+            ttl = ttl_percentiles(trace, sample_keys=1000)
+            ttl_rows.append(
+                [name, label, ttl["p50"], ttl["p90"], ttl["p99.9"], ttl["max"]]
+            )
+            single_rows.append(
+                [name, label, round(single_access_key_fraction(trace), 3)]
+            )
+    return locality_rows, ttl_rows, single_rows
+
+
+def test_fig7_and_table3(benchmark, capsys, borg):
+    tasks, _ = borg
+    locality_rows, ttl_rows, single_rows = benchmark.pedantic(
+        run_comparison, args=(tasks,), rounds=1, iterations=1
+    )
+    emit(
+        capsys,
+        ["operator", "trace", "avg stack dist", "unique sequences"],
+        locality_rows,
+        "Figure 7: temporal/spatial locality, real vs tuned YCSB (Borg)",
+    )
+    emit(
+        capsys,
+        ["operator", "trace", "p50", "p90", "p99.9", "max"],
+        ttl_rows,
+        "Table 3: TTL percentiles (steps), real vs tuned YCSB",
+    )
+    emit(
+        capsys,
+        ["operator", "trace", "single-access key fraction"],
+        single_rows,
+        "Single-access keys (section 4)",
+    )
+
+    loc = {(r[0], r[1]): r for r in locality_rows}
+    ttl = {(r[0], r[1]): r for r in ttl_rows}
+    for op in ("Aggregation", "Tumbling-Incr"):
+        real_dist, real_seq = loc[(op, "real")][2], loc[(op, "real")][3]
+        latest_seq = loc[(op, "YCSB-L")][3]
+        shuffled_seq = loc[(op, "shuffled")][3]
+        sequential_dist = loc[(op, "YCSB-S")][2]
+        # YCSB-L has poor spatial locality: unique sequences close to
+        # the shuffled trace, far above the real trace.
+        assert latest_seq > real_seq
+        assert latest_seq > 0.7 * shuffled_seq
+        # YCSB-S distorts temporal locality relative to the real trace.
+        assert sequential_dist > real_dist
+        # Real traces have much shorter median TTLs than YCSB (paper:
+        # over 1000x at p50 for aggregation-scale traces).
+        assert ttl[(op, "real")][2] < ttl[(op, "YCSB-L")][2]

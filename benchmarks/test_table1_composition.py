@@ -1,0 +1,92 @@
+"""Table 1: workload composition per operator x input stream.
+
+Paper reference rows (Borg): tumbling-incremental 0.50/0.459/0/0.041,
+tumbling-holistic 0.076/0/0.847/0.076, aggregation 0.5/0.5/0/0.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis import composition_of
+from repro.streaming import (
+    ContinuousAggregation,
+    ContinuousJoinOperator,
+    IntervalJoinOperator,
+    RuntimeConfig,
+    SessionWindowOperator,
+    SlidingWindows,
+    TumblingWindows,
+    WindowOperator,
+    run_operator,
+)
+
+RCFG = RuntimeConfig(interleave="time")
+
+SINGLE_INPUT_OPERATORS = [
+    ("Tumbl-Incr", lambda: WindowOperator(TumblingWindows(5000))),
+    ("Sliding-Incr", lambda: WindowOperator(SlidingWindows(5000, 1000))),
+    ("Session-Incr", lambda: SessionWindowOperator(120_000)),
+    ("Tumbl-Hol", lambda: WindowOperator(TumblingWindows(5000), holistic=True)),
+    (
+        "Sliding-Hol",
+        lambda: WindowOperator(SlidingWindows(5000, 1000), holistic=True),
+    ),
+    ("Session-Hol", lambda: SessionWindowOperator(120_000, holistic=True)),
+    ("Aggregation", lambda: ContinuousAggregation()),
+]
+
+
+def compose_rows(streams_by_name):
+    rows = []
+    for stream_name, (stream, secondary, invalidate_kind) in streams_by_name.items():
+        for operator_name, factory in SINGLE_INPUT_OPERATORS:
+            trace = run_operator(factory(), [stream], RCFG)
+            comp = composition_of(trace)
+            rows.append(
+                [stream_name, operator_name, comp.get, comp.put, comp.merge,
+                 comp.delete, comp.classify()]
+            )
+        if secondary is not None:
+            joins = [
+                ("Join-Cont", ContinuousJoinOperator({invalidate_kind})),
+                ("Join-Interval", IntervalJoinOperator(120_000, 180_000)),
+            ]
+            for operator_name, operator in joins:
+                trace = run_operator(operator, [stream, secondary], RCFG)
+                comp = composition_of(trace)
+                rows.append(
+                    [stream_name, operator_name, comp.get, comp.put,
+                     comp.merge, comp.delete, comp.classify()]
+                )
+    return rows
+
+
+def test_table1_composition(benchmark, capsys, borg, taxi, azure):
+    tasks, jobs = borg
+    trips, fares = taxi
+    streams = {
+        "Borg": (tasks, jobs, "finish"),
+        "Taxi": (trips, fares, "dropoff"),
+        "Azure": (azure, None, ""),
+    }
+    rows = benchmark.pedantic(compose_rows, args=(streams,), rounds=1, iterations=1)
+    emit(
+        capsys,
+        ["stream", "operator", "GET", "PUT", "MERGE", "DELETE", "class"],
+        rows,
+        "Table 1: workload composition (fractions of all state operations)",
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # Paper-pinned algebra: incremental windows have get fraction 0.5.
+    for stream in ("Borg", "Taxi", "Azure"):
+        assert by_key[(stream, "Tumbl-Incr")][2] == pytest.approx(0.5, abs=0.01)
+        assert by_key[(stream, "Aggregation")][2] == pytest.approx(0.5, abs=1e-9)
+    # Holistic windows are write-heavy; incremental are update-heavy.
+    assert by_key[("Borg", "Tumbl-Hol")][6] == "write-heavy"
+    assert by_key[("Borg", "Tumbl-Incr")][6] == "update-heavy"
+    # Taxi's low arrival rate yields the highest delete fraction.
+    assert (
+        by_key[("Taxi", "Tumbl-Incr")][5]
+        > by_key[("Azure", "Tumbl-Incr")][5]
+        > by_key[("Borg", "Tumbl-Incr")][5]
+    )

@@ -1,0 +1,110 @@
+"""Fault tolerance across the stack.
+
+Three recovery stories in one script:
+
+1. **operator checkpointing** -- a windowed job crashes twice mid-run,
+   restores its last checkpoint, replays the input, and still produces
+   exactly the outputs of an uninterrupted run
+2. **store crash recovery** -- the RocksDB-like store is killed without
+   a clean shutdown; a fresh process recovers flushed runs from the
+   manifest and unflushed writes from the WAL
+3. **external state** -- the same workload against a store behind a
+   socket: state survives the *compute* process by construction, at an
+   IPC latency cost
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.core import GadgetConfig, SourceConfig, TraceReplayer, generate_workload_trace
+from repro.core.replayer import synthesize_value
+from repro.datasets import BorgConfig, generate_borg
+from repro.kvstores import MemoryStorage, StoreServer, connect, create_store
+from repro.kvstores.lsm import LSMConfig, RocksLSMStore
+from repro.kvstores.remote import RemoteStoreClient
+from repro.streaming import (
+    RuntimeConfig,
+    TumblingWindows,
+    WindowOperator,
+    run_operator,
+    run_with_checkpoints,
+)
+from repro.trace import OpType
+
+
+def operator_checkpointing(tasks) -> None:
+    print("== 1. operator checkpointing ==")
+    reference = WindowOperator(TumblingWindows(5000))
+    run_operator(reference, [tasks], RuntimeConfig(interleave="time"))
+
+    recovered = WindowOperator(TumblingWindows(5000))
+    log = run_with_checkpoints(
+        recovered,
+        [tasks],
+        RuntimeConfig(interleave="time"),
+        checkpoint_every=500,
+        crash_at={800, 2600},
+    )
+    print(f"checkpoints: {log.checkpoints_taken}, crashes injected: "
+          f"{log.crashes_injected}, events replayed: {log.events_replayed}")
+    identical = (recovered.outputs == reference.outputs
+                 and recovered.backend._data == reference.backend._data)
+    print(f"recovered run matches uninterrupted run exactly: {identical}\n")
+
+
+def store_crash_recovery(tasks) -> None:
+    print("== 2. store crash recovery (manifest + WAL) ==")
+    trace = generate_workload_trace(
+        "tumbling-incremental", [tasks], GadgetConfig(interleave="time")
+    )
+    config = LSMConfig(write_buffer_size=16 * 1024)
+    storage = MemoryStorage()
+    doomed = connect(RocksLSMStore(config, storage=storage))
+    crash_at = len(trace) * 2 // 3
+    replayer = TraceReplayer(doomed, measure_latency=False)
+    replayer.replay(trace[:crash_at])
+    flushes = doomed.store.stats.flushes
+    del doomed  # process killed: no flush, no close
+    print(f"crashed after {crash_at} ops ({flushes} flushes had happened)")
+
+    revived = RocksLSMStore(config, storage=storage)
+    replayed = revived.recover()
+    print(f"recovered: WAL replayed {replayed} records")
+    # Prove no acknowledged write was lost: rebuild expected state.
+    expected = {}
+    for access in trace[:crash_at]:
+        if access.op is OpType.PUT:
+            expected[access.key] = synthesize_value(access.value_size)
+        elif access.op is OpType.DELETE:
+            expected.pop(access.key, None)
+    sample = list(expected.items())[:500]
+    lost = sum(1 for key, value in sample if revived.get(key) != value)
+    print(f"lost writes in a 500-key sample: {lost}\n")
+
+
+def external_state(tasks) -> None:
+    print("== 3. external state management ==")
+    trace = generate_workload_trace(
+        "continuous-aggregation", [tasks], GadgetConfig(interleave="time")
+    )
+    embedded = TraceReplayer(connect(create_store("faster"))).replay(trace)
+    with StoreServer(create_store("faster")) as server:
+        host, port = server.address
+        with RemoteStoreClient(host, port, "faster") as client:
+            external = TraceReplayer(client).replay(trace)
+    print(f"embedded: {embedded.throughput_ops / 1000:.1f} kops, "
+          f"p50 {embedded.latency_percentile(50):.1f} us")
+    print(f"external: {external.throughput_ops / 1000:.1f} kops, "
+          f"p50 {external.latency_percentile(50):.1f} us")
+    print("decoupling state costs every access an IPC round trip -- the "
+          "trade-off the paper's introduction quantifies")
+
+
+def main() -> None:
+    tasks, _ = generate_borg(BorgConfig(target_events=6_000))
+    operator_checkpointing(tasks)
+    store_crash_recovery(tasks)
+    external_state(tasks)
+
+
+if __name__ == "__main__":
+    main()

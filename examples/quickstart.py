@@ -1,0 +1,64 @@
+"""Quickstart: generate a streaming state workload and benchmark a store.
+
+This is the 60-second tour of the harness:
+
+1. describe a data source (arrival process, key distribution, values)
+2. pick one of the eleven predefined operator workloads
+3. generate the state access stream (offline mode)
+4. replay it against a KV store and read off throughput and latency
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import composition_of, print_table
+from repro.core import (
+    ArrivalConfig,
+    Gadget,
+    KeyConfig,
+    SourceConfig,
+    TraceReplayer,
+    ValueConfig,
+)
+from repro.kvstores import create_connector
+
+
+def main() -> None:
+    # 1. A source: Poisson arrivals, zipfian keys, 64-byte values.
+    source = SourceConfig(
+        num_events=20_000,
+        arrivals=ArrivalConfig(process="poisson", mean_interarrival_ms=10),
+        keys=KeyConfig(num_keys=1_000, distribution="zipfian"),
+        values=ValueConfig(size=64),
+        watermark_frequency=100,
+    )
+
+    # 2 + 3. A 5s tumbling window with incremental aggregation.
+    gadget = Gadget("tumbling-incremental", [source])
+    trace = gadget.generate()
+    composition = composition_of(trace)
+    print(f"generated {len(trace)} state accesses "
+          f"({composition.classify()} workload)")
+    print(f"  get={composition.get:.3f} put={composition.put:.3f} "
+          f"merge={composition.merge:.3f} delete={composition.delete:.3f}")
+
+    # 4. Replay against the RocksDB-like store.
+    rows = []
+    for store_name in ("rocksdb", "faster", "berkeleydb"):
+        connector = create_connector(store_name)
+        result = TraceReplayer(connector).replay(trace)
+        summary = result.summary()
+        rows.append([
+            store_name,
+            round(summary["throughput_kops"], 1),
+            round(summary["p50_us"], 1),
+            round(summary["p99.9_us"], 1),
+        ])
+        connector.close()
+    print_table(
+        ["store", "kops", "p50 us", "p99.9 us"], rows,
+        title="tumbling-incremental across stores",
+    )
+
+
+if __name__ == "__main__":
+    main()

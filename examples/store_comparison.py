@@ -1,0 +1,69 @@
+"""Systematic store comparison across the eleven Gadget workloads.
+
+Reproduces the paper's headline experiment (section 6.3 / Figure 13) as
+a user would run it: every predefined workload against every store,
+with a recommendation at the end.  Smaller event counts than the
+benchmark suite keep this interactive (~1 minute).
+
+Run:  python examples/store_comparison.py
+"""
+
+from repro.analysis import print_table
+from repro.core import (
+    DEFAULT_STORES,
+    Gadget,
+    GadgetConfig,
+    PerformanceEvaluator,
+    WORKLOADS,
+)
+from repro.datasets import BorgConfig, generate_borg
+
+
+def main() -> None:
+    # A moderately chatty stream with realistic value sizes so holistic
+    # window buckets actually grow (see EXPERIMENTS.md on scaling).
+    tasks, jobs = generate_borg(
+        BorgConfig(target_events=8_000, value_size=128, task_event_gap_ms=100.0)
+    )
+    config = GadgetConfig(interleave="time")
+    evaluator = PerformanceEvaluator()
+
+    rows = []
+    wins = {store: 0 for store in DEFAULT_STORES}
+    worst_tail = {store: 0.0 for store in DEFAULT_STORES}
+    for name, spec in WORKLOADS.items():
+        model = spec.factory()
+        model.value_size = 128
+        sources = [tasks] if spec.num_inputs == 1 else [tasks, jobs]
+        trace = Gadget(model, sources, config).generate()
+        if len(trace) > 40_000:
+            trace = trace[:40_000]
+        results = evaluator.evaluate(name, trace)
+        winner = max(results, key=lambda r: r.throughput_kops)
+        wins[winner.store] += 1
+        for result in results:
+            worst_tail[result.store] = max(
+                worst_tail[result.store], result.p999_us
+            )
+        rows.append(
+            [name, len(trace), winner.store,
+             round(winner.throughput_kops, 1)]
+        )
+    print_table(
+        ["workload", "ops", "best store", "best kops"], rows,
+        title="best store per workload",
+    )
+
+    print_table(
+        ["store", "workloads won", "worst p99.9 (us)"],
+        [[s, wins[s], round(worst_tail[s], 1)] for s in DEFAULT_STORES],
+        title="scoreboard",
+    )
+    most_robust = min(worst_tail, key=worst_tail.get)
+    print(f"most robust tail latency across all workloads: {most_robust}")
+    print("(the paper's conclusion: per-workload winners vary widely, but "
+          "the LSM stores are the robust single choice)")
+
+
+if __name__ == "__main__":
+    main()

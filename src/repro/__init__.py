@@ -1,0 +1,42 @@
+"""Gadget reproduction: a benchmark harness for systematic and robust
+evaluation of streaming state stores (EuroSys '22).
+
+Subpackages:
+
+* :mod:`repro.core` -- the Gadget harness (event generation, driver,
+  state machines, workload generation, replay, evaluation)
+* :mod:`repro.kvstores` -- four embedded stores built from scratch:
+  RocksDB-like LSM, Lethe, FASTER-like, BerkeleyDB-like B+Tree
+* :mod:`repro.streaming` -- a miniature instrumented stream processor
+  (the Apache Flink stand-in used to collect "real" traces)
+* :mod:`repro.datasets` -- synthetic Borg / Taxi / Azure streams
+* :mod:`repro.ycsb` -- YCSB workload generator (the baseline)
+* :mod:`repro.analysis` -- the characterization toolkit (locality,
+  amplification, working sets, KS/Wasserstein)
+"""
+
+from .events import Event, Watermark, sort_by_time, with_watermarks
+from .trace import (
+    AccessTrace,
+    OpType,
+    StateAccess,
+    concat_traces,
+    interleave_traces,
+    shuffled_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessTrace",
+    "Event",
+    "OpType",
+    "StateAccess",
+    "Watermark",
+    "concat_traces",
+    "interleave_traces",
+    "shuffled_trace",
+    "sort_by_time",
+    "with_watermarks",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""Workload characterization toolkit (paper sections 3 and 4)."""
+
+from .amplification import Amplification, combined_amplification, measure_amplification
+from .arrivals import (
+    ArrivalStats,
+    arrival_stats,
+    event_arrival_stats,
+    peak_to_mean_ratio,
+    rate_over_time,
+)
+from .cache_model import (
+    CacheRecommendation,
+    MissRatioCurve,
+    compare_working_set_vs_cache,
+    miss_ratio_curve,
+    recommend_cache_size,
+)
+from .composition import Composition, composition_of
+from .prefetch import (
+    MarkovPrefetcher,
+    PrefetchReport,
+    predictability_gain,
+    prefetch_hit_ratio,
+)
+from .locality import (
+    average_stack_distance,
+    finite_distances,
+    stack_distance_histogram,
+    stack_distances,
+    total_unique_sequences,
+    unique_sequence_counts,
+)
+from .report import print_table, render_table
+from .stats import (
+    KSResult,
+    frequency_ranks,
+    key_indices,
+    ks_test_keys,
+    rank_indices,
+    wasserstein_keys,
+)
+from .working_set import (
+    max_working_set,
+    single_access_key_fraction,
+    ttl_per_key,
+    ttl_percentiles,
+    working_set_over_time,
+)
+
+__all__ = [
+    "Amplification",
+    "ArrivalStats",
+    "CacheRecommendation",
+    "arrival_stats",
+    "event_arrival_stats",
+    "peak_to_mean_ratio",
+    "rate_over_time",
+    "Composition",
+    "KSResult",
+    "MarkovPrefetcher",
+    "MissRatioCurve",
+    "PrefetchReport",
+    "predictability_gain",
+    "prefetch_hit_ratio",
+    "compare_working_set_vs_cache",
+    "miss_ratio_curve",
+    "recommend_cache_size",
+    "average_stack_distance",
+    "combined_amplification",
+    "composition_of",
+    "finite_distances",
+    "frequency_ranks",
+    "key_indices",
+    "ks_test_keys",
+    "max_working_set",
+    "measure_amplification",
+    "print_table",
+    "rank_indices",
+    "render_table",
+    "single_access_key_fraction",
+    "stack_distance_histogram",
+    "stack_distances",
+    "total_unique_sequences",
+    "ttl_per_key",
+    "ttl_percentiles",
+    "unique_sequence_counts",
+    "wasserstein_keys",
+    "working_set_over_time",
+]

@@ -1,0 +1,53 @@
+"""Event and key-space amplification (paper section 3.2.2).
+
+* **event amplification** -- state requests per input event; it sets
+  the request rate the store must sustain relative to the stream rate
+* **key-space amplification** -- distinct state keys per distinct input
+  key; it determines the resulting state size.  Time-based operators
+  amplify heavily because timestamps become part of state keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..events import Event
+from ..trace import AccessTrace
+
+
+@dataclass(frozen=True)
+class Amplification:
+    event_amplification: float
+    keyspace_amplification: float
+    num_events: int
+    num_accesses: int
+    distinct_input_keys: int
+    distinct_state_keys: int
+
+
+def measure_amplification(
+    events: Sequence[Event], trace: AccessTrace
+) -> Amplification:
+    """Amplification of one operator run: events in, state stream out."""
+    num_events = len(events)
+    distinct_input = len({event.key for event in events})
+    distinct_state = trace.distinct_keys()
+    return Amplification(
+        event_amplification=len(trace) / num_events if num_events else 0.0,
+        keyspace_amplification=(
+            distinct_state / distinct_input if distinct_input else 0.0
+        ),
+        num_events=num_events,
+        num_accesses=len(trace),
+        distinct_input_keys=distinct_input,
+        distinct_state_keys=distinct_state,
+    )
+
+
+def combined_amplification(
+    streams: Sequence[Sequence[Event]], trace: AccessTrace
+) -> Amplification:
+    """Amplification for multi-input operators (joins)."""
+    merged = [event for stream in streams for event in stream]
+    return measure_amplification(merged, trace)

@@ -1,0 +1,97 @@
+"""Request arrival-pattern analysis.
+
+The paper's related work (Pitchumani et al.) stresses that realistic
+benchmarks need realistic request inter-arrival times, and Gadget's
+event generator exposes the arrival process as a first-class knob.
+This module closes the loop: it characterizes the *timestamp* dimension
+of an event stream or state access trace -- inter-arrival statistics,
+burstiness, and rate over time -- so a generated stream can be checked
+against the stream it models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ArrivalStats:
+    """Summary of the gaps between consecutive timestamps."""
+
+    count: int
+    mean_gap: float
+    std_gap: float
+    min_gap: int
+    max_gap: int
+    #: coefficient of variation; ~1 for Poisson, >1 bursty, <1 regular
+    cv: float
+    #: events per second implied by the mean gap (timestamps in ms)
+    rate_per_s: float
+
+    @property
+    def burstiness(self) -> str:
+        """Coarse label following the CV convention."""
+        if self.cv > 1.2:
+            return "bursty"
+        if self.cv < 0.8:
+            return "regular"
+        return "poisson-like"
+
+
+def _gaps(timestamps: Sequence[int]) -> List[int]:
+    return [b - a for a, b in zip(timestamps, timestamps[1:]) if b >= a]
+
+
+def arrival_stats(timestamps: Sequence[int]) -> ArrivalStats:
+    """Inter-arrival statistics of an ordered timestamp sequence."""
+    gaps = _gaps(timestamps)
+    if not gaps:
+        return ArrivalStats(0, 0.0, 0.0, 0, 0, 0.0, 0.0)
+    mean = sum(gaps) / len(gaps)
+    variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+    std = math.sqrt(variance)
+    cv = std / mean if mean > 0 else 0.0
+    rate = 1000.0 / mean if mean > 0 else 0.0
+    return ArrivalStats(
+        count=len(gaps),
+        mean_gap=mean,
+        std_gap=std,
+        min_gap=min(gaps),
+        max_gap=max(gaps),
+        cv=cv,
+        rate_per_s=rate,
+    )
+
+
+def event_arrival_stats(events) -> ArrivalStats:
+    """Arrival statistics of an event stream (uses event timestamps)."""
+    return arrival_stats([e.timestamp for e in events])
+
+
+def rate_over_time(
+    timestamps: Sequence[int], window_ms: int = 1000
+) -> List[Tuple[int, int]]:
+    """(window start, events in window) across the stream's lifetime."""
+    if window_ms <= 0:
+        raise ValueError("window_ms must be positive")
+    if not timestamps:
+        return []
+    counts: dict = {}
+    for t in timestamps:
+        bucket = t // window_ms * window_ms
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return sorted(counts.items())
+
+
+def peak_to_mean_ratio(
+    timestamps: Sequence[int], window_ms: int = 1000
+) -> float:
+    """Peak window rate over mean window rate (burst amplitude)."""
+    series = rate_over_time(timestamps, window_ms)
+    if not series:
+        return 0.0
+    rates = [count for _, count in series]
+    mean = sum(rates) / len(rates)
+    return max(rates) / mean if mean > 0 else 0.0

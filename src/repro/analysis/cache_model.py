@@ -1,0 +1,135 @@
+"""Cache sizing from temporal locality (paper section 8, future work).
+
+The paper suggests its stack-distance analysis "could be used to
+provide automatic cache size tuning in state stores".  This module
+implements that: by Mattson's inclusion property, an LRU cache of
+capacity ``c`` hits exactly the accesses whose stack distance is
+``< c``, so one pass over a trace yields the full miss-ratio curve and
+the smallest cache that meets a target hit rate.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace import AccessTrace
+from .locality import stack_distances
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """Miss ratio as a function of LRU cache capacity (in keys)."""
+
+    #: sorted cache sizes (number of cached keys)
+    sizes: Tuple[int, ...]
+    #: miss ratio at each size
+    miss_ratios: Tuple[float, ...]
+    total_accesses: int
+    #: misses that no finite cache avoids (first-time accesses)
+    compulsory_misses: int
+
+    def miss_ratio_at(self, cache_keys: int) -> float:
+        """Miss ratio for an LRU cache holding ``cache_keys`` keys."""
+        if not self.sizes:
+            return 0.0
+        position = bisect.bisect_right(self.sizes, cache_keys) - 1
+        if position < 0:
+            return 1.0
+        return self.miss_ratios[position]
+
+    def smallest_size_for(self, target_hit_ratio: float) -> Optional[int]:
+        """Smallest cache meeting the hit-rate target, if any."""
+        for size, miss in zip(self.sizes, self.miss_ratios):
+            if 1.0 - miss >= target_hit_ratio:
+                return size
+        return None
+
+
+def miss_ratio_curve(
+    trace: AccessTrace, sizes: Optional[Sequence[int]] = None
+) -> MissRatioCurve:
+    """One-pass Mattson analysis of a state access trace.
+
+    ``sizes`` selects the cache capacities to evaluate; by default a
+    geometric ladder up to the trace's distinct key count.
+    """
+    keys = trace.key_sequence()
+    distances = stack_distances(keys)
+    total = len(distances)
+    if total == 0:
+        return MissRatioCurve((), (), 0, 0)
+    compulsory = sum(1 for d in distances if d is None)
+    finite = sorted(d for d in distances if d is not None)
+
+    if sizes is None:
+        distinct = len(set(keys))
+        ladder = []
+        size = 1
+        while size < distinct:
+            ladder.append(size)
+            size *= 2
+        ladder.append(distinct)
+        sizes = ladder
+    sizes = sorted(set(int(s) for s in sizes if s > 0))
+
+    ratios: List[float] = []
+    for size in sizes:
+        hits = bisect.bisect_left(finite, size)  # distances < size
+        ratios.append((total - hits) / total)
+    return MissRatioCurve(tuple(sizes), tuple(ratios), total, compulsory)
+
+
+@dataclass(frozen=True)
+class CacheRecommendation:
+    cache_keys: int
+    cache_bytes: int
+    expected_hit_ratio: float
+    target_hit_ratio: float
+    mean_entry_bytes: float
+
+
+def recommend_cache_size(
+    trace: AccessTrace,
+    target_hit_ratio: float = 0.9,
+    entry_overhead_bytes: int = 64,
+) -> Optional[CacheRecommendation]:
+    """Suggest the smallest LRU cache meeting a hit-rate target.
+
+    The byte figure scales the key-granularity curve by the trace's
+    mean value size plus a per-entry overhead -- the knob a state-store
+    operator actually sets (e.g. RocksDB ``block_cache_size``).
+    """
+    if not 0.0 < target_hit_ratio < 1.0:
+        raise ValueError("target_hit_ratio must be in (0, 1)")
+    curve = miss_ratio_curve(trace)
+    size = curve.smallest_size_for(target_hit_ratio)
+    if size is None:
+        return None
+    value_sizes = [a.value_size for a in trace if a.value_size > 0]
+    mean_value = sum(value_sizes) / len(value_sizes) if value_sizes else 0.0
+    mean_entry = mean_value + entry_overhead_bytes
+    return CacheRecommendation(
+        cache_keys=size,
+        cache_bytes=int(size * mean_entry),
+        expected_hit_ratio=1.0 - curve.miss_ratio_at(size),
+        target_hit_ratio=target_hit_ratio,
+        mean_entry_bytes=mean_entry,
+    )
+
+
+def compare_working_set_vs_cache(
+    trace: AccessTrace, cache_keys: int
+) -> Dict[str, float]:
+    """Quick summary relating a cache budget to the trace's locality."""
+    curve = miss_ratio_curve(trace, sizes=[cache_keys])
+    return {
+        "cache_keys": float(cache_keys),
+        "miss_ratio": curve.miss_ratio_at(cache_keys),
+        "compulsory_miss_ratio": (
+            curve.compulsory_misses / curve.total_accesses
+            if curve.total_accesses
+            else 0.0
+        ),
+    }

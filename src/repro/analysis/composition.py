@@ -1,0 +1,52 @@
+"""Workload composition: the op-type breakdown of Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..trace import AccessTrace, OpType
+
+
+@dataclass(frozen=True)
+class Composition:
+    get: float
+    put: float
+    merge: float
+    delete: float
+    total_ops: int
+
+    @property
+    def write_fraction(self) -> float:
+        """Puts plus merges (the paper groups them as writes)."""
+        return self.put + self.merge
+
+    def classify(self) -> str:
+        """The paper's labels: update-heavy vs write-heavy.
+
+        A workload is *write heavy* when writes clearly dominate reads
+        (holistic windows); otherwise an even get/write mix makes it
+        *update heavy*.
+        """
+        if self.write_fraction > 1.5 * self.get:
+            return "write-heavy"
+        return "update-heavy"
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "GET": self.get,
+            "PUT": self.put,
+            "MERGE": self.merge,
+            "DELETE": self.delete,
+        }
+
+
+def composition_of(trace: AccessTrace) -> Composition:
+    fractions = trace.op_fractions()
+    return Composition(
+        get=fractions[OpType.GET],
+        put=fractions[OpType.PUT],
+        merge=fractions[OpType.MERGE],
+        delete=fractions[OpType.DELETE],
+        total_ops=len(trace),
+    )

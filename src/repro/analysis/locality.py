@@ -1,0 +1,121 @@
+"""Temporal and spatial locality metrics (paper section 3.2.3).
+
+* **Temporal locality** -- the stack distance of each access: the
+  number of unique keys touched between consecutive accesses to the
+  same key (Mattson et al.'s LRU stack distance).  Computed in
+  O(n log n) with a Fenwick tree over last-access positions.
+* **Spatial locality** -- the number of unique key sequences (n-grams)
+  of each length up to ``max_len``: fewer unique sequences than a
+  shuffled trace means accesses repeat in runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class _Fenwick:
+    """Binary indexed tree over access positions."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+        self.size = size
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self.size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of positions [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - (self.prefix_sum(lo - 1) if lo > 0 else 0)
+
+
+def stack_distances(keys: Sequence[bytes]) -> List[Optional[int]]:
+    """Per-access stack distance; ``None`` marks a first-time access.
+
+    A distance of 0 means the key was the most recently used one.
+    """
+    tree = _Fenwick(len(keys))
+    last_position: Dict[bytes, int] = {}
+    distances: List[Optional[int]] = []
+    for position, key in enumerate(keys):
+        previous = last_position.get(key)
+        if previous is None:
+            distances.append(None)
+        else:
+            distances.append(tree.range_sum(previous + 1, position - 1))
+            tree.add(previous, -1)
+        tree.add(position, 1)
+        last_position[key] = position
+    return distances
+
+
+def finite_distances(distances: Iterable[Optional[int]]) -> List[int]:
+    return [d for d in distances if d is not None]
+
+
+def average_stack_distance(keys: Sequence[bytes]) -> float:
+    """Mean stack distance over reuse accesses (the paper's summary
+    statistic for Figure 5)."""
+    finite = finite_distances(stack_distances(keys))
+    if not finite:
+        return 0.0
+    return sum(finite) / len(finite)
+
+
+def stack_distance_histogram(
+    keys: Sequence[bytes], bins: Sequence[int]
+) -> List[int]:
+    """Histogram of finite stack distances over ``bins`` boundaries.
+
+    ``bins`` are upper edges; the last bucket is open-ended.
+    Returns ``len(bins) + 1`` counts.
+    """
+    counts = [0] * (len(bins) + 1)
+    for distance in finite_distances(stack_distances(keys)):
+        for index, edge in enumerate(bins):
+            if distance <= edge:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    return counts
+
+
+def unique_sequence_counts(
+    keys: Sequence[bytes], max_len: int = 10
+) -> Dict[int, int]:
+    """Number of unique key n-grams for each length 1..max_len."""
+    if max_len <= 0:
+        raise ValueError("max_len must be positive")
+    counts: Dict[int, int] = {}
+    n = len(keys)
+    for length in range(1, max_len + 1):
+        if n < length:
+            counts[length] = 0
+            continue
+        seen = set()
+        window = tuple(keys[:length])
+        seen.add(hash(window))
+        for i in range(length, n):
+            window = window[1:] + (keys[i],)
+            seen.add(hash(window))
+        counts[length] = len(seen)
+    return counts
+
+
+def total_unique_sequences(keys: Sequence[bytes], max_len: int = 10) -> int:
+    """Total unique sequences across all lengths up to ``max_len``."""
+    return sum(unique_sequence_counts(keys, max_len).values())

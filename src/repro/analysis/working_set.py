@@ -1,0 +1,88 @@
+"""Working set evolution and key Time-to-Live (paper section 3.2.3).
+
+* **working key set** -- the set of live keys at a point in the state
+  access stream: keys that have been written (put/merge) and not yet
+  deleted.  Sampled every ``step`` operations, this shows streaming
+  state's ephemerality (Figures 5 bottom and 6).
+* **TTL** -- the number of trace steps between the first and last
+  access of a key (Table 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace import AccessTrace, OpType
+
+
+def working_set_over_time(
+    trace: AccessTrace, step: int = 100
+) -> List[Tuple[int, int]]:
+    """Sample ``(operation_index, live_key_count)`` every ``step`` ops."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    live = set()
+    samples: List[Tuple[int, int]] = []
+    for index, access in enumerate(trace):
+        if access.op in (OpType.PUT, OpType.MERGE):
+            live.add(access.key)
+        elif access.op is OpType.DELETE:
+            live.discard(access.key)
+        if (index + 1) % step == 0:
+            samples.append((index + 1, len(live)))
+    samples.append((len(trace), len(live)))
+    return samples
+
+
+def max_working_set(trace: AccessTrace, step: int = 100) -> int:
+    return max(size for _, size in working_set_over_time(trace, step))
+
+
+def ttl_per_key(trace: AccessTrace) -> Dict[bytes, int]:
+    """Steps between first and last access for every key."""
+    first: Dict[bytes, int] = {}
+    last: Dict[bytes, int] = {}
+    for index, access in enumerate(trace):
+        if access.key not in first:
+            first[access.key] = index
+        last[access.key] = index
+    return {key: last[key] - first[key] for key in first}
+
+
+def ttl_percentiles(
+    trace: AccessTrace,
+    percentiles: Sequence[float] = (50.0, 90.0, 99.9),
+    sample_keys: Optional[int] = 1000,
+    seed: int = 13,
+) -> Dict[str, float]:
+    """TTL percentiles over a random key sample (Table 3 methodology)."""
+    ttls = ttl_per_key(trace)
+    keys = list(ttls)
+    if sample_keys is not None and len(keys) > sample_keys:
+        rng = random.Random(seed)
+        keys = rng.sample(keys, sample_keys)
+    values = sorted(ttls[key] for key in keys)
+    if not values:
+        return {f"p{p}": 0.0 for p in percentiles} | {"max": 0.0}
+    result = {}
+    for p in percentiles:
+        rank = min(len(values) - 1, max(0, int(round(p / 100.0 * (len(values) - 1)))))
+        result[f"p{p:g}"] = float(values[rank])
+    result["max"] = float(values[-1])
+    return result
+
+
+def single_access_key_fraction(trace: AccessTrace) -> float:
+    """Fraction of keys accessed exactly once.
+
+    The paper observes up to 90% single-access keys in some YCSB
+    workloads -- something that never happens in real streaming traces.
+    """
+    counts: Dict[bytes, int] = {}
+    for access in trace:
+        counts[access.key] = counts.get(access.key, 0) + 1
+    if not counts:
+        return 0.0
+    singles = sum(1 for count in counts.values() if count == 1)
+    return singles / len(counts)

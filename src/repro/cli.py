@@ -1,0 +1,272 @@
+"""Command-line interface to the Gadget harness.
+
+Mirrors the workflow of the original tool's config-file driven binary::
+
+    python -m repro workloads
+    python -m repro generate -w tumbling-incremental -o trace.gdgt \
+        --dataset borg --events 20000
+    python -m repro analyze trace.gdgt
+    python -m repro replay trace.gdgt --store rocksdb
+    python -m repro compare trace.gdgt --stores rocksdb faster
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    average_stack_distance,
+    composition_of,
+    recommend_cache_size,
+    render_table,
+    total_unique_sequences,
+    ttl_percentiles,
+    working_set_over_time,
+)
+from .core import (
+    DEFAULT_STORES,
+    Gadget,
+    GadgetConfig,
+    KeyConfig,
+    PerformanceEvaluator,
+    SourceConfig,
+    TraceReplayer,
+    WORKLOADS,
+)
+from .datasets import (
+    AzureConfig,
+    BorgConfig,
+    TaxiConfig,
+    generate_azure,
+    generate_borg,
+    generate_taxi,
+)
+from .kvstores import STORE_NAMES, create_connector
+from .trace import AccessTrace
+
+
+def _build_sources(args) -> List:
+    """Materialize the harness input streams from CLI options."""
+    spec = WORKLOADS[args.workload]
+    if args.dataset == "synthetic":
+        source = SourceConfig(
+            num_events=args.events,
+            keys=KeyConfig(num_keys=args.keys, distribution=args.key_dist),
+            watermark_frequency=args.watermark_frequency,
+            seed=args.seed,
+        )
+        if spec.num_inputs == 1:
+            return [source]
+        second = SourceConfig(
+            num_events=args.events // 2,
+            keys=KeyConfig(num_keys=args.keys, distribution=args.key_dist),
+            watermark_frequency=args.watermark_frequency,
+            seed=args.seed + 1,
+        )
+        return [source, second]
+    if args.dataset == "borg":
+        tasks, jobs = generate_borg(
+            BorgConfig(target_events=args.events, seed=args.seed)
+        )
+        return [tasks] if spec.num_inputs == 1 else [tasks, jobs]
+    if args.dataset == "taxi":
+        trips, fares = generate_taxi(
+            TaxiConfig(target_events=args.events, seed=args.seed)
+        )
+        return [trips] if spec.num_inputs == 1 else [trips, fares]
+    if args.dataset == "azure":
+        if spec.num_inputs != 1:
+            raise SystemExit(
+                "error: Azure is a single stream; joins cannot run on it "
+                "(same restriction as the paper)"
+            )
+        return [generate_azure(AzureConfig(target_events=args.events, seed=args.seed))]
+    raise SystemExit(f"error: unknown dataset {args.dataset!r}")
+
+
+def cmd_workloads(args) -> int:
+    rows = [
+        [spec.name, spec.num_inputs, spec.description]
+        for spec in WORKLOADS.values()
+    ]
+    print(render_table(["name", "inputs", "description"], rows,
+                       title="predefined Gadget workloads"))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    if args.config:
+        from .core.configfile import gadget_from_config
+
+        gadget = gadget_from_config(args.config)
+    else:
+        if not args.workload:
+            raise SystemExit("error: provide --workload or --config")
+        sources = _build_sources(args)
+        gadget = Gadget(args.workload, sources, GadgetConfig(interleave="time"))
+    trace = gadget.generate()
+    trace.save(args.output)
+    comp = composition_of(trace)
+    print(f"wrote {len(trace)} accesses ({trace.distinct_keys()} state keys) "
+          f"to {args.output}")
+    print(f"composition: get={comp.get:.3f} put={comp.put:.3f} "
+          f"merge={comp.merge:.3f} delete={comp.delete:.3f}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    trace = AccessTrace.load(args.trace)
+    comp = composition_of(trace)
+    sizes = [s for _, s in working_set_over_time(trace, 100)]
+    ttl = ttl_percentiles(trace)
+    keys = trace.key_sequence()
+    rows = [
+        ["operations", len(trace)],
+        ["distinct keys", trace.distinct_keys()],
+        ["class", comp.classify()],
+        ["get / put / merge / delete",
+         f"{comp.get:.3f} / {comp.put:.3f} / {comp.merge:.3f} / {comp.delete:.3f}"],
+        ["avg stack distance", round(average_stack_distance(keys), 1)],
+        ["unique sequences (<=10)", total_unique_sequences(keys, 10)],
+        ["peak working set", max(sizes) if sizes else 0],
+        ["final working set", sizes[-1] if sizes else 0],
+        ["TTL p50 / p90 / max",
+         f"{ttl['p50']:.0f} / {ttl['p90']:.0f} / {ttl['max']:.0f}"],
+    ]
+    recommendation = recommend_cache_size(trace, args.target_hit_ratio)
+    if recommendation is not None:
+        rows.append(
+            [f"cache for {args.target_hit_ratio:.0%} hits",
+             f"{recommendation.cache_keys} keys "
+             f"(~{recommendation.cache_bytes} bytes)"]
+        )
+    print(render_table(["metric", "value"], rows,
+                       title=f"analysis of {args.trace}"))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    trace = AccessTrace.load(args.trace)
+    connector = create_connector(args.store)
+    replayer = TraceReplayer(connector, service_rate=args.service_rate)
+    result = replayer.replay(trace)
+    connector.close()
+    summary = result.summary()
+    rows = [
+        ["store", args.store],
+        ["operations", result.operations],
+        ["throughput (kops)", round(summary["throughput_kops"], 1)],
+        ["p50 (us)", round(summary["p50_us"], 1)],
+        ["p99 (us)", round(summary["p99_us"], 1)],
+        ["p99.9 (us)", round(summary["p99.9_us"], 1)],
+    ]
+    print(render_table(["metric", "value"], rows, title="replay result"))
+    return 0
+
+
+def cmd_ycsb(args) -> int:
+    from .ycsb import YCSBWorkload
+    from .ycsb.properties import load_workload_file
+
+    if args.properties:
+        workload = load_workload_file(args.properties, seed=args.seed)
+    else:
+        workload = YCSBWorkload.core(
+            args.preset,
+            record_count=args.records,
+            operation_count=args.operations,
+            seed=args.seed,
+        )
+    trace = workload.generate()
+    trace.save(args.output)
+    comp = composition_of(trace)
+    print(f"wrote {len(trace)} YCSB requests ({trace.distinct_keys()} keys) "
+          f"to {args.output}")
+    print(f"composition: get={comp.get:.3f} put={comp.put:.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = AccessTrace.load(args.trace)
+    evaluator = PerformanceEvaluator(stores=args.stores)
+    rows = [
+        [row.store, round(row.throughput_kops, 1), round(row.p50_us, 1),
+         round(row.p999_us, 1)]
+        for row in evaluator.evaluate(args.trace, trace)
+    ]
+    print(render_table(["store", "kops", "p50 us", "p99.9 us"], rows,
+                       title=f"store comparison on {args.trace}"))
+    best = max(rows, key=lambda r: r[1])
+    print(f"best throughput: {best[0]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gadget: benchmark harness for streaming state stores",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("workloads", help="list predefined workloads")
+
+    generate = subparsers.add_parser("generate", help="generate a state access trace")
+    generate.add_argument("-w", "--workload", choices=sorted(WORKLOADS))
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--config", help="JSON configuration file "
+                          "(overrides the other generation options)")
+    generate.add_argument("--dataset", default="synthetic",
+                          choices=["synthetic", "borg", "taxi", "azure"])
+    generate.add_argument("--events", type=int, default=20_000)
+    generate.add_argument("--keys", type=int, default=1_000)
+    generate.add_argument("--key-dist", default="zipfian")
+    generate.add_argument("--watermark-frequency", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=42)
+
+    analyze = subparsers.add_parser("analyze", help="characterize a trace")
+    analyze.add_argument("trace")
+    analyze.add_argument("--target-hit-ratio", type=float, default=0.9)
+
+    replay = subparsers.add_parser("replay", help="replay a trace on one store")
+    replay.add_argument("trace")
+    replay.add_argument("--store", default="rocksdb", choices=STORE_NAMES)
+    replay.add_argument("--service-rate", type=float, default=None)
+
+    compare = subparsers.add_parser("compare", help="replay on several stores")
+    compare.add_argument("trace")
+    compare.add_argument("--stores", nargs="+", default=list(DEFAULT_STORES),
+                         choices=STORE_NAMES)
+
+    ycsb = subparsers.add_parser(
+        "ycsb", help="generate a YCSB trace (baseline comparison)"
+    )
+    ycsb.add_argument("-o", "--output", required=True)
+    ycsb.add_argument("--preset", default="A", choices=list("ABCDEF"))
+    ycsb.add_argument("--properties",
+                      help="YCSB .properties workload file (overrides --preset)")
+    ycsb.add_argument("--records", type=int, default=1000)
+    ycsb.add_argument("--operations", type=int, default=100_000)
+    ycsb.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+_COMMANDS = {
+    "workloads": cmd_workloads,
+    "generate": cmd_generate,
+    "analyze": cmd_analyze,
+    "replay": cmd_replay,
+    "compare": cmd_compare,
+    "ycsb": cmd_ycsb,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Gadget configuration surface (paper Figure 8's config file).
+
+Users describe each data source -- arrival process, key distribution,
+value sizes, watermark frequency, and out-of-order behaviour -- plus
+operator parameters.  Sources can also be existing event traces, which
+Gadget replays through its input replayer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class KeyConfig:
+    """How event keys are drawn.
+
+    ``distribution`` is one of uniform / zipfian / sequential / hotspot
+    / exponential / latest (the YCSB-compatible set), or ``ecdf`` with
+    ``ecdf_points`` giving an empirical CDF over key indices as
+    ``(cumulative_probability, key_index)`` steps.
+    """
+
+    num_keys: int = 1000
+    distribution: str = "zipfian"
+    key_size: int = 16
+    ecdf_points: Optional[Sequence[Tuple[float, int]]] = None
+
+
+@dataclass
+class ValueConfig:
+    """Value sizes: constant, or uniform in [min_size, max_size]."""
+
+    distribution: str = "constant"
+    size: int = 10
+    min_size: int = 8
+    max_size: int = 64
+
+
+@dataclass
+class ArrivalConfig:
+    """Event-time arrival process.
+
+    ``poisson`` draws exponential interarrival gaps with the given
+    mean; ``constant`` spaces events exactly ``mean_interarrival_ms``
+    apart.  Timestamps are 64-bit event times, so generated streams can
+    be replayed at any density (paper section 5.1).
+    """
+
+    process: str = "poisson"
+    mean_interarrival_ms: float = 10.0
+
+
+@dataclass
+class SourceConfig:
+    """One configurable Gadget data source."""
+
+    num_events: int = 100_000
+    keys: KeyConfig = field(default_factory=KeyConfig)
+    values: ValueConfig = field(default_factory=ValueConfig)
+    arrivals: ArrivalConfig = field(default_factory=ArrivalConfig)
+    #: one watermark per this many events
+    watermark_frequency: int = 100
+    #: fraction of events generated out of order
+    out_of_order_fraction: float = 0.0
+    #: allowed lateness window for out-of-order events (ms)
+    max_lateness_ms: int = 0
+    seed: int = 42
+
+
+@dataclass
+class GadgetConfig:
+    """Top-level harness configuration."""
+
+    sources: List[SourceConfig] = field(default_factory=lambda: [SourceConfig()])
+    #: "online" issues requests to the store as they are generated;
+    #: "offline" materializes a trace for later replay.
+    mode: str = "offline"
+    #: how the driver pulls from multiple sources (the paper's driver
+    #: uses round-robin; "time" merges by event time)
+    interleave: str = "round_robin"

@@ -1,0 +1,168 @@
+"""Performance evaluator: runs workloads across KV stores.
+
+Orchestrates the paper's section 6 experiments: build or accept a
+state access trace, replay it on each store through the appropriate
+connector, and report throughput plus tail latency per store.  Also
+supports concurrent-operator evaluation (section 6.4) by interleaving
+the traces of multiple operators onto one store instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..kvstores import create_connector
+from ..kvstores.connectors import StoreConnector
+from ..trace import AccessTrace, interleave_traces
+from .replayer import ReplayResult, TraceReplayer
+
+DEFAULT_STORES = ("rocksdb", "lethe", "faster", "berkeleydb")
+
+
+@dataclass
+class EvaluationRow:
+    store: str
+    workload: str
+    throughput_kops: float
+    p50_us: float
+    p99_us: float
+    p999_us: float
+
+    @classmethod
+    def from_result(cls, workload: str, result: ReplayResult) -> "EvaluationRow":
+        summary = result.summary()
+        return cls(
+            store=result.store,
+            workload=workload,
+            throughput_kops=summary["throughput_kops"],
+            p50_us=summary["p50_us"],
+            p99_us=summary["p99_us"],
+            p999_us=summary["p99.9_us"],
+        )
+
+
+class PerformanceEvaluator:
+    """Replay traces across stores and collect comparable rows."""
+
+    def __init__(
+        self,
+        stores: Sequence[str] = DEFAULT_STORES,
+        store_configs: Optional[Dict[str, dict]] = None,
+        service_rate: Optional[float] = None,
+    ) -> None:
+        self.stores = tuple(stores)
+        self.store_configs = store_configs or {}
+        self.service_rate = service_rate
+
+    def _connector(self, store_name: str) -> StoreConnector:
+        overrides = self.store_configs.get(store_name, {})
+        return create_connector(store_name, **overrides)
+
+    def evaluate(
+        self,
+        workload_name: str,
+        trace: AccessTrace,
+        setup: Optional[Callable[[StoreConnector], None]] = None,
+    ) -> List[EvaluationRow]:
+        """Replay one trace against every configured store.
+
+        ``setup`` runs against each fresh store before measurement --
+        e.g. YCSB's load phase (``workload.preload``).
+        """
+        rows: List[EvaluationRow] = []
+        for store_name in self.stores:
+            connector = self._connector(store_name)
+            if setup is not None:
+                setup(connector)
+            replayer = TraceReplayer(connector, service_rate=self.service_rate)
+            result = replayer.replay(trace)
+            connector.close()
+            rows.append(EvaluationRow.from_result(workload_name, result))
+        return rows
+
+    def evaluate_matrix(
+        self, traces: Dict[str, AccessTrace]
+    ) -> List[EvaluationRow]:
+        """Replay a set of named traces against every store."""
+        rows: List[EvaluationRow] = []
+        for workload_name, trace in traces.items():
+            rows.extend(self.evaluate(workload_name, trace))
+        return rows
+
+    def evaluate_concurrent(
+        self,
+        store_name: str,
+        traces: Sequence[AccessTrace],
+        label: str = "concurrent",
+    ) -> ReplayResult:
+        """Multiple operators sharing one store instance (section 6.4).
+
+        The paper runs several Gadget instances against the same store;
+        the dataflow model still guarantees one writer per key, so the
+        interleaved trace preserves per-operator access order.
+        """
+        connector = self._connector(store_name)
+        merged = interleave_traces(traces)
+        replayer = TraceReplayer(connector, service_rate=self.service_rate)
+        result = replayer.replay(merged)
+        connector.close()
+        return result
+
+    def evaluate_concurrent_threads(
+        self, store_name: str, traces: Sequence[AccessTrace]
+    ) -> List[ReplayResult]:
+        """Thread-per-operator variant of the concurrent experiment.
+
+        Python's GIL serializes execution, but the arrival interleaving
+        is scheduler-driven like the paper's concurrent Gadget
+        instances.  Each thread gets its own replayer over the shared
+        connector.
+        """
+        connector = self._connector(store_name)
+        lock = threading.Lock()
+        results: List[Optional[ReplayResult]] = [None] * len(traces)
+
+        class _LockedConnector:
+            name = connector.name
+
+            def __init__(self, inner: StoreConnector) -> None:
+                self._inner = inner
+
+            def get(self, key: bytes):
+                with lock:
+                    return self._inner.get(key)
+
+            def put(self, key: bytes, value: bytes) -> None:
+                with lock:
+                    self._inner.put(key, value)
+
+            def merge(self, key: bytes, operand: bytes) -> None:
+                with lock:
+                    self._inner.merge(key, operand)
+
+            def delete(self, key: bytes) -> None:
+                with lock:
+                    self._inner.delete(key)
+
+            def take_background_ns(self) -> int:
+                with lock:
+                    return self._inner.take_background_ns()
+
+        locked = _LockedConnector(connector)
+
+        def worker(index: int, trace: AccessTrace) -> None:
+            replayer = TraceReplayer(locked, service_rate=self.service_rate)  # type: ignore[arg-type]
+            results[index] = replayer.replay(trace)
+
+        threads = [
+            threading.Thread(target=worker, args=(i, t))
+            for i, t in enumerate(traces)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        connector.close()
+        return [r for r in results if r is not None]

@@ -1,0 +1,87 @@
+"""The Gadget facade: configure, generate, measure.
+
+Ties the four architecture components of Figure 8 together:
+
+* event generator(s) (or input replayers for existing streams)
+* the driver simulating operator internals
+* the workload generator producing the state access stream
+* the performance evaluator issuing requests and measuring
+
+``offline`` mode materializes the access trace for later replay;
+``online`` mode generates and immediately issues requests to a store.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..kvstores.connectors import StoreConnector
+from ..trace import AccessTrace
+from .config import GadgetConfig, SourceConfig
+from .driver import Driver, OperatorModel
+from .replayer import ReplayResult, TraceReplayer
+from .workloads import make_workload
+
+
+class Gadget:
+    """One benchmark-harness instance for one operator workload."""
+
+    def __init__(
+        self,
+        workload: Union[str, OperatorModel],
+        sources: Sequence,
+        config: Optional[GadgetConfig] = None,
+    ) -> None:
+        if isinstance(workload, str):
+            self.model = make_workload(workload)
+            self.workload_name = workload
+        else:
+            self.model = workload
+            self.workload_name = type(workload).__name__
+        self.config = config or GadgetConfig()
+        self.sources = list(sources)
+        self._driver: Optional[Driver] = None
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> AccessTrace:
+        """Offline mode: produce the state access stream."""
+        self._driver = Driver(self.model, self.sources, self.config)
+        return self._driver.run()
+
+    def run_online(
+        self,
+        connector: StoreConnector,
+        service_rate: Optional[float] = None,
+    ) -> ReplayResult:
+        """Online mode: generate and issue requests on the fly.
+
+        The driver produces the access stream and the replayer issues
+        it immediately, collecting latency/throughput measurements.
+        """
+        trace = self.generate()
+        replayer = TraceReplayer(connector, service_rate=service_rate)
+        return replayer.replay(trace)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def driver(self) -> Driver:
+        if self._driver is None:
+            raise RuntimeError("run generate() or run_online() first")
+        return self._driver
+
+    def save_trace(self, path: str) -> AccessTrace:
+        """Generate and persist the trace (offline-mode file output)."""
+        trace = self.generate()
+        trace.save(path)
+        return trace
+
+
+def generate_workload_trace(
+    workload: Union[str, OperatorModel],
+    sources: Sequence,
+    config: Optional[GadgetConfig] = None,
+) -> AccessTrace:
+    """One-shot helper: build a Gadget and produce its access trace."""
+    return Gadget(workload, sources, config).generate()

@@ -1,0 +1,116 @@
+"""Log-bucketed latency histogram (HdrHistogram-style).
+
+Recording every latency sample in a list costs memory proportional to
+the trace (the paper replays 2M operations per experiment).  This
+histogram records in O(1) memory with bounded relative error: buckets
+are log-spaced with ``subbuckets`` linear divisions per power of two,
+giving a worst-case quantile error of ``1 / subbuckets``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+
+class LatencyHistogram:
+    """Fixed-size histogram over non-negative integer values (ns)."""
+
+    def __init__(self, subbuckets: int = 32, max_exponent: int = 40) -> None:
+        if subbuckets < 2 or subbuckets & (subbuckets - 1):
+            raise ValueError("subbuckets must be a power of two >= 2")
+        self.subbuckets = subbuckets
+        self.max_exponent = max_exponent
+        self._sub_bits = subbuckets.bit_length() - 1
+        self._counts = [0] * ((max_exponent + 1) * subbuckets)
+        self.total = 0
+        self.sum_values = 0
+        self.min_value: int = -1
+        self.max_value = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def _index(self, value: int) -> int:
+        if value < self.subbuckets:
+            return value  # exact in the first linear region
+        exponent = value.bit_length() - self._sub_bits
+        sub = value >> exponent
+        index = exponent * self.subbuckets + sub
+        return min(index, len(self._counts) - 1)
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            value = 0
+        self._counts[self._index(value)] += 1
+        self.total += 1
+        self.sum_values += value
+        if self.min_value < 0 or value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def record_many(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.record(value)
+
+    # -- reading ------------------------------------------------------------
+
+    def _bucket_midpoint(self, index: int) -> int:
+        if index < self.subbuckets:
+            return index
+        exponent = index // self.subbuckets
+        sub = index % self.subbuckets
+        low = sub << exponent
+        high = (sub + 1) << exponent
+        return (low + high - 1) // 2
+
+    def percentile(self, percent: float) -> int:
+        """Approximate value at the given percentile (0..100]."""
+        if self.total == 0:
+            return 0
+        if percent >= 100.0:
+            return self.max_value
+        target = max(1, int(round(percent / 100.0 * self.total)))
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= target:
+                return min(self._bucket_midpoint(index), self.max_value)
+        return self.max_value
+
+    @property
+    def mean(self) -> float:
+        return self.sum_values / self.total if self.total else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if (
+            other.subbuckets != self.subbuckets
+            or other.max_exponent != self.max_exponent
+        ):
+            raise ValueError("histograms have different geometry")
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self.total += other.total
+        self.sum_values += other.sum_values
+        if other.min_value >= 0 and (
+            self.min_value < 0 or other.min_value < self.min_value
+        ):
+            self.min_value = other.min_value
+        self.max_value = max(self.max_value, other.max_value)
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        """(midpoint, count) pairs for every populated bucket."""
+        return [
+            (self._bucket_midpoint(index), count)
+            for index, count in enumerate(self._counts)
+            if count
+        ]
+
+    def summary(self, scale: float = 1000.0) -> Dict[str, float]:
+        """p50/p99/p99.9/max in units of ``scale`` ns (default us)."""
+        return {
+            "p50": self.percentile(50.0) / scale,
+            "p99": self.percentile(99.0) / scale,
+            "p99.9": self.percentile(99.9) / scale,
+            "max": self.max_value / scale,
+            "mean": self.mean / scale,
+        }

@@ -1,0 +1,17 @@
+"""Built-in Gadget operator models."""
+
+from .aggregation import ContinuousAggregationModel
+from .joins import ContinuousJoinModel, IntervalJoinModel, WindowJoinModel
+from .sessions import SessionWindowModel
+from .windows import WindowModel, sliding_window_model, tumbling_window_model
+
+__all__ = [
+    "ContinuousAggregationModel",
+    "ContinuousJoinModel",
+    "IntervalJoinModel",
+    "SessionWindowModel",
+    "WindowJoinModel",
+    "WindowModel",
+    "sliding_window_model",
+    "tumbling_window_model",
+]

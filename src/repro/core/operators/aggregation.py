@@ -1,0 +1,30 @@
+"""Gadget operator model for continuous per-key aggregation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...events import Event
+from ..driver import Driver, OperatorModel
+from ..state_machines import AggregationMachine, StateMachine
+
+
+class ContinuousAggregationModel(OperatorModel):
+    """One never-expiring machine per event key: get-put per event.
+
+    The only Gadget workload whose state stream preserves the input's
+    key distribution (Table 2).
+    """
+
+    drops_late_events = False  # no window semantics: every event counts
+
+    def __init__(self, value_size: int = 10) -> None:
+        self.value_size = value_size
+
+    def assign_state_machines(
+        self, event: Event, input_index: int, driver: Driver
+    ) -> List[StateMachine]:
+        machine = driver.machine_for(
+            event.key, AggregationMachine, event_key=event.key
+        )
+        return [machine]

@@ -1,0 +1,197 @@
+"""Gadget operator models for streaming joins."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Union
+
+from ...events import Event
+from ...streaming.windows import (
+    SlidingWindows,
+    TumblingWindows,
+    join_state_key,
+    window_state_key,
+)
+from ...trace import OpType
+from ..driver import Driver, OperatorModel
+from ..state_machines import BufferMachine, MachineContext, StateMachine
+
+Assigner = Union[TumblingWindows, SlidingWindows]
+
+
+class PairedJoinWindowMachine(StateMachine):
+    """One machine per (key, window) covering *both* join sides.
+
+    Events merge into their side's bucket; on trigger the operator
+    reads both buckets (even an empty one -- the real operator cannot
+    know a side is empty without the read) and deletes both, matching
+    the engine's access order: get, get, delete, delete.
+    """
+
+    __slots__ = ("current_side",)
+
+    def __init__(self, state_key: bytes) -> None:
+        super().__init__(state_key)
+        self.current_side = 0
+
+    def run(self, ctx: MachineContext, event) -> None:
+        ctx.emit(
+            OpType.MERGE,
+            self.state_key + bytes([self.current_side]),
+            event.value_size,
+        )
+        self.elements += 1
+
+    def terminate(self, ctx: MachineContext) -> None:
+        for side in (0, 1):
+            ctx.emit(OpType.GET, self.state_key + bytes([side]))
+        for side in (0, 1):
+            ctx.emit(OpType.DELETE, self.state_key + bytes([side]))
+        self.done = True
+
+
+class WindowJoinModel(OperatorModel):
+    """Window join: both sides buffered per (key, window) with merges;
+    firing reads and deletes both buckets."""
+
+    num_inputs = 2
+
+    def __init__(self, assigner: Assigner, value_size: int = 10) -> None:
+        self.assigner = assigner
+        self.value_size = value_size
+
+    def assign_state_machines(
+        self, event: Event, input_index: int, driver: Driver
+    ) -> List[StateMachine]:
+        machines: List[StateMachine] = []
+        for start in self.assigner.assign(event.timestamp):
+            end = self.assigner.end_of(start)
+            if end <= driver.current_watermark:
+                continue
+            state_key = window_state_key(event.key, start)
+            machine = driver.machine_for(
+                state_key,
+                PairedJoinWindowMachine,
+                event_key=event.key,
+                expires_at=end,
+            )
+            machine.current_side = input_index
+            machines.append(machine)
+        return machines
+
+
+class IntervalJoinModel(OperatorModel):
+    """Interval join: per-side time-bucketed buffers plus range probes.
+
+    Each event appends to its own side's (key, bucket) buffer via a
+    get-put machine and probes the other side's live buckets within
+    ``[t + lower, t + upper]`` -- the probes are plain gets emitted by
+    the model.  Buckets expire once the watermark passes
+    ``bucket_end + upper``.
+    """
+
+    num_inputs = 2
+    drops_late_events = False  # buffers admit events until bucket expiry
+
+    def __init__(
+        self,
+        lower_ms: int,
+        upper_ms: int,
+        bucket_ms: int = 1000,
+        value_size: int = 10,
+    ) -> None:
+        if upper_ms < lower_ms:
+            raise ValueError("upper bound must be >= lower bound")
+        self.lower_ms = lower_ms
+        self.upper_ms = upper_ms
+        self.bucket_ms = bucket_ms
+        self.value_size = value_size
+        self._live: List[Dict[bytes, Set[int]]] = [{}, {}]
+
+    def assign_state_machines(
+        self, event: Event, input_index: int, driver: Driver
+    ) -> List[StateMachine]:
+        bucket = event.timestamp // self.bucket_ms * self.bucket_ms
+        own_key = join_state_key(input_index, event.key, bucket)
+        machine = driver.machine_for(
+            own_key,
+            BufferMachine,
+            event_key=event.key,
+            expires_at=bucket + self.bucket_ms + self.upper_ms,
+        )
+        self._live[input_index].setdefault(event.key, set()).add(bucket)
+
+        other = 1 - input_index
+        if input_index == 0:
+            low = event.timestamp + self.lower_ms
+            high = event.timestamp + self.upper_ms
+        else:
+            low = event.timestamp - self.upper_ms
+            high = event.timestamp - self.lower_ms
+        live_other = self._live[other].get(event.key)
+        if live_other:
+            probe = low // self.bucket_ms * self.bucket_ms
+            while probe <= high:
+                if probe in live_other:
+                    driver.ctx.emit(
+                        OpType.GET, join_state_key(other, event.key, probe)
+                    )
+                probe += self.bucket_ms
+        return [machine]
+
+    def on_watermark(self, timestamp: int, driver: Driver) -> None:
+        # The vIndex already deleted expired buckets; prune the live map.
+        horizon = timestamp - self.upper_ms
+        for side in (0, 1):
+            for key, buckets in list(self._live[side].items()):
+                buckets -= {b for b in buckets if b + self.bucket_ms <= horizon}
+                if not buckets:
+                    del self._live[side][key]
+
+
+class ContinuousJoinModel(OperatorModel):
+    """Continuous (validity-interval) join.
+
+    Regular events probe the other side and accumulate in their own
+    side's per-key bucket (put on first touch, lazy merges after);
+    events of an invalidating kind read the accumulated state and
+    delete both sides' entries for the key.
+    """
+
+    num_inputs = 2
+    drops_late_events = False  # validity is event-driven, not time-driven
+
+    def __init__(self, invalidate_kinds: Set[str], value_size: int = 10) -> None:
+        self.invalidate_kinds = set(invalidate_kinds)
+        self.value_size = value_size
+        self._live: List[Set[bytes]] = [set(), set()]
+
+    @staticmethod
+    def _side_key(side: int, key: bytes) -> bytes:
+        return key + b"|c" + bytes([side])
+
+    def assign_state_machines(
+        self, event: Event, input_index: int, driver: Driver
+    ) -> List[StateMachine]:
+        ctx = driver.ctx
+        other = 1 - input_index
+        own_key = self._side_key(input_index, event.key)
+        other_key = self._side_key(other, event.key)
+
+        if event.kind in self.invalidate_kinds:
+            ctx.emit(OpType.GET, own_key)
+            if event.key in self._live[input_index]:
+                ctx.emit(OpType.DELETE, own_key)
+                self._live[input_index].discard(event.key)
+            if event.key in self._live[other]:
+                ctx.emit(OpType.DELETE, other_key)
+                self._live[other].discard(event.key)
+            return []
+
+        if event.key in self._live[other]:
+            ctx.emit(OpType.GET, other_key)
+        if event.key in self._live[input_index]:
+            ctx.emit(OpType.MERGE, own_key, event.value_size)
+        else:
+            ctx.emit(OpType.PUT, own_key, event.value_size)
+            self._live[input_index].add(event.key)
+        return []

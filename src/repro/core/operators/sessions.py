@@ -1,0 +1,166 @@
+"""Gadget operator model for session windows (merging windows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...events import Event
+from ...streaming.windows import window_state_key
+from ...trace import OpType
+from ..driver import Driver, OperatorModel
+from ..state_machines import (
+    HolisticWindowMachine,
+    IncrementalWindowMachine,
+    StateMachine,
+)
+
+
+class _SessionMeta:
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.start = start
+        self.end = end
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return start <= self.end and self.start <= end
+
+
+class SessionWindowModel(OperatorModel):
+    """Sessions with gap-based merging, mirroring the engine operator.
+
+    Per event the model emits the merging-window-set read (a get on a
+    per-key index entry), then runs the window machine of the target
+    session.  Bridged sessions merge: the absorbed session's contents
+    are read, folded into the survivor, and deleted.  Firing is driven
+    by the vIndex; after the last session of a key fires, the index
+    entry is deleted.
+    """
+
+    def __init__(
+        self, gap_ms: int, holistic: bool = False, value_size: int = 10
+    ) -> None:
+        if gap_ms <= 0:
+            raise ValueError("session gap must be positive")
+        self.gap_ms = gap_ms
+        self.holistic = holistic
+        self.value_size = value_size
+        self._machine_factory = (
+            HolisticWindowMachine if holistic else IncrementalWindowMachine
+        )
+        self._sessions: Dict[bytes, List[_SessionMeta]] = {}
+        self.session_merges = 0
+
+    @staticmethod
+    def _index_key(key: bytes) -> bytes:
+        return key + b"|ws"
+
+    def _state_key(self, key: bytes, start: int) -> bytes:
+        return window_state_key(key, start)
+
+    # ------------------------------------------------------------------
+
+    def assign_state_machines(
+        self, event: Event, input_index: int, driver: Driver
+    ) -> List[StateMachine]:
+        ctx = driver.ctx
+        ctx.emit(OpType.GET, self._index_key(event.key))
+        start, end = event.timestamp, event.timestamp + self.gap_ms
+        sessions = self._sessions.setdefault(event.key, [])
+        overlapping = [s for s in sessions if s.overlaps(start, end)]
+
+        if not overlapping:
+            meta = _SessionMeta(start, end)
+            sessions.append(meta)
+            machine = driver.machine_for(
+                self._state_key(event.key, start),
+                self._machine_factory,
+                event_key=event.key,
+                expires_at=end,
+            )
+            return [machine]
+
+        survivor = min(overlapping, key=lambda s: s.start)
+        survivor_key = self._state_key(event.key, survivor.start)
+        new_start = min(survivor.start, start)
+        new_end = max(max(s.end for s in overlapping), end)
+
+        if new_start != survivor.start:
+            survivor_key = self._rekey(driver, event.key, survivor, new_start)
+        if new_end != survivor.end:
+            driver.reschedule(survivor_key, survivor.end, new_end)
+            survivor.end = new_end
+
+        for absorbed in overlapping:
+            if absorbed is survivor:
+                continue
+            self._absorb(driver, event.key, survivor_key, absorbed)
+            sessions.remove(absorbed)
+            self.session_merges += 1
+
+        machine = driver.machines[survivor_key]
+        return [machine]
+
+    def _rekey(
+        self, driver: Driver, key: bytes, session: _SessionMeta, new_start: int
+    ) -> bytes:
+        old_key = self._state_key(key, session.start)
+        new_key = self._state_key(key, new_start)
+        ctx = driver.ctx
+        old_machine = driver.machines.get(old_key)
+        elements = old_machine.elements if old_machine else 0
+        ctx.emit(OpType.GET, old_key)
+        if self.holistic:
+            # The engine re-merges every buffered element into the new
+            # state entry; element counts are exactly the metadata the
+            # machines track.
+            for _ in range(max(1, elements)):
+                ctx.emit(OpType.MERGE, new_key, self.value_size)
+        else:
+            ctx.emit(OpType.PUT, new_key, self.value_size)
+        ctx.emit(OpType.DELETE, old_key)
+        driver.unschedule(old_key, session.end)
+        driver.drop_machine(old_key, key)
+        machine = driver.machine_for(
+            new_key, self._machine_factory, event_key=key, expires_at=session.end
+        )
+        machine.elements += elements
+        session.start = new_start
+        return new_key
+
+    def _absorb(
+        self, driver: Driver, key: bytes, survivor_key: bytes, absorbed: _SessionMeta
+    ) -> None:
+        absorbed_key = self._state_key(key, absorbed.start)
+        ctx = driver.ctx
+        absorbed_machine = driver.machines.get(absorbed_key)
+        absorbed_elements = (
+            absorbed_machine.elements if absorbed_machine is not None else 0
+        )
+        ctx.emit(OpType.GET, absorbed_key)
+        if self.holistic:
+            for _ in range(max(1, absorbed_elements)):
+                ctx.emit(OpType.MERGE, survivor_key, self.value_size)
+        else:
+            ctx.emit(OpType.GET, survivor_key)
+            ctx.emit(OpType.PUT, survivor_key, self.value_size)
+        ctx.emit(OpType.DELETE, absorbed_key)
+        if absorbed_machine is not None:
+            survivor_machine = driver.machines.get(survivor_key)
+            if survivor_machine is not None:
+                survivor_machine.elements += absorbed_elements
+        driver.unschedule(absorbed_key, absorbed.end)
+        driver.drop_machine(absorbed_key, key)
+
+    # ------------------------------------------------------------------
+
+    def on_watermark(self, timestamp: int, driver: Driver) -> None:
+        # The vIndex already fired expired machines; drop the session
+        # metadata and clean up per-key index entries.
+        for key, sessions in list(self._sessions.items()):
+            remaining = [s for s in sessions if s.end > timestamp]
+            if remaining:
+                self._sessions[key] = remaining
+            else:
+                driver.ctx.emit(OpType.DELETE, self._index_key(key))
+                del self._sessions[key]

@@ -1,0 +1,139 @@
+"""Operator state machines (paper section 5.3, Figure 9).
+
+Gadget models operator logic as finite state machines, one per state
+key.  Each machine emits KV-store requests when the driver runs it for
+an event, and final requests when the driver terminates it on
+expiration.  Machines never hold operator values -- only the metadata
+needed to generate accurate accesses (element counts, expiry times) --
+which keeps Gadget's memory footprint low.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..trace import AccessTrace, OpType
+
+
+class MachineContext:
+    """Emission interface handed to machines by the driver.
+
+    Requests are appended to the workload generator's FIFO queue; the
+    request type and key come from the machine, the value size from the
+    configured value distribution (or an explicit override), and the
+    timestamp from the event being processed.
+    """
+
+    def __init__(self, workload: AccessTrace, value_size: int = 10) -> None:
+        self.workload = workload
+        self.default_value_size = value_size
+        self.current_time = 0
+
+    def emit(
+        self, op: OpType, state_key: bytes, value_size: Optional[int] = None
+    ) -> None:
+        if value_size is None:
+            value_size = (
+                self.default_value_size
+                if op in (OpType.PUT, OpType.MERGE)
+                else 0
+            )
+        self.workload.record(op, state_key, value_size, self.current_time)
+
+
+class StateMachine:
+    """One per state key; lifecycle is run*...terminate."""
+
+    __slots__ = ("state_key", "elements", "done")
+
+    def __init__(self, state_key: bytes) -> None:
+        self.state_key = state_key
+        self.elements = 0  # metadata only: how many updates it absorbed
+        self.done = False
+
+    def run(self, ctx: MachineContext, event) -> None:
+        raise NotImplementedError
+
+    def terminate(self, ctx: MachineContext) -> None:
+        self.done = True
+
+
+class IncrementalWindowMachine(StateMachine):
+    """Figure 9's machine: get-put per event, final get + delete.
+
+    State transitions: GetState -> PutState on every event; the trigger
+    moves GetState -> DeleteState (the final get retrieves the window
+    aggregate before cleanup).
+    """
+
+    __slots__ = ()
+
+    def run(self, ctx: MachineContext, event) -> None:
+        ctx.emit(OpType.GET, self.state_key)
+        ctx.emit(OpType.PUT, self.state_key, event.value_size)
+        self.elements += 1
+
+    def terminate(self, ctx: MachineContext) -> None:
+        ctx.emit(OpType.GET, self.state_key)  # FGet
+        ctx.emit(OpType.DELETE, self.state_key)
+        self.done = True
+
+
+class HolisticWindowMachine(StateMachine):
+    """Lazy merge per event; final get + delete on trigger."""
+
+    __slots__ = ()
+
+    def run(self, ctx: MachineContext, event) -> None:
+        ctx.emit(OpType.MERGE, self.state_key, event.value_size)
+        self.elements += 1
+
+    def terminate(self, ctx: MachineContext) -> None:
+        ctx.emit(OpType.GET, self.state_key)
+        ctx.emit(OpType.DELETE, self.state_key)
+        self.done = True
+
+
+class AggregationMachine(StateMachine):
+    """Rolling aggregate: get-put per event, never terminates."""
+
+    __slots__ = ()
+
+    def run(self, ctx: MachineContext, event) -> None:
+        ctx.emit(OpType.GET, self.state_key)
+        ctx.emit(OpType.PUT, self.state_key, event.value_size)
+        self.elements += 1
+
+
+class BufferMachine(StateMachine):
+    """Join-side buffer: append via get-put, silent delete on expiry.
+
+    Used by the interval join, whose buckets are read by probes (the
+    operator model emits those) and removed without a final get.
+    """
+
+    __slots__ = ()
+
+    def run(self, ctx: MachineContext, event) -> None:
+        ctx.emit(OpType.GET, self.state_key)
+        ctx.emit(OpType.PUT, self.state_key, event.value_size)
+        self.elements += 1
+
+    def terminate(self, ctx: MachineContext) -> None:
+        ctx.emit(OpType.DELETE, self.state_key)
+        self.done = True
+
+
+class MergeBufferMachine(StateMachine):
+    """Join-side buffer built with lazy merges (window join sides)."""
+
+    __slots__ = ()
+
+    def run(self, ctx: MachineContext, event) -> None:
+        ctx.emit(OpType.MERGE, self.state_key, event.value_size)
+        self.elements += 1
+
+    def terminate(self, ctx: MachineContext) -> None:
+        ctx.emit(OpType.GET, self.state_key)
+        ctx.emit(OpType.DELETE, self.state_key)
+        self.done = True

@@ -1,0 +1,125 @@
+"""The eleven predefined Gadget workloads (paper sections 5 and 6.3).
+
+Each workload names an operator model with the paper's default
+parameters: 5 s window length, 1 s slide, 2 min session gap, interval
+join bounds of 2-3 min.  Single-input workloads take one source; join
+workloads take two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .driver import OperatorModel
+from .operators.aggregation import ContinuousAggregationModel
+from .operators.joins import ContinuousJoinModel, IntervalJoinModel, WindowJoinModel
+from .operators.sessions import SessionWindowModel
+from .operators.windows import sliding_window_model, tumbling_window_model
+from ..streaming.windows import SlidingWindows, TumblingWindows
+
+DEFAULT_WINDOW_MS = 5_000
+DEFAULT_SLIDE_MS = 1_000
+DEFAULT_SESSION_GAP_MS = 120_000
+DEFAULT_INTERVAL_LOWER_MS = 120_000
+DEFAULT_INTERVAL_UPPER_MS = 180_000
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    name: str
+    description: str
+    num_inputs: int
+    factory: Callable[[], OperatorModel]
+
+
+def _specs() -> List[WorkloadSpec]:
+    return [
+        WorkloadSpec(
+            "tumbling-incremental",
+            "5s tumbling window, incremental aggregation",
+            1,
+            lambda: tumbling_window_model(DEFAULT_WINDOW_MS),
+        ),
+        WorkloadSpec(
+            "tumbling-holistic",
+            "5s tumbling window, holistic aggregation",
+            1,
+            lambda: tumbling_window_model(DEFAULT_WINDOW_MS, holistic=True),
+        ),
+        WorkloadSpec(
+            "sliding-incremental",
+            "5s window / 1s slide, incremental aggregation",
+            1,
+            lambda: sliding_window_model(DEFAULT_WINDOW_MS, DEFAULT_SLIDE_MS),
+        ),
+        WorkloadSpec(
+            "sliding-holistic",
+            "5s window / 1s slide, holistic aggregation",
+            1,
+            lambda: sliding_window_model(
+                DEFAULT_WINDOW_MS, DEFAULT_SLIDE_MS, holistic=True
+            ),
+        ),
+        WorkloadSpec(
+            "session-incremental",
+            "2min-gap session window, incremental aggregation",
+            1,
+            lambda: SessionWindowModel(DEFAULT_SESSION_GAP_MS),
+        ),
+        WorkloadSpec(
+            "session-holistic",
+            "2min-gap session window, holistic aggregation",
+            1,
+            lambda: SessionWindowModel(DEFAULT_SESSION_GAP_MS, holistic=True),
+        ),
+        WorkloadSpec(
+            "tumbling-join",
+            "two-stream join over 5s tumbling windows",
+            2,
+            lambda: WindowJoinModel(TumblingWindows(DEFAULT_WINDOW_MS)),
+        ),
+        WorkloadSpec(
+            "sliding-join",
+            "two-stream join over 5s/1s sliding windows",
+            2,
+            lambda: WindowJoinModel(
+                SlidingWindows(DEFAULT_WINDOW_MS, DEFAULT_SLIDE_MS)
+            ),
+        ),
+        WorkloadSpec(
+            "interval-join",
+            "interval join, bounds [2min, 3min]",
+            2,
+            lambda: IntervalJoinModel(
+                DEFAULT_INTERVAL_LOWER_MS, DEFAULT_INTERVAL_UPPER_MS
+            ),
+        ),
+        WorkloadSpec(
+            "continuous-join",
+            "validity-interval join with end-event invalidation",
+            2,
+            lambda: ContinuousJoinModel({"finish", "dropoff"}),
+        ),
+        WorkloadSpec(
+            "continuous-aggregation",
+            "per-key rolling aggregate",
+            1,
+            lambda: ContinuousAggregationModel(),
+        ),
+    ]
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _specs()}
+WORKLOAD_NAMES = tuple(WORKLOADS)
+
+
+def make_workload(name: str) -> OperatorModel:
+    """Instantiate a predefined workload's operator model by name."""
+    try:
+        spec = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; expected one of {WORKLOAD_NAMES}"
+        ) from None
+    return spec.factory()

@@ -1,0 +1,43 @@
+"""Synthetic stand-ins for the paper's three public data streams."""
+
+from .azure import AzureConfig, KIND_VM_CREATE, generate_azure
+from .base import DatasetConfig, StreamBuilder, bounded_zipf, exponential_ms, lognormal_ms
+from .borg import (
+    BorgConfig,
+    KIND_FINISH,
+    KIND_SUBMIT,
+    KIND_TASK,
+    generate_borg,
+    generate_borg_tasks,
+)
+from .taxi import (
+    KIND_DROPOFF,
+    KIND_FARE,
+    KIND_PICKUP,
+    TaxiConfig,
+    generate_taxi,
+    generate_taxi_trips,
+)
+
+__all__ = [
+    "AzureConfig",
+    "BorgConfig",
+    "DatasetConfig",
+    "KIND_DROPOFF",
+    "KIND_FARE",
+    "KIND_FINISH",
+    "KIND_PICKUP",
+    "KIND_SUBMIT",
+    "KIND_TASK",
+    "KIND_VM_CREATE",
+    "StreamBuilder",
+    "TaxiConfig",
+    "bounded_zipf",
+    "exponential_ms",
+    "generate_azure",
+    "generate_borg",
+    "generate_borg_tasks",
+    "generate_taxi",
+    "generate_taxi_trips",
+    "lognormal_ms",
+]

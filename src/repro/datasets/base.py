@@ -1,0 +1,88 @@
+"""Shared machinery for the synthetic dataset generators.
+
+The paper drives its characterization with three public traces (Borg,
+Taxi, Azure).  Those traces are not redistributable here, so each
+dataset module synthesizes a stream with the salient statistics the
+paper's findings depend on: arrival rate relative to the default 5 s
+window, key cardinality and reuse, paired begin/end events, and
+heavy-tailed activity durations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..events import Event
+
+
+@dataclass
+class DatasetConfig:
+    """Base knobs common to all synthetic streams."""
+
+    seed: int = 42
+    #: Approximate number of events to generate.
+    target_events: int = 100_000
+
+
+class StreamBuilder:
+    """Accumulates events and finalizes them into time order."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def add(self, key: bytes, timestamp: int, value_size: int = 8, kind: str = "") -> None:
+        self._events.append(Event(key, int(timestamp), value_size, kind))
+
+    def finish(self, limit: int = 0) -> List[Event]:
+        self._events.sort(key=lambda e: e.timestamp)
+        if limit and len(self._events) > limit:
+            self._events = self._events[:limit]
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def exponential_ms(rng: random.Random, mean_ms: float) -> int:
+    """Sample an exponential interarrival gap in whole milliseconds."""
+    return max(1, int(rng.expovariate(1.0 / mean_ms)))
+
+
+def lognormal_ms(rng: random.Random, median_ms: float, sigma: float = 0.6) -> int:
+    """Heavy-tailed duration with the given median."""
+    return max(1, int(rng.lognormvariate(math.log(median_ms), sigma)))
+
+
+def bounded_zipf(rng: random.Random, n: int, skew: float = 1.1) -> int:
+    """Sample an index in [0, n) under a bounded Zipf distribution.
+
+    Uses the rejection-inversion-free CDF-table approach: fine for the
+    dataset generators where ``n`` is at most a few thousand.
+    """
+    # Table construction is cached on the Random instance per (n, skew).
+    cache = getattr(rng, "_zipf_cache", None)
+    if cache is None:
+        cache = {}
+        rng._zipf_cache = cache  # type: ignore[attr-defined]
+    table = cache.get((n, skew))
+    if table is None:
+        weights = [1.0 / (i + 1) ** skew for i in range(n)]
+        total = sum(weights)
+        acc = 0.0
+        table = []
+        for weight in weights:
+            acc += weight / total
+            table.append(acc)
+        cache[(n, skew)] = table
+    u = rng.random()
+    lo, hi = 0, n - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if table[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

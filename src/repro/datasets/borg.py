@@ -1,0 +1,74 @@
+"""Synthetic Borg stream: cluster job and task events.
+
+Models the Google cluster-usage trace slice the paper uses (2.5 M task
+events, 26 K job events, keyed by jobID).  Statistics preserved:
+
+* jobs arrive continuously (Poisson); each job emits a burst of task
+  status events while it runs, so a jobID recurs many times within a
+  5 s window (the paper's Borg tumbling window holds ~11 updates per
+  key per window, which keeps the delete fraction low, Table 1)
+* job lifetimes are heavy-tailed
+* a separate job-event stream carries submit/finish events -- the
+  finish event is what triggers continuous-join state cleanup
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..events import Event
+from .base import DatasetConfig, StreamBuilder, exponential_ms, lognormal_ms
+
+
+@dataclass
+class BorgConfig(DatasetConfig):
+    #: Mean gap between job arrivals.
+    job_interarrival_ms: float = 400.0
+    #: Median job lifetime.
+    job_lifetime_median_ms: float = 30_000.0
+    #: Lognormal sigma of job lifetimes.  Cluster traces are famously
+    #: heavy-tailed: most jobs are short, a few run very long and
+    #: dominate the event volume (this skews the key distribution).
+    job_lifetime_sigma: float = 1.5
+    #: Mean gap between task events while a job is alive.
+    task_event_gap_ms: float = 450.0
+    value_size: int = 64
+
+
+KIND_TASK = "task"
+KIND_SUBMIT = "submit"
+KIND_FINISH = "finish"
+
+
+def generate_borg(config: BorgConfig = BorgConfig()) -> Tuple[List[Event], List[Event]]:
+    """Return ``(task_events, job_events)`` sorted by event time."""
+    rng = random.Random(config.seed)
+    tasks = StreamBuilder()
+    jobs = StreamBuilder()
+    now = 0
+    job_id = 0
+    while len(tasks) < config.target_events:
+        now += exponential_ms(rng, config.job_interarrival_ms)
+        job_id += 1
+        key = f"job-{job_id:07d}".encode()
+        lifetime = lognormal_ms(
+            rng, config.job_lifetime_median_ms, config.job_lifetime_sigma
+        )
+        jobs.add(key, now, config.value_size, KIND_SUBMIT)
+        t = now
+        deadline = now + lifetime
+        while t < deadline:
+            t += exponential_ms(rng, config.task_event_gap_ms)
+            if t >= deadline:
+                break
+            tasks.add(key, t, config.value_size, KIND_TASK)
+        jobs.add(key, deadline, config.value_size, KIND_FINISH)
+    return tasks.finish(config.target_events), jobs.finish()
+
+
+def generate_borg_tasks(config: BorgConfig = BorgConfig()) -> List[Event]:
+    """The single-input Borg stream used by window/aggregation operators."""
+    tasks, _ = generate_borg(config)
+    return tasks

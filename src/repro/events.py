@@ -1,0 +1,52 @@
+"""Input-stream event model.
+
+An input event carries a key, an event-time timestamp (milliseconds),
+a value size, and a ``kind`` tag that datasets use to mark semantic
+event types (job finish, taxi drop-off, ...) which drive operator logic
+such as continuous-join invalidation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List
+
+
+@dataclass(frozen=True)
+class Event:
+    key: bytes
+    timestamp: int  # event time, in milliseconds
+    value_size: int = 8
+    kind: str = ""
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """No event with ``t <= timestamp`` will arrive after this marker."""
+
+    timestamp: int
+
+
+def sort_by_time(events: Iterable[Event]) -> List[Event]:
+    return sorted(events, key=lambda e: e.timestamp)
+
+
+def with_watermarks(
+    events: Iterable[Event], frequency: int = 100
+) -> Iterator[object]:
+    """Interleave punctuated watermarks every ``frequency`` events.
+
+    The watermark carries the maximum event time seen so far, matching
+    the paper's configuration of punctuated watermarks with a default
+    frequency of 100 events.
+    """
+    if frequency <= 0:
+        raise ValueError("watermark frequency must be positive")
+    max_time = None
+    for index, event in enumerate(events, start=1):
+        yield event
+        max_time = event.timestamp if max_time is None else max(max_time, event.timestamp)
+        if index % frequency == 0:
+            yield Watermark(max_time)
+    if max_time is not None:
+        yield Watermark(max_time)

@@ -1,0 +1,60 @@
+"""Embedded key-value stores evaluated by the Gadget harness.
+
+Four stores matching the paper's lineup -- a RocksDB-like LSM-tree,
+the delete-aware Lethe variant, a FASTER-like hash/hybrid-log store,
+and a BerkeleyDB-like B+Tree -- plus an in-memory oracle for testing.
+"""
+
+from .api import (
+    AppendMergeOperator,
+    CounterMergeOperator,
+    KVStore,
+    KVStoreError,
+    MergeOperator,
+    StoreClosedError,
+    StoreStats,
+    UnsupportedOperationError,
+)
+from .btree import BTreeConfig, BTreeStore
+from .cache import LRUCache
+from .connectors import ReadModifyWriteConnector, StoreConnector, connect
+from .factory import STORE_NAMES, create_connector, create_store
+from .faster import FasterConfig, FasterStore
+from .lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
+from .memory import InMemoryStore
+from .remote import RemoteStoreClient, StoreServer
+from .storage import FileStorage, MemoryStorage, Storage, StorageError, make_storage
+
+__all__ = [
+    "AppendMergeOperator",
+    "BTreeConfig",
+    "BTreeStore",
+    "CounterMergeOperator",
+    "FasterConfig",
+    "FasterStore",
+    "FileStorage",
+    "InMemoryStore",
+    "KVStore",
+    "KVStoreError",
+    "LRUCache",
+    "LSMConfig",
+    "LetheConfig",
+    "LetheStore",
+    "MemoryStorage",
+    "MergeOperator",
+    "ReadModifyWriteConnector",
+    "RemoteStoreClient",
+    "RocksLSMStore",
+    "StoreServer",
+    "STORE_NAMES",
+    "Storage",
+    "StorageError",
+    "StoreClosedError",
+    "StoreConnector",
+    "StoreStats",
+    "UnsupportedOperationError",
+    "connect",
+    "create_connector",
+    "create_store",
+    "make_storage",
+]

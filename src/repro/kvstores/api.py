@@ -1,0 +1,200 @@
+"""Common key-value store interface shared by every store in the suite.
+
+The paper's performance evaluator speaks four operations -- ``get``,
+``put``, ``merge``, and ``delete`` -- matching the RocksDB API.  Every
+store in :mod:`repro.kvstores` implements this interface directly; the
+translation of ``merge`` for stores that lack lazy updates (BerkeleyDB,
+FASTER) lives in :mod:`repro.kvstores.connectors`.
+
+Keys and values are ``bytes``.  Stores are single-writer, matching the
+dataflow model's single-thread access isolation (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+
+class KVStoreError(Exception):
+    """Base class for store errors."""
+
+
+class UnsupportedOperationError(KVStoreError):
+    """Raised when a store does not natively support an operation."""
+
+
+class StoreClosedError(KVStoreError):
+    """Raised when an operation is attempted on a closed store."""
+
+
+class MergeOperator(abc.ABC):
+    """RocksDB-style merge operator.
+
+    A merge operand is a partial update applied lazily: the store may
+    buffer operands and combine them with the base value only when the
+    key is read or compacted.
+    """
+
+    @abc.abstractmethod
+    def full_merge(self, existing: Optional[bytes], operands: Tuple[bytes, ...]) -> bytes:
+        """Combine an existing value (possibly ``None``) with operands."""
+
+    def partial_merge(self, left: bytes, right: bytes) -> Optional[bytes]:
+        """Combine two adjacent operands, or ``None`` if not combinable."""
+        return None
+
+
+class AppendMergeOperator(MergeOperator):
+    """Concatenates operands onto the existing value.
+
+    This is the natural operator for streaming window buckets: each
+    operand is an encoded event appended to the window's contents.
+    """
+
+    def full_merge(self, existing: Optional[bytes], operands: Tuple[bytes, ...]) -> bytes:
+        parts = [existing] if existing is not None else []
+        parts.extend(operands)
+        return b"".join(parts)
+
+    def partial_merge(self, left: bytes, right: bytes) -> bytes:
+        return left + right
+
+
+class CounterMergeOperator(MergeOperator):
+    """Treats values/operands as signed 64-bit little-endian counters."""
+
+    _WIDTH = 8
+
+    def full_merge(self, existing: Optional[bytes], operands: Tuple[bytes, ...]) -> bytes:
+        total = int.from_bytes(existing, "little", signed=True) if existing else 0
+        for op in operands:
+            total += int.from_bytes(op, "little", signed=True)
+        return total.to_bytes(self._WIDTH, "little", signed=True)
+
+    def partial_merge(self, left: bytes, right: bytes) -> bytes:
+        combined = int.from_bytes(left, "little", signed=True) + int.from_bytes(
+            right, "little", signed=True
+        )
+        return combined.to_bytes(self._WIDTH, "little", signed=True)
+
+
+@dataclass
+class StoreStats:
+    """Operation and internal-activity counters exposed by every store."""
+
+    gets: int = 0
+    puts: int = 0
+    merges: int = 0
+    deletes: int = 0
+    # Internal activity (populated by stores that model it).
+    flushes: int = 0
+    compactions: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> int:
+        return self.gets + self.puts + self.merges + self.deletes
+
+    def snapshot(self) -> "StoreStats":
+        copy = StoreStats(
+            gets=self.gets,
+            puts=self.puts,
+            merges=self.merges,
+            deletes=self.deletes,
+            flushes=self.flushes,
+            compactions=self.compactions,
+            bytes_written=self.bytes_written,
+            bytes_read=self.bytes_read,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+        )
+        copy.extra = dict(self.extra)
+        return copy
+
+
+class KVStore(abc.ABC):
+    """Abstract embedded key-value store."""
+
+    #: Human-readable store family name ("rocksdb", "faster", ...).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = StoreStats()
+        self._closed = False
+
+    # -- core operations -------------------------------------------------
+
+    @abc.abstractmethod
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None`` if absent."""
+
+    @abc.abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``; removing an absent key is a no-op."""
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        """Lazily apply ``operand`` to ``key``.
+
+        Stores without native merge raise
+        :class:`UnsupportedOperationError`; callers should then go
+        through a :class:`~repro.kvstores.connectors.StoreConnector`.
+        """
+        raise UnsupportedOperationError(f"{self.name} has no native merge")
+
+    # -- background-work accounting ----------------------------------------
+
+    def take_background_ns(self) -> int:
+        """Return and reset time spent on *background* maintenance work
+        during recent operations (flushes, compactions).
+
+        Real stores run this work on background threads, so it does not
+        appear in client-observed operation latency.  Our single-thread
+        implementations perform it inline; the performance evaluator
+        subtracts it from per-op latencies to model the threaded
+        behaviour (throughput still pays the full cost).
+        """
+        return 0
+
+    # -- optional operations ---------------------------------------------
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs with ``start <= key < end``."""
+        raise UnsupportedOperationError(f"{self.name} has no scan support")
+
+    def flush(self) -> None:
+        """Persist buffered writes (no-op for purely in-memory stores)."""
+
+    def close(self) -> None:
+        """Flush and release resources; further operations fail."""
+        if not self._closed:
+            self.flush()
+            self._closed = True
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"{self.name} store is closed")
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:  # pragma: no cover - optional
+        raise UnsupportedOperationError(f"{self.name} does not track length")

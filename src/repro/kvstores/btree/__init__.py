@@ -1,0 +1,7 @@
+"""BerkeleyDB-like B+Tree store."""
+
+from .node import InternalNode, LeafNode, decode_node
+from .pagecache import PageCache
+from .store import BTreeConfig, BTreeStore
+
+__all__ = ["BTreeConfig", "BTreeStore", "InternalNode", "LeafNode", "PageCache", "decode_node"]

@@ -1,0 +1,117 @@
+"""B+Tree page formats.
+
+Two node kinds, both serializable so the page cache can evict them to
+storage and page them back in (the genuine work a disk-backed B+Tree
+performs on a cache miss):
+
+* **leaf** -- sorted parallel key/value arrays plus a next-leaf pointer
+  for range scans
+* **internal** -- sorted separator keys with ``len(keys) + 1`` children;
+  child ``i`` holds keys < ``keys[i]``, the last child holds the rest
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+_LEAF_MARKER = 0
+_INTERNAL_MARKER = 1
+_HEADER = struct.Struct("<BIq")  # marker, entry count, next-leaf id (-1 = none)
+_LEN = struct.Struct("<I")
+
+
+class LeafNode:
+    __slots__ = ("keys", "values", "next_leaf")
+
+    is_leaf = True
+
+    def __init__(
+        self,
+        keys: Optional[List[bytes]] = None,
+        values: Optional[List[bytes]] = None,
+        next_leaf: Optional[int] = None,
+    ) -> None:
+        self.keys: List[bytes] = keys if keys is not None else []
+        self.values: List[bytes] = values if values is not None else []
+        self.next_leaf = next_leaf
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(k) + len(v) + 8 for k, v in zip(self.keys, self.values)) + 16
+
+    def encode(self) -> bytes:
+        parts = [
+            _HEADER.pack(
+                _LEAF_MARKER,
+                len(self.keys),
+                self.next_leaf if self.next_leaf is not None else -1,
+            )
+        ]
+        for key, value in zip(self.keys, self.values):
+            parts.append(_LEN.pack(len(key)))
+            parts.append(key)
+            parts.append(_LEN.pack(len(value)))
+            parts.append(value)
+        return b"".join(parts)
+
+
+class InternalNode:
+    __slots__ = ("keys", "children")
+
+    is_leaf = False
+
+    def __init__(
+        self,
+        keys: Optional[List[bytes]] = None,
+        children: Optional[List[int]] = None,
+    ) -> None:
+        self.keys: List[bytes] = keys if keys is not None else []
+        self.children: List[int] = children if children is not None else []
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(k) + 12 for k in self.keys) + 24
+
+    def encode(self) -> bytes:
+        parts = [_HEADER.pack(_INTERNAL_MARKER, len(self.keys), -1)]
+        for key in self.keys:
+            parts.append(_LEN.pack(len(key)))
+            parts.append(key)
+        parts.append(_LEN.pack(len(self.children)))
+        for child in self.children:
+            parts.append(struct.pack("<q", child))
+        return b"".join(parts)
+
+
+def decode_node(data: bytes):
+    """Reconstruct a node evicted to storage."""
+    marker, count, next_leaf = _HEADER.unpack_from(data, 0)
+    offset = _HEADER.size
+    keys: List[bytes] = []
+
+    def read_blob() -> bytes:
+        nonlocal offset
+        (length,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        blob = bytes(data[offset : offset + length])
+        offset += length
+        return blob
+
+    if marker == _LEAF_MARKER:
+        values: List[bytes] = []
+        for _ in range(count):
+            keys.append(read_blob())
+            values.append(read_blob())
+        return LeafNode(keys, values, next_leaf if next_leaf >= 0 else None)
+
+    for _ in range(count):
+        keys.append(read_blob())
+    (child_count,) = _LEN.unpack_from(data, offset)
+    offset += _LEN.size
+    children: List[int] = []
+    for _ in range(child_count):
+        (child,) = struct.unpack_from("<q", data, offset)
+        offset += 8
+        children.append(child)
+    return InternalNode(keys, children)

@@ -1,0 +1,80 @@
+"""Connectors: the request-translation layer of the performance evaluator.
+
+A Gadget state access stream speaks RocksDB's operation set
+``{get, put, merge, delete}``.  Each connector maps those onto the
+operations its store actually supports (paper section 5.5):
+
+* RocksDB / Lethe -- direct calls for all four
+* FASTER -- get->read, put->upsert, merge->rmw (the store's own
+  ``merge`` already implements rmw semantics)
+* BerkeleyDB -- no lazy update at all, so merge becomes an explicit
+  read-update-write pair at the connector
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .api import AppendMergeOperator, KVStore, MergeOperator, UnsupportedOperationError
+
+
+class StoreConnector:
+    """Uniform four-operation facade over a concrete store."""
+
+    def __init__(self, store: KVStore) -> None:
+        self.store = store
+
+    @property
+    def name(self) -> str:
+        return self.store.name
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.store.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.store.put(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.store.delete(key)
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        self.store.merge(key, operand)
+
+    def take_background_ns(self) -> int:
+        return self.store.take_background_ns()
+
+    def flush(self) -> None:
+        self.store.flush()
+
+    def close(self) -> None:
+        self.store.close()
+
+
+class ReadModifyWriteConnector(StoreConnector):
+    """Emulates ``merge`` with get + full_merge + put.
+
+    Used for stores without lazy updates (the B+Tree).  The read-copy-
+    update of a growing value is exactly the overhead the paper
+    attributes to BerkeleyDB on holistic window workloads.
+    """
+
+    def __init__(self, store: KVStore, merge_operator: Optional[MergeOperator] = None):
+        super().__init__(store)
+        self.merge_operator = merge_operator or AppendMergeOperator()
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        existing = self.store.get(key)
+        merged = self.merge_operator.full_merge(existing, (operand,))
+        self.store.put(key, merged)
+
+
+def connect(store: KVStore, merge_operator: Optional[MergeOperator] = None) -> StoreConnector:
+    """Wrap ``store`` with the connector appropriate to its capabilities.
+
+    A store advertises native merge by overriding :meth:`KVStore.merge`;
+    stores that keep the base-class default (which raises
+    :class:`UnsupportedOperationError`) get the read-modify-write shim.
+    """
+    if type(store).merge is KVStore.merge:
+        return ReadModifyWriteConnector(store, merge_operator)
+    return StoreConnector(store)

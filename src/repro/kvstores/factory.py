@@ -1,0 +1,52 @@
+"""Factory for the four evaluated stores (plus the in-memory oracle)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .api import KVStore, MergeOperator
+from .btree import BTreeConfig, BTreeStore
+from .connectors import StoreConnector, connect
+from .faster import FasterConfig, FasterStore
+from .lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
+from .memory import InMemoryStore
+
+STORE_NAMES = ("rocksdb", "lethe", "faster", "berkeleydb", "memory")
+
+
+def create_store(
+    name: str,
+    merge_operator: Optional[MergeOperator] = None,
+    **config_overrides,
+) -> KVStore:
+    """Instantiate a store by its paper name.
+
+    ``config_overrides`` are forwarded to the store's config dataclass,
+    e.g. ``create_store("rocksdb", write_buffer_size=1 << 20)``.
+    """
+    builders: Dict[str, Callable[[], KVStore]] = {
+        "rocksdb": lambda: RocksLSMStore(
+            LSMConfig(**config_overrides), merge_operator
+        ),
+        "lethe": lambda: LetheStore(LetheConfig(**config_overrides), merge_operator),
+        "faster": lambda: FasterStore(FasterConfig(**config_overrides), merge_operator),
+        "berkeleydb": lambda: BTreeStore(BTreeConfig(**config_overrides)),
+        "memory": lambda: InMemoryStore(merge_operator),
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown store {name!r}; expected one of {STORE_NAMES}"
+        ) from None
+    return builder()
+
+
+def create_connector(
+    name: str,
+    merge_operator: Optional[MergeOperator] = None,
+    **config_overrides,
+) -> StoreConnector:
+    """Create a store and wrap it in the right connector in one call."""
+    store = create_store(name, merge_operator, **config_overrides)
+    return connect(store, merge_operator)

@@ -1,0 +1,7 @@
+"""FASTER-like store: hash index over a hybrid log."""
+
+from .hashindex import HashIndex
+from .hybridlog import HybridLog, LogRecord
+from .store import FasterConfig, FasterStore
+
+__all__ = ["FasterConfig", "FasterStore", "HashIndex", "HybridLog", "LogRecord"]

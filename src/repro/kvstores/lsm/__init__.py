@@ -1,0 +1,24 @@
+"""LSM-tree stores: the RocksDB stand-in and the delete-aware Lethe variant."""
+
+from .bloom import BloomFilter
+from .lethe import LetheConfig, LetheStore
+from .memtable import Memtable
+from .record import Record, RecordKind, decode_all, decode_record
+from .sstable import SSTable, build_sstable, open_sstable
+from .store import LSMConfig, RocksLSMStore
+
+__all__ = [
+    "BloomFilter",
+    "LSMConfig",
+    "LetheConfig",
+    "LetheStore",
+    "Memtable",
+    "Record",
+    "RecordKind",
+    "RocksLSMStore",
+    "SSTable",
+    "build_sstable",
+    "decode_all",
+    "decode_record",
+    "open_sstable",
+]

@@ -1,0 +1,157 @@
+"""Compaction machinery: k-way merging of sorted runs with merge-operator
+and tombstone resolution.
+
+The merge rules follow RocksDB semantics:
+
+* per key, the newest PUT or DELETE is authoritative; older records drop
+* MERGE operands newer than a PUT collapse into a single PUT via
+  ``full_merge``
+* operands newer than a DELETE resolve against an empty base
+* operands with no base below them stay as operands -- unless the output
+  is the bottom of the tree, where they resolve against an empty base
+* tombstones are only dropped at the bottom of the tree
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..api import MergeOperator
+from .record import Record, RecordKind
+
+
+def merged_record_stream(tables: Sequence) -> Iterator[Record]:
+    """K-way merge of SSTable record streams, ordered by (key, sequence)."""
+    streams = [table.iter_records() for table in tables]
+    return heapq.merge(*streams, key=lambda r: (r.key, r.sequence))
+
+
+def resolve_key_records(
+    records: List[Record],
+    merge_operator: MergeOperator,
+    at_bottom: bool,
+) -> List[Record]:
+    """Compact all records for a single key into their minimal form.
+
+    ``records`` is oldest-first.  Returns the records to emit (oldest
+    first), possibly empty when a bottom-level tombstone cancels the key.
+    """
+    operands: List[Record] = []
+    base: Record = None  # type: ignore[assignment]
+    for record in reversed(records):  # newest first
+        if record.kind is RecordKind.MERGE:
+            operands.append(record)
+        else:
+            base = record
+            break
+    operands.reverse()  # oldest-first for full_merge
+    newest_seq = records[-1].sequence
+    key = records[-1].key
+
+    if base is not None and base.kind is RecordKind.PUT:
+        if not operands:
+            return [base]
+        value = merge_operator.full_merge(
+            base.value, tuple(op.value for op in operands)
+        )
+        return [Record(RecordKind.PUT, newest_seq, key, value)]
+
+    if base is not None and base.kind is RecordKind.DELETE:
+        if operands:
+            value = merge_operator.full_merge(
+                None, tuple(op.value for op in operands)
+            )
+            return [Record(RecordKind.PUT, newest_seq, key, value)]
+        if at_bottom:
+            return []
+        return [base]
+
+    # No authoritative base in the inputs: only merge operands.
+    if at_bottom:
+        value = merge_operator.full_merge(None, tuple(op.value for op in operands))
+        return [Record(RecordKind.PUT, newest_seq, key, value)]
+    # Try to fold adjacent operands with partial merge to shrink the run.
+    folded: List[Record] = []
+    for operand in operands:
+        if folded:
+            combined = merge_operator.partial_merge(folded[-1].value, operand.value)
+            if combined is not None:
+                folded[-1] = Record(
+                    RecordKind.MERGE, operand.sequence, key, combined
+                )
+                continue
+        folded.append(operand)
+    return folded
+
+
+def compact_records(
+    records: Iterable[Record],
+    merge_operator: MergeOperator,
+    at_bottom: bool,
+) -> Iterator[Record]:
+    """Stream compaction over records sorted by (key, sequence)."""
+    for _, group in itertools.groupby(records, key=lambda r: r.key):
+        yield from resolve_key_records(list(group), merge_operator, at_bottom)
+
+
+def split_into_runs(
+    records: Iterable[Record], target_file_size: int
+) -> Iterator[List[Record]]:
+    """Partition an ordered record stream into output-file-sized chunks.
+
+    Records for the same key never straddle a chunk boundary, keeping
+    level files non-overlapping.
+    """
+    chunk: List[Record] = []
+    chunk_bytes = 0
+    for record in records:
+        if (
+            chunk
+            and chunk_bytes >= target_file_size
+            and record.key != chunk[-1].key
+        ):
+            yield chunk
+            chunk = []
+            chunk_bytes = 0
+        chunk.append(record)
+        chunk_bytes += record.encoded_size
+    if chunk:
+        yield chunk
+
+
+class CompactionStats:
+    """Counters describing compaction work performed by a store."""
+
+    def __init__(self) -> None:
+        self.compactions = 0
+        self.records_in = 0
+        self.records_out = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.tombstones_dropped = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "compactions": self.compactions,
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "tombstones_dropped": self.tombstones_dropped,
+        }
+
+
+def pick_overlapping(
+    tables: Sequence, smallest: bytes, largest: bytes
+) -> Tuple[list, list]:
+    """Split ``tables`` into (overlapping, disjoint) w.r.t. a key range."""
+    overlapping = []
+    disjoint = []
+    for table in tables:
+        if table.overlaps(smallest, largest):
+            overlapping.append(table)
+        else:
+            disjoint.append(table)
+    return overlapping, disjoint

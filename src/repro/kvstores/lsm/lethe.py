@@ -1,0 +1,145 @@
+"""Lethe: a delete-aware LSM variant (Sarkar et al., SIGMOD '20).
+
+Lethe's FADE mechanism bounds how long tombstones linger: every file
+carries the age of its oldest tombstone, and files whose tombstones
+exceed a *delete persistence threshold* are compacted preferentially so
+deletes reach the bottom of the tree (and disappear) in bounded time.
+The paper benchmarks Lethe with a 10 s threshold.
+
+This implementation layers FADE onto :class:`RocksLSMStore`:
+
+* each SSTable holding tombstones is stamped with the (logical) time
+  its oldest tombstone entered the tree; compaction outputs inherit the
+  oldest stamp of their inputs
+* every ``fade_check_interval`` writes, files with expired tombstones
+  are compacted toward the bottom, oldest stamp first
+* ordinary size-triggered compaction picks the file with the most
+  tombstones instead of the largest file
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..api import MergeOperator
+from ..storage import Storage
+from .sstable import SSTable
+from .store import LSMConfig, RocksLSMStore
+
+
+@dataclass
+class LetheConfig(LSMConfig):
+    """LSM knobs plus FADE parameters."""
+
+    delete_persistence_threshold_s: float = 10.0
+    fade_check_interval: int = 2000
+
+
+class LetheStore(RocksLSMStore):
+    name = "lethe"
+
+    def __init__(
+        self,
+        config: Optional[LetheConfig] = None,
+        merge_operator: Optional[MergeOperator] = None,
+        storage: Optional[Storage] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self._tombstone_stamp: Dict[int, float] = {}
+        self._clock = clock
+        self._writes_since_fade = 0
+        self.fade_compactions = 0
+        super().__init__(config or LetheConfig(), merge_operator, storage)
+
+    @property
+    def lethe_config(self) -> LetheConfig:
+        return self.config  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Hooks into the base store
+    # ------------------------------------------------------------------
+
+    def _write(self, record) -> None:
+        super()._write(record)
+        self._writes_since_fade += 1
+        if self._writes_since_fade >= self.lethe_config.fade_check_interval:
+            self._writes_since_fade = 0
+            begin = time.perf_counter_ns()
+            self._enforce_delete_persistence()
+            self._write_manifest()  # FADE reshapes levels outside flushes
+            self._background_ns += time.perf_counter_ns() - begin
+
+    def _flush_memtable(self, memtable) -> None:
+        before = {t.file_id for level in self._levels for t in level}
+        super()._flush_memtable(memtable)
+        now = self._clock()
+        for level in self._levels:
+            for table in level:
+                if table.file_id not in before and table.num_tombstones:
+                    self._tombstone_stamp.setdefault(table.file_id, now)
+
+    def _run_compaction(self, inputs, from_levels, target_level) -> None:
+        inherited = [
+            self._tombstone_stamp[t.file_id]
+            for t in inputs
+            if t.file_id in self._tombstone_stamp
+        ]
+        for table in inputs:
+            self._tombstone_stamp.pop(table.file_id, None)
+        super()._run_compaction(inputs, from_levels, target_level)
+        if inherited:
+            oldest = min(inherited)
+            for table in self._new_outputs:
+                if table.num_tombstones:
+                    self._tombstone_stamp[table.file_id] = oldest
+
+    def _pick_compaction_file(self, level: int) -> Optional[SSTable]:
+        candidates = self._levels[level]
+        if not candidates:
+            return None
+        with_tombstones = [t for t in candidates if t.num_tombstones]
+        if with_tombstones:
+            return max(with_tombstones, key=lambda t: t.num_tombstones)
+        return super()._pick_compaction_file(level)
+
+    # ------------------------------------------------------------------
+    # FADE
+    # ------------------------------------------------------------------
+
+    def expired_tombstone_files(self) -> List[Tuple[int, SSTable]]:
+        """(level, table) pairs whose tombstones exceeded the threshold."""
+        now = self._clock()
+        threshold = self.lethe_config.delete_persistence_threshold_s
+        expired = []
+        for level_idx, level in enumerate(self._levels[:-1]):
+            for table in level:
+                stamp = self._tombstone_stamp.get(table.file_id)
+                if stamp is not None and now - stamp >= threshold:
+                    expired.append((level_idx, table))
+        expired.sort(key=lambda pair: self._tombstone_stamp[pair[1].file_id])
+        return expired
+
+    def _enforce_delete_persistence(self) -> None:
+        for level_idx, table in self.expired_tombstone_files():
+            # The tree may have changed since the scan; re-check residency.
+            if table not in self._levels[level_idx]:
+                continue
+            if level_idx == 0:
+                self._compact_l0()
+            else:
+                self._compact_single_file(level_idx, table)
+            self.fade_compactions += 1
+
+    def _compact_single_file(self, level: int, source: SSTable) -> None:
+        from .compaction import pick_overlapping
+
+        overlapping, disjoint = pick_overlapping(
+            self._levels[level + 1], source.smallest_key, source.largest_key
+        )
+        self._run_compaction(
+            [source] + overlapping, from_levels=(level,), target_level=level + 1
+        )
+        self._levels[level] = [t for t in self._levels[level] if t is not source]
+        self._levels[level + 1] = self._sorted_level(disjoint + self._new_outputs)

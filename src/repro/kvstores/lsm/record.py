@@ -1,0 +1,63 @@
+"""On-disk record encoding shared by the WAL, memtable flush, and SSTables.
+
+Every record is ``(kind, sequence, key, value)``:
+
+* ``kind`` -- PUT, DELETE (tombstone), or MERGE (lazy operand)
+* ``sequence`` -- monotonically increasing write sequence number used to
+  order records for the same key during reads and compaction
+* wire format: ``kind:1 | seq:8 | klen:4 | vlen:4 | key | value``
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, Tuple
+
+
+class RecordKind(IntEnum):
+    PUT = 0
+    DELETE = 1
+    MERGE = 2
+
+
+_HEADER = struct.Struct("<BQII")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass(frozen=True)
+class Record:
+    kind: RecordKind
+    sequence: int
+    key: bytes
+    value: bytes
+
+    def encode(self) -> bytes:
+        return (
+            _HEADER.pack(self.kind, self.sequence, len(self.key), len(self.value))
+            + self.key
+            + self.value
+        )
+
+    @property
+    def encoded_size(self) -> int:
+        return HEADER_SIZE + len(self.key) + len(self.value)
+
+
+def decode_record(buf: bytes, offset: int = 0) -> Tuple[Record, int]:
+    """Decode one record at ``offset``; return ``(record, next_offset)``."""
+    kind, sequence, klen, vlen = _HEADER.unpack_from(buf, offset)
+    start = offset + HEADER_SIZE
+    key = bytes(buf[start : start + klen])
+    value = bytes(buf[start + klen : start + klen + vlen])
+    return Record(RecordKind(kind), sequence, key, value), start + klen + vlen
+
+
+def decode_all(buf: bytes) -> Iterator[Record]:
+    """Decode back-to-back records from ``buf``."""
+    offset = 0
+    end = len(buf)
+    while offset < end:
+        record, offset = decode_record(buf, offset)
+        yield record

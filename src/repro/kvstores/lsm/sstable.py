@@ -1,0 +1,306 @@
+"""Sorted string table: the immutable on-disk run format of the LSM store.
+
+Layout of an SSTable blob::
+
+    [block 0][block 1]...[block N-1][bloom][index][footer]
+
+* blocks -- back-to-back encoded :class:`~.record.Record`s, sorted by
+  (key, sequence); split at ``block_size`` boundaries
+* bloom  -- serialized Bloom filter over all keys in the table
+* index  -- per-block (first_key, offset, length) entries
+* footer -- offsets and lengths of the bloom and index sections
+
+The index and bloom sections are pinned in memory per open table, like
+RocksDB's pinned filter/index blocks; data blocks go through the shared
+LRU block cache.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..cache import LRUCache
+from ..storage import Storage
+from .bloom import BloomFilter
+from .record import Record, RecordKind, decode_all, decode_record
+
+_FOOTER = struct.Struct("<QQQQ")  # bloom_off, bloom_len, index_off, index_len
+_INDEX_ENTRY = struct.Struct("<IQI")  # key_len, offset, length
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class BlockHandle:
+    first_key: bytes
+    offset: int
+    length: int
+
+
+class ParsedBlock:
+    """A decoded data block: parallel key/record arrays for binary search."""
+
+    __slots__ = ("keys", "records", "size_bytes")
+
+    def __init__(self, raw: bytes) -> None:
+        self.records: List[Record] = list(decode_all(raw))
+        self.keys: List[bytes] = [r.key for r in self.records]
+        self.size_bytes = len(raw)
+
+    def records_for(self, key: bytes) -> List[Record]:
+        lo = bisect.bisect_left(self.keys, key)
+        hi = bisect.bisect_right(self.keys, key)
+        return self.records[lo:hi]
+
+
+class SSTable:
+    """An open, immutable sorted run."""
+
+    def __init__(
+        self,
+        file_id: int,
+        storage: Storage,
+        blob_name: str,
+        index: List[BlockHandle],
+        bloom: BloomFilter,
+        smallest_key: bytes,
+        largest_key: bytes,
+        num_entries: int,
+        num_tombstones: int,
+        oldest_tombstone_seq: Optional[int],
+        data_size: int,
+        max_sequence: int,
+    ) -> None:
+        self.file_id = file_id
+        self._storage = storage
+        self.blob_name = blob_name
+        self._index = index
+        self._index_keys = [h.first_key for h in index]
+        self._bloom = bloom
+        self.smallest_key = smallest_key
+        self.largest_key = largest_key
+        self.num_entries = num_entries
+        self.num_tombstones = num_tombstones
+        self.oldest_tombstone_seq = oldest_tombstone_seq
+        self.data_size = data_size
+        self.max_sequence = max_sequence
+
+    # -- reads ------------------------------------------------------------
+
+    def may_contain(self, key: bytes) -> bool:
+        if key < self.smallest_key or key > self.largest_key:
+            return False
+        return self._bloom.may_contain(key)
+
+    def get_records(
+        self, key: bytes, block_cache: Optional[LRUCache] = None
+    ) -> List[Record]:
+        """All records (oldest-first) stored for ``key``."""
+        if not self.may_contain(key):
+            return []
+        # Records for one key are contiguous but may straddle block
+        # boundaries, so start from the block *before* the first block
+        # whose first key equals ``key`` (it may end with ``key``).
+        pos = max(0, bisect.bisect_left(self._index_keys, key) - 1)
+        found: List[Record] = []
+        # Records for one key may straddle a block boundary; walk forward
+        # while the key can still appear.
+        for handle in self._index[pos:]:
+            if handle.first_key > key:
+                break
+            block = self._load_block(handle, block_cache)
+            found.extend(block.records_for(key))
+            if block.keys and block.keys[-1] > key:
+                break
+        return found
+
+    def _load_block(
+        self, handle: BlockHandle, block_cache: Optional[LRUCache]
+    ) -> ParsedBlock:
+        cache_key = (self.file_id, handle.offset)
+        if block_cache is not None:
+            cached = block_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        raw = self._storage.read_range(self.blob_name, handle.offset, handle.length)
+        block = ParsedBlock(raw)
+        if block_cache is not None:
+            block_cache.put(cache_key, block)
+        return block
+
+    def iter_records(self) -> Iterator[Record]:
+        """Sequential full scan (used by compaction)."""
+        for handle in self._index:
+            raw = self._storage.read_range(self.blob_name, handle.offset, handle.length)
+            yield from decode_all(raw)
+
+    def overlaps(self, smallest: bytes, largest: bytes) -> bool:
+        return not (self.largest_key < smallest or self.smallest_key > largest)
+
+    def drop(self, block_cache: Optional[LRUCache] = None) -> None:
+        """Delete the backing blob and purge cached blocks."""
+        self._storage.delete(self.blob_name)
+        if block_cache is not None:
+            block_cache.invalidate_where(
+                lambda ck: isinstance(ck, tuple) and ck[0] == self.file_id
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSTable(id={self.file_id}, entries={self.num_entries}, "
+            f"range=[{self.smallest_key!r},{self.largest_key!r}])"
+        )
+
+
+def build_sstable(
+    file_id: int,
+    records: Iterable[Record],
+    storage: Storage,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    bits_per_key: int = 10,
+    blob_prefix: str = "sst",
+) -> Optional[SSTable]:
+    """Serialize sorted ``records`` into a new SSTable blob.
+
+    ``records`` must already be sorted by (key, sequence).  Returns
+    ``None`` when there are no records.
+    """
+    blocks: List[bytes] = []
+    index: List[BlockHandle] = []
+    current = bytearray()
+    current_first: Optional[bytes] = None
+    keys: List[bytes] = []
+    num_entries = 0
+    num_tombstones = 0
+    oldest_tombstone_seq: Optional[int] = None
+    smallest: Optional[bytes] = None
+    largest: Optional[bytes] = None
+    max_sequence = 0
+    offset = 0
+
+    def cut_block() -> None:
+        nonlocal current, current_first, offset
+        if not current:
+            return
+        raw = bytes(current)
+        assert current_first is not None
+        index.append(BlockHandle(current_first, offset, len(raw)))
+        blocks.append(raw)
+        offset += len(raw)
+        current = bytearray()
+        current_first = None
+
+    for record in records:
+        encoded = record.encode()
+        if current and len(current) + len(encoded) > block_size:
+            cut_block()
+        if current_first is None:
+            current_first = record.key
+        current.extend(encoded)
+        keys.append(record.key)
+        num_entries += 1
+        max_sequence = max(max_sequence, record.sequence)
+        if record.kind is RecordKind.DELETE:
+            num_tombstones += 1
+            if oldest_tombstone_seq is None or record.sequence < oldest_tombstone_seq:
+                oldest_tombstone_seq = record.sequence
+        if smallest is None:
+            smallest = record.key
+        largest = record.key
+    cut_block()
+
+    if num_entries == 0:
+        return None
+
+    bloom = BloomFilter(len(set(keys)), bits_per_key)
+    bloom.add_all(keys)
+
+    data = b"".join(blocks)
+    bloom_bytes = bloom.encode()
+    index_parts = []
+    for handle in index:
+        index_parts.append(
+            _INDEX_ENTRY.pack(len(handle.first_key), handle.offset, handle.length)
+        )
+        index_parts.append(handle.first_key)
+    index_bytes = b"".join(index_parts)
+    footer = _FOOTER.pack(
+        len(data), len(bloom_bytes), len(data) + len(bloom_bytes), len(index_bytes)
+    )
+    blob_name = f"{blob_prefix}-{file_id:08d}"
+    storage.write(blob_name, data + bloom_bytes + index_bytes + footer)
+
+    assert smallest is not None and largest is not None
+    return SSTable(
+        file_id=file_id,
+        storage=storage,
+        blob_name=blob_name,
+        index=index,
+        bloom=bloom,
+        smallest_key=smallest,
+        largest_key=largest,
+        num_entries=num_entries,
+        num_tombstones=num_tombstones,
+        oldest_tombstone_seq=oldest_tombstone_seq,
+        data_size=len(data),
+        max_sequence=max_sequence,
+    )
+
+
+def open_sstable(file_id: int, storage: Storage, blob_name: str) -> SSTable:
+    """Re-open an SSTable from its blob (recovery path)."""
+    blob = storage.read(blob_name)
+    bloom_off, bloom_len, index_off, index_len = _FOOTER.unpack(blob[-_FOOTER.size :])
+    bloom = BloomFilter.decode(blob[bloom_off : bloom_off + bloom_len])
+    index: List[BlockHandle] = []
+    pos = index_off
+    end = index_off + index_len
+    while pos < end:
+        key_len, offset, length = _INDEX_ENTRY.unpack_from(blob, pos)
+        pos += _INDEX_ENTRY.size
+        first_key = bytes(blob[pos : pos + key_len])
+        pos += key_len
+        index.append(BlockHandle(first_key, offset, length))
+
+    num_entries = 0
+    num_tombstones = 0
+    oldest_tombstone_seq: Optional[int] = None
+    smallest: Optional[bytes] = None
+    largest: Optional[bytes] = None
+    max_sequence = 0
+    for handle in index:
+        raw = blob[handle.offset : handle.offset + handle.length]
+        offset2 = 0
+        while offset2 < len(raw):
+            record, offset2 = decode_record(raw, offset2)
+            num_entries += 1
+            max_sequence = max(max_sequence, record.sequence)
+            if record.kind is RecordKind.DELETE:
+                num_tombstones += 1
+                if (
+                    oldest_tombstone_seq is None
+                    or record.sequence < oldest_tombstone_seq
+                ):
+                    oldest_tombstone_seq = record.sequence
+            if smallest is None:
+                smallest = record.key
+            largest = record.key
+    if smallest is None or largest is None:
+        raise ValueError(f"empty sstable blob: {blob_name}")
+    return SSTable(
+        file_id=file_id,
+        storage=storage,
+        blob_name=blob_name,
+        index=index,
+        bloom=bloom,
+        smallest_key=smallest,
+        largest_key=largest,
+        num_entries=num_entries,
+        num_tombstones=num_tombstones,
+        oldest_tombstone_seq=oldest_tombstone_seq,
+        data_size=bloom_off,
+        max_sequence=max_sequence,
+    )

@@ -1,0 +1,53 @@
+"""Plain hash-map store used as a correctness oracle in tests."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .api import AppendMergeOperator, KVStore, MergeOperator
+
+
+class InMemoryStore(KVStore):
+    """Dict-backed store with eager merges.
+
+    Not part of the paper's evaluation; it serves as the reference
+    implementation that the LSM, B+Tree, and FASTER stores are checked
+    against in differential and property-based tests.
+    """
+
+    name = "memory"
+
+    def __init__(self, merge_operator: Optional[MergeOperator] = None) -> None:
+        super().__init__()
+        self._data: Dict[bytes, bytes] = {}
+        self._merge_operator = merge_operator or AppendMergeOperator()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        self._check_open()
+        self.stats.gets += 1
+        return self._data.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._check_open()
+        self.stats.puts += 1
+        self._data[key] = value
+
+    def delete(self, key: bytes) -> None:
+        self._check_open()
+        self.stats.deletes += 1
+        self._data.pop(key, None)
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        self._check_open()
+        self.stats.merges += 1
+        existing = self._data.get(key)
+        self._data[key] = self._merge_operator.full_merge(existing, (operand,))
+
+    def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, bytes]]:
+        self._check_open()
+        for key in sorted(self._data):
+            if start <= key < end:
+                yield key, self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,189 @@
+"""External state management: a store behind a socket (paper section 8).
+
+Streaming systems like MillWheel and Pravega keep state in an external
+store rather than an embedded one, decoupling compute from state at the
+cost of a network hop per access.  The paper notes Gadget extends to
+this setting with the right store wrappers; this module provides them:
+
+* :class:`StoreServer` -- serves any :class:`~repro.kvstores.api.KVStore`
+  over a length-prefixed binary protocol on localhost
+* :class:`RemoteStoreClient` -- a connector-compatible client, so the
+  replayer and evaluator drive an external store exactly like an
+  embedded one (every access now pays serialization + a socket round
+  trip, the external-state overhead the paper's introduction cites)
+
+The server handles each connection on its own thread; single-writer
+semantics per key are preserved by the dataflow model itself (one task
+writes any given key), while the server serializes store access with a
+lock, like the thread-safe facades of real external stores.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Optional, Tuple
+
+from .api import KVStore
+from .connectors import StoreConnector, connect
+
+_HEADER = struct.Struct("<BII")  # opcode, key length, value length
+
+OP_GET = 0
+OP_PUT = 1
+OP_MERGE = 2
+OP_DELETE = 3
+OP_CLOSE = 4
+
+REPLY_MISSING = 0
+REPLY_VALUE = 1
+REPLY_OK = 2
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        connector: StoreConnector = self.server.connector  # type: ignore[attr-defined]
+        lock: threading.Lock = self.server.store_lock  # type: ignore[attr-defined]
+        sock = self.request
+        while True:
+            try:
+                header = _recv_exact(sock, _HEADER.size)
+            except ConnectionError:
+                return
+            opcode, key_len, value_len = _HEADER.unpack(header)
+            if opcode == OP_CLOSE:
+                return
+            key = _recv_exact(sock, key_len) if key_len else b""
+            value = _recv_exact(sock, value_len) if value_len else b""
+            with lock:
+                if opcode == OP_GET:
+                    result = connector.get(key)
+                elif opcode == OP_PUT:
+                    connector.put(key, value)
+                    result = None
+                elif opcode == OP_MERGE:
+                    connector.merge(key, value)
+                    result = None
+                elif opcode == OP_DELETE:
+                    connector.delete(key)
+                    result = None
+                else:
+                    raise ValueError(f"unknown opcode {opcode}")
+            if opcode == OP_GET:
+                if result is None:
+                    sock.sendall(struct.pack("<BI", REPLY_MISSING, 0))
+                else:
+                    sock.sendall(struct.pack("<BI", REPLY_VALUE, len(result)) + result)
+            else:
+                sock.sendall(struct.pack("<BI", REPLY_OK, 0))
+
+
+class StoreServer:
+    """Serves a store on 127.0.0.1; one thread per client connection."""
+
+    def __init__(self, store: KVStore, port: int = 0) -> None:
+        self.store = store
+        self._server = socketserver.ThreadingTCPServer(
+            ("127.0.0.1", port), _Handler, bind_and_activate=True
+        )
+        self._server.daemon_threads = True
+        self._server.connector = connect(store)  # type: ignore[attr-defined]
+        self._server.store_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "StoreServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self.store.close()
+
+    def __enter__(self) -> "StoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class RemoteStoreClient:
+    """Connector-compatible client for a :class:`StoreServer`.
+
+    Drop-in for :class:`~repro.kvstores.connectors.StoreConnector`:
+    the trace replayer and the performance evaluator can measure an
+    external store without code changes.
+    """
+
+    def __init__(self, host: str, port: int, store_name: str = "remote") -> None:
+        self.name = store_name
+        self._sock = socket.create_connection((host, port))
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- protocol ----------------------------------------------------------
+
+    def _request(self, opcode: int, key: bytes, value: bytes = b"") -> Optional[bytes]:
+        self._sock.sendall(_HEADER.pack(opcode, len(key), len(value)) + key + value)
+        status, length = struct.unpack("<BI", _recv_exact(self._sock, 5))
+        if status == REPLY_VALUE:
+            return _recv_exact(self._sock, length)
+        if status == REPLY_MISSING:
+            return None
+        return None  # REPLY_OK
+
+    # -- connector API -------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._request(OP_GET, key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._request(OP_PUT, key, value)
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        self._request(OP_MERGE, key, operand)
+
+    def delete(self, key: bytes) -> None:
+        self._request(OP_DELETE, key)
+
+    def take_background_ns(self) -> int:
+        return 0  # network time is genuinely client-visible
+
+    def flush(self) -> None:
+        """The server owns durability; nothing to do client-side."""
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(_HEADER.pack(OP_CLOSE, 0, 0))
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "RemoteStoreClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,59 @@
+"""Miniature stream processor with instrumented state management.
+
+The stand-in for the paper's instrumented Apache Flink: operators run
+their real state logic against :class:`~repro.streaming.state.StateBackend`,
+and every state access is captured as a trace (section 3's methodology).
+"""
+
+from .checkpoint import CheckpointLog, run_with_checkpoints
+from .dataflow import Job, LogicalOperator, hash_partition
+from .operators import (
+    ContinuousAggregation,
+    ContinuousJoinOperator,
+    IntervalJoinOperator,
+    Operator,
+    SessionWindowOperator,
+    WindowJoinOperator,
+    WindowOperator,
+    count_aggregate,
+    median_sizes,
+)
+from .runtime import RuntimeConfig, apply_disorder, merged_stream, run_operator
+from .state import StateBackend, approximate_size
+from .store_backend import StoreStateBackend, decode_frames, encode_frame
+from .windows import (
+    SlidingWindows,
+    TumblingWindows,
+    join_state_key,
+    window_state_key,
+)
+
+__all__ = [
+    "CheckpointLog",
+    "ContinuousAggregation",
+    "run_with_checkpoints",
+    "ContinuousJoinOperator",
+    "IntervalJoinOperator",
+    "Job",
+    "LogicalOperator",
+    "Operator",
+    "RuntimeConfig",
+    "SessionWindowOperator",
+    "SlidingWindows",
+    "StateBackend",
+    "StoreStateBackend",
+    "decode_frames",
+    "encode_frame",
+    "TumblingWindows",
+    "WindowJoinOperator",
+    "WindowOperator",
+    "apply_disorder",
+    "approximate_size",
+    "count_aggregate",
+    "hash_partition",
+    "join_state_key",
+    "median_sizes",
+    "merged_stream",
+    "run_operator",
+    "window_state_key",
+]

@@ -1,0 +1,26 @@
+"""Streaming operators of the mini engine (paper section 2.2)."""
+
+from .aggregations import (
+    ContinuousAggregation,
+    count_aggregate,
+    max_time_aggregate,
+    sum_sizes_aggregate,
+)
+from .base import Operator
+from .join_ops import ContinuousJoinOperator, IntervalJoinOperator, WindowJoinOperator
+from .session_ops import SessionWindowOperator
+from .window_ops import WindowOperator, median_sizes
+
+__all__ = [
+    "ContinuousAggregation",
+    "ContinuousJoinOperator",
+    "IntervalJoinOperator",
+    "Operator",
+    "SessionWindowOperator",
+    "WindowJoinOperator",
+    "WindowOperator",
+    "count_aggregate",
+    "max_time_aggregate",
+    "median_sizes",
+    "sum_sizes_aggregate",
+]

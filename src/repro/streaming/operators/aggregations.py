@@ -1,0 +1,44 @@
+"""Continuous per-key rolling aggregation (paper section 2.2).
+
+The only operator whose state stream preserves the input stream's key
+distribution (Table 2): every event triggers exactly one get and one
+put on the *event* key.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...events import Event
+from ..state import StateBackend
+from .base import Operator
+
+
+def count_aggregate(current: Optional[int], event: Event) -> int:
+    return (current or 0) + 1
+
+
+def sum_sizes_aggregate(current: Optional[int], event: Event) -> int:
+    return (current or 0) + event.value_size
+
+
+def max_time_aggregate(current: Optional[int], event: Event) -> int:
+    return event.timestamp if current is None else max(current, event.timestamp)
+
+
+class ContinuousAggregation(Operator):
+    """Rolling aggregate per key: get current, fold the event, put back."""
+
+    def __init__(
+        self,
+        backend: Optional[StateBackend] = None,
+        aggregate: Callable = count_aggregate,
+    ) -> None:
+        super().__init__(backend)
+        self.aggregate = aggregate
+
+    def handle_event(self, event: Event, input_index: int) -> None:
+        current = self.backend.get(event.key)
+        updated = self.aggregate(current, event)
+        self.backend.put(event.key, updated)
+        self.emit((event.key, updated))

@@ -1,0 +1,96 @@
+"""Operator base classes for the mini stream processor."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ...events import Event, Watermark
+from ...trace import AccessTrace
+from ..state import StateBackend
+
+
+class Operator:
+    """A single task of a data-parallel streaming operator.
+
+    Tasks own their state backend (embedded-store model, Figure 1 of
+    the paper) and process events strictly sequentially, so all state
+    accesses are totally ordered.
+    """
+
+    #: how many input streams the operator consumes
+    num_inputs = 1
+
+    def __init__(self, backend: Optional[StateBackend] = None) -> None:
+        self.backend = backend if backend is not None else StateBackend()
+        self.outputs: List[Any] = []
+        self.current_watermark = -1
+        self.dropped_late_events = 0
+
+    @property
+    def trace(self) -> AccessTrace:
+        return self.backend.trace
+
+    # -- runtime entry points ----------------------------------------------
+
+    def process(self, event: Event, input_index: int = 0) -> None:
+        self.backend.current_time = event.timestamp
+        self.handle_event(event, input_index)
+
+    def on_watermark(self, watermark: Watermark) -> None:
+        if watermark.timestamp <= self.current_watermark:
+            return
+        self.current_watermark = watermark.timestamp
+        self.backend.current_time = watermark.timestamp
+        self.handle_watermark(watermark.timestamp)
+
+    # -- to be implemented by concrete operators -----------------------------
+
+    def handle_event(self, event: Event, input_index: int) -> None:
+        raise NotImplementedError
+
+    def handle_watermark(self, timestamp: int) -> None:
+        """Default: nothing fires on progress."""
+
+    # -- checkpointing -----------------------------------------------------
+
+    def extra_state(self) -> Any:
+        """Operator-specific metadata to include in checkpoints.
+
+        Subclasses with in-memory indexes (window expirations, session
+        lists, join liveness sets) return them here; the default
+        operator carries no extra state.
+        """
+        return None
+
+    def restore_extra(self, state: Any) -> None:
+        """Inverse of :meth:`extra_state`."""
+
+    def checkpoint(self) -> dict:
+        """Consistent snapshot of all operator state (Flink-style)."""
+        import copy
+
+        return {
+            "backend_data": copy.deepcopy(self.backend._data),
+            "watermark": self.current_watermark,
+            "outputs": list(self.outputs),
+            "dropped": self.dropped_late_events,
+            "extra": copy.deepcopy(self.extra_state()),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset the task to a checkpoint (crash-recovery path)."""
+        import copy
+
+        self.backend._data = copy.deepcopy(snapshot["backend_data"])
+        self.current_watermark = snapshot["watermark"]
+        self.outputs = list(snapshot["outputs"])
+        self.dropped_late_events = snapshot["dropped"]
+        self.restore_extra(copy.deepcopy(snapshot["extra"]))
+
+    # -- helpers ---------------------------------------------------------------
+
+    def emit(self, output: Any) -> None:
+        self.outputs.append(output)
+
+    def is_late(self, event: Event, allowed_lateness: int = 0) -> bool:
+        return event.timestamp <= self.current_watermark - allowed_lateness

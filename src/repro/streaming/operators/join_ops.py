@@ -1,0 +1,224 @@
+"""Streaming join operators: window join, interval join, continuous join.
+
+All three are two-input operators keyed by the join key (section 2.2):
+
+* **window join** -- both sides buffered per (key, window) with lazy
+  merges; on trigger, both buckets are read, matched, and deleted.
+  Holistic by nature ("sliding join" in the paper's locality study).
+* **interval join** -- each event is stored in its own side's buffer
+  keyed by (key, time bucket) and probes the other side's buckets
+  within ``[t + lower, t + upper]``; watermark progress deletes expired
+  buckets.  Timestamps-as-keys drive its high keyspace amplification.
+* **continuous join** -- events accumulate per key until the stream
+  itself invalidates them (job finished, passenger dropped off); the
+  build side uses lazy merges and an invalidation event cleans up state
+  for its key, which is why delete traffic tracks end-event frequency
+  (Table 1: Borg cleans per job completion, Taxi per drop-off).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from ...events import Event
+from ..state import StateBackend
+from ..windows import (
+    SlidingWindows,
+    TumblingWindows,
+    join_state_key,
+    window_state_key,
+)
+from .base import Operator
+
+Assigner = Union[TumblingWindows, SlidingWindows]
+
+
+class WindowJoinOperator(Operator):
+    """Join events of two streams that share a key and a window."""
+
+    num_inputs = 2
+
+    def __init__(
+        self,
+        assigner: Assigner,
+        backend: Optional[StateBackend] = None,
+        allowed_lateness: int = 0,
+    ) -> None:
+        super().__init__(backend)
+        self.assigner = assigner
+        self.allowed_lateness = allowed_lateness
+        self._expirations: Dict[int, Set[Tuple[bytes, int]]] = {}
+
+    def handle_event(self, event: Event, input_index: int) -> None:
+        if self.is_late(event, self.allowed_lateness):
+            self.dropped_late_events += 1
+            return
+        for start in self.assigner.assign(event.timestamp):
+            end = self.assigner.end_of(start)
+            if end <= self.current_watermark:
+                continue
+            side_key = self._side_key(input_index, event.key, start)
+            self.backend.merge(side_key, event)
+            self._expirations.setdefault(end, set()).add((event.key, start))
+
+    def handle_watermark(self, timestamp: int) -> None:
+        expired = [end for end in self._expirations if end <= timestamp]
+        for end in sorted(expired):
+            for key, start in sorted(self._expirations.pop(end)):
+                left_key = self._side_key(0, key, start)
+                right_key = self._side_key(1, key, start)
+                left = self.backend.get(left_key) or []
+                right = self.backend.get(right_key) or []
+                for a in left:
+                    for b in right:
+                        self.emit((key, start, a, b))
+                self.backend.delete(left_key)
+                self.backend.delete(right_key)
+
+    @staticmethod
+    def _side_key(side: int, key: bytes, start: int) -> bytes:
+        return window_state_key(key, start) + bytes([side])
+
+    def extra_state(self):
+        return self._expirations
+
+    def restore_extra(self, state) -> None:
+        self._expirations = state if state is not None else {}
+
+
+class IntervalJoinOperator(Operator):
+    """Relative-time join: A-event at t matches B-events in
+    ``[t + lower_ms, t + upper_ms]`` (and symmetrically)."""
+
+    num_inputs = 2
+
+    def __init__(
+        self,
+        lower_ms: int,
+        upper_ms: int,
+        backend: Optional[StateBackend] = None,
+        bucket_ms: int = 1000,
+    ) -> None:
+        super().__init__(backend)
+        if upper_ms < lower_ms:
+            raise ValueError("upper bound must be >= lower bound")
+        self.lower_ms = lower_ms
+        self.upper_ms = upper_ms
+        self.bucket_ms = bucket_ms
+        # In-memory index of live buckets per side, like Gadget's hIndex:
+        # only buckets known to exist are probed in the store.
+        self._live: List[Dict[bytes, Set[int]]] = [{}, {}]
+
+    def handle_event(self, event: Event, input_index: int) -> None:
+        bucket = event.timestamp // self.bucket_ms * self.bucket_ms
+        own_key = join_state_key(input_index, event.key, bucket)
+        current = self.backend.get(own_key)
+        bucket_list = list(current) if current else []
+        bucket_list.append(event)
+        self.backend.put(own_key, bucket_list)
+        self._live[input_index].setdefault(event.key, set()).add(bucket)
+
+        other = 1 - input_index
+        # Side A matches B in [t+lower, t+upper]; from B's perspective
+        # the window is mirrored.
+        if input_index == 0:
+            low = event.timestamp + self.lower_ms
+            high = event.timestamp + self.upper_ms
+        else:
+            low = event.timestamp - self.upper_ms
+            high = event.timestamp - self.lower_ms
+        live_other = self._live[other].get(event.key)
+        if not live_other:
+            return
+        first = low // self.bucket_ms * self.bucket_ms
+        probe = first
+        while probe <= high:
+            if probe in live_other:
+                matches = self.backend.get(
+                    join_state_key(other, event.key, probe)
+                )
+                for match in matches or []:
+                    if low <= match.timestamp <= high:
+                        pair = (event, match) if input_index == 0 else (match, event)
+                        self.emit((event.key,) + pair)
+            probe += self.bucket_ms
+        return
+
+    def handle_watermark(self, timestamp: int) -> None:
+        # A bucket at time b on either side can still match events with
+        # timestamps up to b + upper; expire once the watermark passes.
+        horizon = timestamp - self.upper_ms
+        for side in (0, 1):
+            for key, buckets in list(self._live[side].items()):
+                expired = {b for b in buckets if b + self.bucket_ms <= horizon}
+                for bucket in sorted(expired):
+                    self.backend.delete(join_state_key(side, key, bucket))
+                buckets -= expired
+                if not buckets:
+                    del self._live[side][key]
+
+    @property
+    def live_buckets(self) -> int:
+        return sum(len(b) for side in self._live for b in side.values())
+
+    def extra_state(self):
+        return self._live
+
+    def restore_extra(self, state) -> None:
+        self._live = state if state is not None else [{}, {}]
+
+
+class ContinuousJoinOperator(Operator):
+    """Validity-interval join: state lives until an invalidation event.
+
+    ``invalidate_kinds`` names the event kinds that end a key's
+    validity (e.g. ``{"finish"}`` for Borg jobs, ``{"dropoff"}`` for
+    taxi rides).  Regular events probe the other side and accumulate in
+    their own side's per-key bucket.
+    """
+
+    num_inputs = 2
+
+    def __init__(
+        self,
+        invalidate_kinds: Set[str],
+        backend: Optional[StateBackend] = None,
+    ) -> None:
+        super().__init__(backend)
+        self.invalidate_kinds = invalidate_kinds
+        self._live: List[Set[bytes]] = [set(), set()]
+
+    def handle_event(self, event: Event, input_index: int) -> None:
+        other = 1 - input_index
+        own_key = self._side_key(input_index, event.key)
+        other_key = self._side_key(other, event.key)
+        if event.kind in self.invalidate_kinds:
+            # Final read of the accumulated matches, then cleanup.
+            contents = self.backend.get(own_key)
+            self.emit((event.key, contents, event))
+            if event.key in self._live[input_index]:
+                self.backend.delete(own_key)
+                self._live[input_index].discard(event.key)
+            if event.key in self._live[other]:
+                self.backend.delete(other_key)
+                self._live[other].discard(event.key)
+            return
+        if event.key in self._live[other]:
+            matches = self.backend.get(other_key)
+            for match in matches or []:
+                self.emit((event.key, match, event))
+        if event.key in self._live[input_index]:
+            self.backend.merge(own_key, event)
+        else:
+            self.backend.put(own_key, [event])
+            self._live[input_index].add(event.key)
+
+    @staticmethod
+    def _side_key(side: int, key: bytes) -> bytes:
+        return key + b"|c" + bytes([side])
+
+    def extra_state(self):
+        return self._live
+
+    def restore_extra(self, state) -> None:
+        self._live = state if state is not None else [set(), set()]

@@ -1,0 +1,112 @@
+"""Single-threaded task runtime for the mini stream processor.
+
+Drives one operator task over one or two input streams, injecting
+punctuated watermarks and (optionally) out-of-order events, and returns
+the state access trace the operator produced -- the "real trace"
+collection path of the paper's section 3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..events import Event, Watermark
+from ..trace import AccessTrace
+from .operators.base import Operator
+
+
+@dataclass
+class RuntimeConfig:
+    """Source behaviour knobs (paper section 3.1.2 defaults)."""
+
+    #: emit one watermark per this many events
+    watermark_frequency: int = 100
+    #: fraction of events delivered out of order
+    out_of_order_fraction: float = 0.0
+    #: maximum delivery delay for an out-of-order event (ms, event time)
+    max_delay_ms: int = 0
+    #: "time" merges sources by event time; "round_robin" alternates
+    #: sources like the Gadget driver does
+    interleave: str = "time"
+    seed: int = 7
+
+
+def merged_stream(
+    streams: Sequence[Sequence[Event]], interleave: str = "time"
+) -> Iterator[Tuple[Event, int]]:
+    """Combine input streams into (event, input_index) pairs."""
+    if interleave == "time":
+        tagged = [
+            (event, index)
+            for index, stream in enumerate(streams)
+            for event in stream
+        ]
+        tagged.sort(key=lambda pair: pair[0].timestamp)
+        yield from tagged
+    elif interleave == "round_robin":
+        iterators = [iter(s) for s in streams]
+        active = list(range(len(iterators)))
+        while active:
+            remaining = []
+            for index in active:
+                try:
+                    yield next(iterators[index]), index
+                    remaining.append(index)
+                except StopIteration:
+                    pass
+            active = remaining
+    else:
+        raise ValueError(f"unknown interleave mode: {interleave!r}")
+
+
+def apply_disorder(
+    pairs: List[Tuple[Event, int]], fraction: float, max_delay_ms: int, seed: int
+) -> List[Tuple[Event, int]]:
+    """Delay a fraction of events to simulate out-of-order arrival.
+
+    Event timestamps are unchanged -- only the delivery order moves, so
+    delayed events become *late* relative to watermarks generated from
+    the events that overtook them.
+    """
+    if fraction <= 0.0 or max_delay_ms <= 0:
+        return pairs
+    rng = random.Random(seed)
+    positioned = []
+    for order, (event, index) in enumerate(pairs):
+        delay = 0
+        if rng.random() < fraction:
+            delay = rng.randint(1, max_delay_ms)
+        positioned.append((event.timestamp + delay, order, event, index))
+    positioned.sort(key=lambda item: (item[0], item[1]))
+    return [(event, index) for _, _, event, index in positioned]
+
+
+def run_operator(
+    operator: Operator,
+    streams: Sequence[Sequence[Event]],
+    config: RuntimeConfig = RuntimeConfig(),
+) -> AccessTrace:
+    """Process every event (plus watermarks) through ``operator``."""
+    if len(streams) != operator.num_inputs:
+        raise ValueError(
+            f"operator expects {operator.num_inputs} input(s), got {len(streams)}"
+        )
+    pairs = list(merged_stream(streams, config.interleave))
+    pairs = apply_disorder(
+        pairs, config.out_of_order_fraction, config.max_delay_ms, config.seed
+    )
+    max_time = None
+    for count, (event, index) in enumerate(pairs, start=1):
+        operator.process(event, index)
+        max_time = (
+            event.timestamp if max_time is None else max(max_time, event.timestamp)
+        )
+        if config.watermark_frequency and count % config.watermark_frequency == 0:
+            operator.on_watermark(Watermark(max_time))
+    if max_time is not None:
+        # Closing watermark so every remaining window fires, as a
+        # draining streaming job would.
+        operator.on_watermark(Watermark(max_time + 1))
+    return operator.trace

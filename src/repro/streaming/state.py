@@ -1,0 +1,90 @@
+"""Instrumented keyed state backend for the mini stream processor.
+
+This is the stand-in for the paper's instrumented Flink state layer:
+operators perform their real state accesses against it, values are held
+as Python objects, and every access is appended to an
+:class:`~repro.trace.AccessTrace` with the operation type, state key,
+approximate value size, and the event time at which it happened.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..trace import AccessTrace, OpType
+
+
+def approximate_size(value: Any) -> int:
+    """Rough encoded size of an operator state value, in bytes."""
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray, str)):
+        return len(value)
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, (list, tuple)):
+        return sum(approximate_size(item) for item in value) + 4
+    if isinstance(value, dict):
+        return (
+            sum(
+                approximate_size(k) + approximate_size(v) for k, v in value.items()
+            )
+            + 8
+        )
+    return 16
+
+
+class StateBackend:
+    """Keyed state with get/put/merge/delete and access recording.
+
+    ``merge`` follows list-append semantics: the stored value becomes a
+    list and each operand is appended, matching how streaming systems
+    use RocksDB's merge for window buckets.
+    """
+
+    def __init__(self, trace: Optional[AccessTrace] = None) -> None:
+        self.trace = trace if trace is not None else AccessTrace()
+        self._data: Dict[bytes, Any] = {}
+        #: Event time of the access being performed; operators update it.
+        self.current_time = 0
+
+    def get(self, key: bytes) -> Any:
+        value = self._data.get(key)
+        self.trace.record(OpType.GET, key, 0, self.current_time)
+        return value
+
+    def put(self, key: bytes, value: Any) -> None:
+        self._data[key] = value
+        self.trace.record(
+            OpType.PUT, key, approximate_size(value), self.current_time
+        )
+
+    def merge(self, key: bytes, operand: Any) -> None:
+        bucket = self._data.get(key)
+        if bucket is None:
+            bucket = []
+            self._data[key] = bucket
+        elif not isinstance(bucket, list):
+            # Merging onto a plain value promotes it to a bucket,
+            # mirroring an append merge over an existing base value.
+            bucket = [bucket]
+            self._data[key] = bucket
+        bucket.append(operand)
+        self.trace.record(
+            OpType.MERGE, key, approximate_size(operand), self.current_time
+        )
+
+    def delete(self, key: bytes) -> None:
+        self._data.pop(key, None)
+        self.trace.record(OpType.DELETE, key, 0, self.current_time)
+
+    # -- inspection helpers (not traced) -----------------------------------
+
+    def peek(self, key: bytes) -> Any:
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def live_keys(self):
+        return self._data.keys()

@@ -1,0 +1,173 @@
+"""State-access trace model shared by the whole suite.
+
+The paper represents a state access as a tuple ``a = (p, k, v, t)`` --
+an operation ``p`` on key ``k`` with value ``v`` at time ``t`` (section
+2.3).  Both the instrumented mini stream processor (the "real" traces of
+section 3) and the Gadget workload generator (section 5) emit
+:class:`StateAccess` records, so every analysis and replay tool operates
+on a single format.
+
+Traces store the value *size* rather than value bytes, mirroring
+Gadget's design decision to never materialize operator state: values
+are synthesized at replay time from the recorded size.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+
+class OpType(str, Enum):
+    """The four operations of the RocksDB-flavoured state API."""
+
+    GET = "get"
+    PUT = "put"
+    MERGE = "merge"
+    DELETE = "delete"
+
+
+_OP_CODES = {OpType.GET: 0, OpType.PUT: 1, OpType.MERGE: 2, OpType.DELETE: 3}
+_CODE_OPS = {code: op for op, code in _OP_CODES.items()}
+_ENTRY = struct.Struct("<BIIq")  # op, key len, value size, timestamp
+
+
+@dataclass(frozen=True)
+class StateAccess:
+    """One request sent to the state store."""
+
+    op: OpType
+    key: bytes
+    value_size: int = 0
+    timestamp: int = 0
+
+    def encode(self) -> bytes:
+        return (
+            _ENTRY.pack(
+                _OP_CODES[self.op], len(self.key), self.value_size, self.timestamp
+            )
+            + self.key
+        )
+
+
+class AccessTrace:
+    """An ordered state access stream plus bookkeeping helpers."""
+
+    def __init__(self, accesses: Optional[List[StateAccess]] = None) -> None:
+        self.accesses: List[StateAccess] = accesses if accesses is not None else []
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self, op: OpType, key: bytes, value_size: int = 0, timestamp: int = 0
+    ) -> None:
+        self.accesses.append(StateAccess(op, key, value_size, timestamp))
+
+    def extend(self, other: "AccessTrace") -> None:
+        self.accesses.extend(other.accesses)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[StateAccess]:
+        return iter(self.accesses)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return AccessTrace(self.accesses[index])
+        return self.accesses[index]
+
+    # -- summaries -----------------------------------------------------------
+
+    def op_counts(self) -> Dict[OpType, int]:
+        counts: Dict[OpType, int] = {op: 0 for op in OpType}
+        for access in self.accesses:
+            counts[access.op] += 1
+        return counts
+
+    def op_fractions(self) -> Dict[OpType, float]:
+        counts = self.op_counts()
+        total = len(self.accesses)
+        if total == 0:
+            return {op: 0.0 for op in OpType}
+        return {op: count / total for op, count in counts.items()}
+
+    def key_sequence(self) -> List[bytes]:
+        return [access.key for access in self.accesses]
+
+    def distinct_keys(self) -> int:
+        return len({access.key for access in self.accesses})
+
+    def filter(self, predicate: Callable[[StateAccess], bool]) -> "AccessTrace":
+        return AccessTrace([a for a in self.accesses if predicate(a)])
+
+    # -- persistence (the paper's "offline mode" trace files) ----------------
+
+    MAGIC = b"GDGT"
+    VERSION = 1
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.MAGIC)
+            handle.write(struct.pack("<HQ", self.VERSION, len(self.accesses)))
+            for access in self.accesses:
+                handle.write(access.encode())
+
+    @classmethod
+    def load(cls, path: str) -> "AccessTrace":
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if data[:4] != cls.MAGIC:
+            raise ValueError(f"{path} is not a Gadget trace file")
+        version, count = struct.unpack_from("<HQ", data, 4)
+        if version != cls.VERSION:
+            raise ValueError(f"unsupported trace version: {version}")
+        offset = 4 + struct.calcsize("<HQ")
+        accesses: List[StateAccess] = []
+        for _ in range(count):
+            code, klen, vsize, timestamp = _ENTRY.unpack_from(data, offset)
+            offset += _ENTRY.size
+            key = bytes(data[offset : offset + klen])
+            offset += klen
+            accesses.append(StateAccess(_CODE_OPS[code], key, vsize, timestamp))
+        return cls(accesses)
+
+
+def shuffled_trace(trace: AccessTrace, rng) -> AccessTrace:
+    """Random permutation of a trace (the paper's locality baseline).
+
+    Preserves key popularity while destroying ordering, which is how
+    Figures 5 and 7 contrast real locality against chance.
+    """
+    accesses = list(trace.accesses)
+    rng.shuffle(accesses)
+    return AccessTrace(accesses)
+
+
+def concat_traces(traces: Sequence[AccessTrace]) -> AccessTrace:
+    merged = AccessTrace()
+    for trace in traces:
+        merged.extend(trace)
+    return merged
+
+
+def interleave_traces(traces: Sequence[AccessTrace]) -> AccessTrace:
+    """Round-robin interleaving, modelling concurrent operator tasks
+    sharing one store instance (paper section 6.4)."""
+    iterators = [iter(t) for t in traces]
+    merged: List[StateAccess] = []
+    active = list(range(len(iterators)))
+    while active:
+        still_active = []
+        for idx in active:
+            try:
+                merged.append(next(iterators[idx]))
+                still_active.append(idx)
+            except StopIteration:
+                pass
+        active = still_active
+    return AccessTrace(merged)

@@ -1,0 +1,33 @@
+"""YCSB reimplementation: the baseline benchmark of sections 4 and 6."""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    ExponentialGenerator,
+    Generator,
+    HotspotGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    SequentialGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv_hash64,
+    make_generator,
+)
+from .workload import CORE_WORKLOADS, YCSBConfig, YCSBWorkload
+
+__all__ = [
+    "CORE_WORKLOADS",
+    "DISTRIBUTIONS",
+    "ExponentialGenerator",
+    "Generator",
+    "HotspotGenerator",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "SequentialGenerator",
+    "UniformGenerator",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "ZipfianGenerator",
+    "fnv_hash64",
+    "make_generator",
+]

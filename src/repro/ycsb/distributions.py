@@ -1,0 +1,193 @@
+"""YCSB request distributions, reimplemented from the YCSB generators.
+
+The paper tunes YCSB across all its built-in request distributions
+(uniform, zipfian, hotspot, sequential, exponential, latest) to look
+for configurations that approximate streaming state traces (section
+4).  These generators follow the published YCSB semantics:
+
+* ``zipfian`` -- Gray et al.'s skewed generator with theta = 0.99,
+  scrambled across the item space with an FNV hash
+* ``latest`` -- zipfian over recency: recently inserted items are the
+  most popular
+* ``hotspot`` -- a hot set (20% of items) receives 80% of requests
+* ``sequential`` -- cycles through the key space in order
+* ``exponential`` -- 95% of requests hit the first 85.71% of items
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv_hash64(value: int) -> int:
+    """64-bit FNV-1 hash of an integer, as used by YCSB's scrambler."""
+    result = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        result = result ^ octet
+        result = (result * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return result
+
+
+class Generator:
+    """Base class: produces item indices in ``[0, item_count)``."""
+
+    def __init__(self, item_count: int, rng: random.Random) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        self.item_count = item_count
+        self.rng = rng
+
+    def next_index(self) -> int:
+        raise NotImplementedError
+
+
+class UniformGenerator(Generator):
+    def next_index(self) -> int:
+        return self.rng.randrange(self.item_count)
+
+
+class ZipfianGenerator(Generator):
+    """YCSB's ZipfianGenerator (Gray et al., "Quickly generating
+    billion-record synthetic databases")."""
+
+    ZIPFIAN_CONSTANT = 0.99
+
+    def __init__(
+        self,
+        item_count: int,
+        rng: random.Random,
+        theta: float = ZIPFIAN_CONSTANT,
+    ) -> None:
+        super().__init__(item_count, rng)
+        self.theta = theta
+        self.zeta_n = self._zeta(item_count, theta)
+        self.zeta_2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
+            1 - self.zeta_2 / self.zeta_n
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i + 1) ** theta for i in range(n))
+
+    def next_index(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+class ScrambledZipfianGenerator(Generator):
+    """Zipfian popularity spread over the item space by hashing."""
+
+    def __init__(self, item_count: int, rng: random.Random) -> None:
+        super().__init__(item_count, rng)
+        self._zipfian = ZipfianGenerator(item_count, rng)
+
+    def next_index(self) -> int:
+        return fnv_hash64(self._zipfian.next_index()) % self.item_count
+
+
+class LatestGenerator(Generator):
+    """Most recently inserted items are most popular.
+
+    ``advance()`` moves the insertion frontier; sampling is zipfian
+    over recency from the frontier backwards.
+    """
+
+    def __init__(self, item_count: int, rng: random.Random) -> None:
+        super().__init__(item_count, rng)
+        self._zipfian = ZipfianGenerator(item_count, rng)
+        self.last_index = item_count - 1
+
+    def advance(self) -> int:
+        self.last_index += 1
+        return self.last_index
+
+    def next_index(self) -> int:
+        offset = self._zipfian.next_index() % (self.last_index + 1)
+        return self.last_index - offset
+
+
+class HotspotGenerator(Generator):
+    def __init__(
+        self,
+        item_count: int,
+        rng: random.Random,
+        hot_set_fraction: float = 0.2,
+        hot_op_fraction: float = 0.8,
+    ) -> None:
+        super().__init__(item_count, rng)
+        self.hot_items = max(1, int(item_count * hot_set_fraction))
+        self.hot_op_fraction = hot_op_fraction
+
+    def next_index(self) -> int:
+        if self.rng.random() < self.hot_op_fraction:
+            return self.rng.randrange(self.hot_items)
+        if self.hot_items >= self.item_count:
+            return self.rng.randrange(self.item_count)
+        return self.hot_items + self.rng.randrange(self.item_count - self.hot_items)
+
+
+class SequentialGenerator(Generator):
+    def __init__(self, item_count: int, rng: random.Random) -> None:
+        super().__init__(item_count, rng)
+        self._counter = -1
+
+    def next_index(self) -> int:
+        self._counter = (self._counter + 1) % self.item_count
+        return self._counter
+
+
+class ExponentialGenerator(Generator):
+    """YCSB's exponential generator: ``percentile`` of requests land in
+    the first ``frac`` of the item space."""
+
+    def __init__(
+        self,
+        item_count: int,
+        rng: random.Random,
+        percentile: float = 95.0,
+        frac: float = 0.8571,
+    ) -> None:
+        super().__init__(item_count, rng)
+        self.gamma = -math.log(1.0 - percentile / 100.0) / (item_count * frac)
+
+    def next_index(self) -> int:
+        while True:
+            value = int(-math.log(self.rng.random()) / self.gamma)
+            if value < self.item_count:
+                return value
+
+
+DISTRIBUTIONS = {
+    "uniform": UniformGenerator,
+    "zipfian": ScrambledZipfianGenerator,
+    "latest": LatestGenerator,
+    "hotspot": HotspotGenerator,
+    "sequential": SequentialGenerator,
+    "exponential": ExponentialGenerator,
+}
+
+
+def make_generator(
+    name: str, item_count: int, rng: Optional[random.Random] = None
+) -> Generator:
+    try:
+        cls = DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; expected one of {sorted(DISTRIBUTIONS)}"
+        ) from None
+    return cls(item_count, rng or random.Random())

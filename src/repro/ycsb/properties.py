@@ -1,0 +1,108 @@
+"""YCSB ``.properties`` workload files.
+
+Real YCSB is configured with Java properties files (``workloada`` etc.);
+this parser accepts that format so existing workload definitions can be
+reused verbatim::
+
+    recordcount=1000
+    operationcount=100000
+    readproportion=0.5
+    updateproportion=0.5
+    requestdistribution=zipfian
+
+Recognized keys follow YCSB's core-workload properties; the value size
+is derived from ``fieldcount * fieldlength`` as YCSB does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .workload import YCSBConfig, YCSBWorkload
+
+_DEFAULT_FIELD_COUNT = 10
+_DEFAULT_FIELD_LENGTH = 100
+
+
+def parse_properties(text: str) -> Dict[str, str]:
+    """Parse Java-properties-style ``key=value`` lines.
+
+    Supports ``#`` and ``!`` comments and blank lines; later keys
+    override earlier ones, as in java.util.Properties.
+    """
+    out: Dict[str, str] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith(("#", "!")):
+            continue
+        if "=" not in line:
+            raise ValueError(f"malformed properties line: {raw_line!r}")
+        key, _, value = line.partition("=")
+        out[key.strip().lower()] = value.strip()
+    return out
+
+
+def config_from_properties(
+    properties: Dict[str, str], seed: Optional[int] = None
+) -> YCSBConfig:
+    """Build a :class:`YCSBConfig` from parsed YCSB properties."""
+
+    def get_float(key: str, default: float) -> float:
+        return float(properties.get(key, default))
+
+    def get_int(key: str, default: int) -> int:
+        return int(properties.get(key, default))
+
+    field_count = get_int("fieldcount", _DEFAULT_FIELD_COUNT)
+    field_length = get_int("fieldlength", _DEFAULT_FIELD_LENGTH)
+    config = YCSBConfig(
+        record_count=get_int("recordcount", 1000),
+        operation_count=get_int("operationcount", 100_000),
+        read_proportion=get_float("readproportion", 0.0),
+        update_proportion=get_float("updateproportion", 0.0),
+        insert_proportion=get_float("insertproportion", 0.0),
+        rmw_proportion=get_float("readmodifywriteproportion", 0.0),
+        scan_proportion=get_float("scanproportion", 0.0),
+        request_distribution=properties.get("requestdistribution", "uniform"),
+        value_size=field_count * field_length,
+    )
+    if seed is not None:
+        config.seed = seed
+    config.validate()
+    return config
+
+
+def load_workload_file(path: str, seed: Optional[int] = None) -> YCSBWorkload:
+    """Load a YCSB workload definition from a ``.properties`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        properties = parse_properties(handle.read())
+    return YCSBWorkload(config_from_properties(properties, seed))
+
+
+#: the text of YCSB's shipped core workload files, for convenience
+CORE_WORKLOAD_FILES: Dict[str, str] = {
+    "workloada": (
+        "# Core workload A: update heavy\n"
+        "readproportion=0.5\nupdateproportion=0.5\n"
+        "requestdistribution=zipfian\n"
+    ),
+    "workloadb": (
+        "# Core workload B: read mostly\n"
+        "readproportion=0.95\nupdateproportion=0.05\n"
+        "requestdistribution=zipfian\n"
+    ),
+    "workloadc": (
+        "# Core workload C: read only\n"
+        "readproportion=1.0\nrequestdistribution=zipfian\n"
+    ),
+    "workloadd": (
+        "# Core workload D: read latest\n"
+        "readproportion=0.95\ninsertproportion=0.05\n"
+        "requestdistribution=latest\n"
+    ),
+    "workloadf": (
+        "# Core workload F: read-modify-write\n"
+        "readproportion=0.5\nreadmodifywriteproportion=0.5\n"
+        "requestdistribution=zipfian\n"
+    ),
+}

@@ -1,0 +1,92 @@
+"""Tests for arrival-pattern analysis."""
+
+import random
+
+import pytest
+
+from repro.analysis.arrivals import (
+    arrival_stats,
+    event_arrival_stats,
+    peak_to_mean_ratio,
+    rate_over_time,
+)
+
+
+class TestArrivalStats:
+    def test_empty(self):
+        stats = arrival_stats([])
+        assert stats.count == 0
+        assert stats.rate_per_s == 0.0
+
+    def test_regular_gaps(self):
+        stats = arrival_stats(list(range(0, 1000, 10)))
+        assert stats.mean_gap == 10.0
+        assert stats.std_gap == 0.0
+        assert stats.burstiness == "regular"
+        assert stats.rate_per_s == pytest.approx(100.0)
+
+    def test_poisson_cv_near_one(self):
+        rng = random.Random(3)
+        t = 0
+        timestamps = []
+        for _ in range(5000):
+            t += max(1, int(rng.expovariate(0.1)))
+            timestamps.append(t)
+        stats = arrival_stats(timestamps)
+        assert 0.8 < stats.cv < 1.2
+        assert stats.burstiness == "poisson-like"
+
+    def test_bursty_detection(self):
+        timestamps = []
+        t = 0
+        for _ in range(100):
+            t += 10_000  # long quiet gap
+            for _ in range(20):
+                t += 1  # burst
+                timestamps.append(t)
+        assert arrival_stats(timestamps).burstiness == "bursty"
+
+    def test_min_max_gap(self):
+        stats = arrival_stats([0, 1, 100])
+        assert stats.min_gap == 1
+        assert stats.max_gap == 99
+
+    def test_event_stream_helper(self, azure_stream):
+        stats = event_arrival_stats(azure_stream)
+        assert stats.count == len(azure_stream) - 1
+        assert stats.rate_per_s > 0
+
+    def test_azure_is_bursty(self, azure_stream):
+        """The Azure generator's deployment bursts must register."""
+        assert peak_to_mean_ratio(
+            [e.timestamp for e in azure_stream], 5000
+        ) > 1.5
+
+
+class TestRateOverTime:
+    def test_bucket_counts(self):
+        series = rate_over_time([5, 15, 25, 1005], window_ms=1000)
+        assert series == [(0, 3), (1000, 1)]
+
+    def test_empty(self):
+        assert rate_over_time([]) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rate_over_time([1], window_ms=0)
+
+    def test_generator_arrival_process_matches_config(self):
+        """Gadget's Poisson source should measure as poisson-like at
+        the configured rate."""
+        from repro.core import ArrivalConfig, EventGenerator, SourceConfig
+
+        events = EventGenerator(
+            SourceConfig(
+                num_events=5000,
+                arrivals=ArrivalConfig(process="poisson",
+                                       mean_interarrival_ms=20),
+            )
+        ).generate()
+        stats = event_arrival_stats(events)
+        assert stats.mean_gap == pytest.approx(20, rel=0.15)
+        assert stats.burstiness == "poisson-like"

@@ -1,0 +1,125 @@
+"""Tests for the Mattson miss-ratio curve and cache sizing."""
+
+import pytest
+
+from repro.analysis import (
+    compare_working_set_vs_cache,
+    miss_ratio_curve,
+    recommend_cache_size,
+)
+from repro.trace import AccessTrace, OpType
+
+
+def trace_of_keys(keys):
+    trace = AccessTrace()
+    for key in keys:
+        trace.record(OpType.GET, key, 0)
+    return trace
+
+
+class TestMissRatioCurve:
+    def test_empty_trace(self):
+        curve = miss_ratio_curve(AccessTrace())
+        assert curve.total_accesses == 0
+        assert curve.miss_ratio_at(100) == 0.0
+
+    def test_single_key_reuse(self):
+        curve = miss_ratio_curve(trace_of_keys([b"a"] * 10))
+        # cache of 1 key: only the first access misses
+        assert curve.miss_ratio_at(1) == pytest.approx(0.1)
+
+    def test_compulsory_misses_counted(self):
+        curve = miss_ratio_curve(trace_of_keys([b"a", b"b", b"a", b"b"]))
+        assert curve.compulsory_misses == 2
+
+    def test_miss_ratio_monotone_in_cache_size(self):
+        keys = [f"k{i % 7}".encode() for i in range(100)]
+        curve = miss_ratio_curve(trace_of_keys(keys), sizes=[1, 2, 4, 7])
+        assert list(curve.miss_ratios) == sorted(curve.miss_ratios, reverse=True)
+
+    def test_full_cache_leaves_only_compulsory(self):
+        keys = [f"k{i % 5}".encode() for i in range(50)]
+        curve = miss_ratio_curve(trace_of_keys(keys), sizes=[5])
+        assert curve.miss_ratio_at(5) == pytest.approx(5 / 50)
+
+    def test_matches_lru_simulation(self):
+        """The Mattson curve must equal a direct LRU simulation."""
+        import random
+        from collections import OrderedDict
+
+        rng = random.Random(3)
+        keys = [f"k{rng.randrange(12)}".encode() for _ in range(400)]
+        trace = trace_of_keys(keys)
+        for capacity in (1, 2, 4, 8, 12):
+            lru = OrderedDict()
+            misses = 0
+            for key in keys:
+                if key in lru:
+                    lru.move_to_end(key)
+                else:
+                    misses += 1
+                    lru[key] = True
+                    if len(lru) > capacity:
+                        lru.popitem(last=False)
+            curve = miss_ratio_curve(trace, sizes=[capacity])
+            assert curve.miss_ratio_at(capacity) == pytest.approx(
+                misses / len(keys)
+            ), capacity
+
+    def test_zero_capacity_misses_everything(self):
+        curve = miss_ratio_curve(trace_of_keys([b"a", b"a"]), sizes=[1])
+        assert curve.miss_ratio_at(0) == 1.0
+
+    def test_default_size_ladder_reaches_distinct(self):
+        keys = [f"k{i}".encode() for i in range(10)] * 3
+        curve = miss_ratio_curve(trace_of_keys(keys))
+        assert curve.sizes[-1] == 10
+
+    def test_smallest_size_for_target(self):
+        keys = [f"k{i % 4}".encode() for i in range(100)]
+        curve = miss_ratio_curve(trace_of_keys(keys), sizes=[1, 2, 4])
+        size = curve.smallest_size_for(0.9)
+        assert size == 4
+
+    def test_smallest_size_unreachable(self):
+        # A scan never reuses keys: no finite cache reaches 50% hits.
+        keys = [f"k{i}".encode() for i in range(50)]
+        curve = miss_ratio_curve(trace_of_keys(keys))
+        assert curve.smallest_size_for(0.5) is None
+
+
+class TestRecommendation:
+    def make_trace(self):
+        trace = AccessTrace()
+        for i in range(300):
+            key = f"k{i % 5}".encode()
+            trace.record(OpType.GET, key, 0)
+            trace.record(OpType.PUT, key, 100)
+        return trace
+
+    def test_recommends_working_set(self):
+        rec = recommend_cache_size(self.make_trace(), target_hit_ratio=0.9)
+        assert rec is not None
+        assert rec.cache_keys <= 5
+        assert rec.expected_hit_ratio >= 0.9
+
+    def test_bytes_scale_with_value_size(self):
+        rec = recommend_cache_size(self.make_trace(), target_hit_ratio=0.9)
+        assert rec.cache_bytes >= rec.cache_keys * 100
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            recommend_cache_size(self.make_trace(), target_hit_ratio=1.5)
+
+    def test_unreachable_target_returns_none(self):
+        keys = [f"k{i}".encode() for i in range(20)]
+        assert recommend_cache_size(trace_of_keys(keys), 0.5) is None
+
+
+class TestCompareWorkingSet:
+    def test_summary_fields(self):
+        keys = [b"a", b"b", b"a"]
+        summary = compare_working_set_vs_cache(trace_of_keys(keys), 2)
+        assert summary["cache_keys"] == 2.0
+        assert 0.0 <= summary["miss_ratio"] <= 1.0
+        assert summary["compulsory_miss_ratio"] == pytest.approx(2 / 3)

@@ -1,0 +1,110 @@
+"""Tests for stack distances and unique-sequence counting."""
+
+import random
+
+from repro.analysis import (
+    average_stack_distance,
+    finite_distances,
+    stack_distance_histogram,
+    stack_distances,
+    total_unique_sequences,
+    unique_sequence_counts,
+)
+
+
+def naive_stack_distances(keys):
+    """O(n^2) reference implementation (LRU stack walk)."""
+    stack = []
+    out = []
+    for key in keys:
+        if key in stack:
+            position = stack.index(key)
+            out.append(position)
+            stack.pop(position)
+        else:
+            out.append(None)
+        stack.insert(0, key)
+    return out
+
+
+class TestStackDistances:
+    def test_first_access_is_none(self):
+        assert stack_distances([b"a"]) == [None]
+
+    def test_immediate_reuse_is_zero(self):
+        assert stack_distances([b"a", b"a"]) == [None, 0]
+
+    def test_one_key_between(self):
+        assert stack_distances([b"a", b"b", b"a"]) == [None, None, 1]
+
+    def test_duplicate_intervening_key_counts_once(self):
+        # b accessed twice between the two a's: still distance 1
+        assert stack_distances([b"a", b"b", b"b", b"a"])[-1] == 1
+
+    def test_matches_naive_on_random_traces(self):
+        rng = random.Random(3)
+        keys = [f"k{rng.randrange(20)}".encode() for _ in range(500)]
+        assert stack_distances(keys) == naive_stack_distances(keys)
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+    def test_finite_distances_filters_none(self):
+        distances = stack_distances([b"a", b"b", b"a"])
+        assert finite_distances(distances) == [1]
+
+    def test_average(self):
+        assert average_stack_distance([b"a", b"a", b"a"]) == 0.0
+        assert average_stack_distance([b"a", b"b"]) == 0.0  # no reuse
+
+    def test_sequential_trace_has_high_average(self):
+        keys = [f"k{i}".encode() for i in range(50)] * 2
+        assert average_stack_distance(keys) == 49.0
+
+    def test_histogram_bins(self):
+        keys = [b"a", b"a", b"b", b"a"]
+        counts = stack_distance_histogram(keys, bins=[0, 1])
+        assert counts == [1, 1, 0]
+
+    def test_locality_lower_than_shuffled(self):
+        """A run-heavy trace must show lower average distance than its
+        shuffle -- the paper's core temporal-locality observation."""
+        rng = random.Random(5)
+        trace = []
+        for i in range(100):
+            trace.extend([f"k{i}".encode()] * 10)
+        shuffled = list(trace)
+        rng.shuffle(shuffled)
+        assert average_stack_distance(trace) < average_stack_distance(shuffled)
+
+
+class TestUniqueSequences:
+    def test_counts_per_length(self):
+        keys = [b"a", b"b", b"a", b"b"]
+        counts = unique_sequence_counts(keys, max_len=2)
+        assert counts[1] == 2  # {a, b}
+        assert counts[2] == 2  # {ab, ba}
+
+    def test_repetitive_trace_fewer_sequences(self):
+        repetitive = [b"a", b"b"] * 50
+        rng = random.Random(1)
+        shuffled = list(repetitive)
+        rng.shuffle(shuffled)
+        assert total_unique_sequences(repetitive, 5) <= total_unique_sequences(
+            shuffled, 5
+        )
+
+    def test_short_trace(self):
+        counts = unique_sequence_counts([b"a"], max_len=3)
+        assert counts == {1: 1, 2: 0, 3: 0}
+
+    def test_invalid_max_len(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            unique_sequence_counts([b"a"], max_len=0)
+
+    def test_all_distinct(self):
+        keys = [f"k{i}".encode() for i in range(10)]
+        counts = unique_sequence_counts(keys, max_len=3)
+        assert counts == {1: 10, 2: 9, 3: 8}

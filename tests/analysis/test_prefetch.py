@@ -1,0 +1,84 @@
+"""Tests for the Markov prefetch model."""
+
+import random
+
+import pytest
+
+from repro.analysis.prefetch import (
+    MarkovPrefetcher,
+    predictability_gain,
+    prefetch_hit_ratio,
+)
+from repro.trace import AccessTrace, OpType, shuffled_trace
+
+
+def trace_of_keys(keys):
+    trace = AccessTrace()
+    for key in keys:
+        trace.record(OpType.GET, key)
+    return trace
+
+
+class TestMarkovPrefetcher:
+    def test_learns_most_frequent_successor(self):
+        prefetcher = MarkovPrefetcher()
+        prefetcher.train([b"a", b"b", b"a", b"b", b"a", b"c"])
+        assert prefetcher.predict(b"a") == b"b"
+
+    def test_unseen_key_predicts_none(self):
+        prefetcher = MarkovPrefetcher()
+        prefetcher.train([b"a", b"b"])
+        assert prefetcher.predict(b"zzz") is None
+
+    def test_len(self):
+        prefetcher = MarkovPrefetcher()
+        prefetcher.train([b"a", b"b", b"c"])
+        assert len(prefetcher) == 2  # a and b have successors
+
+
+class TestPrefetchHitRatio:
+    def test_perfectly_periodic_trace(self):
+        keys = [b"a", b"b", b"c"] * 100
+        report = prefetch_hit_ratio(trace_of_keys(keys))
+        assert report.hit_ratio > 0.99
+
+    def test_random_trace_scores_low(self):
+        rng = random.Random(3)
+        keys = [f"k{rng.randrange(50)}".encode() for _ in range(2000)]
+        report = prefetch_hit_ratio(trace_of_keys(keys))
+        assert report.hit_ratio < 0.2
+
+    def test_get_put_pairs_are_predictable(self):
+        """The streaming signature: each key accessed twice in a row."""
+        rng = random.Random(5)
+        keys = []
+        for _ in range(1000):
+            key = f"k{rng.randrange(100)}".encode()
+            keys.extend([key, key])
+        report = prefetch_hit_ratio(trace_of_keys(keys))
+        assert report.hit_ratio > 0.45  # every second access predictable
+
+    def test_tiny_trace(self):
+        assert prefetch_hit_ratio(trace_of_keys([b"a"])).predictions == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            prefetch_hit_ratio(trace_of_keys([b"a"] * 10), train_fraction=1.5)
+
+    def test_cold_keys_counted(self):
+        keys = [b"a"] * 10 + [b"b"] * 10  # b unseen during training
+        report = prefetch_hit_ratio(trace_of_keys(keys), train_fraction=0.5)
+        assert report.cold_keys > 0
+
+
+class TestStreamingPredictability:
+    def test_real_trace_beats_shuffled(self, borg_tasks):
+        from repro.core import GadgetConfig, generate_workload_trace
+
+        trace = generate_workload_trace(
+            "tumbling-incremental", [borg_tasks], GadgetConfig(interleave="time")
+        )
+        shuffled = shuffled_trace(trace, random.Random(1))
+        real, chance = predictability_gain(trace, shuffled)
+        assert real > 2 * chance
+        assert real > 0.4  # get-put pairs alone give ~0.5

@@ -1,0 +1,143 @@
+"""Tests for KS/Wasserstein statistics, amplification, composition, and
+report formatting."""
+
+from repro.analysis import (
+    composition_of,
+    frequency_ranks,
+    key_indices,
+    ks_test_keys,
+    measure_amplification,
+    combined_amplification,
+    print_table,
+    render_table,
+    wasserstein_keys,
+)
+from repro.events import Event
+from repro.trace import AccessTrace, OpType
+
+
+class TestKeyIndices:
+    def test_first_appearance_order(self):
+        indices = key_indices([b"b", b"a", b"b", b"c"])
+        assert list(indices) == [0, 1, 0, 2]
+
+
+class TestKSTest:
+    def test_identical_distributions_pass(self):
+        keys = [f"k{i % 5}".encode() for i in range(1000)]
+        result = ks_test_keys(keys, list(keys))
+        assert result.statistic < 0.01
+        assert result.passes()
+
+    def test_different_distributions_fail(self):
+        uniform = [f"k{i % 100}".encode() for i in range(5000)]
+        skewed = [b"k0"] * 4500 + [f"k{i % 100}".encode() for i in range(500)]
+        result = ks_test_keys(uniform, skewed)
+        assert not result.passes()
+
+    def test_sample_sizes_recorded(self):
+        result = ks_test_keys([b"a"] * 10, [b"b"] * 20)
+        assert result.n == 10
+        assert result.m == 20
+
+
+class TestWasserstein:
+    def test_zero_for_identical(self):
+        keys = [f"k{i % 7}".encode() for i in range(100)]
+        assert wasserstein_keys(keys, list(keys)) == 0.0
+
+    def test_positive_for_different(self):
+        a = [f"k{i}".encode() for i in range(100)]
+        b = [b"k0"] * 100
+        assert wasserstein_keys(a, b) > 0
+
+
+class TestFrequencyRanks:
+    def test_descending(self):
+        ranks = frequency_ranks([b"a", b"a", b"b"])
+        assert ranks == [2, 1]
+
+
+class TestAmplification:
+    def test_aggregation_is_2x_events_1x_keys(self):
+        events = [Event(f"k{i % 10}".encode(), i) for i in range(100)]
+        trace = AccessTrace()
+        for event in events:
+            trace.record(OpType.GET, event.key)
+            trace.record(OpType.PUT, event.key)
+        amp = measure_amplification(events, trace)
+        assert amp.event_amplification == 2.0
+        assert amp.keyspace_amplification == 1.0
+
+    def test_window_amplifies_keyspace(self):
+        events = [Event(b"k", i * 1000) for i in range(10)]
+        trace = AccessTrace()
+        for event in events:
+            state_key = event.key + str(event.timestamp // 5000).encode()
+            trace.record(OpType.PUT, state_key)
+        amp = measure_amplification(events, trace)
+        assert amp.keyspace_amplification == 2.0
+
+    def test_empty_events(self):
+        amp = measure_amplification([], AccessTrace())
+        assert amp.event_amplification == 0.0
+
+    def test_combined_merges_streams(self):
+        left = [Event(b"a", 1)]
+        right = [Event(b"b", 2)]
+        trace = AccessTrace()
+        trace.record(OpType.GET, b"a")
+        amp = combined_amplification([left, right], trace)
+        assert amp.num_events == 2
+        assert amp.event_amplification == 0.5
+
+
+class TestComposition:
+    def make_trace(self, gets=0, puts=0, merges=0, deletes=0):
+        trace = AccessTrace()
+        for _ in range(gets):
+            trace.record(OpType.GET, b"k")
+        for _ in range(puts):
+            trace.record(OpType.PUT, b"k")
+        for _ in range(merges):
+            trace.record(OpType.MERGE, b"k")
+        for _ in range(deletes):
+            trace.record(OpType.DELETE, b"k")
+        return trace
+
+    def test_fractions(self):
+        comp = composition_of(self.make_trace(gets=5, puts=5))
+        assert comp.get == 0.5
+        assert comp.put == 0.5
+
+    def test_update_heavy_classification(self):
+        comp = composition_of(self.make_trace(gets=50, puts=45, deletes=5))
+        assert comp.classify() == "update-heavy"
+
+    def test_write_heavy_classification(self):
+        comp = composition_of(self.make_trace(gets=8, merges=84, deletes=8))
+        assert comp.classify() == "write-heavy"
+
+    def test_as_row(self):
+        comp = composition_of(self.make_trace(gets=1, puts=1))
+        row = comp.as_row()
+        assert set(row) == {"GET", "PUT", "MERGE", "DELETE"}
+
+
+class TestReport:
+    def test_render_alignment(self):
+        table = render_table(
+            ["name", "value"], [["a", 1], ["longer", 2.5]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "longer" in table
+        assert "2.5" in table
+
+    def test_large_numbers_have_commas(self):
+        table = render_table(["x"], [[1234567.0]])
+        assert "1,234,567" in table
+
+    def test_print_table_no_crash(self, capsys):
+        print_table(["a"], [[1]])
+        assert "a" in capsys.readouterr().out

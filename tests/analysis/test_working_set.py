@@ -1,0 +1,104 @@
+"""Tests for working set and TTL analysis."""
+
+import pytest
+
+from repro.analysis import (
+    max_working_set,
+    single_access_key_fraction,
+    ttl_per_key,
+    ttl_percentiles,
+    working_set_over_time,
+)
+from repro.trace import AccessTrace, OpType
+
+
+def trace_of(*ops):
+    trace = AccessTrace()
+    for op, key in ops:
+        trace.record(op, key)
+    return trace
+
+
+class TestWorkingSet:
+    def test_puts_grow_set(self):
+        trace = trace_of((OpType.PUT, b"a"), (OpType.PUT, b"b"))
+        samples = working_set_over_time(trace, step=1)
+        assert [s for _, s in samples][:2] == [1, 2]
+
+    def test_deletes_shrink_set(self):
+        trace = trace_of(
+            (OpType.PUT, b"a"), (OpType.PUT, b"b"), (OpType.DELETE, b"a")
+        )
+        samples = working_set_over_time(trace, step=1)
+        assert samples[2][1] == 1
+
+    def test_merge_counts_as_live(self):
+        trace = trace_of((OpType.MERGE, b"a"))
+        assert working_set_over_time(trace, step=1)[0][1] == 1
+
+    def test_gets_do_not_grow_set(self):
+        trace = trace_of((OpType.GET, b"a"), (OpType.GET, b"b"))
+        assert working_set_over_time(trace, step=1)[-1][1] == 0
+
+    def test_final_sample_always_present(self):
+        trace = trace_of((OpType.PUT, b"a"))
+        samples = working_set_over_time(trace, step=100)
+        assert samples[-1] == (1, 1)
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            working_set_over_time(AccessTrace(), step=0)
+
+    def test_max_working_set(self):
+        trace = trace_of(
+            (OpType.PUT, b"a"),
+            (OpType.PUT, b"b"),
+            (OpType.DELETE, b"a"),
+            (OpType.DELETE, b"b"),
+        )
+        assert max_working_set(trace, step=1) == 2
+
+
+class TestTTL:
+    def test_single_access_ttl_zero(self):
+        trace = trace_of((OpType.PUT, b"a"))
+        assert ttl_per_key(trace) == {b"a": 0}
+
+    def test_ttl_spans_first_to_last(self):
+        trace = trace_of(
+            (OpType.PUT, b"a"), (OpType.GET, b"b"), (OpType.DELETE, b"a")
+        )
+        assert ttl_per_key(trace)[b"a"] == 2
+
+    def test_percentiles_monotone(self):
+        trace = AccessTrace()
+        for i in range(100):
+            trace.record(OpType.PUT, f"k{i}".encode())
+        for i in range(100):
+            trace.record(OpType.DELETE, f"k{i}".encode())
+        result = ttl_percentiles(trace, sample_keys=None)
+        assert result["p50"] <= result["p90"] <= result["p99.9"] <= result["max"]
+
+    def test_sampling_caps_keys(self):
+        trace = AccessTrace()
+        for i in range(500):
+            trace.record(OpType.PUT, f"k{i}".encode())
+        result = ttl_percentiles(trace, sample_keys=100)
+        assert result["max"] >= 0
+
+    def test_empty_trace(self):
+        result = ttl_percentiles(AccessTrace())
+        assert result["max"] == 0.0
+
+
+class TestSingleAccessFraction:
+    def test_all_single(self):
+        trace = trace_of((OpType.GET, b"a"), (OpType.GET, b"b"))
+        assert single_access_key_fraction(trace) == 1.0
+
+    def test_none_single(self):
+        trace = trace_of((OpType.GET, b"a"), (OpType.GET, b"a"))
+        assert single_access_key_fraction(trace) == 0.0
+
+    def test_empty(self):
+        assert single_access_key_fraction(AccessTrace()) == 0.0

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import sys
+
+import pytest
+
+# Fallback when the package is not installed: use the in-repo sources.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.datasets import AzureConfig, BorgConfig, TaxiConfig  # noqa: E402
+from repro.datasets import generate_azure, generate_borg, generate_taxi  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def borg_streams():
+    """Small Borg stream pair: (task_events, job_events)."""
+    return generate_borg(BorgConfig(target_events=5000, seed=11))
+
+
+@pytest.fixture(scope="session")
+def borg_tasks(borg_streams):
+    return borg_streams[0]
+
+
+@pytest.fixture(scope="session")
+def taxi_streams():
+    return generate_taxi(TaxiConfig(target_events=5000, seed=11))
+
+
+@pytest.fixture(scope="session")
+def azure_stream():
+    return generate_azure(AzureConfig(target_events=5000, seed=11))

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace import AccessTrace
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_eleven(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "tumbling-incremental" in out
+        assert "continuous-join" in out
+        assert out.count("\n") >= 12
+
+
+class TestGenerateCommand:
+    def test_synthetic_source(self, tmp_path, capsys):
+        path = str(tmp_path / "t.gdgt")
+        code = main([
+            "generate", "-w", "tumbling-incremental", "-o", path,
+            "--events", "500",
+        ])
+        assert code == 0
+        trace = AccessTrace.load(path)
+        assert len(trace) >= 1000
+        assert "composition" in capsys.readouterr().out
+
+    def test_borg_dataset(self, tmp_path, capsys):
+        path = str(tmp_path / "t.gdgt")
+        main([
+            "generate", "-w", "continuous-aggregation", "-o", path,
+            "--dataset", "borg", "--events", "500",
+        ])
+        assert len(AccessTrace.load(path)) == 1000
+
+    def test_join_workload_gets_two_sources(self, tmp_path):
+        path = str(tmp_path / "t.gdgt")
+        main([
+            "generate", "-w", "interval-join", "-o", path,
+            "--dataset", "taxi", "--events", "500",
+        ])
+        assert len(AccessTrace.load(path)) > 0
+
+    def test_azure_rejects_joins(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "generate", "-w", "interval-join",
+                "-o", str(tmp_path / "t.gdgt"),
+                "--dataset", "azure", "--events", "500",
+            ])
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "-w", "nope", "-o", str(tmp_path / "t")])
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.gdgt")
+        main([
+            "generate", "-w", "tumbling-incremental", "-o", path,
+            "--events", "800",
+        ])
+        return path
+
+    def test_analysis_report(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["analyze", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "avg stack distance" in out
+        assert "working set" in out
+        assert "TTL" in out
+
+    def test_cache_recommendation_shown(self, trace_path, capsys):
+        capsys.readouterr()
+        main(["analyze", trace_path, "--target-hit-ratio", "0.5"])
+        assert "cache for 50% hits" in capsys.readouterr().out
+
+
+class TestReplayAndCompare:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.gdgt")
+        main([
+            "generate", "-w", "continuous-aggregation", "-o", path,
+            "--events", "500",
+        ])
+        return path
+
+    def test_replay(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["replay", trace_path, "--store", "faster"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_replay_unknown_store(self, trace_path):
+        with pytest.raises(SystemExit):
+            main(["replay", trace_path, "--store", "leveldb"])
+
+    def test_compare(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "compare", trace_path, "--stores", "memory", "faster",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best throughput" in out
+        assert "faster" in out

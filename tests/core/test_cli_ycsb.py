@@ -1,0 +1,45 @@
+"""Tests for the `ycsb` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace import AccessTrace, OpType
+from repro.ycsb.properties import CORE_WORKLOAD_FILES
+
+
+class TestYCSBCommand:
+    def test_preset_generation(self, tmp_path, capsys):
+        out = str(tmp_path / "a.gdgt")
+        code = main([
+            "ycsb", "-o", out, "--preset", "A",
+            "--records", "50", "--operations", "500",
+        ])
+        assert code == 0
+        trace = AccessTrace.load(out)
+        assert len(trace) >= 500
+        assert "YCSB requests" in capsys.readouterr().out
+
+    def test_properties_file(self, tmp_path):
+        props = tmp_path / "workloadf"
+        props.write_text(
+            CORE_WORKLOAD_FILES["workloadf"]
+            + "recordcount=30\noperationcount=400\n"
+        )
+        out = str(tmp_path / "f.gdgt")
+        assert main(["ycsb", "-o", out, "--properties", str(props)]) == 0
+        trace = AccessTrace.load(out)
+        # rmw emits two requests per operation: more than 400 entries.
+        assert len(trace) > 400
+        assert trace.op_counts()[OpType.DELETE] == 0
+
+    def test_generated_trace_is_replayable(self, tmp_path, capsys):
+        out = str(tmp_path / "d.gdgt")
+        main(["ycsb", "-o", out, "--preset", "D",
+              "--records", "40", "--operations", "300"])
+        capsys.readouterr()
+        assert main(["replay", out, "--store", "memory"]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_unknown_preset(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["ycsb", "-o", str(tmp_path / "x"), "--preset", "Z"])

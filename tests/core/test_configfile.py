@@ -1,0 +1,117 @@
+"""Tests for JSON configuration-file loading."""
+
+import json
+
+import pytest
+
+from repro.core.configfile import (
+    ConfigError,
+    example_config,
+    gadget_from_config,
+    load_config,
+    parse_config,
+    parse_source,
+)
+
+
+def write_config(tmp_path, data):
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestParseSource:
+    def test_defaults(self):
+        source = parse_source({})
+        assert source.num_events == 100_000
+
+    def test_nested_sections(self):
+        source = parse_source(
+            {
+                "num_events": 50,
+                "arrivals": {"process": "constant", "mean_interarrival_ms": 5},
+                "keys": {"num_keys": 7, "distribution": "uniform"},
+                "values": {"size": 99},
+            }
+        )
+        assert source.arrivals.process == "constant"
+        assert source.keys.num_keys == 7
+        assert source.values.size == 99
+
+    def test_unknown_source_option(self):
+        with pytest.raises(ConfigError, match="unknown source option"):
+            parse_source({"num_event": 5})  # typo
+
+    def test_unknown_nested_option(self):
+        with pytest.raises(ConfigError, match="unknown keys option"):
+            parse_source({"keys": {"cardinality": 5}})
+
+    def test_ecdf_points_coerced_to_tuples(self):
+        source = parse_source(
+            {"keys": {"distribution": "ecdf", "ecdf_points": [[0.5, 0], [1.0, 1]]}}
+        )
+        assert source.keys.ecdf_points == [(0.5, 0), (1.0, 1)]
+
+
+class TestParseConfig:
+    def test_minimal(self):
+        workload, config = parse_config({"workload": "continuous-aggregation"})
+        assert workload == "continuous-aggregation"
+        assert len(config.sources) == 1
+
+    def test_missing_workload(self):
+        with pytest.raises(ConfigError, match="requires a 'workload'"):
+            parse_config({})
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            parse_config({"workload": "quantum-join"})
+
+    def test_source_count_enforced(self):
+        with pytest.raises(ConfigError, match="needs 2 source"):
+            parse_config({"workload": "interval-join", "sources": [{}]})
+
+    def test_join_with_two_sources(self):
+        workload, config = parse_config(
+            {"workload": "interval-join", "sources": [{}, {}]}
+        )
+        assert len(config.sources) == 2
+
+    def test_unknown_top_level(self):
+        with pytest.raises(ConfigError, match="top-level"):
+            parse_config({"workload": "continuous-aggregation", "speed": 11})
+
+    def test_example_config_is_valid(self):
+        workload, config = parse_config(example_config())
+        assert workload == "tumbling-incremental"
+
+
+class TestLoadAndRun:
+    def test_load_from_file(self, tmp_path):
+        path = write_config(tmp_path, example_config())
+        workload, config = load_config(path)
+        assert config.sources[0].num_events == 10_000
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_config(str(path))
+
+    def test_gadget_from_config_generates(self, tmp_path):
+        data = example_config()
+        data["sources"][0]["num_events"] = 500
+        path = write_config(tmp_path, data)
+        trace = gadget_from_config(path).generate()
+        assert len(trace) > 900
+
+    def test_cli_generate_with_config(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.trace import AccessTrace
+
+        data = example_config()
+        data["sources"][0]["num_events"] = 300
+        config_path = write_config(tmp_path, data)
+        out_path = str(tmp_path / "trace.gdgt")
+        assert main(["generate", "--config", config_path, "-o", out_path]) == 0
+        assert len(AccessTrace.load(out_path)) > 0

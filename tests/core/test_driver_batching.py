@@ -1,0 +1,45 @@
+"""Driver batching (Algorithm 1's getNext) must not affect the trace."""
+
+import pytest
+
+from repro.core import Driver, GadgetConfig, SourceConfig, make_workload
+from repro.datasets import BorgConfig, generate_borg
+
+
+@pytest.fixture(scope="module")
+def tasks():
+    stream, _ = generate_borg(BorgConfig(target_events=2000, seed=2))
+    return stream
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64, 100_000])
+def test_trace_independent_of_batch_size(tasks, batch_size):
+    reference = Driver(
+        make_workload("tumbling-incremental"),
+        [tasks],
+        GadgetConfig(interleave="time"),
+        batch_size=64,
+    ).run()
+    trace = Driver(
+        make_workload("tumbling-incremental"),
+        [tasks],
+        GadgetConfig(interleave="time"),
+        batch_size=batch_size,
+    ).run()
+    assert trace.accesses == reference.accesses
+
+
+def test_watermarks_fire_within_batches(tasks):
+    """Watermark frequency is honoured even when it divides a batch."""
+    driver = Driver(
+        make_workload("tumbling-incremental"),
+        [tasks],
+        GadgetConfig(
+            sources=[SourceConfig(watermark_frequency=50)], interleave="time"
+        ),
+        batch_size=1000,
+    )
+    trace = driver.run()
+    from repro.trace import OpType
+
+    assert trace.op_counts()[OpType.DELETE] > 0  # windows fired mid-batch

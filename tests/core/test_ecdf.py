@@ -1,0 +1,53 @@
+"""Tests for building source ECDFs from measured streams."""
+
+import pytest
+
+from repro.core import EventGenerator, KeyConfig, SourceConfig, ecdf_from_events
+from repro.events import Event
+
+
+def stream_with_popularity(counts):
+    """Events where key i appears counts[i] times."""
+    events = []
+    t = 0
+    for i, count in enumerate(counts):
+        for _ in range(count):
+            t += 1
+            events.append(Event(f"k{i}".encode(), t))
+    return events
+
+
+class TestECDFFromEvents:
+    def test_points_cover_unit_interval(self):
+        points = ecdf_from_events(stream_with_popularity([5, 3, 2]))
+        assert points[0][0] == pytest.approx(0.5)
+        assert points[-1][0] == 1.0
+
+    def test_ranks_by_popularity(self):
+        points = ecdf_from_events(stream_with_popularity([2, 8]))
+        # rank 0 is the hottest key (8 of 10 accesses)
+        assert points[0] == (pytest.approx(0.8), 0)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf_from_events([])
+
+    def test_generator_reproduces_popularity_profile(self):
+        source_events = stream_with_popularity([700, 200, 100])
+        points = ecdf_from_events(source_events)
+        config = SourceConfig(
+            num_events=5000,
+            keys=KeyConfig(num_keys=3, distribution="ecdf", ecdf_points=points),
+            seed=11,
+        )
+        generated = EventGenerator(config).generate()
+        counts = {}
+        for event in generated:
+            counts[event.key] = counts.get(event.key, 0) + 1
+        shares = sorted((c / len(generated) for c in counts.values()), reverse=True)
+        assert shares[0] == pytest.approx(0.7, abs=0.03)
+        assert shares[1] == pytest.approx(0.2, abs=0.03)
+
+    def test_single_key_stream(self):
+        points = ecdf_from_events(stream_with_popularity([4]))
+        assert points == [(1.0, 0)]

@@ -1,0 +1,76 @@
+"""Tests for the performance evaluator."""
+
+from repro.core import (
+    DEFAULT_STORES,
+    GadgetConfig,
+    PerformanceEvaluator,
+    SourceConfig,
+    generate_workload_trace,
+)
+from repro.trace import AccessTrace, OpType
+
+
+def small_trace(events=300):
+    return generate_workload_trace(
+        "tumbling-incremental", [SourceConfig(num_events=events)]
+    )
+
+
+class TestEvaluate:
+    def test_rows_for_all_stores(self):
+        rows = PerformanceEvaluator(stores=("memory", "faster")).evaluate(
+            "w", small_trace()
+        )
+        assert [r.store for r in rows] == ["memory", "faster"]
+        assert all(r.throughput_kops > 0 for r in rows)
+
+    def test_default_store_lineup(self):
+        assert DEFAULT_STORES == ("rocksdb", "lethe", "faster", "berkeleydb")
+
+    def test_store_configs_forwarded(self):
+        evaluator = PerformanceEvaluator(
+            stores=("rocksdb",),
+            store_configs={"rocksdb": {"write_buffer_size": 2048}},
+        )
+        connector = evaluator._connector("rocksdb")
+        assert connector.store.config.write_buffer_size == 2048
+
+    def test_evaluate_matrix(self):
+        traces = {"a": small_trace(100), "b": small_trace(100)}
+        rows = PerformanceEvaluator(stores=("memory",)).evaluate_matrix(traces)
+        assert {(r.workload, r.store) for r in rows} == {
+            ("a", "memory"), ("b", "memory"),
+        }
+
+    def test_row_fields(self):
+        row = PerformanceEvaluator(stores=("memory",)).evaluate("w", small_trace())[0]
+        assert row.workload == "w"
+        assert row.p50_us <= row.p999_us
+
+
+class TestConcurrent:
+    def test_interleaved_concurrent(self):
+        traces = [small_trace(200), small_trace(200)]
+        result = PerformanceEvaluator().evaluate_concurrent("rocksdb", traces)
+        assert result.operations == sum(len(t) for t in traces)
+
+    def test_interleaving_preserves_per_trace_order(self):
+        from repro.trace import interleave_traces
+
+        a = AccessTrace()
+        for i in range(5):
+            a.record(OpType.PUT, f"a{i}".encode())
+        b = AccessTrace()
+        for i in range(3):
+            b.record(OpType.PUT, f"b{i}".encode())
+        merged = interleave_traces([a, b])
+        a_keys = [x.key for x in merged if x.key.startswith(b"a")]
+        assert a_keys == [x.key for x in a]
+
+    def test_threaded_concurrent(self):
+        traces = [small_trace(150), small_trace(150)]
+        results = PerformanceEvaluator().evaluate_concurrent_threads(
+            "rocksdb", traces
+        )
+        assert len(results) == 2
+        assert all(r.operations == len(t) for r, t in zip(results, traces))

@@ -1,0 +1,150 @@
+"""Gadget accuracy tests: generated traces must match engine traces.
+
+This is the test-suite version of the paper's Figure 10 experiment --
+Gadget's simulated state access streams are compared against the
+instrumented mini stream processor on identical inputs.
+"""
+
+import pytest
+
+from repro.analysis import average_stack_distance, total_unique_sequences
+from repro.core import GadgetConfig, generate_workload_trace
+from repro.streaming import (
+    ContinuousAggregation,
+    ContinuousJoinOperator,
+    IntervalJoinOperator,
+    RuntimeConfig,
+    SessionWindowOperator,
+    SlidingWindows,
+    TumblingWindows,
+    WindowJoinOperator,
+    WindowOperator,
+    run_operator,
+)
+
+GCFG = GadgetConfig(interleave="time")
+RCFG = RuntimeConfig(interleave="time")
+
+
+def engine_trace(operator, streams):
+    return run_operator(operator, streams, RCFG)
+
+
+def assert_traces_equivalent(real, gadget, tolerance=0.0):
+    """Key sequences must match exactly (tolerance=0) or near-exactly."""
+    if tolerance == 0.0:
+        assert real.key_sequence() == gadget.key_sequence()
+        assert [a.op for a in real] == [a.op for a in gadget]
+    else:
+        assert abs(len(real) - len(gadget)) <= tolerance * len(real)
+
+
+class TestExactFidelity:
+    """Single-input operators: Gadget reproduces the engine exactly."""
+
+    def test_tumbling_incremental(self, borg_tasks):
+        real = engine_trace(WindowOperator(TumblingWindows(5000)), [borg_tasks])
+        gadget = generate_workload_trace("tumbling-incremental", [borg_tasks], GCFG)
+        assert_traces_equivalent(real, gadget)
+
+    def test_tumbling_holistic(self, borg_tasks):
+        real = engine_trace(
+            WindowOperator(TumblingWindows(5000), holistic=True), [borg_tasks]
+        )
+        gadget = generate_workload_trace("tumbling-holistic", [borg_tasks], GCFG)
+        assert_traces_equivalent(real, gadget)
+
+    def test_sliding_incremental(self, borg_tasks):
+        real = engine_trace(
+            WindowOperator(SlidingWindows(5000, 1000)), [borg_tasks]
+        )
+        gadget = generate_workload_trace("sliding-incremental", [borg_tasks], GCFG)
+        assert_traces_equivalent(real, gadget)
+
+    def test_sliding_holistic(self, borg_tasks):
+        real = engine_trace(
+            WindowOperator(SlidingWindows(5000, 1000), holistic=True), [borg_tasks]
+        )
+        gadget = generate_workload_trace("sliding-holistic", [borg_tasks], GCFG)
+        assert_traces_equivalent(real, gadget)
+
+    def test_continuous_aggregation_ops_match(self, borg_tasks):
+        real = engine_trace(ContinuousAggregation(), [borg_tasks])
+        gadget = generate_workload_trace("continuous-aggregation", [borg_tasks], GCFG)
+        # The engine's closing watermark adds nothing for aggregation.
+        assert real.key_sequence() == gadget.key_sequence()
+
+
+class TestStatisticalFidelity:
+    """Operators with minor ordering differences: locality must match."""
+
+    def close(self, a, b, rel=0.02):
+        return abs(a - b) <= rel * max(abs(a), abs(b), 1.0)
+
+    def check(self, real, gadget, rel=0.02):
+        assert self.close(len(real), len(gadget), rel)
+        assert self.close(
+            average_stack_distance(real.key_sequence()),
+            average_stack_distance(gadget.key_sequence()),
+            0.05,
+        )
+        assert self.close(
+            total_unique_sequences(real.key_sequence(), 5),
+            total_unique_sequences(gadget.key_sequence(), 5),
+            0.05,
+        )
+
+    def test_session_incremental(self, borg_tasks):
+        real = engine_trace(SessionWindowOperator(120_000), [borg_tasks])
+        gadget = generate_workload_trace("session-incremental", [borg_tasks], GCFG)
+        self.check(real, gadget)
+
+    def test_session_holistic(self, borg_tasks):
+        real = engine_trace(
+            SessionWindowOperator(120_000, holistic=True), [borg_tasks]
+        )
+        gadget = generate_workload_trace("session-holistic", [borg_tasks], GCFG)
+        self.check(real, gadget)
+
+    def test_interval_join(self, borg_streams):
+        tasks, jobs = borg_streams
+        real = engine_trace(IntervalJoinOperator(120_000, 180_000), [tasks, jobs])
+        gadget = generate_workload_trace("interval-join", [tasks, jobs], GCFG)
+        self.check(real, gadget)
+
+    def test_sliding_join(self, borg_streams):
+        tasks, jobs = borg_streams
+        real = engine_trace(
+            WindowJoinOperator(SlidingWindows(5000, 1000)), [tasks, jobs]
+        )
+        gadget = generate_workload_trace("sliding-join", [tasks, jobs], GCFG)
+        self.check(real, gadget)
+
+    def test_continuous_join(self, borg_streams):
+        tasks, jobs = borg_streams
+        real = engine_trace(ContinuousJoinOperator({"finish"}), [tasks, jobs])
+        gadget = generate_workload_trace("continuous-join", [tasks, jobs], GCFG)
+        self.check(real, gadget)
+
+
+class TestCompositionFidelity:
+    """Op-type fractions must agree operator by operator."""
+
+    @pytest.mark.parametrize(
+        "workload,operator_factory",
+        [
+            ("tumbling-incremental", lambda: WindowOperator(TumblingWindows(5000))),
+            (
+                "tumbling-holistic",
+                lambda: WindowOperator(TumblingWindows(5000), holistic=True),
+            ),
+            ("session-incremental", lambda: SessionWindowOperator(120_000)),
+        ],
+    )
+    def test_fractions_close(self, workload, operator_factory, borg_tasks):
+        real = engine_trace(operator_factory(), [borg_tasks])
+        gadget = generate_workload_trace(workload, [borg_tasks], GCFG)
+        real_fracs = real.op_fractions()
+        gadget_fracs = gadget.op_fractions()
+        for op in real_fracs:
+            assert abs(real_fracs[op] - gadget_fracs[op]) < 0.01

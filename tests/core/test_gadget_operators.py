@@ -1,0 +1,149 @@
+"""Direct unit tests for the Gadget operator models (beyond fidelity)."""
+
+import pytest
+
+from repro.core import (
+    ContinuousAggregationModel,
+    ContinuousJoinModel,
+    Driver,
+    GadgetConfig,
+    IntervalJoinModel,
+    SessionWindowModel,
+    SourceConfig,
+    WindowJoinModel,
+    sliding_window_model,
+    tumbling_window_model,
+)
+from repro.events import Event
+from repro.streaming.windows import SlidingWindows, TumblingWindows
+from repro.trace import OpType
+
+
+def drive(model, *streams, watermark_frequency=100, interleave="time"):
+    config = GadgetConfig(
+        sources=[SourceConfig(watermark_frequency=watermark_frequency)],
+        interleave=interleave,
+    )
+    driver = Driver(model, list(streams), config)
+    return driver.run(), driver
+
+
+def ev(key, t, size=8, kind=""):
+    return Event(key, t, size, kind)
+
+
+class TestWindowModels:
+    def test_tumbling_ops(self):
+        trace, _ = drive(
+            tumbling_window_model(5000), [ev(b"k", 100), ev(b"k", 6000)]
+        )
+        ops = [a.op for a in trace]
+        # event1 get/put, event2 get/put, window-1 fire get/delete
+        assert ops.count(OpType.GET) == 3
+        assert ops.count(OpType.DELETE) == 1
+
+    def test_sliding_assigns_multiple(self):
+        trace, _ = drive(sliding_window_model(5000, 1000), [ev(b"k", 4500)])
+        assert trace.op_counts()[OpType.PUT] == 5
+
+    def test_holistic_uses_merge(self):
+        trace, _ = drive(
+            tumbling_window_model(5000, holistic=True), [ev(b"k", 1)]
+        )
+        assert trace.op_counts()[OpType.MERGE] == 1
+        assert trace.op_counts()[OpType.GET] == 0
+
+    def test_value_size_from_event(self):
+        trace, _ = drive(tumbling_window_model(5000), [ev(b"k", 1, size=77)])
+        puts = [a for a in trace if a.op is OpType.PUT]
+        assert puts[0].value_size == 77
+
+
+class TestSessionModel:
+    def test_index_read_per_event(self):
+        trace, _ = drive(SessionWindowModel(1000), [ev(b"k", 1), ev(b"k", 500)])
+        index_reads = [a for a in trace if a.key.endswith(b"|ws")]
+        assert len(index_reads) == 2
+
+    def test_session_extension_reschedules(self):
+        events = [ev(b"k", 0), ev(b"k", 900), ev(b"k", 5000)]
+        trace, driver = drive(SessionWindowModel(1000), events)
+        model = driver.model
+        # Two sessions total: [0, 1900) fired, [5000, 6000) open at end.
+        deletes = [a for a in trace if a.op is OpType.DELETE]
+        assert len(deletes) >= 1
+
+    def test_merge_counter(self):
+        model = SessionWindowModel(1000)
+        # The bridging event must be *delivered* last (out of order), so
+        # preserve stream order with round-robin interleaving.
+        events = [ev(b"k", 0), ev(b"k", 1800), ev(b"k", 900)]
+        drive(model, events, watermark_frequency=1000,
+              interleave="round_robin")
+        assert model.session_merges == 1
+
+
+class TestJoinModels:
+    def test_interval_probe_hits_only_live_buckets(self):
+        model = IntervalJoinModel(1000, 3000, bucket_ms=1000)
+        left = [ev(b"k", 1000)]
+        right = [ev(b"k", 3000)]
+        trace, _ = drive(model, left, right)
+        gets = [a for a in trace if a.op is OpType.GET]
+        # own-buffer get x2 plus one successful probe
+        assert len(gets) == 3
+
+    def test_interval_no_probe_without_other_side(self):
+        model = IntervalJoinModel(1000, 3000)
+        trace, _ = drive(model, [ev(b"k", 1000)], [])
+        assert trace.op_counts()[OpType.GET] == 1  # own buffer only
+
+    def test_window_join_paired_termination(self):
+        model = WindowJoinModel(TumblingWindows(5000))
+        left = [ev(b"k", 100)]
+        right = []
+        trace, _ = drive(model, left, right)
+        # Closing watermark can't pass the window end (max ts 100), so
+        # nothing fires -- only the merge is present.
+        assert trace.op_counts()[OpType.MERGE] == 1
+
+    def test_window_join_fire_covers_both_sides(self):
+        model = WindowJoinModel(TumblingWindows(5000))
+        left = [ev(b"k", 100), ev(b"k", 6000)]
+        trace, _ = drive(model, left, [])
+        counts = trace.op_counts()
+        assert counts[OpType.GET] == 2
+        assert counts[OpType.DELETE] == 2
+
+    def test_continuous_join_invalidation(self):
+        model = ContinuousJoinModel({"end"})
+        left = [ev(b"k", 1), ev(b"k", 3, kind="end")]
+        right = [ev(b"k", 2)]
+        trace, _ = drive(model, left, right)
+        counts = trace.op_counts()
+        assert counts[OpType.DELETE] == 2  # both sides cleaned
+
+    def test_continuous_join_put_then_merge(self):
+        model = ContinuousJoinModel({"end"})
+        left = [ev(b"k", 1), ev(b"k", 2)]
+        trace, _ = drive(model, left, [])
+        counts = trace.op_counts()
+        assert counts[OpType.PUT] == 1
+        assert counts[OpType.MERGE] == 1
+
+
+class TestAggregationModel:
+    def test_never_expires(self):
+        events = [ev(b"k", t) for t in range(1, 500)]
+        trace, driver = drive(ContinuousAggregationModel(), events)
+        assert trace.op_counts()[OpType.DELETE] == 0
+        assert b"k" in driver.machines
+
+    def test_ignores_watermark_lateness(self):
+        # Ties with the watermark are still processed (no window
+        # semantics), matching the engine's aggregation operator.
+        events = [ev(b"k", 1) for _ in range(150)]
+        trace, driver = drive(ContinuousAggregationModel(), events,
+                              watermark_frequency=50)
+        assert driver.dropped_late_events == 0
+        assert len(trace) == 300

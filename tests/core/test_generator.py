@@ -1,0 +1,137 @@
+"""Tests for the Gadget event generator and config surface."""
+
+import pytest
+
+from repro.core import (
+    ArrivalConfig,
+    EventGenerator,
+    InputReplayer,
+    KeyConfig,
+    SourceConfig,
+    ValueConfig,
+)
+from repro.core.generator import as_source
+from repro.events import Event
+
+
+class TestEventGenerator:
+    def test_event_count(self):
+        events = EventGenerator(SourceConfig(num_events=500)).generate()
+        assert len(events) == 500
+
+    def test_poisson_timestamps_increase(self):
+        events = EventGenerator(SourceConfig(num_events=200)).generate()
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+        assert times[0] >= 1
+
+    def test_constant_arrivals_evenly_spaced(self):
+        config = SourceConfig(
+            num_events=10,
+            arrivals=ArrivalConfig(process="constant", mean_interarrival_ms=7),
+        )
+        events = EventGenerator(config).generate()
+        gaps = {b.timestamp - a.timestamp for a, b in zip(events, events[1:])}
+        assert gaps == {7}
+
+    def test_unknown_arrival_process(self):
+        config = SourceConfig(arrivals=ArrivalConfig(process="weibull"))
+        with pytest.raises(ValueError):
+            EventGenerator(config).generate()
+
+    def test_deterministic_per_seed(self):
+        a = EventGenerator(SourceConfig(num_events=100, seed=4)).generate()
+        b = EventGenerator(SourceConfig(num_events=100, seed=4)).generate()
+        assert a == b
+
+    def test_key_space_bounded(self):
+        config = SourceConfig(num_events=2000, keys=KeyConfig(num_keys=10))
+        events = EventGenerator(config).generate()
+        assert len({e.key for e in events}) <= 10
+
+    def test_key_size(self):
+        config = SourceConfig(num_events=10, keys=KeyConfig(key_size=24))
+        events = EventGenerator(config).generate()
+        assert all(len(e.key) == 24 for e in events)
+
+    def test_zipfian_keys_skewed(self):
+        config = SourceConfig(
+            num_events=5000, keys=KeyConfig(num_keys=100, distribution="zipfian")
+        )
+        events = EventGenerator(config).generate()
+        counts = {}
+        for event in events:
+            counts[event.key] = counts.get(event.key, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > 3 * ordered[-1]
+
+    def test_constant_value_size(self):
+        config = SourceConfig(num_events=10, values=ValueConfig(size=33))
+        events = EventGenerator(config).generate()
+        assert all(e.value_size == 33 for e in events)
+
+    def test_uniform_value_sizes(self):
+        config = SourceConfig(
+            num_events=200,
+            values=ValueConfig(distribution="uniform", min_size=5, max_size=9),
+        )
+        events = EventGenerator(config).generate()
+        sizes = {e.value_size for e in events}
+        assert sizes <= set(range(5, 10))
+        assert len(sizes) > 1
+
+    def test_invalid_value_distribution(self):
+        with pytest.raises(ValueError):
+            EventGenerator(
+                SourceConfig(values=ValueConfig(distribution="normal"))
+            )
+
+    def test_out_of_order_fraction(self):
+        config = SourceConfig(
+            num_events=2000, out_of_order_fraction=0.3, max_lateness_ms=500
+        )
+        events = EventGenerator(config).generate()
+        times = [e.timestamp for e in events]
+        assert any(a > b for a, b in zip(times, times[1:]))
+
+    def test_ecdf_keys(self):
+        config = SourceConfig(
+            num_events=1000,
+            keys=KeyConfig(
+                num_keys=3,
+                distribution="ecdf",
+                ecdf_points=[(0.8, 0), (0.9, 1), (1.0, 2)],
+            ),
+        )
+        events = EventGenerator(config).generate()
+        counts = {}
+        for event in events:
+            counts[event.key] = counts.get(event.key, 0) + 1
+        ordered = sorted(counts.items())
+        assert ordered[0][1] > 600  # ~80% on key 0
+
+    def test_ecdf_validation(self):
+        with pytest.raises(ValueError):
+            EventGenerator(
+                SourceConfig(
+                    keys=KeyConfig(distribution="ecdf", ecdf_points=[(0.5, 0)])
+                )
+            )
+
+
+class TestAsSource:
+    def test_source_config(self):
+        assert isinstance(as_source(SourceConfig()), EventGenerator)
+
+    def test_event_list(self):
+        replayer = as_source([Event(b"k", 1)])
+        assert isinstance(replayer, InputReplayer)
+        assert replayer.generate() == [Event(b"k", 1)]
+
+    def test_passthrough(self):
+        replayer = InputReplayer([])
+        assert as_source(replayer) is replayer
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_source(42)

@@ -1,0 +1,113 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import random
+
+import pytest
+
+from repro.core.histogram import LatencyHistogram
+
+
+class TestRecording:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.total == 0
+        assert histogram.percentile(50) == 0
+        assert histogram.mean == 0.0
+
+    def test_single_value(self):
+        histogram = LatencyHistogram()
+        histogram.record(17)
+        assert histogram.percentile(50) == 17
+        assert histogram.min_value == 17
+        assert histogram.max_value == 17
+
+    def test_small_values_exact(self):
+        histogram = LatencyHistogram(subbuckets=32)
+        for value in range(32):
+            histogram.record(value)
+        for p, expected in ((50, 16), (100, 31)):
+            assert abs(histogram.percentile(p) - expected) <= 1
+
+    def test_negative_clamped(self):
+        histogram = LatencyHistogram()
+        histogram.record(-5)
+        assert histogram.min_value == 0
+
+    def test_mean(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([10, 20, 30])
+        assert histogram.mean == pytest.approx(20.0)
+
+    def test_invalid_subbuckets(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(subbuckets=3)
+
+
+class TestAccuracy:
+    def test_bounded_relative_error(self):
+        """Percentiles must be within 1/subbuckets of exact values."""
+        rng = random.Random(3)
+        values = [int(rng.lognormvariate(8, 2)) for _ in range(20_000)]
+        histogram = LatencyHistogram(subbuckets=64)
+        histogram.record_many(values)
+        exact = sorted(values)
+        for percent in (50.0, 90.0, 99.0, 99.9):
+            rank = min(len(exact) - 1, int(round(percent / 100 * len(exact))))
+            expected = exact[rank]
+            approx = histogram.percentile(percent)
+            assert abs(approx - expected) <= max(2, expected / 16), percent
+
+    def test_max_is_exact(self):
+        rng = random.Random(5)
+        values = [rng.randrange(10**9) for _ in range(1000)]
+        histogram = LatencyHistogram()
+        histogram.record_many(values)
+        assert histogram.percentile(100) == max(values)
+
+    def test_huge_values_saturate_safely(self):
+        histogram = LatencyHistogram(max_exponent=10)
+        histogram.record(2**50)
+        assert histogram.total == 1
+        assert histogram.percentile(50) <= 2**50
+
+
+class TestMerge:
+    def test_merge_totals(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record_many([1, 2, 3])
+        b.record_many([1000, 2000])
+        a.merge(b)
+        assert a.total == 5
+        assert a.max_value == 2000
+        assert a.min_value == 1
+
+    def test_merge_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(subbuckets=32).merge(LatencyHistogram(subbuckets=64))
+
+
+class TestReplayerIntegration:
+    def test_histogram_mode(self):
+        from repro.core import SourceConfig, TraceReplayer, generate_workload_trace
+        from repro.kvstores import create_connector
+
+        trace = generate_workload_trace(
+            "continuous-aggregation", [SourceConfig(num_events=400)]
+        )
+        replayer = TraceReplayer(
+            create_connector("memory"), use_histograms=True
+        )
+        result = replayer.replay(trace)
+        assert result.all_latencies() == []  # no per-sample lists
+        assert sum(h.total for h in result.histograms.values()) == len(trace)
+        assert result.latency_percentile(50) > 0
+        assert result.latency_percentile(99.9) >= result.latency_percentile(50)
+        assert result.summary()["p50_us"] > 0
+
+    def test_histogram_summary_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([500, 1500, 1_000_000])
+        buckets = histogram.nonzero_buckets()
+        assert sum(count for _, count in buckets) == 3
+        summary = histogram.summary()
+        assert summary["max"] == pytest.approx(1000.0)

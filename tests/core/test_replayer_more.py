@@ -1,0 +1,84 @@
+"""Additional replayer behaviours: GC control, background exclusion,
+value synthesis determinism."""
+
+import gc
+
+from repro.core import (
+    GadgetConfig,
+    SourceConfig,
+    TraceReplayer,
+    generate_workload_trace,
+    synthesize_value,
+)
+from repro.kvstores import create_connector
+from repro.trace import AccessTrace, OpType
+
+
+def small_trace(n=300):
+    return generate_workload_trace(
+        "continuous-aggregation", [SourceConfig(num_events=n)]
+    )
+
+
+class TestGCControl:
+    def test_gc_restored_after_replay(self):
+        assert gc.isenabled()
+        TraceReplayer(create_connector("memory")).replay(small_trace())
+        assert gc.isenabled()
+
+    def test_gc_left_disabled_if_it_was(self):
+        gc.disable()
+        try:
+            TraceReplayer(create_connector("memory")).replay(small_trace())
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    def test_gc_control_can_be_turned_off(self):
+        replayer = TraceReplayer(create_connector("memory"), disable_gc=False)
+        replayer.replay(small_trace())
+        assert gc.isenabled()
+
+
+class TestBackgroundExclusion:
+    def test_latencies_never_negative(self):
+        # Force plenty of flush/compaction background work.
+        connector = create_connector("rocksdb", write_buffer_size=2048)
+        result = TraceReplayer(connector).replay(small_trace(2000))
+        assert all(v >= 0 for v in result.all_latencies())
+
+    def test_background_excluded_from_tail(self):
+        """With background exclusion, the write tail should not contain
+        whole flush+compaction cycles (which cost milliseconds at this
+        buffer size)."""
+        connector = create_connector("rocksdb", write_buffer_size=4096)
+        result = TraceReplayer(connector).replay(small_trace(3000))
+        assert connector.store.stats.flushes > 0
+        assert result.latency_percentile(99.9) < 3_000  # us
+
+
+class TestSynthesizeValue:
+    def test_deterministic_content(self):
+        assert synthesize_value(16) == synthesize_value(16)
+
+    def test_distinct_sizes_distinct_objects(self):
+        assert synthesize_value(8) != synthesize_value(9)
+
+
+class TestReplayEdgeCases:
+    def test_empty_trace(self):
+        result = TraceReplayer(create_connector("memory")).replay(AccessTrace())
+        assert result.operations == 0
+        assert result.latency_percentile(99) == 0.0
+
+    def test_trace_with_only_deletes(self):
+        trace = AccessTrace()
+        for i in range(50):
+            trace.record(OpType.DELETE, f"k{i}".encode())
+        result = TraceReplayer(create_connector("rocksdb")).replay(trace)
+        assert result.operations == 50
+
+    def test_throughput_positive(self):
+        result = TraceReplayer(create_connector("memory")).replay(small_trace())
+        assert result.throughput_ops > 0
+        assert result.elapsed_s > 0

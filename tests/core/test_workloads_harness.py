@@ -1,0 +1,169 @@
+"""Tests for the workload registry, harness facade, and replay path."""
+
+import pytest
+
+from repro.core import (
+    Gadget,
+    GadgetConfig,
+    SourceConfig,
+    TraceReplayer,
+    WORKLOAD_NAMES,
+    WORKLOADS,
+    generate_workload_trace,
+    make_workload,
+    synthesize_value,
+)
+from repro.events import Event
+from repro.kvstores import create_connector
+from repro.trace import OpType
+
+
+class TestWorkloadRegistry:
+    def test_eleven_workloads(self):
+        assert len(WORKLOAD_NAMES) == 11
+
+    def test_all_instantiable(self):
+        for name in WORKLOAD_NAMES:
+            model = make_workload(name)
+            assert model.num_inputs in (1, 2)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("bogus")
+
+    def test_specs_have_descriptions(self):
+        for spec in WORKLOADS.values():
+            assert spec.description
+
+    def test_fresh_instance_per_call(self):
+        assert make_workload("session-incremental") is not make_workload(
+            "session-incremental"
+        )
+
+
+class TestGadgetFacade:
+    def test_generate_with_synthetic_source(self):
+        gadget = Gadget(
+            "continuous-aggregation",
+            [SourceConfig(num_events=100)],
+        )
+        trace = gadget.generate()
+        assert len(trace) == 200
+
+    def test_generate_with_event_list_source(self):
+        events = [Event(b"k", t) for t in range(1, 50)]
+        trace = Gadget("continuous-aggregation", [events]).generate()
+        assert len(trace) == 98
+
+    def test_two_input_workload(self):
+        left = [Event(b"k", t, kind="x") for t in range(1, 50)]
+        right = [Event(b"k", t, kind="y") for t in range(5, 55)]
+        trace = Gadget(
+            "tumbling-join", [left, right], GadgetConfig(interleave="time")
+        ).generate()
+        assert len(trace) > 0
+
+    def test_custom_model_instance(self):
+        from repro.core.operators.windows import tumbling_window_model
+
+        model = tumbling_window_model(1000)
+        gadget = Gadget(model, [SourceConfig(num_events=10)])
+        assert gadget.model is model
+        gadget.generate()
+
+    def test_driver_property_requires_run(self):
+        gadget = Gadget("continuous-aggregation", [SourceConfig(num_events=1)])
+        with pytest.raises(RuntimeError):
+            _ = gadget.driver
+
+    def test_save_trace(self, tmp_path):
+        from repro.trace import AccessTrace
+
+        path = str(tmp_path / "w.trace")
+        gadget = Gadget("continuous-aggregation", [SourceConfig(num_events=20)])
+        trace = gadget.save_trace(path)
+        assert AccessTrace.load(path).accesses == trace.accesses
+
+    def test_run_online(self):
+        connector = create_connector("memory")
+        gadget = Gadget("continuous-aggregation", [SourceConfig(num_events=50)])
+        result = gadget.run_online(connector)
+        assert result.operations == 100
+        assert result.throughput_ops > 0
+
+    @pytest.mark.parametrize("name", [n for n in WORKLOAD_NAMES])
+    def test_every_workload_generates_nonempty_trace(self, name, borg_streams):
+        tasks, jobs = borg_streams
+        spec = WORKLOADS[name]
+        sources = [tasks[:1500]] if spec.num_inputs == 1 else [tasks[:1500], jobs[:500]]
+        trace = generate_workload_trace(name, sources, GadgetConfig(interleave="time"))
+        assert len(trace) > 0
+
+
+class TestReplayer:
+    def make_trace(self):
+        return generate_workload_trace(
+            "tumbling-incremental", [SourceConfig(num_events=200)]
+        )
+
+    def test_replay_counts_all_ops(self):
+        trace = self.make_trace()
+        result = TraceReplayer(create_connector("memory")).replay(trace)
+        assert result.operations == len(trace)
+
+    def test_latencies_collected_per_op(self):
+        trace = self.make_trace()
+        result = TraceReplayer(create_connector("memory")).replay(trace)
+        assert len(result.all_latencies()) == len(trace)
+        assert result.latencies_ns[OpType.GET]
+
+    def test_percentiles_monotone(self):
+        trace = self.make_trace()
+        result = TraceReplayer(create_connector("memory")).replay(trace)
+        assert result.latency_percentile(50) <= result.latency_percentile(99.9)
+
+    def test_latency_disabled(self):
+        trace = self.make_trace()
+        replayer = TraceReplayer(create_connector("memory"), measure_latency=False)
+        result = replayer.replay(trace)
+        assert result.all_latencies() == []
+        assert result.throughput_ops > 0
+
+    def test_service_rate_throttles(self):
+        trace = self.make_trace()[:200]
+        fast = TraceReplayer(create_connector("memory")).replay(trace)
+        slow = TraceReplayer(
+            create_connector("memory"), service_rate=10_000
+        ).replay(trace)
+        assert slow.throughput_ops < fast.throughput_ops
+        assert slow.throughput_ops <= 12_000
+
+    def test_replay_state_consistency(self):
+        """After replaying a window trace, only windows that never
+        expired (at the tail of the stream) remain in the store."""
+        trace = generate_workload_trace(
+            "tumbling-incremental", [SourceConfig(num_events=500)]
+        )
+        connector = create_connector("memory")
+        TraceReplayer(connector).replay(trace)
+        deletes = {a.key for a in trace if a.op is OpType.DELETE}
+        puts = {a.key for a in trace if a.op is OpType.PUT}
+        assert deletes <= puts
+        assert len(connector.store) == len(puts - deletes)
+
+    def test_summary_keys(self):
+        result = TraceReplayer(create_connector("memory")).replay(self.make_trace())
+        assert set(result.summary()) == {
+            "throughput_kops", "p50_us", "p99_us", "p99.9_us",
+        }
+
+
+class TestSynthesizeValue:
+    def test_size(self):
+        assert len(synthesize_value(17)) == 17
+
+    def test_cached_identity(self):
+        assert synthesize_value(8) is synthesize_value(8)
+
+    def test_zero(self):
+        assert synthesize_value(0) == b""

@@ -1,0 +1,144 @@
+"""Tests for the synthetic dataset generators."""
+
+from repro.datasets import (
+    AzureConfig,
+    BorgConfig,
+    KIND_DROPOFF,
+    KIND_FARE,
+    KIND_FINISH,
+    KIND_PICKUP,
+    KIND_SUBMIT,
+    KIND_TASK,
+    TaxiConfig,
+    bounded_zipf,
+    generate_azure,
+    generate_borg,
+    generate_taxi,
+)
+
+
+class TestBorg:
+    def test_event_counts(self):
+        tasks, jobs = generate_borg(BorgConfig(target_events=2000))
+        assert len(tasks) == 2000
+        assert len(jobs) > 0
+
+    def test_time_ordered(self):
+        tasks, jobs = generate_borg(BorgConfig(target_events=2000))
+        for stream in (tasks, jobs):
+            times = [e.timestamp for e in stream]
+            assert times == sorted(times)
+
+    def test_deterministic_per_seed(self):
+        a, _ = generate_borg(BorgConfig(target_events=1000, seed=5))
+        b, _ = generate_borg(BorgConfig(target_events=1000, seed=5))
+        assert a == b
+
+    def test_seeds_differ(self):
+        a, _ = generate_borg(BorgConfig(target_events=1000, seed=5))
+        b, _ = generate_borg(BorgConfig(target_events=1000, seed=6))
+        assert a != b
+
+    def test_kinds(self):
+        tasks, jobs = generate_borg(BorgConfig(target_events=1000))
+        assert {e.kind for e in tasks} == {KIND_TASK}
+        assert {e.kind for e in jobs} <= {KIND_SUBMIT, KIND_FINISH}
+
+    def test_job_keys_recur_within_windows(self):
+        """Borg jobs are chatty: many task events per key per 5s window."""
+        tasks, _ = generate_borg(BorgConfig(target_events=5000))
+        buckets = {(e.key, e.timestamp // 5000) for e in tasks}
+        density = len(tasks) / len(buckets)
+        assert density > 4
+
+    def test_every_job_eventually_finishes(self):
+        tasks, jobs = generate_borg(BorgConfig(target_events=500))
+        submits = {e.key for e in jobs if e.kind == KIND_SUBMIT}
+        finishes = {e.key for e in jobs if e.kind == KIND_FINISH}
+        assert finishes <= submits
+        assert len(finishes) > 0
+
+
+class TestTaxi:
+    def test_event_counts(self):
+        trips, fares = generate_taxi(TaxiConfig(target_events=2000))
+        assert len(trips) == 2000
+        assert len(fares) > 0
+
+    def test_time_ordered(self):
+        trips, fares = generate_taxi(TaxiConfig(target_events=2000))
+        for stream in (trips, fares):
+            times = [e.timestamp for e in stream]
+            assert times == sorted(times)
+
+    def test_pickup_dropoff_pairing(self):
+        trips, _ = generate_taxi(TaxiConfig(target_events=2000))
+        kinds = {e.kind for e in trips}
+        assert kinds <= {KIND_PICKUP, KIND_DROPOFF}
+
+    def test_low_density_relative_to_5s_windows(self):
+        """Taxi events are sparse: ~1 event per key per window."""
+        trips, _ = generate_taxi(TaxiConfig(target_events=5000))
+        buckets = {(e.key, e.timestamp // 5000) for e in trips}
+        density = len(trips) / len(buckets)
+        assert density < 2
+
+    def test_rides_exceed_default_session_gap(self):
+        """Median ride must be far longer than the 2min session gap."""
+        config = TaxiConfig(target_events=2000)
+        assert config.ride_duration_median_ms > 120_000
+
+    def test_fare_kinds(self):
+        _, fares = generate_taxi(TaxiConfig(target_events=1000))
+        assert {e.kind for e in fares} == {KIND_FARE}
+
+    def test_deterministic(self):
+        a, _ = generate_taxi(TaxiConfig(target_events=500, seed=3))
+        b, _ = generate_taxi(TaxiConfig(target_events=500, seed=3))
+        assert a == b
+
+
+class TestAzure:
+    def test_event_count(self):
+        assert len(generate_azure(AzureConfig(target_events=2000))) == 2000
+
+    def test_time_ordered(self):
+        events = generate_azure(AzureConfig(target_events=2000))
+        times = [e.timestamp for e in events]
+        assert times == sorted(times)
+
+    def test_subscription_popularity_skewed(self):
+        events = generate_azure(AzureConfig(target_events=5000))
+        counts = {}
+        for event in events:
+            counts[event.key] = counts.get(event.key, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        top_share = sum(ordered[: max(1, len(ordered) // 10)]) / len(events)
+        assert top_share > 0.3  # top 10% of subscriptions dominate
+
+    def test_medium_density(self):
+        events = generate_azure(AzureConfig(target_events=5000))
+        buckets = {(e.key, e.timestamp // 5000) for e in events}
+        density = len(events) / len(buckets)
+        assert 1.5 < density < 8
+
+    def test_deterministic(self):
+        a = generate_azure(AzureConfig(target_events=500, seed=3))
+        b = generate_azure(AzureConfig(target_events=500, seed=3))
+        assert a == b
+
+
+class TestBoundedZipf:
+    def test_range(self):
+        import random
+
+        rng = random.Random(1)
+        samples = [bounded_zipf(rng, 100) for _ in range(1000)]
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_skew(self):
+        import random
+
+        rng = random.Random(1)
+        samples = [bounded_zipf(rng, 100, skew=1.2) for _ in range(5000)]
+        assert samples.count(0) > samples.count(50)

@@ -1,0 +1,93 @@
+"""Tests for the store API, merge operators, and stats."""
+
+import pytest
+
+from repro.kvstores import (
+    AppendMergeOperator,
+    CounterMergeOperator,
+    InMemoryStore,
+    StoreClosedError,
+    StoreStats,
+    UnsupportedOperationError,
+)
+from repro.kvstores.api import KVStore
+
+
+class TestAppendMergeOperator:
+    def test_full_merge_with_base(self):
+        op = AppendMergeOperator()
+        assert op.full_merge(b"a", (b"b", b"c")) == b"abc"
+
+    def test_full_merge_without_base(self):
+        assert AppendMergeOperator().full_merge(None, (b"x", b"y")) == b"xy"
+
+    def test_full_merge_empty_operands(self):
+        assert AppendMergeOperator().full_merge(b"base", ()) == b"base"
+
+    def test_partial_merge(self):
+        assert AppendMergeOperator().partial_merge(b"a", b"b") == b"ab"
+
+
+class TestCounterMergeOperator:
+    def encode(self, n):
+        return n.to_bytes(8, "little", signed=True)
+
+    def test_full_merge_sums(self):
+        op = CounterMergeOperator()
+        out = op.full_merge(self.encode(5), (self.encode(3), self.encode(-2)))
+        assert out == self.encode(6)
+
+    def test_full_merge_no_base(self):
+        op = CounterMergeOperator()
+        assert op.full_merge(None, (self.encode(7),)) == self.encode(7)
+
+    def test_partial_merge(self):
+        op = CounterMergeOperator()
+        assert op.partial_merge(self.encode(2), self.encode(3)) == self.encode(5)
+
+
+class TestStoreStats:
+    def test_total_ops(self):
+        stats = StoreStats(gets=1, puts=2, merges=3, deletes=4)
+        assert stats.total_ops == 10
+
+    def test_snapshot_is_independent(self):
+        stats = StoreStats(gets=1)
+        snap = stats.snapshot()
+        stats.gets = 99
+        assert snap.gets == 1
+
+
+class TestKVStoreBase:
+    def test_default_merge_unsupported(self):
+        class Bare(KVStore):
+            name = "bare"
+
+            def get(self, key):
+                return None
+
+            def put(self, key, value):
+                pass
+
+            def delete(self, key):
+                pass
+
+        with pytest.raises(UnsupportedOperationError):
+            Bare().merge(b"k", b"v")
+
+    def test_closed_store_rejects_ops(self):
+        store = InMemoryStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.get(b"k")
+
+    def test_context_manager_closes(self):
+        with InMemoryStore() as store:
+            store.put(b"k", b"v")
+        assert store.closed
+
+    def test_double_close_is_safe(self):
+        store = InMemoryStore()
+        store.close()
+        store.close()
+        assert store.closed

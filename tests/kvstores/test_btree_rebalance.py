@@ -1,0 +1,82 @@
+"""Tests specific to B+Tree delete rebalancing (borrow and merge)."""
+
+import random
+
+from repro.kvstores.btree import BTreeConfig, BTreeStore
+
+
+def full_tree(order=4, n=200):
+    store = BTreeStore(BTreeConfig(order=order, cache_bytes=1 << 20))
+    for i in range(n):
+        store.put(f"k{i:04d}".encode(), f"v{i}".encode())
+    return store
+
+
+class TestRebalancing:
+    def test_tree_shrinks_after_mass_delete(self):
+        store = full_tree(order=4, n=300)
+        tall = store.height
+        for i in range(295):
+            store.delete(f"k{i:04d}".encode())
+        assert store.height < tall
+        for i in range(295, 300):
+            assert store.get(f"k{i:04d}".encode()) == f"v{i}".encode()
+
+    def test_delete_everything_then_reinsert(self):
+        store = full_tree(order=4, n=120)
+        for i in range(120):
+            store.delete(f"k{i:04d}".encode())
+        assert len(store) == 0
+        for i in range(120):
+            store.put(f"k{i:04d}".encode(), b"again")
+        for i in range(120):
+            assert store.get(f"k{i:04d}".encode()) == b"again"
+
+    def test_scan_correct_after_interleaved_deletes(self):
+        store = full_tree(order=4, n=200)
+        rng = random.Random(8)
+        alive = set(range(200))
+        for i in rng.sample(range(200), 150):
+            store.delete(f"k{i:04d}".encode())
+            alive.discard(i)
+        expected = [f"k{i:04d}".encode() for i in sorted(alive)]
+        assert [k for k, _ in store.scan(b"k0000", b"k9999")] == expected
+
+    def test_leaf_chain_intact_after_merges(self):
+        """next_leaf pointers must survive sibling merges."""
+        store = full_tree(order=4, n=100)
+        for i in range(0, 100, 2):
+            store.delete(f"k{i:04d}".encode())
+        # A full scan walks the leaf chain end to end.
+        keys = [k for k, _ in store.scan(b"", b"\xff")]
+        assert keys == [f"k{i:04d}".encode() for i in range(1, 100, 2)]
+
+    def test_random_torture_against_dict(self):
+        store = BTreeStore(BTreeConfig(order=6, cache_bytes=4096))
+        rng = random.Random(21)
+        model = {}
+        for i in range(5000):
+            key = f"k{rng.randrange(250):04d}".encode()
+            if rng.random() < 0.45 and model:
+                victim = rng.choice(list(model))
+                store.delete(victim)
+                model.pop(victim, None)
+            else:
+                store.put(key, f"v{i}".encode())
+                model[key] = f"v{i}".encode()
+        for key, value in model.items():
+            assert store.get(key) == value
+        assert len(store) == len(model)
+        assert [k for k, _ in store.scan(b"", b"\xff")] == sorted(model)
+
+    def test_lazy_mode_still_available(self):
+        store = BTreeStore(
+            BTreeConfig(order=4, rebalance_on_delete=False, cache_bytes=1 << 20)
+        )
+        for i in range(100):
+            store.put(f"k{i:04d}".encode(), b"v")
+        tall = store.height
+        for i in range(100):
+            store.delete(f"k{i:04d}".encode())
+        assert store.height == tall  # lazy reclamation keeps the shape
+        assert len(store) == 0

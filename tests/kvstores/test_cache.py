@@ -1,0 +1,89 @@
+"""Tests for the byte-budgeted LRU cache."""
+
+from repro.kvstores.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(100)
+        cache.put("a", b"xxxx")
+        assert cache.get("a") == b"xxxx"
+
+    def test_miss_returns_none_and_counts(self):
+        cache = LRUCache(100)
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_eviction_by_bytes(self):
+        cache = LRUCache(10)
+        cache.put("a", b"12345")
+        cache.put("b", b"12345")
+        cache.put("c", b"12345")  # exceeds 10 bytes: evicts "a"
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_lru_order_updated_by_get(self):
+        cache = LRUCache(10)
+        cache.put("a", b"12345")
+        cache.put("b", b"12345")
+        cache.get("a")  # refresh "a"
+        cache.put("c", b"12345")  # evicts "b", not "a"
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_overwrite_updates_size(self):
+        cache = LRUCache(100)
+        cache.put("a", b"xx")
+        cache.put("a", b"xxxxxx")
+        assert cache.used_bytes == 6
+
+    def test_peek_does_not_count(self):
+        cache = LRUCache(100)
+        cache.put("a", b"x")
+        cache.peek("a")
+        cache.peek("nope")
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_invalidate(self):
+        cache = LRUCache(100)
+        cache.put("a", b"xyz")
+        cache.invalidate("a")
+        assert "a" not in cache
+        assert cache.used_bytes == 0
+
+    def test_invalidate_where(self):
+        cache = LRUCache(100)
+        cache.put(("f1", 0), b"x")
+        cache.put(("f2", 0), b"y")
+        cache.invalidate_where(lambda k: k[0] == "f1")
+        assert ("f1", 0) not in cache
+        assert ("f2", 0) in cache
+
+    def test_on_evict_called(self):
+        evicted = []
+        cache = LRUCache(4, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", b"123")
+        cache.put("b", b"123")
+        assert evicted == ["a"]
+
+    def test_clear_flushes_all_through_on_evict(self):
+        evicted = []
+        cache = LRUCache(100, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", b"1")
+        cache.put("b", b"1")
+        cache.clear()
+        assert sorted(evicted) == ["a", "b"]
+        assert len(cache) == 0
+
+    def test_oversized_single_entry_evicted_immediately(self):
+        cache = LRUCache(2)
+        cache.put("big", b"xxxxxxxx")
+        assert "big" not in cache
+
+    def test_custom_sizer(self):
+        cache = LRUCache(100, sizer=lambda v: 10)
+        cache.put("a", "anything")
+        assert cache.used_bytes == 10

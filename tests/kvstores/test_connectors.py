@@ -1,0 +1,78 @@
+"""Tests for connectors and the store factory."""
+
+import pytest
+
+from repro.kvstores import (
+    BTreeStore,
+    FasterStore,
+    InMemoryStore,
+    LetheStore,
+    ReadModifyWriteConnector,
+    RocksLSMStore,
+    STORE_NAMES,
+    StoreConnector,
+    connect,
+    create_connector,
+    create_store,
+)
+
+
+class TestConnect:
+    def test_native_merge_stores_get_plain_connector(self):
+        for store in (RocksLSMStore(), LetheStore(), FasterStore(), InMemoryStore()):
+            connector = connect(store)
+            assert type(connector) is StoreConnector
+
+    def test_btree_gets_rmw_connector(self):
+        connector = connect(BTreeStore())
+        assert isinstance(connector, ReadModifyWriteConnector)
+
+    def test_rmw_connector_merge_semantics(self):
+        connector = connect(BTreeStore())
+        connector.merge(b"k", b"a")
+        connector.merge(b"k", b"b")
+        assert connector.get(b"k") == b"ab"
+
+    def test_rmw_merge_on_existing_value(self):
+        connector = connect(BTreeStore())
+        connector.put(b"k", b"base-")
+        connector.merge(b"k", b"op")
+        assert connector.get(b"k") == b"base-op"
+
+    def test_connector_passthrough(self):
+        connector = connect(InMemoryStore())
+        connector.put(b"k", b"v")
+        assert connector.get(b"k") == b"v"
+        connector.delete(b"k")
+        assert connector.get(b"k") is None
+
+    def test_connector_name(self):
+        assert connect(FasterStore()).name == "faster"
+
+    def test_close(self):
+        connector = connect(InMemoryStore())
+        connector.close()
+        assert connector.store.closed
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", STORE_NAMES)
+    def test_create_all_stores(self, name):
+        store = create_store(name)
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_unknown_store(self):
+        with pytest.raises(ValueError, match="unknown store"):
+            create_store("leveldb")
+
+    def test_config_overrides(self):
+        store = create_store("rocksdb", write_buffer_size=1234)
+        assert store.config.write_buffer_size == 1234
+
+    @pytest.mark.parametrize("name", STORE_NAMES)
+    def test_create_connector_merge_works_everywhere(self, name):
+        connector = create_connector(name)
+        connector.merge(b"k", b"a")
+        connector.merge(b"k", b"b")
+        assert connector.get(b"k") == b"ab"

@@ -1,0 +1,134 @@
+"""Differential tests: every store against the in-memory oracle.
+
+Small configurations force flushes, compactions, FADE cycles, log
+evictions, and page-cache churn while the oracle checks every read.
+"""
+
+import random
+
+import pytest
+
+from repro.kvstores import InMemoryStore, connect
+from repro.kvstores.btree import BTreeConfig, BTreeStore
+from repro.kvstores.faster import FasterConfig, FasterStore
+from repro.kvstores.lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
+
+
+def build_all_stores():
+    lsm_kwargs = dict(
+        write_buffer_size=4096,
+        block_cache_size=8192,
+        level_base_bytes=16384,
+        target_file_size=8192,
+        max_levels=5,
+    )
+    return {
+        "rocksdb": connect(RocksLSMStore(LSMConfig(**lsm_kwargs))),
+        "lethe": connect(
+            LetheStore(
+                LetheConfig(
+                    **lsm_kwargs,
+                    delete_persistence_threshold_s=0.0,
+                    fade_check_interval=400,
+                )
+            )
+        ),
+        "faster": connect(FasterStore(FasterConfig(memory_budget=8192, segment_size=2048))),
+        "berkeleydb": connect(BTreeStore(BTreeConfig(order=16, cache_bytes=8192))),
+    }
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_differential_mixed_workload(seed):
+    stores = build_all_stores()
+    oracle = connect(InMemoryStore())
+    rng = random.Random(seed)
+    keys = [f"k{i:05d}".encode() for i in range(400)]
+    for i in range(12_000):
+        key = rng.choice(keys)
+        roll = rng.random()
+        if roll < 0.35:
+            expected = oracle.get(key)
+            for name, connector in stores.items():
+                assert connector.get(key) == expected, (name, key, i)
+        elif roll < 0.6:
+            value = (f"v{i}" * 2).encode()
+            oracle.put(key, value)
+            for connector in stores.values():
+                connector.put(key, value)
+        elif roll < 0.85:
+            operand = f"m{i};".encode()
+            oracle.merge(key, operand)
+            for connector in stores.values():
+                connector.merge(key, operand)
+        else:
+            oracle.delete(key)
+            for connector in stores.values():
+                connector.delete(key)
+    for key in keys:
+        expected = oracle.get(key)
+        for name, connector in stores.items():
+            assert connector.get(key) == expected, (name, key)
+
+
+def test_differential_exercises_internals():
+    """The tiny configs must actually trigger internal machinery."""
+    stores = build_all_stores()
+    rng = random.Random(7)
+    keys = [f"k{i:05d}".encode() for i in range(400)]
+    for i in range(15_000):
+        key = rng.choice(keys)
+        roll = rng.random()
+        if roll < 0.5:
+            value = (f"v{i}" * 3).encode()
+            for connector in stores.values():
+                connector.put(key, value)
+        elif roll < 0.8:
+            for connector in stores.values():
+                connector.merge(key, f"m{i};".encode())
+        else:
+            for connector in stores.values():
+                connector.delete(key)
+    rocks = stores["rocksdb"].store
+    lethe = stores["lethe"].store
+    faster = stores["faster"].store
+    btree = stores["berkeleydb"].store
+    assert rocks.stats.flushes > 0
+    assert rocks.stats.compactions > 0
+    assert lethe.fade_compactions > 0
+    faster.flush()
+    assert faster.log.disk_records > 0
+    assert btree.cache_stats()["page_outs"] > 0
+
+
+def test_differential_streaming_shaped_workload(borg_tasks):
+    """Window-style access pattern (get-put pairs, bucket merges,
+    expiry deletes) against the oracle."""
+    from repro.core import GadgetConfig, generate_workload_trace
+    from repro.core.replayer import synthesize_value
+    from repro.trace import OpType
+
+    trace = generate_workload_trace(
+        "tumbling-incremental", [borg_tasks], GadgetConfig(interleave="time")
+    )
+    stores = build_all_stores()
+    oracle = connect(InMemoryStore())
+    for i, access in enumerate(trace):
+        if access.op is OpType.GET:
+            expected = oracle.get(access.key)
+            for name, connector in stores.items():
+                assert connector.get(access.key) == expected, (name, i)
+        elif access.op is OpType.PUT:
+            value = synthesize_value(access.value_size)
+            oracle.put(access.key, value)
+            for connector in stores.values():
+                connector.put(access.key, value)
+        elif access.op is OpType.MERGE:
+            value = synthesize_value(access.value_size)
+            oracle.merge(access.key, value)
+            for connector in stores.values():
+                connector.merge(access.key, value)
+        else:
+            oracle.delete(access.key)
+            for connector in stores.values():
+                connector.delete(access.key)

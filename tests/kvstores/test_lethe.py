@@ -1,0 +1,134 @@
+"""Tests for the delete-aware Lethe store (FADE)."""
+
+from repro.kvstores.lsm import LetheConfig, LetheStore
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        write_buffer_size=2048,
+        block_cache_size=4096,
+        level_base_bytes=8192,
+        target_file_size=4096,
+        max_levels=4,
+        l0_compaction_trigger=2,
+        delete_persistence_threshold_s=5.0,
+        fade_check_interval=100,
+    )
+    defaults.update(overrides)
+    return LetheConfig(**defaults)
+
+
+def make_store(**overrides):
+    clock = _FakeClock()
+    return LetheStore(tiny_config(**overrides), clock=clock), clock
+
+
+class TestLetheCorrectness:
+    def test_behaves_like_plain_store(self):
+        store, _ = make_store()
+        store.put(b"a", b"1")
+        store.merge(b"a", b"2")
+        store.delete(b"b")
+        assert store.get(b"a") == b"12"
+        assert store.get(b"b") is None
+
+    def test_reads_correct_after_fade(self):
+        store, clock = make_store(delete_persistence_threshold_s=0.0)
+        for i in range(400):
+            store.put(f"k{i:04d}".encode(), b"v" * 32)
+        for i in range(0, 400, 3):
+            store.delete(f"k{i:04d}".encode())
+        clock.advance(100)
+        for i in range(400):
+            store.put(f"x{i:04d}".encode(), b"v" * 32)  # trigger FADE checks
+        for i in range(400):
+            key = f"k{i:04d}".encode()
+            if i % 3 == 0:
+                assert store.get(key) is None
+            else:
+                assert store.get(key) == b"v" * 32
+
+
+class TestFADE:
+    def test_tombstones_tracked_per_file(self):
+        store, _ = make_store()
+        for i in range(200):
+            store.put(f"k{i:04d}".encode(), b"v" * 32)
+        for i in range(100):
+            store.delete(f"k{i:04d}".encode())
+        store.flush()
+        assert store._tombstone_stamp  # files with tombstones stamped
+
+    def test_expired_files_detected_after_threshold(self):
+        store, clock = make_store(delete_persistence_threshold_s=5.0,
+                                  fade_check_interval=10_000_000)
+        for i in range(200):
+            store.put(f"k{i:04d}".encode(), b"v" * 32)
+        for i in range(100):
+            store.delete(f"k{i:04d}".encode())
+        store.flush()
+        assert store.expired_tombstone_files() == []
+        clock.advance(6.0)
+        assert store.expired_tombstone_files()
+
+    def test_fade_compactions_run(self):
+        store, clock = make_store(delete_persistence_threshold_s=1.0,
+                                  fade_check_interval=50)
+        for i in range(300):
+            store.put(f"k{i:04d}".encode(), b"v" * 32)
+        for i in range(150):
+            store.delete(f"k{i:04d}".encode())
+        store.flush()
+        clock.advance(10.0)
+        for i in range(300):
+            store.put(f"y{i:04d}".encode(), b"v" * 32)
+        assert store.fade_compactions > 0
+
+    def test_fade_purges_tombstones_faster_than_plain(self):
+        """After FADE, expired tombstones should be gone from the tree."""
+        store, clock = make_store(delete_persistence_threshold_s=0.5,
+                                  fade_check_interval=50)
+        for i in range(300):
+            store.put(f"k{i:04d}".encode(), b"v" * 32)
+        for i in range(300):
+            store.delete(f"k{i:04d}".encode())
+        store.flush()
+        clock.advance(5.0)
+        for i in range(400):
+            store.put(f"z{i:04d}".encode(), b"v" * 32)
+        store.flush()
+        clock.advance(5.0)
+        for i in range(400, 800):
+            store.put(f"z{i:04d}".encode(), b"v" * 32)
+        remaining = sum(
+            t.num_tombstones for level in store._levels for t in level
+        )
+        dropped = store.compaction_stats.tombstones_dropped
+        assert dropped > 0
+        assert remaining < 300
+
+    def test_compaction_prefers_tombstone_files(self):
+        store, _ = make_store()
+        # File picking: with tombstones present, pick the tombstone-heaviest.
+        for i in range(500):
+            store.put(f"k{i:05d}".encode(), b"v" * 48)
+        for i in range(250):
+            store.delete(f"k{i:05d}".encode())
+        store.flush()
+        level = next((lv for lv in range(1, 4) if store._levels[lv]), None)
+        if level is not None and any(t.num_tombstones for t in store._levels[level]):
+            picked = store._pick_compaction_file(level)
+            assert picked.num_tombstones == max(
+                t.num_tombstones for t in store._levels[level] if t.num_tombstones
+            )

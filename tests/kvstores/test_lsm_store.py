@@ -1,0 +1,215 @@
+"""Tests for the RocksDB-like LSM store."""
+
+import pytest
+
+from repro.kvstores import CounterMergeOperator
+from repro.kvstores.lsm import LSMConfig, RocksLSMStore
+from repro.kvstores.storage import MemoryStorage
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        write_buffer_size=2048,
+        block_cache_size=4096,
+        level_base_bytes=8192,
+        target_file_size=4096,
+        max_levels=4,
+        l0_compaction_trigger=2,
+    )
+    defaults.update(overrides)
+    return LSMConfig(**defaults)
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        store = RocksLSMStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_get_missing(self):
+        assert RocksLSMStore().get(b"nope") is None
+
+    def test_overwrite(self):
+        store = RocksLSMStore()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self):
+        store = RocksLSMStore()
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert store.get(b"k") is None
+
+    def test_delete_missing_is_noop(self):
+        store = RocksLSMStore()
+        store.delete(b"ghost")
+        assert store.get(b"ghost") is None
+
+    def test_merge_without_base(self):
+        store = RocksLSMStore()
+        store.merge(b"k", b"a")
+        store.merge(b"k", b"b")
+        assert store.get(b"k") == b"ab"
+
+    def test_merge_on_put(self):
+        store = RocksLSMStore()
+        store.put(b"k", b"base-")
+        store.merge(b"k", b"op")
+        assert store.get(b"k") == b"base-op"
+
+    def test_merge_after_delete(self):
+        store = RocksLSMStore()
+        store.put(b"k", b"gone")
+        store.delete(b"k")
+        store.merge(b"k", b"fresh")
+        assert store.get(b"k") == b"fresh"
+
+    def test_custom_merge_operator(self):
+        store = RocksLSMStore(merge_operator=CounterMergeOperator())
+        one = (1).to_bytes(8, "little", signed=True)
+        store.merge(b"n", one)
+        store.merge(b"n", one)
+        assert int.from_bytes(store.get(b"n"), "little", signed=True) == 2
+
+    def test_stats_counted(self):
+        store = RocksLSMStore()
+        store.put(b"a", b"1")
+        store.get(b"a")
+        store.merge(b"a", b"2")
+        store.delete(b"a")
+        stats = store.stats
+        assert (stats.puts, stats.gets, stats.merges, stats.deletes) == (1, 1, 1, 1)
+
+
+class TestFlushAndCompaction:
+    def fill(self, store, n=500, value=b"v" * 64):
+        for i in range(n):
+            store.put(f"key-{i:05d}".encode(), value)
+
+    def test_flush_moves_data_to_l0(self):
+        store = RocksLSMStore(tiny_config())
+        store.put(b"a", b"v")
+        store.flush()
+        assert store.level_file_counts()[0] >= 1 or sum(store.level_file_counts()) >= 1
+        assert store.get(b"a") == b"v"
+
+    def test_reads_after_automatic_flushes(self):
+        store = RocksLSMStore(tiny_config())
+        self.fill(store, 300)
+        assert store.stats.flushes > 0
+        for i in range(0, 300, 7):
+            assert store.get(f"key-{i:05d}".encode()) == b"v" * 64
+
+    def test_compaction_happens(self):
+        store = RocksLSMStore(tiny_config())
+        self.fill(store, 800)
+        assert store.stats.compactions > 0
+
+    def test_overwrites_survive_compaction(self):
+        store = RocksLSMStore(tiny_config())
+        for round_value in (b"old" * 20, b"new" * 20):
+            for i in range(200):
+                store.put(f"key-{i:04d}".encode(), round_value)
+        store.flush()
+        for i in range(0, 200, 11):
+            assert store.get(f"key-{i:04d}".encode()) == b"new" * 20
+
+    def test_deletes_survive_compaction(self):
+        store = RocksLSMStore(tiny_config())
+        self.fill(store, 300)
+        for i in range(0, 300, 2):
+            store.delete(f"key-{i:05d}".encode())
+        self.fill(store, 50, value=b"x" * 64)  # rewrites keys 0..49
+        for i in range(50):
+            assert store.get(f"key-{i:05d}".encode()) == b"x" * 64
+        for i in range(50, 300, 2):
+            assert store.get(f"key-{i:05d}".encode()) is None
+        for i in range(51, 300, 2):
+            assert store.get(f"key-{i:05d}".encode()) == b"v" * 64
+
+    def test_merges_survive_flush_and_compaction(self):
+        store = RocksLSMStore(tiny_config())
+        for i in range(100):
+            for j in range(5):
+                store.merge(f"key-{i:03d}".encode(), f"{j}".encode())
+        store.flush()
+        assert store.get(b"key-042") == b"01234"
+
+    def test_compaction_reduces_records(self):
+        store = RocksLSMStore(tiny_config())
+        for _ in range(4):
+            self.fill(store, 200)
+        store.flush()
+        stats = store.compaction_stats
+        assert stats.compactions > 0
+        assert stats.records_out <= stats.records_in
+
+
+class TestScan:
+    def test_scan_ordered(self):
+        store = RocksLSMStore(tiny_config())
+        for i in (5, 1, 3, 2, 4):
+            store.put(f"k{i}".encode(), str(i).encode())
+        out = list(store.scan(b"k1", b"k4"))
+        assert [k for k, _ in out] == [b"k1", b"k2", b"k3"]
+
+    def test_scan_skips_deleted(self):
+        store = RocksLSMStore(tiny_config())
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        assert [k for k, _ in store.scan(b"a", b"z")] == [b"b"]
+
+    def test_scan_resolves_merges(self):
+        store = RocksLSMStore(tiny_config())
+        store.merge(b"m", b"x")
+        store.merge(b"m", b"y")
+        out = dict(store.scan(b"a", b"z"))
+        assert out[b"m"] == b"xy"
+
+    def test_scan_across_flushed_data(self):
+        store = RocksLSMStore(tiny_config())
+        for i in range(100):
+            store.put(f"k{i:03d}".encode(), b"v" * 64)
+        store.flush()
+        store.put(b"k050", b"fresh")
+        out = dict(store.scan(b"k049", b"k052"))
+        assert out[b"k050"] == b"fresh"
+
+
+class TestWALRecovery:
+    def test_recover_unflushed_writes(self):
+        storage = MemoryStorage()
+        store = RocksLSMStore(tiny_config(write_buffer_size=1 << 20), storage=storage)
+        store.put(b"a", b"1")
+        store.merge(b"a", b"2")
+        store.put(b"b", b"3")
+        # Simulate a crash: new store over the same storage, replay WAL.
+        revived = RocksLSMStore(tiny_config(write_buffer_size=1 << 20), storage=storage)
+        replayed = revived.recover_wal()
+        assert replayed == 3
+        assert revived.get(b"a") == b"12"
+        assert revived.get(b"b") == b"3"
+
+    def test_wal_truncated_after_flush(self):
+        storage = MemoryStorage()
+        store = RocksLSMStore(tiny_config(), storage=storage)
+        for i in range(300):
+            store.put(f"k{i:04d}".encode(), b"v" * 64)
+        store.flush()
+        revived = RocksLSMStore(tiny_config(), storage=storage)
+        assert revived.recover_wal() == 0
+
+    def test_wal_disabled(self):
+        store = RocksLSMStore(tiny_config(enable_wal=False))
+        store.put(b"a", b"1")
+        assert store.recover_wal() == 0
+
+
+class TestConfig:
+    def test_level_budget_grows_by_multiplier(self):
+        config = LSMConfig(level_base_bytes=100, level_multiplier=10)
+        assert config.max_level_bytes(1) == 100
+        assert config.max_level_bytes(2) == 1000
+        assert config.max_level_bytes(3) == 10000

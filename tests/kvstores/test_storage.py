@@ -1,0 +1,95 @@
+"""Tests for the blob storage backends."""
+
+import pytest
+
+from repro.kvstores.storage import (
+    FileStorage,
+    MemoryStorage,
+    StorageError,
+    make_storage,
+)
+
+
+@pytest.fixture(params=["memory", "file"])
+def storage(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStorage()
+    return FileStorage(str(tmp_path / "blobs"))
+
+
+class TestStorageBackends:
+    def test_write_read(self, storage):
+        storage.write("a", b"hello")
+        assert storage.read("a") == b"hello"
+
+    def test_overwrite(self, storage):
+        storage.write("a", b"one")
+        storage.write("a", b"two")
+        assert storage.read("a") == b"two"
+
+    def test_append(self, storage):
+        storage.append("log", b"aa")
+        storage.append("log", b"bb")
+        assert storage.read("log") == b"aabb"
+
+    def test_read_range(self, storage):
+        storage.write("a", b"0123456789")
+        assert storage.read_range("a", 2, 3) == b"234"
+
+    def test_read_missing_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.read("nope")
+
+    def test_read_range_missing_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.read_range("nope", 0, 1)
+
+    def test_delete(self, storage):
+        storage.write("a", b"x")
+        storage.delete("a")
+        assert not storage.exists("a")
+
+    def test_delete_missing_is_noop(self, storage):
+        storage.delete("ghost")
+
+    def test_exists(self, storage):
+        assert not storage.exists("a")
+        storage.write("a", b"x")
+        assert storage.exists("a")
+
+    def test_list(self, storage):
+        storage.write("b", b"")
+        storage.write("a", b"")
+        assert list(storage.list()) == ["a", "b"]
+
+    def test_size(self, storage):
+        storage.write("a", b"12345")
+        assert storage.size("a") == 5
+
+    def test_size_missing_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.size("nope")
+
+
+class TestMakeStorage:
+    def test_memory(self):
+        assert isinstance(make_storage("memory"), MemoryStorage)
+
+    def test_file(self, tmp_path):
+        assert isinstance(make_storage("file", str(tmp_path)), FileStorage)
+
+    def test_file_requires_root(self):
+        with pytest.raises(ValueError):
+            make_storage("file")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_storage("s3")
+
+
+class TestMemoryStorageExtras:
+    def test_total_bytes(self):
+        storage = MemoryStorage()
+        storage.write("a", b"123")
+        storage.append("b", b"4567")
+        assert storage.total_bytes == 7

@@ -1,0 +1,69 @@
+"""Tests for the continuous aggregation operator and aggregate fns."""
+
+from repro.events import Event, Watermark
+from repro.streaming import ContinuousAggregation
+from repro.streaming.operators.aggregations import (
+    count_aggregate,
+    max_time_aggregate,
+    sum_sizes_aggregate,
+)
+from repro.trace import OpType
+
+
+def ev(key, t, size=8):
+    return Event(key, t, size)
+
+
+class TestAggregateFunctions:
+    def test_count_from_none(self):
+        assert count_aggregate(None, ev(b"k", 1)) == 1
+
+    def test_count_increments(self):
+        assert count_aggregate(4, ev(b"k", 1)) == 5
+
+    def test_sum_sizes(self):
+        assert sum_sizes_aggregate(None, ev(b"k", 1, 10)) == 10
+        assert sum_sizes_aggregate(5, ev(b"k", 1, 10)) == 15
+
+    def test_max_time(self):
+        assert max_time_aggregate(None, ev(b"k", 7)) == 7
+        assert max_time_aggregate(9, ev(b"k", 7)) == 9
+
+
+class TestContinuousAggregation:
+    def test_get_put_per_event(self):
+        op = ContinuousAggregation()
+        op.process(ev(b"k", 1))
+        assert [a.op for a in op.trace] == [OpType.GET, OpType.PUT]
+
+    def test_state_key_is_event_key(self):
+        op = ContinuousAggregation()
+        op.process(ev(b"user-1", 1))
+        assert all(a.key == b"user-1" for a in op.trace)
+
+    def test_rolling_count(self):
+        op = ContinuousAggregation()
+        for t in range(1, 6):
+            op.process(ev(b"k", t))
+        assert op.outputs[-1] == (b"k", 5)
+
+    def test_watermarks_are_noops(self):
+        op = ContinuousAggregation()
+        op.process(ev(b"k", 1))
+        before = len(op.trace)
+        op.on_watermark(Watermark(100))
+        assert len(op.trace) == before
+
+    def test_custom_aggregate(self):
+        op = ContinuousAggregation(aggregate=sum_sizes_aggregate)
+        op.process(ev(b"k", 1, 10))
+        op.process(ev(b"k", 2, 20))
+        assert op.outputs[-1] == (b"k", 30)
+
+    def test_keys_are_independent(self):
+        op = ContinuousAggregation()
+        op.process(ev(b"a", 1))
+        op.process(ev(b"b", 2))
+        op.process(ev(b"a", 3))
+        assert (b"a", 2) in op.outputs
+        assert (b"b", 1) in op.outputs

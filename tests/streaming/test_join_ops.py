@@ -1,0 +1,152 @@
+"""Tests for the join operators."""
+
+from repro.events import Event, Watermark
+from repro.streaming import (
+    ContinuousJoinOperator,
+    IntervalJoinOperator,
+    SlidingWindows,
+    TumblingWindows,
+    WindowJoinOperator,
+)
+from repro.trace import OpType
+
+
+def ev(key, t, size=8, kind=""):
+    return Event(key, t, size, kind)
+
+
+class TestWindowJoin:
+    def test_matching_pairs_emitted_on_fire(self):
+        op = WindowJoinOperator(TumblingWindows(5000))
+        op.process(ev(b"k", 100), 0)
+        op.process(ev(b"k", 200), 1)
+        op.on_watermark(Watermark(5000))
+        assert len(op.outputs) == 1
+        key, start, a, b = op.outputs[0]
+        assert (a.timestamp, b.timestamp) == (100, 200)
+
+    def test_no_match_across_windows(self):
+        op = WindowJoinOperator(TumblingWindows(5000))
+        op.process(ev(b"k", 100), 0)
+        op.process(ev(b"k", 6000), 1)
+        op.on_watermark(Watermark(20_000))
+        assert op.outputs == []
+
+    def test_no_match_across_keys(self):
+        op = WindowJoinOperator(TumblingWindows(5000))
+        op.process(ev(b"a", 100), 0)
+        op.process(ev(b"b", 200), 1)
+        op.on_watermark(Watermark(5000))
+        assert op.outputs == []
+
+    def test_cross_product_within_window(self):
+        op = WindowJoinOperator(TumblingWindows(5000))
+        for t in (1, 2):
+            op.process(ev(b"k", t), 0)
+        for t in (3, 4, 5):
+            op.process(ev(b"k", t), 1)
+        op.on_watermark(Watermark(5000))
+        assert len(op.outputs) == 6
+
+    def test_fire_reads_and_deletes_both_sides(self):
+        op = WindowJoinOperator(TumblingWindows(5000))
+        op.process(ev(b"k", 100), 0)  # only the left side gets data
+        op.on_watermark(Watermark(5000))
+        counts = op.trace.op_counts()
+        assert counts[OpType.GET] == 2
+        assert counts[OpType.DELETE] == 2
+
+    def test_events_buffered_with_merge(self):
+        op = WindowJoinOperator(SlidingWindows(5000, 1000))
+        op.process(ev(b"k", 4500), 0)
+        assert op.trace.op_counts()[OpType.MERGE] == 5
+
+
+class TestIntervalJoin:
+    def make(self):
+        return IntervalJoinOperator(lower_ms=1000, upper_ms=3000, bucket_ms=1000)
+
+    def test_match_within_interval(self):
+        op = self.make()
+        op.process(ev(b"k", 1000), 0)
+        op.process(ev(b"k", 3000), 1)  # 1000 + [1000,3000] covers 3000
+        assert len(op.outputs) == 1
+
+    def test_no_match_outside_interval(self):
+        op = self.make()
+        op.process(ev(b"k", 1000), 0)
+        op.process(ev(b"k", 1500), 1)  # before 1000+lower
+        op.process(ev(b"k", 9000), 1)  # after 1000+upper
+        assert op.outputs == []
+
+    def test_symmetric_matching(self):
+        op = self.make()
+        op.process(ev(b"k", 3000), 1)  # right arrives first
+        op.process(ev(b"k", 1000), 0)  # left probes backwards
+        assert len(op.outputs) == 1
+
+    def test_buffer_appends_are_get_put(self):
+        op = self.make()
+        op.process(ev(b"k", 1000), 0)
+        assert [a.op for a in op.trace] == [OpType.GET, OpType.PUT]
+
+    def test_watermark_expires_buckets(self):
+        op = self.make()
+        op.process(ev(b"k", 1000), 0)
+        assert op.live_buckets == 1
+        op.on_watermark(Watermark(10_000))
+        assert op.live_buckets == 0
+        assert op.trace.op_counts()[OpType.DELETE] == 1
+
+    def test_buckets_not_expired_early(self):
+        op = self.make()
+        op.process(ev(b"k", 1000), 0)
+        op.on_watermark(Watermark(2000))
+        assert op.live_buckets == 1
+
+    def test_invalid_bounds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            IntervalJoinOperator(lower_ms=5, upper_ms=1)
+
+
+class TestContinuousJoin:
+    def make(self):
+        return ContinuousJoinOperator(invalidate_kinds={"end"})
+
+    def test_events_match_across_sides(self):
+        op = self.make()
+        op.process(ev(b"k", 1), 0)
+        op.process(ev(b"k", 2), 1)
+        assert len(op.outputs) == 1
+
+    def test_state_accumulates_until_invalidation(self):
+        op = self.make()
+        op.process(ev(b"k", 1), 0)
+        op.process(ev(b"k", 2), 0)
+        op.process(ev(b"k", 3), 1)
+        assert len(op.outputs) == 2  # right event matches both left events
+
+    def test_invalidation_cleans_both_sides(self):
+        op = self.make()
+        op.process(ev(b"k", 1), 0)
+        op.process(ev(b"k", 2), 1)
+        op.process(ev(b"k", 3, kind="end"), 0)
+        deletes = op.trace.op_counts()[OpType.DELETE]
+        assert deletes == 2
+
+    def test_no_matches_after_invalidation(self):
+        op = self.make()
+        op.process(ev(b"k", 1), 0)
+        op.process(ev(b"k", 2, kind="end"), 0)
+        op.process(ev(b"k", 3), 1)
+        assert op.outputs[-1][1] is None or len(op.outputs) == 1
+
+    def test_first_touch_put_then_merges(self):
+        op = self.make()
+        op.process(ev(b"k", 1), 0)
+        op.process(ev(b"k", 2), 0)
+        counts = op.trace.op_counts()
+        assert counts[OpType.PUT] == 1
+        assert counts[OpType.MERGE] == 1

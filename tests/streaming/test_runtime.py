@@ -1,0 +1,129 @@
+"""Tests for the task runtime: merging, disorder, watermark injection."""
+
+from repro.events import Event
+from repro.streaming import (
+    ContinuousAggregation,
+    RuntimeConfig,
+    TumblingWindows,
+    WindowOperator,
+    apply_disorder,
+    merged_stream,
+    run_operator,
+)
+from repro.trace import OpType
+
+
+def ev(key, t):
+    return Event(key, t)
+
+
+class TestMergedStream:
+    def test_time_interleave_orders_by_timestamp(self):
+        a = [ev(b"a", 1), ev(b"a", 5)]
+        b = [ev(b"b", 3)]
+        merged = list(merged_stream([a, b], "time"))
+        assert [e.timestamp for e, _ in merged] == [1, 3, 5]
+        assert [i for _, i in merged] == [0, 1, 0]
+
+    def test_round_robin_alternates(self):
+        a = [ev(b"a", 1), ev(b"a", 2), ev(b"a", 3)]
+        b = [ev(b"b", 10)]
+        merged = list(merged_stream([a, b], "round_robin"))
+        assert [i for _, i in merged] == [0, 1, 0, 0]
+
+    def test_unknown_mode(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(merged_stream([[]], "random"))
+
+
+class TestApplyDisorder:
+    def test_zero_fraction_is_identity(self):
+        pairs = [(ev(b"k", t), 0) for t in range(10)]
+        assert apply_disorder(pairs, 0.0, 100, seed=1) is pairs
+
+    def test_timestamps_unchanged(self):
+        pairs = [(ev(b"k", t * 10), 0) for t in range(100)]
+        shuffled = apply_disorder(pairs, 0.5, 50, seed=1)
+        assert sorted(e.timestamp for e, _ in shuffled) == [
+            t * 10 for t in range(100)
+        ]
+
+    def test_creates_out_of_order_deliveries(self):
+        pairs = [(ev(b"k", t * 10) , 0) for t in range(200)]
+        shuffled = apply_disorder(pairs, 0.5, 100, seed=1)
+        times = [e.timestamp for e, _ in shuffled]
+        assert any(a > b for a, b in zip(times, times[1:]))
+
+
+class TestRunOperator:
+    def test_aggregation_trace_length(self):
+        events = [ev(b"k", t) for t in range(1, 51)]
+        trace = run_operator(ContinuousAggregation(), [events])
+        assert len(trace) == 100  # get+put per event
+
+    def test_watermarks_fire_windows(self):
+        events = [ev(b"k", t * 100) for t in range(1, 300)]
+        operator = WindowOperator(TumblingWindows(5000))
+        run_operator(operator, [events], RuntimeConfig(watermark_frequency=50))
+        assert len(operator.outputs) > 0
+
+    def test_closing_watermark_fires_complete_windows(self):
+        events = [ev(b"k", 100), ev(b"k", 6000)]
+        operator = WindowOperator(TumblingWindows(5000))
+        run_operator(operator, [events], RuntimeConfig(watermark_frequency=1000))
+        # the first window [0,5000) fires via the closing watermark
+        assert len(operator.outputs) == 1
+
+    def test_input_count_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="input"):
+            run_operator(ContinuousAggregation(), [[], []])
+
+    def test_disorder_produces_late_drops(self):
+        events = [ev(b"k", t * 10) for t in range(1, 2001)]
+        operator = WindowOperator(TumblingWindows(1000))
+        run_operator(
+            operator,
+            [events],
+            RuntimeConfig(
+                watermark_frequency=20,
+                out_of_order_fraction=0.3,
+                max_delay_ms=5000,
+            ),
+        )
+        assert operator.dropped_late_events > 0
+
+    def test_empty_stream(self):
+        trace = run_operator(ContinuousAggregation(), [[]])
+        assert len(trace) == 0
+
+
+class TestDataflowJob:
+    def test_parallel_tasks_partition_keys(self):
+        from repro.streaming import Job, LogicalOperator
+
+        events = [ev(f"k{i % 10}".encode(), i) for i in range(1, 500)]
+        job = Job(
+            LogicalOperator(
+                "agg", lambda: ContinuousAggregation(), parallelism=4
+            )
+        )
+        traces = job.run(events)
+        assert len(traces) == 4
+        assert sum(len(t) for t in traces) == 2 * len(events)
+        # single-writer isolation: task state key sets are disjoint
+        key_sets = [set(t.key_sequence()) for t in traces]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not key_sets[i] & key_sets[j]
+
+    def test_collected_outputs(self):
+        from repro.streaming import Job, LogicalOperator
+
+        events = [ev(b"k", t) for t in range(1, 20)]
+        job = Job(LogicalOperator("agg", lambda: ContinuousAggregation()))
+        job.run(events)
+        assert len(job.collected_outputs()) == 19

@@ -1,0 +1,120 @@
+"""Tests for the session window operator."""
+
+from repro.events import Event, Watermark
+from repro.streaming import SessionWindowOperator
+from repro.trace import OpType
+
+
+def ev(key, t, size=8):
+    return Event(key, t, size)
+
+
+class TestSessionLifecycle:
+    def test_new_session_per_quiet_key(self):
+        op = SessionWindowOperator(gap_ms=1000)
+        op.process(ev(b"k", 100))
+        op.process(ev(b"k", 5000))  # beyond the gap: new session
+        assert op.active_sessions == 2
+
+    def test_events_within_gap_extend_session(self):
+        op = SessionWindowOperator(gap_ms=1000)
+        op.process(ev(b"k", 100))
+        op.process(ev(b"k", 800))
+        assert op.active_sessions == 1
+
+    def test_fire_after_gap_of_inactivity(self):
+        op = SessionWindowOperator(gap_ms=1000)
+        op.process(ev(b"k", 100))
+        op.process(ev(b"k", 500))
+        op.on_watermark(Watermark(1500))
+        assert len(op.outputs) == 1
+        key, start, end, count = op.outputs[0]
+        assert (key, start, end, count) == (b"k", 100, 1500, 2)
+
+    def test_not_fired_while_active(self):
+        op = SessionWindowOperator(gap_ms=1000)
+        op.process(ev(b"k", 100))
+        op.on_watermark(Watermark(1000))
+        assert op.outputs == []
+
+    def test_invalid_gap(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SessionWindowOperator(gap_ms=0)
+
+
+class TestSessionMerging:
+    def test_bridging_event_merges_sessions(self):
+        op = SessionWindowOperator(gap_ms=1000, allowed_lateness=10_000)
+        op.process(ev(b"k", 0))
+        op.process(ev(b"k", 1800))
+        assert op.active_sessions == 2
+        # An out-of-order event at 900 spans [900,1900): it overlaps
+        # both [0,1000) and [1800,2800), merging them.
+        op.process(ev(b"k", 900))
+        assert op.active_sessions == 1
+        assert op.session_merges == 1
+
+    def test_merged_session_spans_both(self):
+        op = SessionWindowOperator(gap_ms=1000, allowed_lateness=10_000)
+        op.process(ev(b"k", 0))
+        op.process(ev(b"k", 1800))
+        op.process(ev(b"k", 900))
+        op.on_watermark(Watermark(4000))
+        key, start, end, count = op.outputs[0]
+        assert start == 0
+        assert end == 2800
+        assert count == 3
+
+    def test_merge_emits_absorbed_read_and_delete(self):
+        op = SessionWindowOperator(gap_ms=1000, allowed_lateness=10_000)
+        op.process(ev(b"k", 0))
+        op.process(ev(b"k", 1800))
+        trace_before = len(op.trace)
+        op.process(ev(b"k", 900))
+        new_ops = [a.op for a in op.trace][trace_before:]
+        assert OpType.DELETE in new_ops
+        assert OpType.GET in new_ops
+
+    def test_backward_extension_rekeys_state(self):
+        op = SessionWindowOperator(gap_ms=1000, allowed_lateness=10_000)
+        op.process(ev(b"k", 1000))
+        # An earlier event extends the session start backwards.
+        op.process(ev(b"k", 500))
+        op.on_watermark(Watermark(3000))
+        key, start, end, count = op.outputs[0]
+        assert start == 500
+        assert count == 2
+
+
+class TestSessionComposition:
+    def test_incremental_mix_has_index_reads(self):
+        op = SessionWindowOperator(gap_ms=1000)
+        for t in (0, 100, 200):
+            op.process(ev(b"k", t))
+        counts = op.trace.op_counts()
+        # per event: index get + state get + state put
+        assert counts[OpType.GET] == 6
+        assert counts[OpType.PUT] == 3
+
+    def test_holistic_uses_merge(self):
+        op = SessionWindowOperator(gap_ms=1000, holistic=True)
+        op.process(ev(b"k", 0))
+        counts = op.trace.op_counts()
+        assert counts[OpType.MERGE] == 1
+        assert counts[OpType.PUT] == 0
+
+    def test_index_deleted_when_key_goes_quiet(self):
+        op = SessionWindowOperator(gap_ms=1000)
+        op.process(ev(b"k", 0))
+        op.on_watermark(Watermark(2000))
+        deletes = [a for a in op.trace if a.op is OpType.DELETE]
+        assert len(deletes) == 2  # session state + window-set index
+
+    def test_holistic_fire_computes_function(self):
+        op = SessionWindowOperator(gap_ms=1000, holistic=True)
+        for size in (1, 5, 9):
+            op.process(ev(b"k", 100, size))
+        op.on_watermark(Watermark(2000))
+        assert op.outputs[0][3] == 5

@@ -1,0 +1,81 @@
+"""Tests for the instrumented state backend."""
+
+from repro.streaming.state import StateBackend, approximate_size
+from repro.trace import OpType
+
+
+class TestApproximateSize:
+    def test_none(self):
+        assert approximate_size(None) == 0
+
+    def test_bytes_and_str(self):
+        assert approximate_size(b"abc") == 3
+        assert approximate_size("abcd") == 4
+
+    def test_numbers(self):
+        assert approximate_size(7) == 8
+        assert approximate_size(1.5) == 8
+
+    def test_list(self):
+        assert approximate_size([1, 2]) == 20  # 2*8 + 4
+
+    def test_dict(self):
+        assert approximate_size({b"k": 1}) == 17  # 1 + 8 + 8
+
+    def test_other_objects(self):
+        assert approximate_size(object()) == 16
+
+
+class TestStateBackend:
+    def test_put_get(self):
+        backend = StateBackend()
+        backend.put(b"k", 42)
+        assert backend.get(b"k") == 42
+
+    def test_get_missing(self):
+        assert StateBackend().get(b"nope") is None
+
+    def test_merge_appends(self):
+        backend = StateBackend()
+        backend.merge(b"k", "a")
+        backend.merge(b"k", "b")
+        assert backend.peek(b"k") == ["a", "b"]
+
+    def test_delete(self):
+        backend = StateBackend()
+        backend.put(b"k", 1)
+        backend.delete(b"k")
+        assert backend.peek(b"k") is None
+
+    def test_every_access_recorded(self):
+        backend = StateBackend()
+        backend.get(b"a")
+        backend.put(b"a", 1)
+        backend.merge(b"a", 2)
+        backend.delete(b"a")
+        ops = [a.op for a in backend.trace]
+        assert ops == [OpType.GET, OpType.PUT, OpType.MERGE, OpType.DELETE]
+
+    def test_access_timestamps_follow_current_time(self):
+        backend = StateBackend()
+        backend.current_time = 123
+        backend.get(b"a")
+        assert backend.trace[0].timestamp == 123
+
+    def test_value_sizes_recorded(self):
+        backend = StateBackend()
+        backend.put(b"a", b"12345")
+        assert backend.trace[0].value_size == 5
+
+    def test_peek_not_traced(self):
+        backend = StateBackend()
+        backend.peek(b"a")
+        assert len(backend.trace) == 0
+
+    def test_len_and_live_keys(self):
+        backend = StateBackend()
+        backend.put(b"a", 1)
+        backend.put(b"b", 2)
+        backend.delete(b"a")
+        assert len(backend) == 1
+        assert set(backend.live_keys()) == {b"b"}

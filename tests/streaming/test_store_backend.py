@@ -1,0 +1,136 @@
+"""Tests for running engine operators over a real KV store.
+
+The "full system" baseline: identical operator logic, state persisted
+in an actual store.  Outputs and traces must match the dict-backed runs
+exactly -- which also cross-validates the stores' merge semantics
+against the engine's expectations.
+"""
+
+import pytest
+
+from repro.kvstores import create_connector
+from repro.streaming import (
+    ContinuousAggregation,
+    RuntimeConfig,
+    SessionWindowOperator,
+    SlidingWindows,
+    TumblingWindows,
+    WindowOperator,
+    run_operator,
+)
+from repro.streaming.store_backend import (
+    StoreStateBackend,
+    decode_frames,
+    encode_frame,
+)
+
+RCFG = RuntimeConfig(interleave="time")
+
+
+class TestFraming:
+    def test_roundtrip_scalar(self):
+        assert decode_frames(encode_frame(42)) == [42]
+
+    def test_roundtrip_event(self):
+        from repro.events import Event
+
+        event = Event(b"k", 7, 16, "pickup")
+        assert decode_frames(encode_frame(event)) == [event]
+
+    def test_concatenated_frames(self):
+        blob = encode_frame("a") + encode_frame("b") + encode_frame(3)
+        assert decode_frames(blob) == ["a", "b", 3]
+
+    def test_empty(self):
+        assert decode_frames(b"") == []
+
+
+class TestBackendSemantics:
+    def make(self, store="rocksdb"):
+        return StoreStateBackend(create_connector(store))
+
+    def test_put_get_scalar(self):
+        backend = self.make()
+        backend.put(b"k", 5)
+        assert backend.get(b"k") == 5
+
+    def test_get_missing(self):
+        assert self.make().get(b"nope") is None
+
+    def test_merge_builds_bucket(self):
+        backend = self.make()
+        backend.merge(b"k", "a")
+        backend.merge(b"k", "b")
+        assert backend.get(b"k") == ["a", "b"]
+
+    def test_merge_onto_put_promotes(self):
+        backend = self.make()
+        backend.put(b"k", 1)
+        backend.merge(b"k", 2)
+        assert backend.get(b"k") == [1, 2]
+
+    def test_put_resets_bucket(self):
+        backend = self.make()
+        backend.merge(b"k", "a")
+        backend.put(b"k", 9)
+        assert backend.get(b"k") == 9
+
+    def test_delete(self):
+        backend = self.make()
+        backend.put(b"k", 1)
+        backend.delete(b"k")
+        assert backend.get(b"k") is None
+
+    def test_accesses_traced(self):
+        backend = self.make()
+        backend.put(b"k", 1)
+        backend.get(b"k")
+        ops = [a.op.value for a in backend.trace]
+        assert ops == ["put", "get"]
+
+
+@pytest.mark.parametrize("store_name", ["rocksdb", "faster", "berkeleydb"])
+class TestFullSystemParity:
+    """Engine-over-store must equal engine-over-dict exactly."""
+
+    def run_both(self, factory, stream, store_name):
+        dict_operator = factory(None)
+        run_operator(dict_operator, [stream], RCFG)
+        backend = StoreStateBackend(create_connector(store_name))
+        store_operator = factory(backend)
+        run_operator(store_operator, [stream], RCFG)
+        return dict_operator, store_operator
+
+    def test_aggregation(self, borg_tasks, store_name):
+        stream = borg_tasks[:1500]
+        a, b = self.run_both(
+            lambda be: ContinuousAggregation(backend=be), stream, store_name
+        )
+        assert a.outputs == b.outputs
+        assert a.trace.key_sequence() == b.trace.key_sequence()
+
+    def test_tumbling_incremental(self, borg_tasks, store_name):
+        stream = borg_tasks[:1500]
+        a, b = self.run_both(
+            lambda be: WindowOperator(TumblingWindows(5000), backend=be),
+            stream, store_name,
+        )
+        assert a.outputs == b.outputs
+
+    def test_sliding_holistic(self, borg_tasks, store_name):
+        stream = borg_tasks[:1000]
+        a, b = self.run_both(
+            lambda be: WindowOperator(
+                SlidingWindows(5000, 1000), backend=be, holistic=True
+            ),
+            stream, store_name,
+        )
+        assert a.outputs == b.outputs
+
+    def test_session_incremental(self, borg_tasks, store_name):
+        stream = borg_tasks[:1000]
+        a, b = self.run_both(
+            lambda be: SessionWindowOperator(120_000, backend=be),
+            stream, store_name,
+        )
+        assert a.outputs == b.outputs

@@ -1,0 +1,123 @@
+"""Tests for tumbling/sliding window operators."""
+
+from repro.events import Event, Watermark
+from repro.streaming import (
+    SlidingWindows,
+    TumblingWindows,
+    WindowOperator,
+)
+from repro.trace import OpType
+
+
+def ev(key, t, size=8):
+    return Event(key, t, size)
+
+
+def ops(operator):
+    return [a.op for a in operator.trace]
+
+
+class TestIncrementalWindows:
+    def test_event_triggers_get_put(self):
+        op = WindowOperator(TumblingWindows(5000))
+        op.process(ev(b"k", 100))
+        assert ops(op) == [OpType.GET, OpType.PUT]
+
+    def test_fire_triggers_final_get_delete(self):
+        op = WindowOperator(TumblingWindows(5000))
+        op.process(ev(b"k", 100))
+        op.on_watermark(Watermark(5000))
+        assert ops(op) == [OpType.GET, OpType.PUT, OpType.GET, OpType.DELETE]
+
+    def test_count_aggregate_result(self):
+        op = WindowOperator(TumblingWindows(5000))
+        for t in (100, 200, 300):
+            op.process(ev(b"k", t))
+        op.on_watermark(Watermark(5000))
+        assert op.outputs == [(b"k", 0, 5000, 3)]
+
+    def test_window_not_fired_before_end(self):
+        op = WindowOperator(TumblingWindows(5000))
+        op.process(ev(b"k", 100))
+        op.on_watermark(Watermark(4999))
+        assert op.outputs == []
+
+    def test_separate_keys_separate_state(self):
+        op = WindowOperator(TumblingWindows(5000))
+        op.process(ev(b"a", 100))
+        op.process(ev(b"b", 200))
+        op.on_watermark(Watermark(5000))
+        assert len(op.outputs) == 2
+
+    def test_sliding_assigns_multiple_windows(self):
+        op = WindowOperator(SlidingWindows(5000, 1000))
+        op.process(ev(b"k", 4500))
+        gets = sum(1 for o in ops(op) if o is OpType.GET)
+        assert gets == 5  # one get-put pair per assigned window
+
+    def test_late_event_dropped(self):
+        op = WindowOperator(TumblingWindows(5000))
+        op.on_watermark(Watermark(10_000))
+        op.process(ev(b"k", 9_000))
+        assert op.dropped_late_events == 1
+        assert len(op.trace) == 0
+
+    def test_allowed_lateness_admits_event(self):
+        op = WindowOperator(TumblingWindows(5000), allowed_lateness=5_000)
+        op.on_watermark(Watermark(10_000))
+        op.process(ev(b"k", 11_000))
+        assert op.dropped_late_events == 0
+        assert len(op.trace) == 2
+
+    def test_event_for_already_fired_window_skipped(self):
+        op = WindowOperator(TumblingWindows(5000), allowed_lateness=10_000)
+        op.on_watermark(Watermark(6_000))
+        # Within lateness, but its window [0, 5000) already fired.
+        op.process(ev(b"k", 4_000))
+        assert len(op.trace) == 0
+
+
+class TestHolisticWindows:
+    def test_event_triggers_single_merge(self):
+        op = WindowOperator(TumblingWindows(5000), holistic=True)
+        op.process(ev(b"k", 100))
+        assert ops(op) == [OpType.MERGE]
+
+    def test_fire_computes_holistic_function(self):
+        op = WindowOperator(TumblingWindows(5000), holistic=True)
+        for size in (2, 4, 9):
+            op.process(ev(b"k", 100, size))
+        op.on_watermark(Watermark(5000))
+        key, start, end, result = op.outputs[0]
+        assert result == 4  # median of sizes
+
+    def test_fire_on_empty_contents_is_safe(self):
+        op = WindowOperator(TumblingWindows(5000), holistic=True)
+        op.process(ev(b"k", 100))
+        op.on_watermark(Watermark(5000))
+        assert len(op.outputs) == 1
+
+
+class TestWatermarkSemantics:
+    def test_stale_watermark_ignored(self):
+        op = WindowOperator(TumblingWindows(5000))
+        op.process(ev(b"k", 100))
+        op.on_watermark(Watermark(6000))
+        before = len(op.trace)
+        op.on_watermark(Watermark(5000))
+        assert len(op.trace) == before
+
+    def test_one_watermark_fires_many_windows(self):
+        op = WindowOperator(TumblingWindows(1000))
+        for t in (100, 1100, 2100):
+            op.process(ev(b"k", t))
+        op.on_watermark(Watermark(10_000))
+        assert len(op.outputs) == 3
+
+    def test_active_windows_counter(self):
+        op = WindowOperator(TumblingWindows(5000))
+        op.process(ev(b"a", 100))
+        op.process(ev(b"b", 100))
+        assert op.active_windows == 2
+        op.on_watermark(Watermark(5000))
+        assert op.active_windows == 0

@@ -1,0 +1,68 @@
+"""Tests for window assigners and state-key encoding."""
+
+import pytest
+
+from repro.streaming.windows import (
+    SlidingWindows,
+    TumblingWindows,
+    join_state_key,
+    window_state_key,
+)
+
+
+class TestStateKeys:
+    def test_window_key_distinct_per_window(self):
+        assert window_state_key(b"k", 0) != window_state_key(b"k", 5000)
+
+    def test_window_key_distinct_per_event_key(self):
+        assert window_state_key(b"a", 0) != window_state_key(b"b", 0)
+
+    def test_window_key_sort_order_follows_time(self):
+        assert window_state_key(b"k", 1000) < window_state_key(b"k", 2000)
+
+    def test_join_key_distinct_per_side(self):
+        assert join_state_key(0, b"k", 0) != join_state_key(1, b"k", 0)
+
+
+class TestTumblingWindows:
+    def test_assign_single_window(self):
+        assert TumblingWindows(5000).assign(12_345) == [10_000]
+
+    def test_boundary_belongs_to_new_window(self):
+        assert TumblingWindows(5000).assign(10_000) == [10_000]
+
+    def test_end_of(self):
+        assert TumblingWindows(5000).end_of(10_000) == 15_000
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            TumblingWindows(0)
+
+
+class TestSlidingWindows:
+    def test_assign_count_equals_length_over_slide(self):
+        windows = SlidingWindows(5000, 1000)
+        assert len(windows.assign(12_345)) == 5
+        assert windows.windows_per_event == 5
+
+    def test_assigned_windows_contain_timestamp(self):
+        windows = SlidingWindows(5000, 1000)
+        for start in windows.assign(12_345):
+            assert start <= 12_345 < start + 5000
+
+    def test_slide_equal_to_length_is_tumbling(self):
+        windows = SlidingWindows(5000, 5000)
+        assert windows.assign(12_345) == [10_000]
+
+    def test_non_divisible_slide(self):
+        windows = SlidingWindows(5000, 3000)
+        starts = windows.assign(7000)
+        assert starts == [6000, 3000]
+
+    def test_slide_larger_than_length_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindows(1000, 5000)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SlidingWindows(0, 0)

@@ -1,0 +1,54 @@
+"""Tests for the event model and watermark interleaving."""
+
+import pytest
+
+from repro.events import Event, Watermark, sort_by_time, with_watermarks
+
+
+def events(*timestamps):
+    return [Event(b"k", t) for t in timestamps]
+
+
+class TestEvent:
+    def test_frozen(self):
+        event = Event(b"k", 1)
+        with pytest.raises(AttributeError):
+            event.timestamp = 2
+
+    def test_defaults(self):
+        event = Event(b"k", 5)
+        assert event.value_size == 8
+        assert event.kind == ""
+
+
+class TestSortByTime:
+    def test_orders_by_timestamp(self):
+        out = sort_by_time(events(5, 1, 3))
+        assert [e.timestamp for e in out] == [1, 3, 5]
+
+
+class TestWithWatermarks:
+    def test_watermark_every_n_events(self):
+        out = list(with_watermarks(events(1, 2, 3, 4, 5), frequency=2))
+        marks = [x for x in out if isinstance(x, Watermark)]
+        # two periodic marks plus the closing mark
+        assert len(marks) == 3
+        assert marks[0].timestamp == 2
+        assert marks[1].timestamp == 4
+
+    def test_watermark_carries_max_time_seen(self):
+        out = list(with_watermarks(events(5, 1), frequency=2))
+        mark = next(x for x in out if isinstance(x, Watermark))
+        assert mark.timestamp == 5
+
+    def test_closing_watermark(self):
+        out = list(with_watermarks(events(7), frequency=100))
+        assert isinstance(out[-1], Watermark)
+        assert out[-1].timestamp == 7
+
+    def test_empty_stream(self):
+        assert list(with_watermarks([], frequency=10)) == []
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            list(with_watermarks(events(1), frequency=0))

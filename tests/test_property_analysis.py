@@ -1,0 +1,109 @@
+"""Property-based tests for analysis invariants and trace encoding."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import (
+    stack_distances,
+    total_unique_sequences,
+    unique_sequence_counts,
+    working_set_over_time,
+)
+from repro.trace import AccessTrace, OpType, StateAccess, shuffled_trace
+
+KEY_LISTS = st.lists(
+    st.sampled_from([b"a", b"b", b"c", b"d", b"e"]), max_size=150
+)
+
+ACCESSES = st.lists(
+    st.builds(
+        StateAccess,
+        op=st.sampled_from(list(OpType)),
+        key=st.binary(min_size=1, max_size=6),
+        value_size=st.integers(min_value=0, max_value=1000),
+        timestamp=st.integers(min_value=0, max_value=2 ** 40),
+    ),
+    max_size=100,
+)
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+def naive_stack_distances(keys):
+    stack, out = [], []
+    for key in keys:
+        if key in stack:
+            position = stack.index(key)
+            out.append(position)
+            stack.pop(position)
+        else:
+            out.append(None)
+        stack.insert(0, key)
+    return out
+
+
+@given(keys=KEY_LISTS)
+@SETTINGS
+def test_stack_distance_matches_naive(keys):
+    assert stack_distances(keys) == naive_stack_distances(keys)
+
+
+@given(keys=KEY_LISTS)
+@SETTINGS
+def test_stack_distances_bounded_by_alphabet(keys):
+    finite = [d for d in stack_distances(keys) if d is not None]
+    assert all(0 <= d < 5 for d in finite)
+
+
+@given(keys=KEY_LISTS)
+@SETTINGS
+def test_first_accesses_are_none_exactly_once_per_key(keys):
+    distances = stack_distances(keys)
+    nones = sum(1 for d in distances if d is None)
+    assert nones == len(set(keys))
+
+
+@given(keys=KEY_LISTS)
+@SETTINGS
+def test_unique_sequences_monotone_decreasing_in_length(keys):
+    counts = unique_sequence_counts(keys, max_len=4)
+    # n-grams of length L can't outnumber positions available
+    n = len(keys)
+    for length, count in counts.items():
+        assert count <= max(0, n - length + 1)
+
+
+@given(accesses=ACCESSES)
+@SETTINGS
+def test_trace_file_roundtrip(accesses, tmp_path_factory):
+    trace = AccessTrace(list(accesses))
+    path = str(tmp_path_factory.mktemp("traces") / "t.trace")
+    trace.save(path)
+    assert AccessTrace.load(path).accesses == trace.accesses
+
+
+@given(accesses=ACCESSES, seed=st.integers(min_value=0, max_value=999))
+@SETTINGS
+def test_shuffle_preserves_op_and_key_multisets(accesses, seed):
+    trace = AccessTrace(list(accesses))
+    shuffled = shuffled_trace(trace, random.Random(seed))
+    assert sorted(a.key for a in shuffled) == sorted(a.key for a in trace)
+    assert shuffled.op_counts() == trace.op_counts()
+
+
+@given(accesses=ACCESSES)
+@SETTINGS
+def test_working_set_never_negative_and_bounded(accesses):
+    trace = AccessTrace(list(accesses))
+    samples = working_set_over_time(trace, step=7)
+    distinct = trace.distinct_keys()
+    assert all(0 <= size <= distinct for _, size in samples)
+
+
+@given(keys=KEY_LISTS)
+@SETTINGS
+def test_total_unique_sequences_at_most_positions(keys):
+    total = total_unique_sequences(keys, max_len=3)
+    assert total <= 3 * max(1, len(keys))

@@ -1,0 +1,128 @@
+"""Property-based differential tests: every store must behave like a
+hash map with append-merge semantics under arbitrary op sequences."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.kvstores import InMemoryStore, connect
+from repro.kvstores.btree import BTreeConfig, BTreeStore
+from repro.kvstores.faster import FasterConfig, FasterStore
+from repro.kvstores.lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
+
+KEYS = st.binary(min_size=1, max_size=8)
+VALUES = st.binary(min_size=0, max_size=24)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, VALUES),
+        st.tuples(st.just("merge"), KEYS, VALUES),
+        st.tuples(st.just("delete"), KEYS, st.just(b"")),
+        st.tuples(st.just("get"), KEYS, st.just(b"")),
+    ),
+    max_size=200,
+)
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_differential(make_store, ops):
+    connector = connect(make_store())
+    oracle = connect(InMemoryStore())
+    for op, key, value in ops:
+        if op == "put":
+            connector.put(key, value)
+            oracle.put(key, value)
+        elif op == "merge":
+            connector.merge(key, value)
+            oracle.merge(key, value)
+        elif op == "delete":
+            connector.delete(key)
+            oracle.delete(key)
+        else:
+            assert connector.get(key) == oracle.get(key)
+    for _, key, _ in ops:
+        assert connector.get(key) == oracle.get(key)
+
+
+@given(ops=OPERATIONS)
+@SETTINGS
+def test_lsm_matches_oracle(ops):
+    run_differential(
+        lambda: RocksLSMStore(
+            LSMConfig(write_buffer_size=256, block_cache_size=512,
+                      level_base_bytes=1024, target_file_size=512,
+                      l0_compaction_trigger=2, max_levels=3)
+        ),
+        ops,
+    )
+
+
+@given(ops=OPERATIONS)
+@SETTINGS
+def test_lethe_matches_oracle(ops):
+    run_differential(
+        lambda: LetheStore(
+            LetheConfig(write_buffer_size=256, block_cache_size=512,
+                        level_base_bytes=1024, target_file_size=512,
+                        l0_compaction_trigger=2, max_levels=3,
+                        delete_persistence_threshold_s=0.0,
+                        fade_check_interval=20)
+        ),
+        ops,
+    )
+
+
+@given(ops=OPERATIONS)
+@SETTINGS
+def test_faster_matches_oracle(ops):
+    run_differential(
+        lambda: FasterStore(FasterConfig(memory_budget=512, segment_size=128)),
+        ops,
+    )
+
+
+@given(ops=OPERATIONS)
+@SETTINGS
+def test_btree_matches_oracle(ops):
+    run_differential(
+        lambda: BTreeStore(BTreeConfig(order=4, cache_bytes=256)),
+        ops,
+    )
+
+
+@given(
+    items=st.dictionaries(KEYS, VALUES, max_size=50),
+    bounds=st.tuples(KEYS, KEYS),
+)
+@SETTINGS
+def test_lsm_scan_matches_sorted_dict(items, bounds):
+    start, end = min(bounds), max(bounds)
+    store = RocksLSMStore(
+        LSMConfig(write_buffer_size=256, l0_compaction_trigger=2, max_levels=3)
+    )
+    for key, value in items.items():
+        store.put(key, value)
+    expected = sorted(
+        (k, v) for k, v in items.items() if start <= k < end
+    )
+    assert list(store.scan(start, end)) == expected
+
+
+@given(
+    items=st.dictionaries(KEYS, VALUES, max_size=50),
+    bounds=st.tuples(KEYS, KEYS),
+)
+@SETTINGS
+def test_btree_scan_matches_sorted_dict(items, bounds):
+    start, end = min(bounds), max(bounds)
+    store = BTreeStore(BTreeConfig(order=4, cache_bytes=100_000))
+    for key, value in items.items():
+        store.put(key, value)
+    expected = sorted(
+        (k, v) for k, v in items.items() if start <= k < end
+    )
+    assert list(store.scan(start, end)) == expected

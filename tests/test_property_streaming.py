@@ -1,0 +1,106 @@
+"""Property-based tests for windowing and operator invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events import Event, Watermark
+from repro.streaming import (
+    SessionWindowOperator,
+    SlidingWindows,
+    TumblingWindows,
+    WindowOperator,
+)
+from repro.trace import OpType
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+TIMESTAMPS = st.integers(min_value=0, max_value=10**9)
+LENGTHS = st.integers(min_value=1, max_value=100_000)
+
+
+@given(timestamp=TIMESTAMPS, length=LENGTHS)
+@SETTINGS
+def test_tumbling_window_contains_its_event(timestamp, length):
+    windows = TumblingWindows(length)
+    starts = windows.assign(timestamp)
+    assert len(starts) == 1
+    assert starts[0] <= timestamp < windows.end_of(starts[0])
+
+
+@given(
+    timestamp=TIMESTAMPS,
+    length=st.integers(min_value=1, max_value=10_000),
+    slide_fraction=st.integers(min_value=1, max_value=10),
+)
+@SETTINGS
+def test_sliding_windows_cover_event_exactly(timestamp, length, slide_fraction):
+    slide = max(1, length // slide_fraction)
+    windows = SlidingWindows(length, slide)
+    starts = windows.assign(timestamp)
+    # Every assigned window contains the event...
+    for start in starts:
+        assert start <= timestamp < start + length
+    # ...and no window containing the event is missed.
+    candidate = (timestamp // slide) * slide
+    expected = 0
+    start = candidate
+    while start > timestamp - length:
+        expected += 1
+        start -= slide
+    assert len(starts) == expected
+
+
+@given(
+    event_times=st.lists(
+        st.integers(min_value=0, max_value=100_000), min_size=1, max_size=80
+    ),
+    length=st.integers(min_value=10, max_value=5_000),
+)
+@SETTINGS
+def test_window_operator_balanced_ops(event_times, length):
+    """Incremental window invariants on arbitrary in-order streams:
+    gets == puts + deletes, and deleted keys were previously written."""
+    operator = WindowOperator(TumblingWindows(length))
+    for t in sorted(event_times):
+        operator.process(Event(b"k", t))
+    operator.on_watermark(Watermark(max(event_times) + length * 2))
+    counts = operator.trace.op_counts()
+    assert counts[OpType.GET] == counts[OpType.PUT] + counts[OpType.DELETE]
+    written = {a.key for a in operator.trace if a.op is OpType.PUT}
+    deleted = {a.key for a in operator.trace if a.op is OpType.DELETE}
+    assert deleted <= written
+
+
+@given(
+    event_times=st.lists(
+        st.integers(min_value=0, max_value=50_000), min_size=1, max_size=60
+    ),
+    gap=st.integers(min_value=1, max_value=5_000),
+)
+@SETTINGS
+def test_session_operator_state_drains(event_times, gap):
+    """After a watermark beyond every session end, no session state
+    survives in the backend."""
+    operator = SessionWindowOperator(gap_ms=gap, allowed_lateness=10**9)
+    for t in event_times:  # arbitrary order: exercises merging
+        operator.process(Event(b"k", t))
+    operator.on_watermark(Watermark(max(event_times) + gap + 1))
+    assert operator.active_sessions == 0
+    assert len(operator.backend) == 0
+
+
+@given(
+    event_times=st.lists(
+        st.integers(min_value=0, max_value=50_000), min_size=1, max_size=60
+    ),
+    gap=st.integers(min_value=1, max_value=5_000),
+)
+@SETTINGS
+def test_session_count_conservation(event_times, gap):
+    """Every processed event is counted in exactly one fired session."""
+    operator = SessionWindowOperator(gap_ms=gap, allowed_lateness=10**9)
+    for t in event_times:
+        operator.process(Event(b"k", t))
+    operator.on_watermark(Watermark(max(event_times) + gap + 1))
+    total = sum(result[3] for result in operator.outputs)
+    assert total == len(event_times)

@@ -1,0 +1,130 @@
+"""Tests for the shared state-access trace model."""
+
+import random
+
+import pytest
+
+from repro.trace import (
+    AccessTrace,
+    OpType,
+    StateAccess,
+    concat_traces,
+    interleave_traces,
+    shuffled_trace,
+)
+
+
+def make_trace(n=10):
+    trace = AccessTrace()
+    ops = [OpType.GET, OpType.PUT, OpType.MERGE, OpType.DELETE]
+    for i in range(n):
+        trace.record(ops[i % 4], f"k{i % 3}".encode(), i, i * 10)
+    return trace
+
+
+class TestStateAccess:
+    def test_encode_roundtrip_via_trace_file(self, tmp_path):
+        trace = make_trace(25)
+        path = str(tmp_path / "t.trace")
+        trace.save(path)
+        loaded = AccessTrace.load(path)
+        assert loaded.accesses == trace.accesses
+
+    def test_access_is_frozen(self):
+        access = StateAccess(OpType.GET, b"k")
+        with pytest.raises(AttributeError):
+            access.op = OpType.PUT
+
+    def test_default_fields(self):
+        access = StateAccess(OpType.PUT, b"k")
+        assert access.value_size == 0
+        assert access.timestamp == 0
+
+
+class TestAccessTrace:
+    def test_record_and_len(self):
+        trace = AccessTrace()
+        assert len(trace) == 0
+        trace.record(OpType.GET, b"a")
+        assert len(trace) == 1
+
+    def test_iteration_order(self):
+        trace = make_trace(8)
+        keys = [a.key for a in trace]
+        assert keys == trace.key_sequence()
+
+    def test_getitem_index_and_slice(self):
+        trace = make_trace(10)
+        assert trace[0].op is OpType.GET
+        sliced = trace[2:5]
+        assert isinstance(sliced, AccessTrace)
+        assert len(sliced) == 3
+
+    def test_op_counts(self):
+        trace = make_trace(8)
+        counts = trace.op_counts()
+        assert counts[OpType.GET] == 2
+        assert counts[OpType.PUT] == 2
+        assert sum(counts.values()) == 8
+
+    def test_op_fractions_sum_to_one(self):
+        fractions = make_trace(12).op_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_op_fractions_empty_trace(self):
+        fractions = AccessTrace().op_fractions()
+        assert all(v == 0.0 for v in fractions.values())
+
+    def test_distinct_keys(self):
+        assert make_trace(10).distinct_keys() == 3
+
+    def test_filter(self):
+        trace = make_trace(12)
+        gets = trace.filter(lambda a: a.op is OpType.GET)
+        assert len(gets) == 3
+        assert all(a.op is OpType.GET for a in gets)
+
+    def test_extend(self):
+        a, b = make_trace(4), make_trace(6)
+        a.extend(b)
+        assert len(a) == 10
+
+    def test_load_rejects_non_trace_file(self, tmp_path):
+        path = tmp_path / "bogus"
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="not a Gadget trace"):
+            AccessTrace.load(str(path))
+
+    def test_save_load_empty(self, tmp_path):
+        path = str(tmp_path / "empty.trace")
+        AccessTrace().save(path)
+        assert len(AccessTrace.load(path)) == 0
+
+
+class TestTraceCombinators:
+    def test_shuffled_preserves_multiset(self):
+        trace = make_trace(50)
+        shuffled = shuffled_trace(trace, random.Random(3))
+        assert sorted(a.key for a in shuffled) == sorted(a.key for a in trace)
+        assert shuffled.op_counts() == trace.op_counts()
+
+    def test_shuffle_changes_order(self):
+        trace = make_trace(200)
+        shuffled = shuffled_trace(trace, random.Random(3))
+        assert shuffled.accesses != trace.accesses
+
+    def test_concat(self):
+        merged = concat_traces([make_trace(3), make_trace(4)])
+        assert len(merged) == 7
+
+    def test_interleave_round_robin(self):
+        a = AccessTrace([StateAccess(OpType.GET, b"a")] * 3)
+        b = AccessTrace([StateAccess(OpType.PUT, b"b")] * 1)
+        merged = interleave_traces([a, b])
+        assert len(merged) == 4
+        assert merged[0].key == b"a"
+        assert merged[1].key == b"b"
+        assert merged[2].key == b"a"
+
+    def test_interleave_empty(self):
+        assert len(interleave_traces([])) == 0

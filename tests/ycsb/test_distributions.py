@@ -1,0 +1,138 @@
+"""Tests for the YCSB request distributions."""
+
+import random
+
+import pytest
+
+from repro.ycsb import (
+    DISTRIBUTIONS,
+    ExponentialGenerator,
+    HotspotGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    SequentialGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv_hash64,
+    make_generator,
+)
+
+
+def sample(generator, n=5000):
+    return [generator.next_index() for _ in range(n)]
+
+
+class TestFNVHash:
+    def test_deterministic(self):
+        assert fnv_hash64(42) == fnv_hash64(42)
+
+    def test_spreads_values(self):
+        hashes = {fnv_hash64(i) for i in range(1000)}
+        assert len(hashes) == 1000
+
+    def test_64bit_range(self):
+        assert 0 <= fnv_hash64(123456789) < 2 ** 64
+
+
+class TestUniform:
+    def test_in_range(self):
+        gen = UniformGenerator(100, random.Random(1))
+        assert all(0 <= s < 100 for s in sample(gen))
+
+    def test_roughly_flat(self):
+        gen = UniformGenerator(10, random.Random(1))
+        counts = [0] * 10
+        for s in sample(gen, 10000):
+            counts[s] += 1
+        assert max(counts) < 2 * min(counts)
+
+
+class TestZipfian:
+    def test_in_range(self):
+        gen = ZipfianGenerator(1000, random.Random(1))
+        assert all(0 <= s < 1000 for s in sample(gen))
+
+    def test_low_indices_most_popular(self):
+        gen = ZipfianGenerator(1000, random.Random(1))
+        samples = sample(gen, 20000)
+        assert samples.count(0) > samples.count(100) > 0
+
+    def test_scrambled_spreads_hotness(self):
+        gen = ScrambledZipfianGenerator(1000, random.Random(1))
+        samples = sample(gen, 20000)
+        counts = {}
+        for s in samples:
+            counts[s] = counts.get(s, 0) + 1
+        hottest = max(counts, key=counts.get)
+        # Scrambling moves the hottest item away from index 0 (w.h.p.)
+        assert 0 <= hottest < 1000
+
+    def test_skew_survives_scrambling(self):
+        gen = ScrambledZipfianGenerator(1000, random.Random(1))
+        samples = sample(gen, 20000)
+        counts = sorted(
+            (samples.count(i) for i in set(samples)), reverse=True
+        )
+        top10 = sum(counts[:10]) / len(samples)
+        assert top10 > 0.2
+
+
+class TestLatest:
+    def test_prefers_recent(self):
+        gen = LatestGenerator(1000, random.Random(1))
+        samples = sample(gen, 10000)
+        recent = sum(1 for s in samples if s > 900)
+        assert recent > len(samples) * 0.3
+
+    def test_advance_shifts_frontier(self):
+        gen = LatestGenerator(100, random.Random(1))
+        gen.advance()
+        assert gen.last_index == 100
+        samples = sample(gen, 5000)
+        assert max(samples) == 100
+
+
+class TestHotspot:
+    def test_hot_set_dominates(self):
+        gen = HotspotGenerator(1000, random.Random(1))
+        samples = sample(gen, 10000)
+        hot = sum(1 for s in samples if s < 200)
+        assert hot > len(samples) * 0.7
+
+    def test_cold_set_reached(self):
+        gen = HotspotGenerator(1000, random.Random(1))
+        samples = sample(gen, 10000)
+        assert any(s >= 200 for s in samples)
+
+
+class TestSequential:
+    def test_cycles_in_order(self):
+        gen = SequentialGenerator(5, random.Random(1))
+        assert sample(gen, 12) == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]
+
+
+class TestExponential:
+    def test_in_range(self):
+        gen = ExponentialGenerator(1000, random.Random(1))
+        assert all(0 <= s < 1000 for s in sample(gen))
+
+    def test_mass_in_front(self):
+        gen = ExponentialGenerator(1000, random.Random(1))
+        samples = sample(gen, 10000)
+        front = sum(1 for s in samples if s < 857)
+        assert front > len(samples) * 0.9
+
+
+class TestMakeGenerator:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_all_constructible(self, name):
+        gen = make_generator(name, 100, random.Random(1))
+        assert 0 <= gen.next_index() < 101  # latest may advance past count
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_generator("pareto", 100)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0, random.Random(1))

@@ -1,0 +1,49 @@
+"""Tests for YCSB's load phase and the evaluator setup hook."""
+
+from repro.core import PerformanceEvaluator
+from repro.kvstores import create_connector
+from repro.ycsb import YCSBConfig, YCSBWorkload
+
+
+class TestPreload:
+    def test_loads_all_records(self):
+        workload = YCSBWorkload(YCSBConfig(record_count=50))
+        connector = create_connector("memory")
+        assert workload.preload(connector) == 50
+        assert len(connector.store) == 50
+
+    def test_reads_hit_after_preload(self):
+        workload = YCSBWorkload(
+            YCSBConfig(record_count=20, operation_count=200,
+                       read_proportion=1.0, update_proportion=0.0)
+        )
+        connector = create_connector("memory")
+        workload.preload(connector)
+        trace = workload.generate()
+        for access in trace:
+            assert connector.get(access.key) is not None
+
+    def test_values_match_configured_size(self):
+        workload = YCSBWorkload(YCSBConfig(record_count=5, value_size=99))
+        connector = create_connector("memory")
+        workload.preload(connector)
+        assert len(connector.get(workload.key_for(0))) == 99
+
+
+class TestEvaluatorSetupHook:
+    def test_setup_runs_per_store(self):
+        workload = YCSBWorkload(
+            YCSBConfig(record_count=10, operation_count=100)
+        )
+        trace = workload.generate()
+        seen = []
+
+        def setup(connector):
+            seen.append(connector.name)
+            workload.preload(connector)
+
+        rows = PerformanceEvaluator(stores=("memory", "faster")).evaluate(
+            "w", trace, setup=setup
+        )
+        assert seen == ["memory", "faster"]
+        assert len(rows) == 2

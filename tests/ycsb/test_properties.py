@@ -1,0 +1,81 @@
+"""Tests for YCSB .properties file parsing."""
+
+import pytest
+
+from repro.trace import OpType
+from repro.ycsb.properties import (
+    CORE_WORKLOAD_FILES,
+    config_from_properties,
+    load_workload_file,
+    parse_properties,
+)
+
+
+class TestParseProperties:
+    def test_basic(self):
+        out = parse_properties("a=1\nb = two\n")
+        assert out == {"a": "1", "b": "two"}
+
+    def test_comments_and_blanks(self):
+        out = parse_properties("# comment\n! also\n\nx=1\n")
+        assert out == {"x": "1"}
+
+    def test_last_key_wins(self):
+        assert parse_properties("a=1\na=2\n")["a"] == "2"
+
+    def test_keys_lowercased(self):
+        assert parse_properties("ReadProportion=0.5")["readproportion"] == "0.5"
+
+    def test_malformed(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_properties("not a property")
+
+    def test_value_may_contain_equals(self):
+        assert parse_properties("a=x=y")["a"] == "x=y"
+
+
+class TestConfigFromProperties:
+    def test_defaults(self):
+        config = config_from_properties({"readproportion": "1.0"})
+        assert config.record_count == 1000
+        assert config.value_size == 1000  # 10 fields x 100 bytes
+
+    def test_field_sizing(self):
+        config = config_from_properties(
+            {"readproportion": "1.0", "fieldcount": "2", "fieldlength": "8"}
+        )
+        assert config.value_size == 16
+
+    def test_invalid_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_properties(
+                {"readproportion": "0.9", "updateproportion": "0.9"}
+            )
+
+    def test_seed_override(self):
+        config = config_from_properties({"readproportion": "1.0"}, seed=7)
+        assert config.seed == 7
+
+
+class TestWorkloadFiles:
+    @pytest.mark.parametrize("name", sorted(CORE_WORKLOAD_FILES))
+    def test_shipped_files_parse(self, name, tmp_path):
+        path = tmp_path / name
+        path.write_text(
+            CORE_WORKLOAD_FILES[name]
+            + "recordcount=100\noperationcount=1000\n"
+        )
+        workload = load_workload_file(str(path))
+        trace = workload.generate()
+        assert len(trace) >= 1000
+
+    def test_workloada_mix(self, tmp_path):
+        path = tmp_path / "workloada"
+        path.write_text(
+            CORE_WORKLOAD_FILES["workloada"]
+            + "recordcount=100\noperationcount=4000\n"
+        )
+        trace = load_workload_file(str(path)).generate()
+        fractions = trace.op_fractions()
+        assert abs(fractions[OpType.GET] - 0.5) < 0.05
+        assert abs(fractions[OpType.PUT] - 0.5) < 0.05
