@@ -107,7 +107,7 @@ def recommend_cache_size(
     size = curve.smallest_size_for(target_hit_ratio)
     if size is None:
         return None
-    value_sizes = [a.value_size for a in trace if a.value_size > 0]
+    value_sizes = [size for size in trace.value_sizes if size > 0]
     mean_value = sum(value_sizes) / len(value_sizes) if value_sizes else 0.0
     mean_entry = mean_value + entry_overhead_bytes
     return CacheRecommendation(

@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..trace import AccessTrace, OpType
+from ..trace import AccessTrace
 
 
 def working_set_over_time(
@@ -22,13 +22,18 @@ def working_set_over_time(
     """Sample ``(operation_index, live_key_count)`` every ``step`` ops."""
     if step <= 0:
         raise ValueError("step must be positive")
+    # Columnar scan: opcodes and interned key ids, no StateAccess
+    # materialization (a live set of ints has the same cardinality as
+    # a live set of keys).
     live = set()
+    add = live.add
+    discard = live.discard
     samples: List[Tuple[int, int]] = []
-    for index, access in enumerate(trace):
-        if access.op in (OpType.PUT, OpType.MERGE):
-            live.add(access.key)
-        elif access.op is OpType.DELETE:
-            live.discard(access.key)
+    for index, (code, kid) in enumerate(zip(trace.op_codes, trace.key_ids)):
+        if code == 1 or code == 2:  # put / merge
+            add(kid)
+        elif code == 3:  # delete
+            discard(kid)
         if (index + 1) % step == 0:
             samples.append((index + 1, len(live)))
     samples.append((len(trace), len(live)))
@@ -41,13 +46,14 @@ def max_working_set(trace: AccessTrace, step: int = 100) -> int:
 
 def ttl_per_key(trace: AccessTrace) -> Dict[bytes, int]:
     """Steps between first and last access for every key."""
-    first: Dict[bytes, int] = {}
-    last: Dict[bytes, int] = {}
-    for index, access in enumerate(trace):
-        if access.key not in first:
-            first[access.key] = index
-        last[access.key] = index
-    return {key: last[key] - first[key] for key in first}
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    for index, kid in enumerate(trace.key_ids):
+        if kid not in first:
+            first[kid] = index
+        last[kid] = index
+    keys = trace.unique_keys()
+    return {keys[kid]: last[kid] - first[kid] for kid in first}
 
 
 def ttl_percentiles(
@@ -79,9 +85,10 @@ def single_access_key_fraction(trace: AccessTrace) -> float:
     The paper observes up to 90% single-access keys in some YCSB
     workloads -- something that never happens in real streaming traces.
     """
-    counts: Dict[bytes, int] = {}
-    for access in trace:
-        counts[access.key] = counts.get(access.key, 0) + 1
+    counts: Dict[int, int] = {}
+    get = counts.get
+    for kid in trace.key_ids:
+        counts[kid] = get(kid, 0) + 1
     if not counts:
         return 0.0
     singles = sum(1 for count in counts.values() if count == 1)

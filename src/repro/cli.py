@@ -148,8 +148,39 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def cmd_replay(args) -> int:
     trace = AccessTrace.load(args.trace)
+    if args.shards > 1:
+        from .core import ShardedReplayer
+
+        replayer = ShardedReplayer(
+            lambda: create_connector(args.store),
+            num_workers=args.shards,
+            service_rate=args.service_rate,
+        )
+        result = replayer.replay(trace)
+        replayer.close()
+        summary = result.summary()
+        rows = [
+            ["store", f"{args.store} x{args.shards} shards"],
+            ["operations", result.operations],
+            ["aggregate throughput (kops)", round(summary["throughput_kops"], 1)],
+            ["p50 (us)", round(summary["p50_us"], 1)],
+            ["p99 (us)", round(summary["p99_us"], 1)],
+            ["p99.9 (us)", round(summary["p99.9_us"], 1)],
+        ] + [
+            [f"shard {index} ops", shard.operations]
+            for index, shard in enumerate(result.shard_results)
+        ]
+        print(render_table(["metric", "value"], rows, title="sharded replay result"))
+        return 0
     connector = create_connector(args.store)
     replayer = TraceReplayer(connector, service_rate=args.service_rate)
     result = replayer.replay(trace)
@@ -234,6 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("trace")
     replay.add_argument("--store", default="rocksdb", choices=STORE_NAMES)
     replay.add_argument("--service-rate", type=float, default=None)
+    replay.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="hash-partition the trace by key across N worker threads, "
+        "one store instance per worker (default: 1, single-threaded)",
+    )
 
     compare = subparsers.add_parser("compare", help="replay on several stores")
     compare.add_argument("trace")

@@ -35,7 +35,14 @@ from .operators import (
     sliding_window_model,
     tumbling_window_model,
 )
-from .replayer import ReplayResult, TraceReplayer, synthesize_value
+from .replayer import (
+    ReplayResult,
+    ShardedReplayer,
+    ShardedReplayResult,
+    TraceReplayer,
+    shard_trace,
+    synthesize_value,
+)
 from .state_machines import (
     AggregationMachine,
     BufferMachine,
@@ -77,9 +84,12 @@ __all__ = [
     "PerformanceEvaluator",
     "ReplayResult",
     "SessionWindowModel",
+    "ShardedReplayResult",
+    "ShardedReplayer",
     "SourceConfig",
     "StateMachine",
     "TraceReplayer",
+    "shard_trace",
     "ValueConfig",
     "ValueSampler",
     "WORKLOADS",

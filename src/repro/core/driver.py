@@ -219,17 +219,31 @@ class Driver:
         return merged_stream(streams, self.config.interleave)
 
     def _watermark_frequency(self) -> int:
+        """Punctuation frequency across *all* configured sources.
+
+        A merged stream progresses at the pace of its most frequently
+        punctuating source, so take the minimum positive frequency (a
+        frequency of 0 means that source emits no punctuation).
+        """
         frequencies = [
             s.watermark_frequency
             for s in self.config.sources
             if hasattr(s, "watermark_frequency")
         ]
-        return frequencies[0] if frequencies else 100
+        if not frequencies:
+            return 100
+        positive = [f for f in frequencies if f > 0]
+        return min(positive) if positive else 0
 
     def _allowed_lateness(self) -> int:
+        """Allowed lateness across *all* configured sources.
+
+        An event is only dropped when it is late by every source's
+        standard, so the merged stream honours the maximum.
+        """
         lateness = [
             s.max_lateness_ms
             for s in self.config.sources
             if hasattr(s, "max_lateness_ms")
         ]
-        return lateness[0] if lateness else 0
+        return max(lateness) if lateness else 0

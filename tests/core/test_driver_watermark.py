@@ -1,0 +1,98 @@
+"""Multi-source watermark frequency / allowed lateness resolution.
+
+The driver must honour *all* configured sources: watermarks advance at
+the most frequently punctuating source's pace (minimum positive
+frequency) and an event is dropped only when it is late by every
+source's standard (maximum allowed lateness)."""
+
+from repro.core import Driver, GadgetConfig, SourceConfig
+from repro.core.operators.windows import tumbling_window_model
+from repro.events import Event
+
+
+def make_driver(sources):
+    model = tumbling_window_model(1000)
+    events = [Event(b"k", 100)]
+    return Driver(model, [events] * model.num_inputs, GadgetConfig(sources=sources))
+
+
+class TestWatermarkFrequency:
+    def test_single_source_frequency(self):
+        driver = make_driver([SourceConfig(watermark_frequency=40)])
+        assert driver._watermark_frequency() == 40
+
+    def test_uses_min_frequency_across_sources(self):
+        driver = make_driver(
+            [SourceConfig(watermark_frequency=200), SourceConfig(watermark_frequency=25)]
+        )
+        assert driver._watermark_frequency() == 25
+
+    def test_not_just_the_first_source(self):
+        # The seed bug: only sources[0] was consulted.
+        driver = make_driver(
+            [SourceConfig(watermark_frequency=500), SourceConfig(watermark_frequency=10)]
+        )
+        assert driver._watermark_frequency() == 10
+
+    def test_zero_frequency_source_does_not_win(self):
+        driver = make_driver(
+            [SourceConfig(watermark_frequency=0), SourceConfig(watermark_frequency=30)]
+        )
+        assert driver._watermark_frequency() == 30
+
+    def test_all_zero_disables_punctuation(self):
+        driver = make_driver(
+            [SourceConfig(watermark_frequency=0), SourceConfig(watermark_frequency=0)]
+        )
+        assert driver._watermark_frequency() == 0
+
+    def test_no_sources_falls_back_to_default(self):
+        driver = make_driver([])
+        assert driver._watermark_frequency() == 100
+
+
+class TestAllowedLateness:
+    def test_single_source_lateness(self):
+        driver = make_driver([SourceConfig(max_lateness_ms=500)])
+        assert driver._allowed_lateness() == 500
+
+    def test_uses_max_lateness_across_sources(self):
+        driver = make_driver(
+            [SourceConfig(max_lateness_ms=100), SourceConfig(max_lateness_ms=900)]
+        )
+        assert driver._allowed_lateness() == 900
+
+    def test_not_just_the_first_source(self):
+        driver = make_driver(
+            [SourceConfig(max_lateness_ms=0), SourceConfig(max_lateness_ms=250)]
+        )
+        assert driver._allowed_lateness() == 250
+
+    def test_no_sources_means_zero(self):
+        driver = make_driver([])
+        assert driver._allowed_lateness() == 0
+
+
+class TestLatenessAffectsDropping:
+    def test_second_source_lateness_rescues_late_event(self):
+        """An event late for source 0's budget but within source 1's
+        must be processed, not dropped."""
+        model = tumbling_window_model(1000)
+        late = Event(b"k", 400)
+        events = [Event(b"k", 100), Event(b"k", 2500), late]
+        strict = GadgetConfig(
+            sources=[SourceConfig(max_lateness_ms=0, watermark_frequency=2)]
+        )
+        lenient = GadgetConfig(
+            sources=[
+                SourceConfig(max_lateness_ms=0, watermark_frequency=2),
+                SourceConfig(max_lateness_ms=5000, watermark_frequency=2),
+            ]
+        )
+        dropped = Driver(model, [events], strict)
+        dropped.run()
+        assert dropped.dropped_late_events == 1
+
+        kept = Driver(model, [events], lenient)
+        kept.run()
+        assert kept.dropped_late_events == 0

@@ -1,6 +1,14 @@
 """The README's quickstart and extension snippets must actually run."""
 
-from repro.core import Driver, Gadget, OperatorModel, SourceConfig, StateMachine, TraceReplayer
+from repro.core import (
+    Driver,
+    Gadget,
+    OperatorModel,
+    ShardedReplayer,
+    SourceConfig,
+    StateMachine,
+    TraceReplayer,
+)
 from repro.kvstores import create_connector
 from repro.trace import OpType
 
@@ -14,6 +22,16 @@ def test_quickstart_snippet():
     summary = result.summary()
     assert set(summary) == {"throughput_kops", "p50_us", "p99_us", "p99.9_us"}
     assert summary["throughput_kops"] > 0
+
+
+def test_sharded_replay_snippet():
+    trace = Gadget("tumbling-incremental", [SourceConfig(num_events=1_000)]).generate()
+    replayer = ShardedReplayer(lambda: create_connector("rocksdb"), num_workers=4)
+    result = replayer.replay(trace)
+    summary = result.summary()
+    assert result.operations == len(trace)
+    assert summary["throughput_kops"] > 0
+    replayer.close()
 
 
 def test_extension_snippet():
