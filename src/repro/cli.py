@@ -155,8 +155,57 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _fault_options(args):
+    """Resolve --faults / --no-retry / --retry-attempts into a
+    (fault_plan, retry_policy) pair shared by replay and compare."""
+    from .faults import FaultPlan, RetryPolicy
+
+    fault_plan = FaultPlan.load(args.faults) if args.faults else None
+    retry_policy = None
+    wants_retry = (fault_plan is not None or getattr(args, "crash_at", None) is not None)
+    if wants_retry and not args.no_retry:
+        retry_policy = RetryPolicy(max_attempts=args.retry_attempts)
+    return fault_plan, retry_policy
+
+
+def _recovery_rows(result) -> List[List]:
+    return [
+        ["store", result.store],
+        ["crash at op", result.crash_at],
+        ["operations (pre + resumed)", result.operations],
+        ["recovery time (ms)", round(result.recovery_ms, 3)],
+        ["WAL records replayed", result.wal_records_replayed],
+        ["keys verified", result.keys_checked],
+        ["mismatches", result.mismatches],
+        ["recovered ok", "yes" if result.recovered_ok else "NO"],
+        ["pre-crash throughput (kops)",
+         round(result.pre_crash.throughput_ops / 1000.0, 1)],
+        ["resumed throughput (kops)",
+         round(result.resumed.throughput_ops / 1000.0, 1)],
+    ]
+
+
 def cmd_replay(args) -> int:
     trace = AccessTrace.load(args.trace)
+    fault_plan, retry_policy = _fault_options(args)
+    if args.crash_at is not None:
+        from .faults import RECOVERABLE_STORES, evaluate_crash_recovery
+
+        if args.shards > 1:
+            raise SystemExit("error: --crash-at does not combine with --shards")
+        if args.store not in RECOVERABLE_STORES:
+            raise SystemExit(
+                f"error: --crash-at needs a recoverable store "
+                f"({', '.join(RECOVERABLE_STORES)}), got {args.store!r}"
+            )
+        result = evaluate_crash_recovery(
+            args.store, trace, args.crash_at,
+            plan=fault_plan, retry_policy=retry_policy,
+            service_rate=args.service_rate,
+        )
+        print(render_table(["metric", "value"], _recovery_rows(result),
+                           title="crash-recovery result"))
+        return 0 if result.recovered_ok else 1
     if args.shards > 1:
         from .core import ShardedReplayer
 
@@ -164,9 +213,12 @@ def cmd_replay(args) -> int:
             lambda: create_connector(args.store),
             num_workers=args.shards,
             service_rate=args.service_rate,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
         result = replayer.replay(trace)
         replayer.close()
+        merged = result.merged_result()
         summary = result.summary()
         rows = [
             ["store", f"{args.store} x{args.shards} shards"],
@@ -175,14 +227,17 @@ def cmd_replay(args) -> int:
             ["p50 (us)", round(summary["p50_us"], 1)],
             ["p99 (us)", round(summary["p99_us"], 1)],
             ["p99.9 (us)", round(summary["p99.9_us"], 1)],
-        ] + [
+        ] + _fault_rows(merged, fault_plan) + [
             [f"shard {index} ops", shard.operations]
             for index, shard in enumerate(result.shard_results)
         ]
         print(render_table(["metric", "value"], rows, title="sharded replay result"))
         return 0
     connector = create_connector(args.store)
-    replayer = TraceReplayer(connector, service_rate=args.service_rate)
+    replayer = TraceReplayer(
+        connector, service_rate=args.service_rate,
+        fault_plan=fault_plan, retry_policy=retry_policy,
+    )
     result = replayer.replay(trace)
     connector.close()
     summary = result.summary()
@@ -193,9 +248,19 @@ def cmd_replay(args) -> int:
         ["p50 (us)", round(summary["p50_us"], 1)],
         ["p99 (us)", round(summary["p99_us"], 1)],
         ["p99.9 (us)", round(summary["p99.9_us"], 1)],
-    ]
+    ] + _fault_rows(result, fault_plan)
     print(render_table(["metric", "value"], rows, title="replay result"))
     return 0
+
+
+def _fault_rows(result, fault_plan) -> List[List]:
+    if fault_plan is None:
+        return []
+    return [
+        ["faults injected", result.injected_faults],
+        ["retries", result.retries],
+        ["failed ops", result.failed_ops],
+    ]
 
 
 def cmd_ycsb(args) -> int:
@@ -222,14 +287,48 @@ def cmd_ycsb(args) -> int:
 
 def cmd_compare(args) -> int:
     trace = AccessTrace.load(args.trace)
-    evaluator = PerformanceEvaluator(stores=args.stores)
-    rows = [
-        [row.store, round(row.throughput_kops, 1), round(row.p50_us, 1),
-         round(row.p999_us, 1)]
-        for row in evaluator.evaluate(args.trace, trace)
-    ]
-    print(render_table(["store", "kops", "p50 us", "p99.9 us"], rows,
-                       title=f"store comparison on {args.trace}"))
+    fault_plan, retry_policy = _fault_options(args)
+    evaluator = PerformanceEvaluator(
+        stores=args.stores, fault_plan=fault_plan, retry_policy=retry_policy
+    )
+    if args.crash_at is not None:
+        from .faults import RECOVERABLE_STORES
+
+        recovery_rows = evaluator.evaluate_crash_recovery(
+            args.trace, trace, args.crash_at,
+            stores=[s for s in args.stores if s in RECOVERABLE_STORES] or None,
+        )
+        rows = [
+            [row.store, round(row.throughput_kops, 1),
+             round(row.recovery_ms or 0.0, 3), row.wal_replayed,
+             "yes" if row.recovered_ok else "NO"]
+            for row in recovery_rows
+        ]
+        print(render_table(
+            ["store", "kops", "recovery ms", "wal replayed", "recovered"],
+            rows, title=f"crash-recovery comparison on {args.trace} "
+            f"(crash at op {args.crash_at})"))
+        return 0 if all(row.recovered_ok for row in recovery_rows) else 1
+    results = evaluator.evaluate(args.trace, trace)
+    if fault_plan is not None:
+        rows = [
+            [row.store, round(row.throughput_kops, 1), round(row.p50_us, 1),
+             round(row.p999_us, 1), row.injected_faults, row.retries,
+             row.failed_ops]
+            for row in results
+        ]
+        print(render_table(
+            ["store", "kops", "p50 us", "p99.9 us", "faults", "retries",
+             "failed"],
+            rows, title=f"faulted store comparison on {args.trace}"))
+    else:
+        rows = [
+            [row.store, round(row.throughput_kops, 1), round(row.p50_us, 1),
+             round(row.p999_us, 1)]
+            for row in results
+        ]
+        print(render_table(["store", "kops", "p50 us", "p99.9 us"], rows,
+                           title=f"store comparison on {args.trace}"))
     best = max(rows, key=lambda r: r[1])
     print(f"best throughput: {best[0]}")
     return 0
@@ -261,6 +360,28 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("trace")
     analyze.add_argument("--target-hit-ratio", type=float, default=0.9)
 
+    def add_fault_options(sub) -> None:
+        sub.add_argument(
+            "--faults", metavar="CONFIG",
+            help="JSON fault plan (seeded transient errors, latency "
+            "spikes, stalls) injected into the replay",
+        )
+        sub.add_argument(
+            "--crash-at", type=_positive_int, default=None, metavar="OP",
+            help="kill the store before op OP, run recover(), resume, and "
+            "verify contents against an uninterrupted run (LSM-family "
+            "stores only)",
+        )
+        sub.add_argument(
+            "--no-retry", action="store_true",
+            help="disable the retry policy (injected transient errors "
+            "then count as failed ops)",
+        )
+        sub.add_argument(
+            "--retry-attempts", type=_positive_int, default=4,
+            help="max attempts per operation under faults (default: 4)",
+        )
+
     replay = subparsers.add_parser("replay", help="replay a trace on one store")
     replay.add_argument("trace")
     replay.add_argument("--store", default="rocksdb", choices=STORE_NAMES)
@@ -270,11 +391,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="hash-partition the trace by key across N worker threads, "
         "one store instance per worker (default: 1, single-threaded)",
     )
+    add_fault_options(replay)
 
     compare = subparsers.add_parser("compare", help="replay on several stores")
     compare.add_argument("trace")
     compare.add_argument("--stores", nargs="+", default=list(DEFAULT_STORES),
                          choices=STORE_NAMES)
+    add_fault_options(compare)
 
     ycsb = subparsers.add_parser(
         "ycsb", help="generate a YCSB trace (baseline comparison)"

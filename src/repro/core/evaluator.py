@@ -9,6 +9,7 @@ the traces of multiple operators onto one store instance.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
@@ -21,6 +22,15 @@ from .replayer import (
     ShardedReplayer,
     ShardedReplayResult,
     TraceReplayer,
+)
+# Imported after .replayer on purpose: repro.faults reaches back into
+# repro.core lazily, and this ordering keeps the cycle unwound.
+from ..faults import (
+    RECOVERABLE_STORES,
+    CrashRecoveryResult,
+    FaultPlan,
+    RetryPolicy,
+    evaluate_crash_recovery,
 )
 
 DEFAULT_STORES = ("rocksdb", "lethe", "faster", "berkeleydb")
@@ -76,6 +86,19 @@ class EvaluationRow:
     p50_us: float
     p99_us: float
     p999_us: float
+    # -- robustness columns (faulted and crash-recovery runs) --------------
+    #: faults the injector fired during the replay
+    injected_faults: int = 0
+    #: retry attempts the policy spent absorbing them
+    retries: int = 0
+    #: operations that failed even after retries
+    failed_ops: int = 0
+    #: wall-clock of the store's recover() path (crash-recovery mode)
+    recovery_ms: Optional[float] = None
+    #: WAL records replayed during recovery (crash-recovery mode)
+    wal_replayed: Optional[int] = None
+    #: post-recovery contents matched an uninterrupted run
+    recovered_ok: Optional[bool] = None
 
     @classmethod
     def from_result(cls, workload: str, result: ReplayResult) -> "EvaluationRow":
@@ -87,7 +110,61 @@ class EvaluationRow:
             p50_us=summary["p50_us"],
             p99_us=summary["p99_us"],
             p999_us=summary["p99.9_us"],
+            injected_faults=result.injected_faults,
+            retries=result.retries,
+            failed_ops=result.failed_ops,
         )
+
+    @classmethod
+    def from_recovery(
+        cls, workload: str, result: CrashRecoveryResult
+    ) -> "EvaluationRow":
+        """Row for a kill-recover-verify run.
+
+        Latency percentiles cover both replay phases; throughput spans
+        the whole experiment including the recovery pause, so a slow
+        ``recover()`` shows up in the row exactly like a slow store.
+        """
+        merged = _merge_phase_results(result)
+        row = cls.from_result(workload, merged)
+        row.injected_faults += result.pre_crash.injected_faults
+        row.retries += result.pre_crash.retries
+        row.failed_ops += result.pre_crash.failed_ops
+        row.recovery_ms = result.recovery_ms
+        row.wal_replayed = result.wal_records_replayed
+        row.recovered_ok = result.recovered_ok
+        return row
+
+
+def _merge_phase_results(result: CrashRecoveryResult) -> ReplayResult:
+    """Fold pre-crash and resumed phases into one :class:`ReplayResult`
+    whose elapsed time includes the recovery pause."""
+    pre, post = result.pre_crash, result.resumed
+    latencies = {
+        op: pre.latencies_ns.get(op, []) + post.latencies_ns.get(op, [])
+        for op in set(pre.latencies_ns) | set(post.latencies_ns)
+    }
+    histograms = dict(post.histograms)
+    if pre.histograms:
+        from .histogram import LatencyHistogram
+
+        histograms = {}
+        for source in (pre, post):
+            for op, histogram in source.histograms.items():
+                merged = histograms.get(op)
+                if merged is None:
+                    merged = LatencyHistogram(
+                        histogram.subbuckets, histogram.max_exponent
+                    )
+                    histograms[op] = merged
+                merged.merge(histogram)
+    return ReplayResult(
+        store=result.store,
+        operations=result.operations,
+        elapsed_s=pre.elapsed_s + result.recovery_s + post.elapsed_s,
+        latencies_ns=latencies,
+        histograms=histograms,
+    )
 
 
 class PerformanceEvaluator:
@@ -98,32 +175,59 @@ class PerformanceEvaluator:
         stores: Sequence[str] = DEFAULT_STORES,
         store_configs: Optional[Dict[str, dict]] = None,
         service_rate: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.stores = tuple(stores)
         self.store_configs = store_configs or {}
         self.service_rate = service_rate
+        #: faults injected into every replay; each store draws a fresh
+        #: schedule from the same plan, so all rows of a comparison see
+        #: the identical fault timeline
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
 
     def _connector(self, store_name: str) -> StoreConnector:
         overrides = self.store_configs.get(store_name, {})
         return create_connector(store_name, **overrides)
+
+    def _fresh_policy(
+        self, override: Optional[RetryPolicy]
+    ) -> Optional[RetryPolicy]:
+        """Per-store copy of the retry policy (fresh jitter RNG), so
+        every store replays under identical retry behaviour."""
+        policy = override if override is not None else self.retry_policy
+        return dataclasses.replace(policy) if policy is not None else None
 
     def evaluate(
         self,
         workload_name: str,
         trace: AccessTrace,
         setup: Optional[Callable[[StoreConnector], None]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> List[EvaluationRow]:
         """Replay one trace against every configured store.
 
         ``setup`` runs against each fresh store before measurement --
-        e.g. YCSB's load phase (``workload.preload``).
+        e.g. YCSB's load phase (``workload.preload``).  ``fault_plan``
+        and ``retry_policy`` override the evaluator-wide settings for
+        this call; with a plan set, every store is driven through an
+        identical injected-fault schedule and the rows report the
+        faults, retries, and residual failures alongside throughput.
         """
+        plan = fault_plan if fault_plan is not None else self.fault_plan
         rows: List[EvaluationRow] = []
         for store_name in self.stores:
             connector = self._connector(store_name)
             if setup is not None:
                 setup(connector)
-            replayer = TraceReplayer(connector, service_rate=self.service_rate)
+            replayer = TraceReplayer(
+                connector,
+                service_rate=self.service_rate,
+                fault_plan=plan,
+                retry_policy=self._fresh_policy(retry_policy),
+            )
             result = replayer.replay(trace)
             connector.close()
             rows.append(EvaluationRow.from_result(workload_name, result))
@@ -186,12 +290,56 @@ class PerformanceEvaluator:
         connector.close()
         return [r for r in results if r is not None]
 
+    def evaluate_crash_recovery(
+        self,
+        workload_name: str,
+        trace: AccessTrace,
+        crash_at: int,
+        stores: Optional[Sequence[str]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> List[EvaluationRow]:
+        """Kill-recover-verify each recoverable store (the robustness
+        counterpart of :meth:`evaluate`).
+
+        Every store is crashed at the same operation index (plus any
+        additional faults from the plan), recovered via its
+        ``recover()`` path, resumed, and verified against an
+        uninterrupted run; rows carry ``recovery_ms``,
+        ``wal_replayed``, and ``recovered_ok`` next to the usual
+        throughput/latency columns.
+        """
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        chosen = tuple(stores) if stores is not None else tuple(
+            s for s in self.stores if s in RECOVERABLE_STORES
+        )
+        if not chosen:
+            raise ValueError(
+                f"no recoverable stores among {self.stores}; "
+                f"crash recovery needs one of {RECOVERABLE_STORES}"
+            )
+        rows: List[EvaluationRow] = []
+        for store_name in chosen:
+            result = evaluate_crash_recovery(
+                store_name,
+                trace,
+                crash_at,
+                plan=plan,
+                retry_policy=self._fresh_policy(retry_policy),
+                service_rate=self.service_rate,
+                store_config=self.store_configs.get(store_name),
+            )
+            rows.append(EvaluationRow.from_recovery(workload_name, result))
+        return rows
+
     def evaluate_sharded(
         self,
         store_name: str,
         trace: AccessTrace,
         num_workers: int = 4,
         share_store: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> ShardedReplayResult:
         """Hash-partitioned parallel replay (the scale-out mode).
 
@@ -202,12 +350,16 @@ class PerformanceEvaluator:
         a lock (the section 6.4 co-location setup, but with Gadget's
         one-writer-per-key guarantee enforced by the partitioning).
         """
+        plan = fault_plan if fault_plan is not None else self.fault_plan
+        policy = self._fresh_policy(retry_policy)
         if share_store:
             shared = self._connector(store_name)
             replayer = ShardedReplayer(
                 LockedConnector(shared),  # type: ignore[arg-type]
                 num_workers=num_workers,
                 service_rate=self.service_rate,
+                fault_plan=plan,
+                retry_policy=policy,
             )
             try:
                 return replayer.replay(trace)
@@ -217,6 +369,8 @@ class PerformanceEvaluator:
             lambda: self._connector(store_name),
             num_workers=num_workers,
             service_rate=self.service_rate,
+            fault_plan=plan,
+            retry_policy=policy,
         )
         try:
             return replayer.replay(trace)

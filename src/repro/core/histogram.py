@@ -74,7 +74,11 @@ class LatencyHistogram:
         for index, count in enumerate(self._counts):
             seen += count
             if seen >= target:
-                return min(self._bucket_midpoint(index), self.max_value)
+                # Clamp to the recorded range on both sides: a bucket
+                # midpoint can undershoot min_value just as it can
+                # overshoot max_value.
+                midpoint = max(self._bucket_midpoint(index), self.min_value)
+                return min(midpoint, self.max_value)
         return self.max_value
 
     @property

@@ -20,6 +20,7 @@ Two replay engines live here:
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import threading
 import time
@@ -42,6 +43,17 @@ class ReplayResult:
     latencies_ns: Dict[OpType, List[int]] = field(default_factory=dict)
     #: bounded-memory histograms per op type (histogram mode)
     histograms: Dict[OpType, "LatencyHistogram"] = field(default_factory=dict)
+    # -- robustness accounting (populated by faulted replays) --------------
+    #: operations that still failed after retries were exhausted
+    failed_ops: int = 0
+    #: retry attempts performed by the retry policy
+    retries: int = 0
+    #: faults the injector actually fired (errors + spikes + stalls)
+    injected_faults: int = 0
+    #: total injected latency, in seconds
+    injected_delay_s: float = 0.0
+    #: op index where an injected crash stopped the replay (None: ran out)
+    crashed_at: Optional[int] = None
 
     @property
     def throughput_ops(self) -> float:
@@ -144,6 +156,8 @@ class TraceReplayer:
         measure_latency: bool = True,
         disable_gc: bool = True,
         use_histograms: bool = False,
+        fault_plan=None,
+        retry_policy=None,
     ) -> None:
         self.connector = connector
         self.service_rate = service_rate
@@ -156,6 +170,14 @@ class TraceReplayer:
         #: default (reference counting still reclaims everything the
         #: stores allocate).
         self.disable_gc = disable_gc
+        #: :class:`~repro.faults.FaultPlan` applied to every operation
+        #: (a fresh schedule per replay); routes through the guarded
+        #: loop, leaving the happy-path fast loop untouched.
+        self.fault_plan = fault_plan
+        #: :class:`~repro.faults.RetryPolicy` absorbing transient
+        #: (injected or remote) failures, with retries counted in the
+        #: result.
+        self.retry_policy = retry_policy
 
     def replay(self, trace: AccessTrace) -> ReplayResult:
         gc_was_enabled = gc.isenabled()
@@ -163,6 +185,8 @@ class TraceReplayer:
             gc.collect()
             gc.disable()
         try:
+            if self.fault_plan is not None or self.retry_policy is not None:
+                return self._replay_guarded(trace)
             return self._replay(trace)
         finally:
             if self.disable_gc and gc_was_enabled:
@@ -253,6 +277,90 @@ class TraceReplayer:
             histograms=histograms,
         )
 
+    def _replay_guarded(self, trace: AccessTrace) -> ReplayResult:
+        """Fault-aware replay loop (used when a plan or policy is set).
+
+        Composition order is retry(faults(connector)): retries
+        re-execute the faulted logical operation without re-rolling
+        the schedule.  An :class:`~repro.faults.InjectedCrash` stops
+        the replay at its op index (partial result, ``crashed_at``
+        set); operations whose retries are exhausted count as
+        ``failed_ops`` and the replay moves on.  Non-injected errors
+        (e.g. a :class:`~repro.kvstores.remote.RemoteStoreError` after
+        reconnect attempts run out) propagate -- a dead store should
+        fail the run, not burn the remaining trace on timeouts.
+        """
+        from ..faults.errors import InjectedCrash, TransientStoreError
+        from ..faults.injector import FaultInjectingConnector
+        from ..faults.retry import RetryingConnector
+        from .histogram import LatencyHistogram
+
+        target = self.connector
+        injector = None
+        if self.fault_plan is not None:
+            injector = FaultInjectingConnector(target, self.fault_plan)
+            target = injector
+        retrier = None
+        if self.retry_policy is not None:
+            retrier = RetryingConnector(target, self.retry_policy)
+            target = retrier
+        dispatch = _dispatch_table(target)
+        take_background = target.take_background_ns
+        latencies: Dict[OpType, List[int]] = {op: [] for op in OpType}
+        histograms: Dict[OpType, LatencyHistogram] = (
+            {op: LatencyHistogram() for op in OpType}
+            if self.use_histograms
+            else {}
+        )
+        if self.use_histograms:
+            sink = tuple(histograms[op].record for op in OPS_BY_CODE)
+        else:
+            sink = tuple(latencies[op].append for op in OPS_BY_CODE)
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
+        measure = self.measure_latency
+        timer = time.perf_counter_ns
+        keys = trace.unique_keys()
+        columns = zip(trace.op_codes, trace.key_ids, trace.value_sizes)
+        operations = len(trace)
+        failed_ops = 0
+        crashed_at: Optional[int] = None
+        started = time.perf_counter()
+        next_dispatch = started
+        for index, (code, kid, size) in enumerate(columns):
+            if interval:
+                if time.perf_counter() < next_dispatch:
+                    _throttle(next_dispatch)
+                next_dispatch += interval
+            key = keys[kid]
+            begin = timer()
+            try:
+                dispatch[code](key, size)
+            except InjectedCrash:
+                crashed_at = index
+                operations = index
+                break
+            except TransientStoreError:
+                failed_ops += 1
+                if injector is not None:
+                    injector.abandon_op()
+                continue
+            if measure:
+                elapsed_ns = timer() - begin - take_background()
+                sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+        elapsed = time.perf_counter() - started
+        return ReplayResult(
+            store=self.connector.name,
+            operations=operations,
+            elapsed_s=elapsed,
+            latencies_ns=latencies,
+            histograms=histograms,
+            failed_ops=failed_ops,
+            retries=retrier.retries if retrier is not None else 0,
+            injected_faults=injector.injected.total_faults if injector is not None else 0,
+            injected_delay_s=injector.injected.injected_delay_s if injector is not None else 0.0,
+            crashed_at=crashed_at,
+        )
+
 
 # ---------------------------------------------------------------------------
 # Sharded parallel replay
@@ -322,6 +430,10 @@ class ShardedReplayResult:
             elapsed_s=self.elapsed_s,
             latencies_ns=latencies,
             histograms=histograms,
+            failed_ops=sum(r.failed_ops for r in self.shard_results),
+            retries=sum(r.retries for r in self.shard_results),
+            injected_faults=sum(r.injected_faults for r in self.shard_results),
+            injected_delay_s=sum(r.injected_delay_s for r in self.shard_results),
         )
 
     def latency_percentile(self, percentile: float, op: Optional[OpType] = None) -> float:
@@ -368,14 +480,27 @@ class ShardedReplayer:
         measure_latency: bool = True,
         disable_gc: bool = True,
         use_histograms: bool = True,
+        fault_plan=None,
+        retry_policy=None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if fault_plan is not None and fault_plan.crash_at is not None:
+            raise ValueError(
+                "crash points are single-threaded experiments; use "
+                "repro.faults.evaluate_crash_recovery instead of a "
+                "sharded replay"
+            )
         self.num_workers = num_workers
         self.service_rate = service_rate
         self.measure_latency = measure_latency
         self.disable_gc = disable_gc
         self.use_histograms = use_histograms
+        #: each worker draws a fresh schedule from the same plan, so
+        #: every shard (and every store under comparison) sees the
+        #: same per-shard fault timeline
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
         if callable(connectors):
             self._connectors = [connectors() for _ in range(num_workers)]
             self._owns_connectors = True
@@ -412,12 +537,21 @@ class ShardedReplayer:
         start_barrier = threading.Barrier(self.num_workers)
 
         def worker(index: int) -> None:
+            # Per-worker policy copies: RetryPolicy carries a jitter
+            # RNG that must not be shared across threads.
+            policy = (
+                dataclasses.replace(self.retry_policy)
+                if self.retry_policy is not None
+                else None
+            )
             replayer = TraceReplayer(
                 self._connectors[index],
                 service_rate=per_worker_rate,
                 measure_latency=self.measure_latency,
                 disable_gc=False,  # GC is managed once for the fan-out
                 use_histograms=self.use_histograms,
+                fault_plan=self.fault_plan,
+                retry_policy=policy,
             )
             try:
                 start_barrier.wait()

@@ -1,0 +1,43 @@
+"""Fault injection and crash-recovery evaluation (the robustness axis).
+
+The paper promises *robust* evaluation of streaming state stores; this
+package supplies the machinery the happy-path harness lacks:
+
+* :class:`FaultPlan` / :class:`FaultSchedule` -- deterministic, seeded
+  schedules of transient errors, latency spikes, stalls, and crashes
+* :class:`FaultInjectingConnector` -- applies a plan to any connector
+* :class:`RetryPolicy` / :class:`RetryingConnector` -- bounded retries
+  with exponential backoff + jitter and a per-op deadline
+* :func:`evaluate_crash_recovery` -- kill an LSM-family store
+  mid-replay, time ``recover()``, and verify contents against an
+  uninterrupted run
+"""
+
+from .errors import FaultInjectionError, InjectedCrash, TransientStoreError
+from .injector import FaultInjectingConnector, FaultStats
+from .plan import FaultPlan, FaultSchedule, OpFaults, load_fault_plan
+from .recovery import (
+    RECOVERABLE_STORES,
+    CrashRecoveryResult,
+    crash_recovery_matrix,
+    evaluate_crash_recovery,
+)
+from .retry import RetryPolicy, RetryingConnector
+
+__all__ = [
+    "CrashRecoveryResult",
+    "FaultInjectingConnector",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultStats",
+    "InjectedCrash",
+    "OpFaults",
+    "RECOVERABLE_STORES",
+    "RetryPolicy",
+    "RetryingConnector",
+    "TransientStoreError",
+    "crash_recovery_matrix",
+    "evaluate_crash_recovery",
+    "load_fault_plan",
+]

@@ -1,0 +1,36 @@
+"""Typed errors raised by the fault-injection layer.
+
+Injected failures come in two flavours with very different contracts:
+
+* :class:`TransientStoreError` models a *retryable* failure -- a store
+  briefly refusing an operation (write stall, lock timeout, dropped
+  packet).  A :class:`~repro.faults.retry.RetryPolicy` absorbs these.
+* :class:`InjectedCrash` models *process death* at a planned operation
+  index.  It must never be retried; the crash-recovery evaluator
+  catches it, abandons the store object, and drives the store's
+  ``recover()`` path on the surviving storage.
+"""
+
+from __future__ import annotations
+
+from ..kvstores.api import KVStoreError
+
+
+class FaultInjectionError(KVStoreError):
+    """Base class for failures produced by the fault injector."""
+
+
+class TransientStoreError(FaultInjectionError):
+    """A retryable, injected failure of a single store operation."""
+
+
+class InjectedCrash(FaultInjectionError):
+    """The store "process" died at a planned crash point.
+
+    Carries the zero-based index of the operation that was about to
+    execute when the crash fired; that operation did *not* run.
+    """
+
+    def __init__(self, op_index: int) -> None:
+        super().__init__(f"injected crash before operation {op_index}")
+        self.op_index = op_index

@@ -1,0 +1,141 @@
+"""Fault-injecting connector wrapper.
+
+:class:`FaultInjectingConnector` sits between a replayer and any store
+connector (embedded or remote) and applies a :class:`~repro.faults.plan.FaultPlan`'s
+schedule to the operation stream: transient errors surface as
+:class:`~repro.faults.errors.TransientStoreError` *before* the inner
+store is touched, latency spikes and stalls sleep on the calling
+thread (they are part of the client-observed latency, like a GC pause
+or a network hiccup would be), and the crash point raises
+:class:`~repro.faults.errors.InjectedCrash`.
+
+Retried operations do not advance the schedule: a burst of ``n``
+transient errors fails the same logical operation ``n`` times, then the
+operation executes for real.  This makes store contents after a faulted
+replay (with a retry policy that outlasts the bursts) identical to an
+un-faulted run -- the invariant the determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..kvstores.connectors import StoreConnector
+from .errors import InjectedCrash, TransientStoreError
+from .plan import FaultPlan, FaultSchedule
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually fired during a replay."""
+
+    transient_errors: int = 0
+    latency_spikes: int = 0
+    injected_delay_s: float = 0.0
+    crashed_at: Optional[int] = None
+
+    @property
+    def total_faults(self) -> int:
+        crashes = 1 if self.crashed_at is not None else 0
+        return self.transient_errors + self.latency_spikes + crashes
+
+
+class FaultInjectingConnector:
+    """Applies a fault plan to every operation of an inner connector.
+
+    Drop-in for :class:`~repro.kvstores.connectors.StoreConnector`;
+    composes with :class:`~repro.faults.retry.RetryingConnector`
+    (retry outside, faults inside) so retries re-execute the *faulted*
+    operation rather than re-rolling the schedule.
+    """
+
+    def __init__(
+        self,
+        inner: StoreConnector,
+        plan: Union[FaultPlan, FaultSchedule],
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._inner = inner
+        self._schedule = plan.schedule() if isinstance(plan, FaultPlan) else plan
+        self._sleep = sleep
+        #: draw for the in-flight logical operation; retries of that
+        #: operation re-enter the gate without advancing the schedule
+        self._current = None
+        self._errors_left = 0
+        self.injected = FaultStats()
+        self.name = inner.name
+
+    @property
+    def inner(self) -> StoreConnector:
+        return self._inner
+
+    def _gate(self) -> None:
+        """Apply the faults owed to the current logical operation.
+
+        The schedule advances exactly once per logical operation: the
+        draw is cached until the gate lets the operation through, so a
+        retry replays the *same* op's remaining burst instead of
+        consuming the next op's faults (which would skew crash points
+        and make schedules depend on retry behaviour).
+        """
+        faults = self._current
+        if faults is None:
+            faults = self._schedule.next_op()
+            self._current = faults
+            self._errors_left = faults.transient_errors
+        op_index = self._schedule.index - 1
+        if faults.crash:
+            # A crashed process stays dead: every further call refails.
+            self.injected.crashed_at = op_index
+            raise InjectedCrash(op_index)
+        if self._errors_left:
+            self._errors_left -= 1
+            self.injected.transient_errors += 1
+            raise TransientStoreError(f"injected transient error (op {op_index})")
+        if faults.delay_s:
+            self.injected.latency_spikes += 1
+            self.injected.injected_delay_s += faults.delay_s
+            self._sleep(faults.delay_s)
+        self._current = None
+
+    def abandon_op(self) -> None:
+        """The caller gave up on the current logical operation.
+
+        Without this, the injector cannot tell "retry of the failed
+        op" from "next op", and an unretried failure would make the
+        next operation consume the failed op's leftover draw --
+        shifting every later fault (and the crash point) by one.
+        The guarded replay loop calls this whenever it counts a
+        failed op and moves on.
+        """
+        self._current = None
+        self._errors_left = 0
+
+    # -- connector API -------------------------------------------------------
+
+    def get(self, key: bytes):
+        self._gate()
+        return self._inner.get(key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._gate()
+        self._inner.put(key, value)
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        self._gate()
+        self._inner.merge(key, operand)
+
+    def delete(self, key: bytes) -> None:
+        self._gate()
+        self._inner.delete(key)
+
+    def take_background_ns(self) -> int:
+        return self._inner.take_background_ns()
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -1,0 +1,155 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` describes *what* can go wrong during a replay --
+transient errors, latency spikes, periodic stalls, and a crash point --
+and compiles into a :class:`FaultSchedule` that decides, per operation
+index, exactly which faults fire.  The schedule is a pure function of
+the plan (all randomness flows from ``seed``), so two replays under the
+same plan see byte-identical fault timelines.  That is the property the
+evaluator leans on: every store in a comparison is subjected to the
+*same* injected-fault schedule, making faulted rows comparable the way
+the paper's happy-path rows are.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class OpFaults:
+    """Faults scheduled for one operation index."""
+
+    #: fail the operation this many times before letting it through
+    transient_errors: int = 0
+    #: extra latency, in seconds, applied before the operation runs
+    delay_s: float = 0.0
+    #: the "process" dies immediately before this operation
+    crash: bool = False
+
+    @property
+    def any(self) -> bool:
+        return bool(self.transient_errors or self.delay_s or self.crash)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the faults to inject into a replay.
+
+    Rates are per-operation probabilities; ``seed`` fixes every random
+    draw, so the schedule is reproducible and identical across stores.
+    """
+
+    seed: int = 0
+    #: probability that an operation draws a transient-error burst
+    transient_error_rate: float = 0.0
+    #: consecutive failures per burst (a retry policy must outlast this)
+    error_burst: int = 1
+    #: probability that an operation draws an injected latency spike
+    latency_spike_rate: float = 0.0
+    #: spike magnitude in milliseconds
+    latency_spike_ms: float = 1.0
+    #: every N operations, stall the whole pipeline (0 disables)
+    stall_every: int = 0
+    #: stall magnitude in milliseconds
+    stall_ms: float = 0.0
+    #: kill the store immediately before this operation index
+    crash_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("transient_error_rate", "latency_spike_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.error_burst < 1:
+            raise ValueError("error_burst must be >= 1")
+        if self.stall_every < 0:
+            raise ValueError("stall_every must be >= 0")
+        if self.crash_at is not None and self.crash_at < 0:
+            raise ValueError("crash_at must be >= 0")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, config: dict) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(config) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**config)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan from a JSON config file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+        if not isinstance(config, dict):
+            raise ValueError(f"{path}: fault plan must be a JSON object")
+        return cls.from_dict(config)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    # -- compilation ---------------------------------------------------------
+
+    def schedule(self) -> "FaultSchedule":
+        """Fresh schedule starting at operation index 0."""
+        return FaultSchedule(self)
+
+    def preview(self, num_ops: int) -> List[OpFaults]:
+        """The first ``num_ops`` scheduled decisions (for inspection
+        and determinism tests); does not disturb any live schedule."""
+        schedule = self.schedule()
+        return [schedule.next_op() for _ in range(num_ops)]
+
+
+class FaultSchedule:
+    """Streaming view of a plan's per-operation fault decisions.
+
+    Decisions are drawn in operation order from ``Random(plan.seed)``,
+    so the sequence is fully determined by the plan.  Retried
+    operations must *not* advance the schedule -- the injector calls
+    :meth:`next_op` once per logical operation.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._index = 0
+
+    @property
+    def index(self) -> int:
+        """Index of the next logical operation."""
+        return self._index
+
+    def next_op(self) -> OpFaults:
+        plan = self.plan
+        index = self._index
+        self._index = index + 1
+        if plan.crash_at is not None and index == plan.crash_at:
+            return OpFaults(crash=True)
+        rng = self._rng
+        transient = 0
+        if plan.transient_error_rate and rng.random() < plan.transient_error_rate:
+            transient = plan.error_burst
+        delay_s = 0.0
+        if plan.latency_spike_rate and rng.random() < plan.latency_spike_rate:
+            delay_s += plan.latency_spike_ms / 1000.0
+        if plan.stall_every and index and index % plan.stall_every == 0:
+            delay_s += plan.stall_ms / 1000.0
+        return OpFaults(transient_errors=transient, delay_s=delay_s)
+
+    def __iter__(self) -> Iterator[OpFaults]:
+        while True:
+            yield self.next_op()
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Module-level convenience mirroring :meth:`FaultPlan.load`."""
+    return FaultPlan.load(path)

@@ -1,0 +1,194 @@
+"""Crash-recovery evaluation: kill a store mid-replay, recover, verify.
+
+The harness's recovery experiment mirrors how fault-tolerance-aware
+stream benchmarks (Karimov et al., ShuffleBench) treat failures as a
+benchmark dimension rather than an afterthought:
+
+1. replay the trace uninterrupted on a *reference* store instance,
+2. replay the same trace on a fresh store over its own storage, with a
+   planned :class:`~repro.faults.errors.InjectedCrash` at ``crash_at``
+   (the store object is abandoned un-flushed and un-closed, like a
+   process kill),
+3. open a new store over the surviving storage, time ``recover()`` and
+   count the WAL records it replays,
+4. resume the remainder of the trace on the recovered store,
+5. verify every key against the reference run.
+
+Steps 3--5 produce the three recovery metrics the evaluator reports:
+recovery time, WAL records replayed, and post-recovery correctness.
+Only stores with durable storage and a ``recover()`` path participate
+(the LSM family: ``rocksdb`` and ``lethe``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with repro.core
+    from ..core.replayer import ReplayResult
+
+from ..kvstores.api import MergeOperator
+from ..kvstores.connectors import StoreConnector, connect
+from ..kvstores.lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
+from ..kvstores.storage import MemoryStorage, Storage
+from ..trace import AccessTrace
+from .plan import FaultPlan
+from .retry import RetryPolicy
+
+#: stores whose storage survives a crash and that implement recover()
+RECOVERABLE_STORES = ("rocksdb", "lethe")
+
+_BUILDERS = {
+    "rocksdb": (RocksLSMStore, LSMConfig),
+    "lethe": (LetheStore, LetheConfig),
+}
+
+
+def _make_store(store_name: str, storage: Storage, merge_operator, overrides: dict):
+    try:
+        store_cls, config_cls = _BUILDERS[store_name]
+    except KeyError:
+        raise ValueError(
+            f"store {store_name!r} cannot run crash recovery; "
+            f"expected one of {RECOVERABLE_STORES}"
+        ) from None
+    return store_cls(config_cls(**overrides), merge_operator, storage=storage)
+
+
+@dataclass
+class CrashRecoveryResult:
+    """Metrics from one kill-recover-verify experiment."""
+
+    store: str
+    crash_at: int
+    #: operations executed across the pre-crash and resumed phases
+    operations: int
+    #: wall-clock seconds spent in ``recover()``
+    recovery_s: float
+    #: unflushed records rebuilt from the write-ahead log
+    wal_records_replayed: int
+    #: every key equal to the uninterrupted reference run
+    recovered_ok: bool
+    keys_checked: int
+    mismatches: int
+    pre_crash: ReplayResult
+    resumed: ReplayResult
+
+    @property
+    def recovery_ms(self) -> float:
+        return self.recovery_s * 1000.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "recovery_ms": self.recovery_ms,
+            "wal_records_replayed": float(self.wal_records_replayed),
+            "recovered_ok": float(self.recovered_ok),
+            "mismatches": float(self.mismatches),
+        }
+
+
+def evaluate_crash_recovery(
+    store_name: str,
+    trace: AccessTrace,
+    crash_at: int,
+    *,
+    plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    merge_operator: Optional[MergeOperator] = None,
+    service_rate: Optional[float] = None,
+    store_config: Optional[dict] = None,
+    verify: bool = True,
+) -> CrashRecoveryResult:
+    """Kill ``store_name`` at op ``crash_at``, recover, and verify.
+
+    An optional ``plan`` layers additional faults (transient errors,
+    latency spikes) onto the pre-crash phase; its ``crash_at`` is
+    overridden by this function's argument.  Content verification
+    against the uninterrupted reference assumes acknowledged writes
+    are not lost, so pair transient-error plans with a ``retry_policy``
+    that outlasts their bursts.
+    """
+    from ..core.replayer import TraceReplayer  # deferred: cycle with repro.core
+
+    if not 0 < crash_at < len(trace):
+        raise ValueError(
+            f"crash_at must fall inside the trace (0 < {crash_at} < {len(trace)})"
+        )
+    overrides = dict(store_config or {})
+
+    # 1. Reference: uninterrupted run on its own storage.
+    reference = connect(
+        _make_store(store_name, MemoryStorage(), merge_operator, overrides),
+        merge_operator,
+    )
+    TraceReplayer(reference, measure_latency=False).replay(trace)
+
+    # 2. Doomed run: planned crash; the store object is abandoned with
+    #    whatever its storage holds (no flush, no close).
+    storage = MemoryStorage()
+    doomed = connect(
+        _make_store(store_name, storage, merge_operator, overrides), merge_operator
+    )
+    crash_plan = replace(plan or FaultPlan(), crash_at=crash_at)
+    pre_crash = TraceReplayer(
+        doomed,
+        service_rate=service_rate,
+        fault_plan=crash_plan,
+        retry_policy=retry_policy,
+    ).replay(trace)
+    if pre_crash.crashed_at != crash_at:
+        raise RuntimeError(
+            f"crash fired at {pre_crash.crashed_at}, expected {crash_at}"
+        )
+    del doomed
+
+    # 3. Recovery: new store over the surviving storage.
+    revived = _make_store(store_name, storage, merge_operator, overrides)
+    began = time.perf_counter()
+    wal_records = revived.recover()
+    recovery_s = time.perf_counter() - began
+
+    # 4. Resume the rest of the trace on the recovered store.
+    recovered = connect(revived, merge_operator)
+    resumed = TraceReplayer(recovered, service_rate=service_rate).replay(
+        trace[crash_at:]
+    )
+
+    # 5. Verify post-recovery contents against the reference.
+    keys_checked = 0
+    mismatches = 0
+    if verify:
+        for key in trace.unique_keys():
+            keys_checked += 1
+            if recovered.get(key) != reference.get(key):
+                mismatches += 1
+    reference.close()
+    recovered.close()
+
+    return CrashRecoveryResult(
+        store=store_name,
+        crash_at=crash_at,
+        operations=pre_crash.operations + resumed.operations,
+        recovery_s=recovery_s,
+        wal_records_replayed=wal_records,
+        recovered_ok=verify and mismatches == 0,
+        keys_checked=keys_checked,
+        mismatches=mismatches,
+        pre_crash=pre_crash,
+        resumed=resumed,
+    )
+
+
+def crash_recovery_matrix(
+    trace: AccessTrace,
+    crash_at: int,
+    stores=RECOVERABLE_STORES,
+    **kwargs,
+):
+    """Run :func:`evaluate_crash_recovery` for each recoverable store."""
+    return [
+        evaluate_crash_recovery(store_name, trace, crash_at, **kwargs)
+        for store_name in stores
+    ]

@@ -1,0 +1,171 @@
+"""Bounded retries with exponential backoff and jitter.
+
+:class:`RetryPolicy` is the single retry mechanism of the harness: the
+replayer wraps connectors with :class:`RetryingConnector` to absorb
+injected transient errors, and :class:`~repro.kvstores.remote.RemoteStoreClient`
+uses the same policy to reconnect after socket timeouts.  Delays grow
+exponentially (``base * multiplier**attempt``), are capped at
+``max_delay_s``, and carry proportional jitter so synchronized clients
+do not retry in lockstep.  A ``seed`` makes the jitter deterministic
+for tests; an ``op_timeout_s`` bounds the total time (sleeps included)
+one logical operation may consume before the last error is re-raised.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Tuple, Type
+
+from .errors import TransientStoreError
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with jitter and a per-op deadline."""
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.002
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    #: fraction of the delay added/removed at random (0 disables)
+    jitter: float = 0.25
+    #: total wall-clock budget per operation, sleeps included
+    op_timeout_s: Optional[float] = None
+    #: seed for deterministic jitter (None -> nondeterministic)
+    seed: Optional[int] = None
+    #: exception types worth retrying
+    retry_on: Tuple[Type[BaseException], ...] = (TransientStoreError,)
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    # -- delay schedule ------------------------------------------------------
+
+    def base_delays(self) -> Iterator[float]:
+        """Capped exponential delays, before jitter, one per retry."""
+        delay = self.base_delay_s
+        for _ in range(self.max_attempts - 1):
+            yield min(delay, self.max_delay_s)
+            delay *= self.multiplier
+
+    def _jittered(self, delay: float) -> float:
+        if not self.jitter or not delay:
+            return delay
+        spread = delay * self.jitter
+        return max(0.0, delay + self._rng.uniform(-spread, spread))
+
+    # -- execution -----------------------------------------------------------
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        retry_on: Optional[Tuple[Type[BaseException], ...]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ):
+        """Invoke ``fn(*args)``, retrying on the configured errors.
+
+        ``on_retry(attempt, error)`` fires before each backoff sleep;
+        callers use it to count retries or reconnect a transport.
+        Non-retryable exceptions propagate immediately; the final
+        retryable error is re-raised once attempts or the per-op
+        deadline are exhausted.
+        """
+        retryable = retry_on if retry_on is not None else self.retry_on
+        deadline = (
+            clock() + self.op_timeout_s if self.op_timeout_s is not None else None
+        )
+        delays = self.base_delays()
+        attempt = 0
+        while True:
+            try:
+                return fn(*args)
+            except retryable as error:
+                attempt += 1
+                try:
+                    delay = self._jittered(next(delays))
+                except StopIteration:
+                    raise error
+                if deadline is not None and clock() + delay > deadline:
+                    raise error
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                if delay:
+                    sleep(delay)
+
+
+class RetryingConnector:
+    """Connector facade that retries each operation under a policy.
+
+    Wraps any connector-shaped object (including
+    :class:`~repro.faults.injector.FaultInjectingConnector` and
+    :class:`~repro.kvstores.remote.RemoteStoreClient`) and counts the
+    retries and give-ups it performed, so replay results can report
+    how hard the store had to be driven to get through the fault
+    schedule.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy,
+        retry_on: Optional[Tuple[Type[BaseException], ...]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._inner = inner
+        self._policy = policy
+        self._retry_on = retry_on
+        self._sleep = sleep
+        self.retries = 0
+        self.giveups = 0
+        self.name = inner.name
+
+    @property
+    def inner(self):
+        return self._inner
+
+    def _call(self, fn, *args):
+        def count(attempt: int, error: BaseException) -> None:
+            self.retries += 1
+
+        try:
+            return self._policy.call(
+                fn, *args, retry_on=self._retry_on, sleep=self._sleep, on_retry=count
+            )
+        except BaseException:
+            self.giveups += 1
+            raise
+
+    # -- connector API -------------------------------------------------------
+
+    def get(self, key: bytes):
+        return self._call(self._inner.get, key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._call(self._inner.put, key, value)
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        self._call(self._inner.merge, key, operand)
+
+    def delete(self, key: bytes) -> None:
+        self._call(self._inner.delete, key)
+
+    def take_background_ns(self) -> int:
+        return self._inner.take_background_ns()
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -22,7 +22,7 @@ from .factory import STORE_NAMES, create_connector, create_store
 from .faster import FasterConfig, FasterStore
 from .lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
 from .memory import InMemoryStore
-from .remote import RemoteStoreClient, StoreServer
+from .remote import RemoteStoreClient, RemoteStoreError, StoreServer
 from .storage import FileStorage, MemoryStorage, Storage, StorageError, make_storage
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "MergeOperator",
     "ReadModifyWriteConnector",
     "RemoteStoreClient",
+    "RemoteStoreError",
     "RocksLSMStore",
     "StoreServer",
     "STORE_NAMES",

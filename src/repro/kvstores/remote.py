@@ -16,6 +16,22 @@ The server handles each connection on its own thread; single-writer
 semantics per key are preserved by the dataflow model itself (one task
 writes any given key), while the server serializes store access with a
 lock, like the thread-safe facades of real external stores.
+
+Failure semantics (the robustness axis):
+
+* every client socket operation runs under a configurable timeout; a
+  hung or killed server surfaces as a typed :class:`RemoteStoreError`
+  within that timeout instead of blocking the replayer forever
+* protocol-level failures (unknown opcode, a store exception on the
+  server) come back as an explicit ``REPLY_ERROR`` frame rather than a
+  silently dead connection
+* an optional :class:`~repro.faults.RetryPolicy` makes the client
+  reconnect-and-retry through transient server outages; retried writes
+  are at-least-once, which is safe for the replayer's idempotent
+  ``put``/``delete`` and benchmark-acceptable for ``merge``
+* :meth:`StoreServer.stop` drains in-flight requests before closing
+  the underlying store, so a shutdown never yanks the store out from
+  under a handler mid-operation
 """
 
 from __future__ import annotations
@@ -24,10 +40,13 @@ import socket
 import socketserver
 import struct
 import threading
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
-from .api import KVStore
+from .api import KVStore, KVStoreError
 from .connectors import StoreConnector, connect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.retry import RetryPolicy
 
 _HEADER = struct.Struct("<BII")  # opcode, key length, value length
 
@@ -37,12 +56,29 @@ OP_MERGE = 2
 OP_DELETE = 3
 OP_CLOSE = 4
 
+_KNOWN_OPS = frozenset((OP_GET, OP_PUT, OP_MERGE, OP_DELETE))
+
 REPLY_MISSING = 0
 REPLY_VALUE = 1
 REPLY_OK = 2
+REPLY_ERROR = 3
+
+#: default per-operation socket timeout for clients, in seconds
+DEFAULT_TIMEOUT_S = 5.0
+
+
+class RemoteStoreError(KVStoreError):
+    """A remote store operation failed (timeout, dead server, or an
+    error reply from the protocol)."""
 
 
 def _recv_exact(sock: socket.socket, length: int) -> bytes:
+    """Receive exactly ``length`` bytes.
+
+    Honours the socket's configured timeout: ``socket.timeout``
+    propagates to the caller (the client converts it to a
+    :class:`RemoteStoreError`; the server treats it like a dead peer).
+    """
     chunks = []
     remaining = length
     while remaining:
@@ -54,6 +90,14 @@ def _recv_exact(sock: socket.socket, length: int) -> bytes:
     return b"".join(chunks)
 
 
+def _send_error(sock: socket.socket, message: str) -> None:
+    payload = message.encode("utf-8", errors="replace")
+    try:
+        sock.sendall(struct.pack("<BI", REPLY_ERROR, len(payload)) + payload)
+    except OSError:
+        pass  # peer already gone; nothing left to tell it
+
+
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         connector: StoreConnector = self.server.connector  # type: ignore[attr-defined]
@@ -62,34 +106,52 @@ class _Handler(socketserver.BaseRequestHandler):
         while True:
             try:
                 header = _recv_exact(sock, _HEADER.size)
-            except ConnectionError:
+            except (ConnectionError, OSError):
                 return
             opcode, key_len, value_len = _HEADER.unpack(header)
             if opcode == OP_CLOSE:
                 return
-            key = _recv_exact(sock, key_len) if key_len else b""
-            value = _recv_exact(sock, value_len) if value_len else b""
-            with lock:
+            if opcode not in _KNOWN_OPS:
+                # Always answer: a handler that dies without replying
+                # leaves the client deadlocked on the socket.
+                _send_error(sock, f"unknown opcode {opcode}")
+                return
+            try:
+                key = _recv_exact(sock, key_len) if key_len else b""
+                value = _recv_exact(sock, value_len) if value_len else b""
+            except (ConnectionError, OSError):
+                return
+            try:
+                with lock:
+                    if self.server.closing:  # type: ignore[attr-defined]
+                        _send_error(sock, "server is shutting down")
+                        return
+                    if opcode == OP_GET:
+                        result = connector.get(key)
+                    elif opcode == OP_PUT:
+                        connector.put(key, value)
+                        result = None
+                    elif opcode == OP_MERGE:
+                        connector.merge(key, value)
+                        result = None
+                    else:  # OP_DELETE
+                        connector.delete(key)
+                        result = None
+            except Exception as exc:  # store-level failure: report, keep serving
+                _send_error(sock, f"{type(exc).__name__}: {exc}")
+                continue
+            try:
                 if opcode == OP_GET:
-                    result = connector.get(key)
-                elif opcode == OP_PUT:
-                    connector.put(key, value)
-                    result = None
-                elif opcode == OP_MERGE:
-                    connector.merge(key, value)
-                    result = None
-                elif opcode == OP_DELETE:
-                    connector.delete(key)
-                    result = None
+                    if result is None:
+                        sock.sendall(struct.pack("<BI", REPLY_MISSING, 0))
+                    else:
+                        sock.sendall(
+                            struct.pack("<BI", REPLY_VALUE, len(result)) + result
+                        )
                 else:
-                    raise ValueError(f"unknown opcode {opcode}")
-            if opcode == OP_GET:
-                if result is None:
-                    sock.sendall(struct.pack("<BI", REPLY_MISSING, 0))
-                else:
-                    sock.sendall(struct.pack("<BI", REPLY_VALUE, len(result)) + result)
-            else:
-                sock.sendall(struct.pack("<BI", REPLY_OK, 0))
+                    sock.sendall(struct.pack("<BI", REPLY_OK, 0))
+            except OSError:
+                return
 
 
 class StoreServer:
@@ -103,6 +165,7 @@ class StoreServer:
         self._server.daemon_threads = True
         self._server.connector = connect(store)  # type: ignore[attr-defined]
         self._server.store_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._server.closing = False  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -118,11 +181,20 @@ class StoreServer:
         return self
 
     def stop(self) -> None:
+        """Stop accepting, drain in-flight requests, then close the store.
+
+        Every handler performs store operations under ``store_lock``;
+        taking that lock (with ``closing`` already set so late-arriving
+        requests are refused) guarantees no handler is mid-request when
+        ``store.close()`` runs.
+        """
+        self._server.closing = True  # type: ignore[attr-defined]
         self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
-        self.store.close()
+        with self._server.store_lock:  # type: ignore[attr-defined]
+            self.store.close()
 
     def __enter__(self) -> "StoreServer":
         return self.start()
@@ -137,23 +209,104 @@ class RemoteStoreClient:
     Drop-in for :class:`~repro.kvstores.connectors.StoreConnector`:
     the trace replayer and the performance evaluator can measure an
     external store without code changes.
+
+    ``timeout`` bounds every socket operation (connect, send, receive);
+    a server that hangs or dies mid-run raises :class:`RemoteStoreError`
+    within that bound instead of wedging the replay.  Pass
+    ``retry_policy`` (a :class:`~repro.faults.RetryPolicy`) to have the
+    client drop the broken socket, reconnect, and retry the operation
+    with the policy's backoff before giving up.
     """
 
-    def __init__(self, host: str, port: int, store_name: str = "remote") -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        store_name: str = "remote",
+        timeout: Optional[float] = DEFAULT_TIMEOUT_S,
+        connect_timeout: Optional[float] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+    ) -> None:
         self.name = store_name
-        self._sock = socket.create_connection((host, port))
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._address = (host, port)
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout if connect_timeout is not None else timeout
+        self._retry_policy = retry_policy
+        self._sock: Optional[socket.socket] = None
+        self.reconnects = 0
+        self._connect()
+
+    # -- connection management ---------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            sock = socket.create_connection(
+                self._address, timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise RemoteStoreError(
+                f"cannot connect to {self.name} at "
+                f"{self._address[0]}:{self._address[1]}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self._timeout)
+        self._sock = sock
+
+    def _drop_socket(self) -> None:
+        """Discard a socket whose request/reply framing is no longer
+        trustworthy (timeout mid-reply, connection reset)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     # -- protocol ----------------------------------------------------------
 
+    def _request_once(self, opcode: int, key: bytes, value: bytes) -> Optional[bytes]:
+        sock = self._sock
+        if sock is None:
+            raise RemoteStoreError(f"{self.name} client is not connected")
+        try:
+            sock.sendall(_HEADER.pack(opcode, len(key), len(value)) + key + value)
+            status, length = struct.unpack("<BI", _recv_exact(sock, 5))
+            if status == REPLY_VALUE:
+                return _recv_exact(sock, length)
+            if status == REPLY_ERROR:
+                message = (
+                    _recv_exact(sock, length).decode("utf-8", errors="replace")
+                    if length
+                    else "unspecified server error"
+                )
+                raise RemoteStoreError(f"{self.name} server error: {message}")
+            if status == REPLY_MISSING:
+                return None
+            return None  # REPLY_OK
+        except socket.timeout as exc:
+            self._drop_socket()
+            raise RemoteStoreError(
+                f"{self.name} operation timed out after {self._timeout}s "
+                "(server hung or dead)"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self._drop_socket()
+            raise RemoteStoreError(
+                f"lost connection to {self.name} server: {exc}"
+            ) from exc
+
+    def _attempt(self, opcode: int, key: bytes, value: bytes) -> Optional[bytes]:
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+        return self._request_once(opcode, key, value)
+
     def _request(self, opcode: int, key: bytes, value: bytes = b"") -> Optional[bytes]:
-        self._sock.sendall(_HEADER.pack(opcode, len(key), len(value)) + key + value)
-        status, length = struct.unpack("<BI", _recv_exact(self._sock, 5))
-        if status == REPLY_VALUE:
-            return _recv_exact(self._sock, length)
-        if status == REPLY_MISSING:
-            return None
-        return None  # REPLY_OK
+        if self._retry_policy is None:
+            return self._request_once(opcode, key, value)
+        return self._retry_policy.call(
+            self._attempt, opcode, key, value, retry_on=(RemoteStoreError,)
+        )
 
     # -- connector API -------------------------------------------------------
 
@@ -176,11 +329,13 @@ class RemoteStoreClient:
         """The server owns durability; nothing to do client-side."""
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.sendall(_HEADER.pack(OP_CLOSE, 0, 0))
         except OSError:
             pass
-        self._sock.close()
+        self._drop_socket()
 
     def __enter__(self) -> "RemoteStoreClient":
         return self

@@ -1,7 +1,9 @@
 """Shared fixtures for the test suite."""
 
 import os
+import signal
 import sys
+import threading
 
 import pytest
 
@@ -12,6 +14,46 @@ if _SRC not in sys.path:
 
 from repro.datasets import AzureConfig, BorgConfig, TaxiConfig  # noqa: E402
 from repro.datasets import generate_azure, generate_borg, generate_taxi  # noqa: E402
+
+
+@pytest.fixture
+def hang_guard():
+    """Lightweight pytest-timeout stand-in for socket/remote tests.
+
+    Arms a SIGALRM watchdog: if the test wedges on a socket (the class
+    of bug the remote-protocol timeout fixes prevent), the alarm
+    interrupts the blocking call and fails the test fast instead of
+    hanging the whole suite.  No-op on platforms without SIGALRM or
+    off the main thread.
+
+    Usage::
+
+        @pytest.fixture(autouse=True)
+        def _guard(hang_guard):
+            hang_guard(30)
+    """
+    state = {"armed": False, "previous": None}
+
+    def arm(seconds: float = 30.0) -> None:
+        if not hasattr(signal, "SIGALRM"):
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return
+
+        def on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {seconds}s hang guard -- a socket "
+                "operation is probably blocking without a timeout"
+            )
+
+        state["previous"] = signal.signal(signal.SIGALRM, on_alarm)
+        state["armed"] = True
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+
+    yield arm
+    if state["armed"]:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, state["previous"])
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,107 @@
+"""Fault plan: determinism, config round-trips, schedule semantics."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, InjectedCrash, OpFaults, load_fault_plan
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(
+            seed=42,
+            transient_error_rate=0.05,
+            error_burst=3,
+            latency_spike_rate=0.02,
+            latency_spike_ms=2.0,
+            stall_every=100,
+            stall_ms=10.0,
+        )
+        assert plan.preview(2_000) == plan.preview(2_000)
+
+    def test_two_schedules_from_one_plan_agree(self):
+        plan = FaultPlan(seed=9, transient_error_rate=0.1, latency_spike_rate=0.1)
+        first = [plan.schedule().next_op() for _ in range(1)]  # fresh each time
+        a, b = plan.schedule(), plan.schedule()
+        assert [a.next_op() for _ in range(500)] == [b.next_op() for _ in range(500)]
+        assert first[0] == plan.preview(1)[0]
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(transient_error_rate=0.05, latency_spike_rate=0.05)
+        a = FaultPlan(seed=1, **kwargs).preview(2_000)
+        b = FaultPlan(seed=2, **kwargs).preview(2_000)
+        assert a != b
+
+    def test_schedule_is_plan_independent_of_consumption_chunks(self):
+        plan = FaultPlan(seed=3, transient_error_rate=0.2)
+        schedule = plan.schedule()
+        chunked = [schedule.next_op() for _ in range(100)]
+        assert chunked == plan.preview(100)
+
+
+class TestScheduleSemantics:
+    def test_crash_at_fires_exactly_once_at_index(self):
+        plan = FaultPlan(seed=0, crash_at=7)
+        decisions = plan.preview(10)
+        assert [d.crash for d in decisions] == [i == 7 for i in range(10)]
+
+    def test_burst_size_respected(self):
+        plan = FaultPlan(seed=5, transient_error_rate=1.0, error_burst=4)
+        decision = plan.preview(1)[0]
+        assert decision.transient_errors == 4
+
+    def test_stall_every_n_ops(self):
+        plan = FaultPlan(seed=0, stall_every=10, stall_ms=5.0)
+        decisions = plan.preview(31)
+        stalled = [i for i, d in enumerate(decisions) if d.delay_s > 0]
+        assert stalled == [10, 20, 30]
+        assert decisions[10].delay_s == pytest.approx(0.005)
+
+    def test_zero_rates_mean_no_faults(self):
+        assert all(not d.any for d in FaultPlan(seed=1).preview(1_000))
+
+
+class TestConfig:
+    def test_dict_round_trip(self):
+        plan = FaultPlan(seed=11, transient_error_rate=0.01, stall_every=50)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_load_json_file(self, tmp_path):
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps({"seed": 4, "latency_spike_rate": 0.5}))
+        plan = load_fault_plan(str(path))
+        assert plan.seed == 4
+        assert plan.latency_spike_rate == 0.5
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"seed": 1, "latencey_spike_rate": 0.1})
+
+    def test_non_object_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.load(str(path))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"transient_error_rate": 1.5},
+            {"latency_spike_rate": -0.1},
+            {"error_burst": 0},
+            {"stall_every": -1},
+            {"crash_at": -5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestOpFaults:
+    def test_any_flag(self):
+        assert not OpFaults().any
+        assert OpFaults(transient_errors=1).any
+        assert OpFaults(delay_s=0.001).any
+        assert OpFaults(crash=True).any

@@ -8,6 +8,12 @@ from repro.kvstores import InMemoryStore, create_store
 from repro.kvstores.remote import RemoteStoreClient, StoreServer
 
 
+@pytest.fixture(autouse=True)
+def _guard(hang_guard):
+    """A reintroduced protocol hang should fail fast, not wedge the suite."""
+    hang_guard(60)
+
+
 @pytest.fixture
 def server():
     with StoreServer(create_store("rocksdb")) as srv:
