@@ -168,8 +168,18 @@ def _fault_options(args):
     return fault_plan, retry_policy
 
 
+def _disk_plan(args):
+    """Resolve --disk-faults (and a fault plan's nested ``disk``) into
+    a DiskFaultPlan or None."""
+    from .faults import DiskFaultPlan
+
+    if getattr(args, "disk_faults", None):
+        return DiskFaultPlan.load(args.disk_faults)
+    return None
+
+
 def _recovery_rows(result) -> List[List]:
-    return [
+    rows = [
         ["store", result.store],
         ["crash at op", result.crash_at],
         ["operations (pre + resumed)", result.operations],
@@ -183,29 +193,47 @@ def _recovery_rows(result) -> List[List]:
         ["resumed throughput (kops)",
          round(result.resumed.throughput_ops / 1000.0, 1)],
     ]
+    if result.disk_faults is not None:
+        rows += [
+            ["disk faults injected", result.disk_faults.faults_injected],
+            ["corruptions detected", result.corruptions_detected],
+            ["corruptions repaired", result.corruptions_repaired],
+            ["scrub (ms)", round(result.scrub_ms or 0.0, 3)],
+        ]
+    return rows
 
 
 def cmd_replay(args) -> int:
     trace = AccessTrace.load(args.trace)
     fault_plan, retry_policy = _fault_options(args)
+    disk_plan = _disk_plan(args)
     if args.crash_at is not None:
         from .faults import RECOVERABLE_STORES, evaluate_crash_recovery
 
         if args.shards > 1:
             raise SystemExit("error: --crash-at does not combine with --shards")
         if args.store not in RECOVERABLE_STORES:
-            raise SystemExit(
-                f"error: --crash-at needs a recoverable store "
-                f"({', '.join(RECOVERABLE_STORES)}), got {args.store!r}"
+            print(
+                f"error: store {args.store!r} does not support crash recovery "
+                f"(no durable WAL + recover() path); recoverable stores: "
+                f"{', '.join(RECOVERABLE_STORES)}",
+                file=sys.stderr,
             )
+            return 2
         result = evaluate_crash_recovery(
             args.store, trace, args.crash_at,
             plan=fault_plan, retry_policy=retry_policy,
-            service_rate=args.service_rate,
+            service_rate=args.service_rate, disk_plan=disk_plan,
         )
         print(render_table(["metric", "value"], _recovery_rows(result),
                            title="crash-recovery result"))
         return 0 if result.recovered_ok else 1
+    if disk_plan is not None:
+        raise SystemExit(
+            "error: replay only uses --disk-faults together with "
+            "--crash-at; use 'repro scrub' or 'repro compare' for "
+            "disk-fault runs"
+        )
     if args.shards > 1:
         from .core import ShardedReplayer
 
@@ -288,27 +316,76 @@ def cmd_ycsb(args) -> int:
 def cmd_compare(args) -> int:
     trace = AccessTrace.load(args.trace)
     fault_plan, retry_policy = _fault_options(args)
+    disk_plan = _disk_plan(args)
     evaluator = PerformanceEvaluator(
         stores=args.stores, fault_plan=fault_plan, retry_policy=retry_policy
     )
     if args.crash_at is not None:
         from .faults import RECOVERABLE_STORES
 
+        recoverable = [s for s in args.stores if s in RECOVERABLE_STORES]
+        skipped = [s for s in args.stores if s not in RECOVERABLE_STORES]
+        if not recoverable:
+            print(
+                f"error: none of the requested stores "
+                f"({', '.join(args.stores)}) support crash recovery "
+                f"(no durable WAL + recover() path); recoverable stores: "
+                f"{', '.join(RECOVERABLE_STORES)}",
+                file=sys.stderr,
+            )
+            return 2
+        if skipped:
+            print(
+                f"note: skipping {', '.join(skipped)}: no crash-recovery "
+                f"support", file=sys.stderr,
+            )
         recovery_rows = evaluator.evaluate_crash_recovery(
             args.trace, trace, args.crash_at,
-            stores=[s for s in args.stores if s in RECOVERABLE_STORES] or None,
+            stores=recoverable, disk_plan=disk_plan,
+        )
+        if disk_plan is not None:
+            rows = [
+                [row.store, round(row.throughput_kops, 1),
+                 round(row.recovery_ms or 0.0, 3), row.wal_replayed,
+                 row.corruptions_detected, row.corruptions_repaired,
+                 "yes" if row.recovered_ok else "NO"]
+                for row in recovery_rows
+            ]
+            print(render_table(
+                ["store", "kops", "recovery ms", "wal replayed",
+                 "corrupt found", "repaired", "recovered"],
+                rows, title=f"crash-recovery comparison on {args.trace} "
+                f"(crash at op {args.crash_at}, with disk faults)"))
+        else:
+            rows = [
+                [row.store, round(row.throughput_kops, 1),
+                 round(row.recovery_ms or 0.0, 3), row.wal_replayed,
+                 "yes" if row.recovered_ok else "NO"]
+                for row in recovery_rows
+            ]
+            print(render_table(
+                ["store", "kops", "recovery ms", "wal replayed", "recovered"],
+                rows, title=f"crash-recovery comparison on {args.trace} "
+                f"(crash at op {args.crash_at})"))
+        return 0 if all(row.recovered_ok for row in recovery_rows) else 1
+    if disk_plan is not None:
+        integrity_rows = evaluator.evaluate_integrity(
+            args.trace, trace, disk_plan
         )
         rows = [
             [row.store, round(row.throughput_kops, 1),
-             round(row.recovery_ms or 0.0, 3), row.wal_replayed,
-             "yes" if row.recovered_ok else "NO"]
-            for row in recovery_rows
+             row.corruptions_detected, row.corruptions_repaired,
+             row.corruptions_unrecoverable, round(row.scrub_ms or 0.0, 3)]
+            for row in integrity_rows
         ]
         print(render_table(
-            ["store", "kops", "recovery ms", "wal replayed", "recovered"],
-            rows, title=f"crash-recovery comparison on {args.trace} "
-            f"(crash at op {args.crash_at})"))
-        return 0 if all(row.recovered_ok for row in recovery_rows) else 1
+            ["store", "kops", "corrupt found", "repaired", "unrecoverable",
+             "scrub ms"],
+            rows, title=f"integrity comparison on {args.trace} "
+            f"(seeded disk faults, seed {disk_plan.seed})"))
+        best = max(rows, key=lambda r: (r[2], r[3]))
+        print(f"most corruption detected: {best[0]}")
+        return 0
     results = evaluator.evaluate(args.trace, trace)
     if fault_plan is not None:
         rows = [
@@ -332,6 +409,47 @@ def cmd_compare(args) -> int:
     best = max(rows, key=lambda r: r[1])
     print(f"best throughput: {best[0]}")
     return 0
+
+
+def cmd_scrub(args) -> int:
+    """Replay a trace per store, optionally damage the on-disk state
+    with a seeded plan, then scrub and report what was found."""
+    from .kvstores import connect, create_store
+
+    trace = AccessTrace.load(args.trace)
+    disk_plan = _disk_plan(args)
+    rows: List[List] = []
+    dirty = False
+    for store_name in args.stores:
+        overrides = {}
+        if args.checksum and store_name != "memory":
+            overrides["checksum"] = args.checksum
+        store = create_store(store_name, **overrides)
+        connector = connect(store)
+        TraceReplayer(connector, measure_latency=False).replay(trace)
+        connector.flush()
+        injected = 0
+        backend = connector.storage_backend()
+        if disk_plan is not None and backend is not None:
+            injected = disk_plan.apply(backend).faults_injected
+        report = connector.scrub()
+        dirty = dirty or not report.clean
+        rows.append([
+            store_name,
+            report.structures_checked,
+            injected,
+            report.corruptions_detected,
+            report.corruptions_repaired,
+            report.unrecoverable,
+            round(report.scrub_ms, 3),
+        ])
+        connector.close()
+    print(render_table(
+        ["store", "structures", "injected", "detected", "repaired",
+         "unrecoverable", "scrub ms"],
+        rows, title=f"scrub of {args.trace}"
+        + (f" (disk faults, seed {disk_plan.seed})" if disk_plan else "")))
+    return 2 if dirty else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -373,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
             "stores only)",
         )
         sub.add_argument(
+            "--disk-faults", metavar="CONFIG",
+            help="JSON disk-fault plan (seeded bit flips, torn writes, "
+            "lost writes) applied to the on-disk state; with compare it "
+            "runs the integrity comparison, with --crash-at it damages "
+            "the surviving storage before recovery",
+        )
+        sub.add_argument(
             "--no-retry", action="store_true",
             help="disable the retry policy (injected transient errors "
             "then count as failed ops)",
@@ -399,6 +524,25 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=STORE_NAMES)
     add_fault_options(compare)
 
+    scrub = subparsers.add_parser(
+        "scrub", help="verify on-disk checksums after replaying a trace"
+    )
+    scrub.add_argument("trace")
+    scrub.add_argument("--stores", nargs="+",
+                       default=["rocksdb", "lethe", "faster", "berkeleydb"],
+                       choices=STORE_NAMES)
+    scrub.add_argument(
+        "--disk-faults", metavar="CONFIG",
+        help="JSON disk-fault plan applied before the scrub (to "
+        "measure detection coverage)",
+    )
+    scrub.add_argument(
+        "--checksum", default=None,
+        choices=["none", "crc32", "crc32c", "default"],
+        help="checksum algorithm the stores write with (default: "
+        "crc32c when native, else crc32)",
+    )
+
     ycsb = subparsers.add_parser(
         "ycsb", help="generate a YCSB trace (baseline comparison)"
     )
@@ -418,6 +562,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "replay": cmd_replay,
     "compare": cmd_compare,
+    "scrub": cmd_scrub,
     "ycsb": cmd_ycsb,
 }
 

@@ -28,8 +28,10 @@ from .replayer import (
 from ..faults import (
     RECOVERABLE_STORES,
     CrashRecoveryResult,
+    DiskFaultPlan,
     FaultPlan,
     RetryPolicy,
+    check_recoverable,
     evaluate_crash_recovery,
 )
 
@@ -99,6 +101,15 @@ class EvaluationRow:
     wal_replayed: Optional[int] = None
     #: post-recovery contents matched an uninterrupted run
     recovered_ok: Optional[bool] = None
+    # -- integrity columns (disk-fault and scrub runs) ---------------------
+    #: corruptions the store detected (recovery, reads, scrub)
+    corruptions_detected: Optional[int] = None
+    #: of those, repaired from redundant state
+    corruptions_repaired: Optional[int] = None
+    #: of those, permanently lost
+    corruptions_unrecoverable: Optional[int] = None
+    #: wall-clock of the scrub walk
+    scrub_ms: Optional[float] = None
 
     @classmethod
     def from_result(cls, workload: str, result: ReplayResult) -> "EvaluationRow":
@@ -133,6 +144,10 @@ class EvaluationRow:
         row.recovery_ms = result.recovery_ms
         row.wal_replayed = result.wal_records_replayed
         row.recovered_ok = result.recovered_ok
+        if result.disk_faults is not None:
+            row.corruptions_detected = result.corruptions_detected
+            row.corruptions_repaired = result.corruptions_repaired
+            row.scrub_ms = result.scrub_ms
         return row
 
 
@@ -298,6 +313,7 @@ class PerformanceEvaluator:
         stores: Optional[Sequence[str]] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        disk_plan: Optional[DiskFaultPlan] = None,
     ) -> List[EvaluationRow]:
         """Kill-recover-verify each recoverable store (the robustness
         counterpart of :meth:`evaluate`).
@@ -307,12 +323,20 @@ class PerformanceEvaluator:
         ``recover()`` path, resumed, and verified against an
         uninterrupted run; rows carry ``recovery_ms``,
         ``wal_replayed``, and ``recovered_ok`` next to the usual
-        throughput/latency columns.
+        throughput/latency columns.  A ``disk_plan`` additionally
+        damages the surviving storage before recovery and adds the
+        corruption columns.
+
+        An explicitly requested store that has no recovery path fails
+        fast here rather than mid-experiment.
         """
         plan = fault_plan if fault_plan is not None else self.fault_plan
-        chosen = tuple(stores) if stores is not None else tuple(
-            s for s in self.stores if s in RECOVERABLE_STORES
-        )
+        if stores is not None:
+            chosen = tuple(stores)
+            for store_name in chosen:
+                check_recoverable(store_name)
+        else:
+            chosen = tuple(s for s in self.stores if s in RECOVERABLE_STORES)
         if not chosen:
             raise ValueError(
                 f"no recoverable stores among {self.stores}; "
@@ -328,8 +352,48 @@ class PerformanceEvaluator:
                 retry_policy=self._fresh_policy(retry_policy),
                 service_rate=self.service_rate,
                 store_config=self.store_configs.get(store_name),
+                disk_plan=disk_plan,
             )
             rows.append(EvaluationRow.from_recovery(workload_name, result))
+        return rows
+
+    def evaluate_integrity(
+        self,
+        workload_name: str,
+        trace: AccessTrace,
+        disk_plan: DiskFaultPlan,
+        stores: Optional[Sequence[str]] = None,
+        setup: Optional[Callable[[StoreConnector], None]] = None,
+    ) -> List[EvaluationRow]:
+        """Replay, damage the on-disk state, scrub, and report.
+
+        Each store replays the trace, flushes, has the seeded
+        ``disk_plan`` applied to its storage backend (the identical
+        blob-name-keyed damage function for every store), and then
+        scrubs.  Rows rank stores on how much injected damage they
+        detect, repair, or lose -- the integrity axis next to the
+        throughput axis of :meth:`evaluate`.
+        """
+        chosen = tuple(stores) if stores is not None else self.stores
+        rows: List[EvaluationRow] = []
+        for store_name in chosen:
+            connector = self._connector(store_name)
+            if setup is not None:
+                setup(connector)
+            replayer = TraceReplayer(connector, service_rate=self.service_rate)
+            result = replayer.replay(trace)
+            connector.flush()
+            backend = connector.storage_backend()
+            if backend is not None:
+                disk_plan.apply(backend)
+            report = connector.scrub()
+            row = EvaluationRow.from_result(workload_name, result)
+            row.corruptions_detected = report.corruptions_detected
+            row.corruptions_repaired = report.corruptions_repaired
+            row.corruptions_unrecoverable = report.unrecoverable
+            row.scrub_ms = report.scrub_ms
+            rows.append(row)
+            connector.close()
         return rows
 
     def evaluate_sharded(

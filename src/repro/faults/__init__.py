@@ -13,19 +13,33 @@ package supplies the machinery the happy-path harness lacks:
   uninterrupted run
 """
 
+from .corruption import (
+    CorruptingStorage,
+    DiskFaultPlan,
+    DiskFaultStats,
+    DiskFullError,
+    flip_bits,
+    load_disk_fault_plan,
+    tear_blob,
+)
 from .errors import FaultInjectionError, InjectedCrash, TransientStoreError
 from .injector import FaultInjectingConnector, FaultStats
 from .plan import FaultPlan, FaultSchedule, OpFaults, load_fault_plan
 from .recovery import (
     RECOVERABLE_STORES,
     CrashRecoveryResult,
+    check_recoverable,
     crash_recovery_matrix,
     evaluate_crash_recovery,
 )
 from .retry import RetryPolicy, RetryingConnector
 
 __all__ = [
+    "CorruptingStorage",
     "CrashRecoveryResult",
+    "DiskFaultPlan",
+    "DiskFaultStats",
+    "DiskFullError",
     "FaultInjectingConnector",
     "FaultInjectionError",
     "FaultPlan",
@@ -37,7 +51,11 @@ __all__ = [
     "RetryPolicy",
     "RetryingConnector",
     "TransientStoreError",
+    "check_recoverable",
     "crash_recovery_matrix",
     "evaluate_crash_recovery",
+    "flip_bits",
+    "load_disk_fault_plan",
     "load_fault_plan",
+    "tear_blob",
 ]

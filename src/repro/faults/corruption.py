@@ -1,0 +1,287 @@
+"""Deterministic disk-fault injection at the storage layer.
+
+The fault plans in :mod:`repro.faults.plan` model *process*-level
+trouble (errors, latency, crashes).  This module models the disk
+itself misbehaving, the failure class the storage-integrity subsystem
+exists to catch:
+
+* **bit flips** -- silent media corruption inside a blob
+* **torn writes** -- a blob survives only as a prefix (power loss
+  mid-write)
+* **lost writes** -- a blob vanishes entirely (dropped by a caching
+  layer that acked it)
+* **disk full** -- writes start failing after a byte budget
+
+A :class:`DiskFaultPlan` is seeded and *order-independent*: each blob's
+fate is drawn from ``Random(f"{seed}:{blob_name}")``, so the same plan
+applied to the same blob set damages exactly the same bytes no matter
+the walk order or which store produced them.  Plans are applied either
+post-hoc to a quiescent store's storage (:meth:`DiskFaultPlan.apply`,
+modelling corruption at rest) or live through
+:class:`CorruptingStorage` (modelling a failing write path).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field, fields
+from fnmatch import fnmatch
+from typing import Iterable, List, Optional, Tuple
+
+from ..kvstores.storage import Storage, StorageError
+
+
+class DiskFullError(StorageError):
+    """Raised by :class:`CorruptingStorage` once the byte budget is spent."""
+
+
+def flip_bits(data: bytes, rng: random.Random, bits: int) -> bytes:
+    """Flip ``bits`` randomly chosen bits of ``data`` (empty-safe)."""
+    if not data or bits <= 0:
+        return data
+    out = bytearray(data)
+    for _ in range(bits):
+        position = rng.randrange(len(out) * 8)
+        out[position // 8] ^= 1 << (position % 8)
+    return bytes(out)
+
+
+def tear_blob(data: bytes, rng: random.Random) -> bytes:
+    """Keep a random non-empty proper prefix of ``data`` (empty-safe)."""
+    if len(data) < 2:
+        return data
+    return data[: rng.randrange(1, len(data))]
+
+
+@dataclass
+class DiskFaultStats:
+    """What a :meth:`DiskFaultPlan.apply` walk actually damaged."""
+
+    blobs_seen: int = 0
+    blobs_matched: int = 0
+    bit_flips: int = 0
+    torn_writes: int = 0
+    lost_writes: int = 0
+    #: ``(blob_name, fault_kind)`` per injected fault, in walk order
+    findings: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def faults_injected(self) -> int:
+        return len(self.findings)
+
+    def summary(self) -> dict:
+        return {
+            "blobs_seen": self.blobs_seen,
+            "blobs_matched": self.blobs_matched,
+            "bit_flips": self.bit_flips,
+            "torn_writes": self.torn_writes,
+            "lost_writes": self.lost_writes,
+            "faults_injected": self.faults_injected,
+        }
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """Seeded description of disk-level damage.
+
+    Rates are per-blob probabilities.  Each blob draws its fate from an
+    RNG keyed on ``(seed, blob name)``, so the plan is reproducible and
+    independent of application order.  At most one fault kind fires per
+    blob, drawn in severity order: lost write, then torn write, then
+    bit flips.
+    """
+
+    seed: int = 0
+    #: probability a matched blob receives bit flips
+    bit_flip_rate: float = 0.0
+    #: bits flipped in an affected blob
+    bits_per_flip: int = 1
+    #: probability a matched blob is truncated to a random prefix
+    torn_write_rate: float = 0.0
+    #: probability a matched blob disappears entirely
+    lost_write_rate: float = 0.0
+    #: live writes fail with :class:`DiskFullError` after this many
+    #: bytes (0 disables; only meaningful via :class:`CorruptingStorage`)
+    disk_full_after_bytes: int = 0
+    #: fnmatch globs selecting which blobs are eligible
+    targets: Tuple[str, ...] = ("*",)
+
+    def __post_init__(self) -> None:
+        for name in ("bit_flip_rate", "torn_write_rate", "lost_write_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.bits_per_flip < 1:
+            raise ValueError("bits_per_flip must be >= 1")
+        if self.disk_full_after_bytes < 0:
+            raise ValueError("disk_full_after_bytes must be >= 0")
+        if isinstance(self.targets, list):
+            object.__setattr__(self, "targets", tuple(self.targets))
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, config: dict) -> "DiskFaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(config) - known
+        if unknown:
+            raise ValueError(
+                f"unknown disk-fault-plan keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**config)
+
+    @classmethod
+    def load(cls, path: str) -> "DiskFaultPlan":
+        """Read a plan from a JSON config file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+        if not isinstance(config, dict):
+            raise ValueError(f"{path}: disk-fault plan must be a JSON object")
+        return cls.from_dict(config)
+
+    def to_dict(self) -> dict:
+        config = asdict(self)
+        config["targets"] = list(config["targets"])
+        return config
+
+    # -- application ---------------------------------------------------------
+
+    def matches(self, name: str) -> bool:
+        return any(fnmatch(name, pattern) for pattern in self.targets)
+
+    def _blob_rng(self, name: str) -> random.Random:
+        return random.Random(f"{self.seed}:{name}")
+
+    def fate(self, name: str) -> Optional[str]:
+        """The fault kind this plan assigns to ``name`` (or ``None``).
+
+        Pure function of ``(seed, name)`` -- used by tests to predict
+        exactly which blobs :meth:`apply` will damage.
+        """
+        if not self.matches(name):
+            return None
+        rng = self._blob_rng(name)
+        if rng.random() < self.lost_write_rate:
+            return "lost_write"
+        if rng.random() < self.torn_write_rate:
+            return "torn_write"
+        if rng.random() < self.bit_flip_rate:
+            return "bit_flip"
+        return None
+
+    def damage(self, name: str, data: bytes) -> Tuple[Optional[str], Optional[bytes]]:
+        """Apply this blob's fate to ``data``.
+
+        Returns ``(fault_kind, new_bytes)``; ``(None, data)`` when the
+        blob is spared and ``("lost_write", None)`` when it vanishes.
+        """
+        kind = self.fate(name)
+        if kind is None:
+            return None, data
+        rng = self._blob_rng(name)
+        rng.random()  # burn the fate draws so damage bytes are independent
+        rng.random()
+        rng.random()
+        if kind == "lost_write":
+            return kind, None
+        if kind == "torn_write":
+            return kind, tear_blob(data, rng)
+        return kind, flip_bits(data, rng, self.bits_per_flip)
+
+    def apply(self, storage: Storage, names: Optional[Iterable[str]] = None) -> DiskFaultStats:
+        """Damage a quiescent storage in place; returns what was hit."""
+        stats = DiskFaultStats()
+        for name in sorted(names if names is not None else storage.list()):
+            stats.blobs_seen += 1
+            if not self.matches(name):
+                continue
+            stats.blobs_matched += 1
+            kind, data = self.damage(name, storage.read(name))
+            if kind is None:
+                continue
+            if data is None:
+                storage.delete(name)
+                stats.lost_writes += 1
+            elif kind == "torn_write":
+                storage.write(name, data)
+                stats.torn_writes += 1
+            else:
+                storage.write(name, data)
+                stats.bit_flips += 1
+            stats.findings.append((name, kind))
+        return stats
+
+
+class CorruptingStorage(Storage):
+    """Write-path wrapper injecting a :class:`DiskFaultPlan` live.
+
+    Each ``write`` damages the outgoing bytes according to the blob's
+    seeded fate (appends are left intact: the WAL's torn tail is
+    modelled post-hoc by :meth:`DiskFaultPlan.apply`).  When the plan
+    sets ``disk_full_after_bytes``, writes and appends raise
+    :class:`DiskFullError` once the budget is spent, modelling ENOSPC.
+    """
+
+    def __init__(self, inner: Storage, plan: DiskFaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.stats = DiskFaultStats()
+        self.bytes_written = 0
+
+    def _charge(self, amount: int) -> None:
+        budget = self.plan.disk_full_after_bytes
+        if budget and self.bytes_written + amount > budget:
+            raise DiskFullError(
+                f"disk full: {self.bytes_written} bytes written of a "
+                f"{budget}-byte budget"
+            )
+        self.bytes_written += amount
+
+    def write(self, name: str, data: bytes) -> None:
+        self._charge(len(data))
+        self.stats.blobs_seen += 1
+        if self.plan.matches(name):
+            self.stats.blobs_matched += 1
+            kind, damaged = self.plan.damage(name, data)
+            if kind == "lost_write":
+                self.stats.lost_writes += 1
+                self.stats.findings.append((name, kind))
+                return  # acked but never persisted
+            if kind == "torn_write":
+                self.stats.torn_writes += 1
+                self.stats.findings.append((name, kind))
+                data = damaged
+            elif kind == "bit_flip":
+                self.stats.bit_flips += 1
+                self.stats.findings.append((name, kind))
+                data = damaged
+        self.inner.write(name, data)
+
+    def append(self, name: str, data: bytes) -> None:
+        self._charge(len(data))
+        self.inner.append(name, data)
+
+    def read(self, name: str) -> bytes:
+        return self.inner.read(name)
+
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        return self.inner.read_range(name, offset, length)
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def list(self) -> Iterable[str]:
+        return self.inner.list()
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)
+
+
+def load_disk_fault_plan(path: str) -> DiskFaultPlan:
+    """Module-level convenience mirroring :meth:`DiskFaultPlan.load`."""
+    return DiskFaultPlan.load(path)

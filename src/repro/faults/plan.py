@@ -18,6 +18,8 @@ import random
 from dataclasses import asdict, dataclass, fields
 from typing import Iterator, List, Optional
 
+from .corruption import DiskFaultPlan
+
 
 @dataclass(frozen=True)
 class OpFaults:
@@ -58,8 +60,14 @@ class FaultPlan:
     stall_ms: float = 0.0
     #: kill the store immediately before this operation index
     crash_at: Optional[int] = None
+    #: disk-level damage (bit flips, torn/lost writes, disk full) to
+    #: compose with the process-level faults above; accepts a nested
+    #: dict in JSON configs
+    disk: Optional[DiskFaultPlan] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.disk, dict):
+            object.__setattr__(self, "disk", DiskFaultPlan.from_dict(self.disk))
         for name in ("transient_error_rate", "latency_spike_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:

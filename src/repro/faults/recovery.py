@@ -34,6 +34,7 @@ from ..kvstores.connectors import StoreConnector, connect
 from ..kvstores.lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
 from ..kvstores.storage import MemoryStorage, Storage
 from ..trace import AccessTrace
+from .corruption import DiskFaultPlan, DiskFaultStats
 from .plan import FaultPlan
 from .retry import RetryPolicy
 
@@ -46,14 +47,26 @@ _BUILDERS = {
 }
 
 
-def _make_store(store_name: str, storage: Storage, merge_operator, overrides: dict):
-    try:
-        store_cls, config_cls = _BUILDERS[store_name]
-    except KeyError:
+def check_recoverable(store_name: str) -> None:
+    """Raise a clear error for stores without a crash-recovery path.
+
+    A store participates only if its storage survives a process kill
+    *and* it implements ``recover()`` -- today the LSM family.  The
+    in-memory store loses everything with the process and the B+Tree
+    has no write-ahead log, so a crash-recovery run against them would
+    be meaningless.
+    """
+    if store_name not in _BUILDERS:
         raise ValueError(
-            f"store {store_name!r} cannot run crash recovery; "
-            f"expected one of {RECOVERABLE_STORES}"
-        ) from None
+            f"store {store_name!r} does not support crash recovery "
+            f"(no durable WAL + recover() path); "
+            f"recoverable stores: {', '.join(RECOVERABLE_STORES)}"
+        )
+
+
+def _make_store(store_name: str, storage: Storage, merge_operator, overrides: dict):
+    check_recoverable(store_name)
+    store_cls, config_cls = _BUILDERS[store_name]
     return store_cls(config_cls(**overrides), merge_operator, storage=storage)
 
 
@@ -75,6 +88,16 @@ class CrashRecoveryResult:
     mismatches: int
     pre_crash: ReplayResult
     resumed: ReplayResult
+    #: disk faults injected into the surviving storage (None when the
+    #: run had no disk-fault plan)
+    disk_faults: Optional[DiskFaultStats] = None
+    #: corruptions the revived store detected (recovery + scrub)
+    corruptions_detected: int = 0
+    #: of those, how many it repaired from redundant state
+    corruptions_repaired: int = 0
+    #: wall-clock milliseconds of the post-recovery scrub (None when
+    #: the run had no disk-fault plan)
+    scrub_ms: Optional[float] = None
 
     @property
     def recovery_ms(self) -> float:
@@ -86,6 +109,8 @@ class CrashRecoveryResult:
             "wal_records_replayed": float(self.wal_records_replayed),
             "recovered_ok": float(self.recovered_ok),
             "mismatches": float(self.mismatches),
+            "corruptions_detected": float(self.corruptions_detected),
+            "corruptions_repaired": float(self.corruptions_repaired),
         }
 
 
@@ -100,6 +125,7 @@ def evaluate_crash_recovery(
     service_rate: Optional[float] = None,
     store_config: Optional[dict] = None,
     verify: bool = True,
+    disk_plan: Optional[DiskFaultPlan] = None,
 ) -> CrashRecoveryResult:
     """Kill ``store_name`` at op ``crash_at``, recover, and verify.
 
@@ -109,9 +135,19 @@ def evaluate_crash_recovery(
     against the uninterrupted reference assumes acknowledged writes
     are not lost, so pair transient-error plans with a ``retry_policy``
     that outlasts their bursts.
+
+    ``disk_plan`` (defaulting to ``plan.disk``) damages the surviving
+    storage *between* the crash and the revival -- modelling the disk
+    the process died on coming back corrupted.  The revived store then
+    has to detect the damage (WAL truncation, checksum failures) and
+    the result carries its corruption counters plus a post-recovery
+    scrub time.
     """
     from ..core.replayer import TraceReplayer  # deferred: cycle with repro.core
 
+    check_recoverable(store_name)
+    if disk_plan is None and plan is not None:
+        disk_plan = plan.disk
     if not 0 < crash_at < len(trace):
         raise ValueError(
             f"crash_at must fall inside the trace (0 < {crash_at} < {len(trace)})"
@@ -144,11 +180,21 @@ def evaluate_crash_recovery(
         )
     del doomed
 
+    # 2.5. Damage the surviving storage before anyone reopens it.
+    disk_faults: Optional[DiskFaultStats] = None
+    if disk_plan is not None:
+        disk_faults = disk_plan.apply(storage)
+
     # 3. Recovery: new store over the surviving storage.
     revived = _make_store(store_name, storage, merge_operator, overrides)
     began = time.perf_counter()
     wal_records = revived.recover()
     recovery_s = time.perf_counter() - began
+
+    # 3.5. Post-recovery scrub: surface any damage recovery missed.
+    scrub_ms: Optional[float] = None
+    if disk_plan is not None:
+        scrub_ms = revived.scrub().scrub_ms
 
     # 4. Resume the rest of the trace on the recovered store.
     recovered = connect(revived, merge_operator)
@@ -178,6 +224,10 @@ def evaluate_crash_recovery(
         mismatches=mismatches,
         pre_crash=pre_crash,
         resumed=resumed,
+        disk_faults=disk_faults,
+        corruptions_detected=revived.integrity.detected,
+        corruptions_repaired=revived.integrity.repaired,
+        scrub_ms=scrub_ms,
     )
 
 

@@ -20,6 +20,16 @@ from .cache import LRUCache
 from .connectors import ReadModifyWriteConnector, StoreConnector, connect
 from .factory import STORE_NAMES, create_connector, create_store
 from .faster import FasterConfig, FasterStore
+from .integrity import (
+    ChecksumKind,
+    CorruptionError,
+    IntegrityCounters,
+    ScrubFinding,
+    ScrubReport,
+    checksum,
+    crc32c,
+    resolve_checksum_kind,
+)
 from .lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
 from .memory import InMemoryStore
 from .remote import RemoteStoreClient, RemoteStoreError, StoreServer
@@ -29,11 +39,14 @@ __all__ = [
     "AppendMergeOperator",
     "BTreeConfig",
     "BTreeStore",
+    "ChecksumKind",
+    "CorruptionError",
     "CounterMergeOperator",
     "FasterConfig",
     "FasterStore",
     "FileStorage",
     "InMemoryStore",
+    "IntegrityCounters",
     "KVStore",
     "KVStoreError",
     "LRUCache",
@@ -46,6 +59,8 @@ __all__ = [
     "RemoteStoreClient",
     "RemoteStoreError",
     "RocksLSMStore",
+    "ScrubFinding",
+    "ScrubReport",
     "StoreServer",
     "STORE_NAMES",
     "Storage",
@@ -54,8 +69,11 @@ __all__ = [
     "StoreConnector",
     "StoreStats",
     "UnsupportedOperationError",
+    "checksum",
     "connect",
+    "crc32c",
     "create_connector",
     "create_store",
     "make_storage",
+    "resolve_checksum_kind",
 ]

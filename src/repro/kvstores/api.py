@@ -127,6 +127,12 @@ class KVStore(abc.ABC):
     def __init__(self) -> None:
         self.stats = StoreStats()
         self._closed = False
+        # Deferred import: repro.kvstores.integrity subclasses
+        # KVStoreError from this module.
+        from .integrity import IntegrityCounters
+
+        #: corruption detections/repairs accumulated while running
+        self.integrity = IntegrityCounters()
 
     # -- core operations -------------------------------------------------
 
@@ -173,6 +179,27 @@ class KVStore(abc.ABC):
 
     def flush(self) -> None:
         """Persist buffered writes (no-op for purely in-memory stores)."""
+
+    def storage_backend(self):
+        """The :class:`~repro.kvstores.storage.Storage` holding this
+        store's persistent artifacts, or ``None`` for purely in-memory
+        stores.  The disk-fault injector and scrub tooling reach the
+        on-disk state through this accessor."""
+        return None
+
+    def scrub(self):
+        """Walk every on-disk structure, verify checksums, and return a
+        :class:`~repro.kvstores.integrity.ScrubReport`.
+
+        Stores without persistent structures report a clean, empty
+        walk.  Persistent stores verify all blocks/pages/segments,
+        repair what redundant state allows (e.g. rewrite a corrupt page
+        from its resident copy, truncate a torn WAL tail), and count
+        the rest as unrecoverable.
+        """
+        from .integrity import ScrubReport
+
+        return ScrubReport()
 
     def close(self) -> None:
         """Flush and release resources; further operations fail."""

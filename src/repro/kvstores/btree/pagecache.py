@@ -3,23 +3,36 @@
 All live pages are reached through this cache.  Pages evicted by the
 byte budget are serialized into storage; a later access deserializes
 them back -- charging realistic miss work without real disk latency.
+
+Persisted pages carry the checksummed v2 framing from
+:mod:`repro.kvstores.btree.node` (unless the cache was configured with
+``ChecksumKind.NONE``), and every page-in verifies the frame before
+deserializing.  A damaged page raises
+:class:`~repro.kvstores.integrity.CorruptionError`; :meth:`scrub`
+repairs corrupt blobs whose page is still resident in the cache by
+rewriting them from the in-memory copy.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from ..cache import LRUCache
-from ..storage import MemoryStorage, Storage
-from .node import decode_node
+from ..integrity import ChecksumKind, CorruptionError, ScrubFinding, ScrubReport, timed_scrub
+from ..storage import MemoryStorage, Storage, StorageError
+from .node import decode_page, encode_page
 
 
 class PageCache:
     def __init__(
-        self, capacity_bytes: int = 256 * 1024, storage: Optional[Storage] = None
+        self,
+        capacity_bytes: int = 256 * 1024,
+        storage: Optional[Storage] = None,
+        checksum_kind: ChecksumKind = ChecksumKind.NONE,
     ) -> None:
         self.storage = storage if storage is not None else MemoryStorage()
+        self.checksum_kind = checksum_kind
         self._dirty: Set[int] = set()
         self._cache: LRUCache = LRUCache(
             capacity_bytes,
@@ -48,7 +61,7 @@ class PageCache:
         if page_id not in self._on_disk:
             raise KeyError(f"unknown page: {page_id}")
         raw = self.storage.read(self._blob(page_id))
-        node = decode_node(raw)
+        node = decode_page(raw, self._blob(page_id))
         self.page_ins += 1
         self._cache.put(page_id, node)
         return node
@@ -84,6 +97,39 @@ class PageCache:
                 self._persist(page_id, node)
         self._dirty.clear()
 
+    def scrub(self) -> ScrubReport:
+        """Verify every persisted page; repair from resident copies.
+
+        A corrupt blob whose page still lives in the cache is rewritten
+        from the in-memory node (repaired); with no resident copy the
+        page is unrecoverable.
+        """
+        report = ScrubReport()
+        with timed_scrub(report):
+            for page_id in sorted(self._on_disk):
+                blob = self._blob(page_id)
+                report.structures_checked += 1
+                try:
+                    raw = self.storage.read(blob)
+                except StorageError as exc:
+                    self._scrub_repair(report, page_id, blob, f"unreadable page: {exc}")
+                    continue
+                try:
+                    decode_page(raw, blob)
+                except CorruptionError as exc:
+                    self._scrub_repair(report, page_id, blob, exc.detail, exc.offset)
+        return report
+
+    def _scrub_repair(
+        self, report: ScrubReport, page_id: int, blob: str, detail: str, offset: int = 0
+    ) -> None:
+        node = self._cache.peek(page_id)
+        if node is not None:
+            self._persist(page_id, node)
+            report.add(ScrubFinding(blob, offset, detail, repaired=True))
+        else:
+            report.add(ScrubFinding(blob, offset, detail, repaired=False))
+
     # ------------------------------------------------------------------
 
     def _write_back(self, page_id: int, node) -> None:
@@ -96,7 +142,7 @@ class PageCache:
             self.background_ns += time.perf_counter_ns() - begin
 
     def _persist(self, page_id: int, node) -> None:
-        self.storage.write(self._blob(page_id), node.encode())
+        self.storage.write(self._blob(page_id), encode_page(node, self.checksum_kind))
         self._on_disk.add(page_id)
         self.page_outs += 1
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from ..api import KVStore
+from ..integrity import ScrubReport, resolve_checksum_kind
 from ..storage import Storage
 from .node import InternalNode, LeafNode
 from .pagecache import PageCache
@@ -35,6 +36,9 @@ class BTreeConfig:
     #: BerkeleyDB reclaims lazily by default; enabling this keeps the
     #: tree compact under streaming's delete-heavy workloads.
     rebalance_on_delete: bool = True
+    #: checksum algorithm for persisted pages: "none", "crc32",
+    #: "crc32c", or None/"default" for the platform default
+    checksum: Optional[str] = None
 
 
 @dataclass
@@ -55,7 +59,8 @@ class BTreeStore(KVStore):
         self.config = config or BTreeConfig()
         if self.config.order < 4:
             raise ValueError("order must be at least 4")
-        self._pages = PageCache(self.config.cache_bytes, storage)
+        self.checksum_kind = resolve_checksum_kind(self.config.checksum)
+        self._pages = PageCache(self.config.cache_bytes, storage, self.checksum_kind)
         self._root_id = self._pages.allocate(LeafNode())
         self._height = 1
         self._count = 0
@@ -122,6 +127,15 @@ class BTreeStore(KVStore):
 
     def flush(self) -> None:
         self._pages.flush()
+
+    def storage_backend(self) -> Storage:
+        return self._pages.storage
+
+    def scrub(self) -> ScrubReport:
+        """Verify every persisted page; repair from resident copies."""
+        report = self._pages.scrub()
+        self.integrity.absorb(report)
+        return report
 
     def take_background_ns(self) -> int:
         spent, self._pages.background_ns = self._pages.background_ns, 0

@@ -46,6 +46,12 @@ class StoreConnector:
     def flush(self) -> None:
         self.store.flush()
 
+    def scrub(self):
+        return self.store.scrub()
+
+    def storage_backend(self):
+        return self.store.storage_backend()
+
     def close(self) -> None:
         self.store.close()
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..api import AppendMergeOperator, KVStore, MergeOperator
+from ..integrity import ScrubReport, resolve_checksum_kind
 from ..storage import Storage
 from .hashindex import HashIndex
 from .hybridlog import HybridLog, LogRecord
@@ -30,6 +31,9 @@ class FasterConfig:
     memory_budget: int = 256 * 1024
     mutable_fraction: float = 0.9
     segment_size: int = 16 * 1024
+    #: checksum algorithm for sealed segments: "none", "crc32",
+    #: "crc32c", or None/"default" for the platform default
+    checksum: Optional[str] = None
 
 
 class FasterStore(KVStore):
@@ -45,11 +49,13 @@ class FasterStore(KVStore):
         self.config = config or FasterConfig()
         self.merge_operator = merge_operator or AppendMergeOperator()
         self.index = HashIndex()
+        self.checksum_kind = resolve_checksum_kind(self.config.checksum)
         self.log = HybridLog(
             memory_budget=self.config.memory_budget,
             mutable_fraction=self.config.mutable_fraction,
             segment_size=self.config.segment_size,
             storage=storage,
+            checksum_kind=self.checksum_kind,
         )
 
     # ------------------------------------------------------------------
@@ -126,6 +132,15 @@ class FasterStore(KVStore):
 
     def flush(self) -> None:
         self.log.flush()
+
+    def storage_backend(self) -> Storage:
+        return self.log.storage
+
+    def scrub(self) -> ScrubReport:
+        """Verify every sealed hybrid-log segment."""
+        report = self.log.scrub()
+        self.integrity.absorb(report)
+        return report
 
     def take_background_ns(self) -> int:
         spent, self.log.background_ns = self.log.background_ns, 0

@@ -6,14 +6,28 @@ Every record is ``(kind, sequence, key, value)``:
 * ``sequence`` -- monotonically increasing write sequence number used to
   order records for the same key during reads and compaction
 * wire format: ``kind:1 | seq:8 | klen:4 | vlen:4 | key | value``
+
+WAL files come in two formats:
+
+* **v1 (legacy)** -- back-to-back raw records, no header.  Truncation
+  mid-record is detectable structurally; bit flips are not.
+* **v2 (checksummed)** -- an 8-byte file header
+  (``"GWAL" | version | checksum-kind | pad``) followed by framed
+  records: ``crc:4 | len:4 | record``.  The CRC covers the record
+  payload, so replay can truncate at the first damaged frame instead
+  of deserializing garbage.  v1 files never start with ``"G"`` (the
+  first byte of a record is its kind, 0--2), so readers dispatch on
+  the magic.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Iterator, Tuple
+from typing import Iterator, List, Optional, Tuple
+
+from ..integrity import ChecksumKind, checksum
 
 
 class RecordKind(IntEnum):
@@ -61,3 +75,121 @@ def decode_all(buf: bytes) -> Iterator[Record]:
     while offset < end:
         record, offset = decode_record(buf, offset)
         yield record
+
+
+# ---------------------------------------------------------------------------
+# WAL framing (v2, checksummed)
+# ---------------------------------------------------------------------------
+
+WAL_MAGIC = b"GWAL"
+WAL_VERSION = 2
+_WAL_HEADER = struct.Struct("<4sBBH")  # magic, version, checksum kind, pad
+WAL_HEADER_SIZE = _WAL_HEADER.size
+_FRAME = struct.Struct("<II")  # crc32 of payload, payload length
+
+
+def wal_header(kind: ChecksumKind) -> bytes:
+    """The file header starting every v2 WAL."""
+    return _WAL_HEADER.pack(WAL_MAGIC, WAL_VERSION, int(kind), 0)
+
+
+def frame_record(record: Record, kind: ChecksumKind) -> bytes:
+    """Frame one record for a v2 WAL append."""
+    payload = record.encode()
+    return _FRAME.pack(checksum(payload, kind), len(payload)) + payload
+
+
+@dataclass
+class WalDecodeResult:
+    """Outcome of a defensive WAL decode.
+
+    ``valid_bytes`` is the prefix length (header included) holding only
+    intact records; rewriting the file to that prefix repairs a torn or
+    bit-flipped tail.
+    """
+
+    records: List[Record] = field(default_factory=list)
+    valid_bytes: int = 0
+    version: int = 1
+    truncated: bool = False
+    #: human-readable reason the decode stopped early (None when clean)
+    corruption: Optional[str] = None
+
+
+def decode_wal(buf: bytes) -> WalDecodeResult:
+    """Decode a WAL of either format, stopping at the first damage.
+
+    Never raises for corrupt input: replay consumes ``records`` (the
+    recoverable prefix) and recovery truncates the file to
+    ``valid_bytes``.
+    """
+    if buf[:4] == WAL_MAGIC:
+        return _decode_wal_v2(buf)
+    return _decode_wal_v1(buf)
+
+
+def _decode_wal_v2(buf: bytes) -> WalDecodeResult:
+    _, version, kind_value, _ = _WAL_HEADER.unpack_from(buf, 0)
+    result = WalDecodeResult(valid_bytes=WAL_HEADER_SIZE, version=version)
+    try:
+        kind = ChecksumKind(kind_value)
+    except ValueError:
+        result.truncated = True
+        result.corruption = f"unknown checksum kind {kind_value}"
+        return result
+    offset = WAL_HEADER_SIZE
+    end = len(buf)
+    while offset < end:
+        if offset + _FRAME.size > end:
+            result.truncated = True
+            result.corruption = f"torn frame header at offset {offset}"
+            return result
+        crc, length = _FRAME.unpack_from(buf, offset)
+        start = offset + _FRAME.size
+        if start + length > end:
+            result.truncated = True
+            result.corruption = f"torn record at offset {offset}"
+            return result
+        payload = bytes(buf[start : start + length])
+        if checksum(payload, kind) != crc:
+            result.truncated = True
+            result.corruption = f"checksum mismatch at offset {offset}"
+            return result
+        try:
+            record, consumed = decode_record(payload, 0)
+            if consumed != length:
+                raise ValueError("trailing bytes inside frame")
+        except (struct.error, ValueError) as exc:
+            # A frame whose checksum passes but whose payload does not
+            # parse means the frame was written damaged.
+            result.truncated = True
+            result.corruption = f"undecodable record at offset {offset}: {exc}"
+            return result
+        result.records.append(record)
+        offset = start + length
+        result.valid_bytes = offset
+    return result
+
+
+def _decode_wal_v1(buf: bytes) -> WalDecodeResult:
+    """Legacy WAL: structural validation only (no checksums)."""
+    result = WalDecodeResult(version=1)
+    offset = 0
+    end = len(buf)
+    while offset < end:
+        if offset + HEADER_SIZE > end:
+            result.truncated = True
+            result.corruption = f"torn record header at offset {offset}"
+            return result
+        kind, sequence, klen, vlen = _HEADER.unpack_from(buf, offset)
+        start = offset + HEADER_SIZE
+        if kind not in (0, 1, 2) or start + klen + vlen > end:
+            result.truncated = True
+            result.corruption = f"torn or invalid record at offset {offset}"
+            return result
+        key = bytes(buf[start : start + klen])
+        value = bytes(buf[start + klen : start + klen + vlen])
+        result.records.append(Record(RecordKind(kind), sequence, key, value))
+        offset = start + klen + vlen
+        result.valid_bytes = offset
+    return result

@@ -13,6 +13,18 @@ Layout of an SSTable blob::
 The index and bloom sections are pinned in memory per open table, like
 RocksDB's pinned filter/index blocks; data blocks go through the shared
 LRU block cache.
+
+Two footer formats exist:
+
+* **v1 (legacy)** -- 32-byte ``<QQQQ`` footer, no checksums anywhere.
+* **v2 (checksummed)** -- every data block carries a CRC in its index
+  entry, the bloom and index sections carry CRCs in the footer, and
+  the footer ends with the ``"GST2"`` magic plus the checksum kind.
+  Reads verify the block CRC before parsing; a mismatch raises
+  :class:`~repro.kvstores.integrity.CorruptionError` instead of ever
+  returning garbage.  v1 files are still readable (their trailing four
+  bytes are the always-zero high half of a ``uint64`` length, never
+  the magic).
 """
 
 from __future__ import annotations
@@ -23,13 +35,26 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..cache import LRUCache
+from ..integrity import (
+    DEFAULT_CHECKSUM_KIND,
+    ChecksumKind,
+    CorruptionError,
+    ScrubFinding,
+    ScrubReport,
+    checksum,
+    timed_scrub,
+)
 from ..storage import Storage
 from .bloom import BloomFilter
 from .record import Record, RecordKind, decode_all, decode_record
 
-_FOOTER = struct.Struct("<QQQQ")  # bloom_off, bloom_len, index_off, index_len
-_INDEX_ENTRY = struct.Struct("<IQI")  # key_len, offset, length
+_FOOTER_V1 = struct.Struct("<QQQQ")  # bloom_off, bloom_len, index_off, index_len
+# v1 fields + bloom_crc, index_crc, checksum kind, pad, magic
+_FOOTER_V2 = struct.Struct("<QQQQIIB3s4s")
+_INDEX_ENTRY_V1 = struct.Struct("<IQI")  # key_len, offset, length
+_INDEX_ENTRY_V2 = struct.Struct("<IQII")  # key_len, offset, length, crc
 
+SST_MAGIC = b"GST2"
 DEFAULT_BLOCK_SIZE = 4096
 
 
@@ -38,6 +63,20 @@ class BlockHandle:
     first_key: bytes
     offset: int
     length: int
+    #: checksum of the raw block bytes (None for v1 tables)
+    crc: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class _Sections:
+    """Where the bloom/index sections live, with their v2 checksums."""
+
+    bloom_offset: int
+    bloom_length: int
+    index_offset: int
+    index_length: int
+    bloom_crc: Optional[int] = None
+    index_crc: Optional[int] = None
 
 
 class ParsedBlock:
@@ -45,8 +84,13 @@ class ParsedBlock:
 
     __slots__ = ("keys", "records", "size_bytes")
 
-    def __init__(self, raw: bytes) -> None:
-        self.records: List[Record] = list(decode_all(raw))
+    def __init__(self, raw: bytes, blob_name: str = "?", offset: int = 0) -> None:
+        try:
+            self.records: List[Record] = list(decode_all(raw))
+        except (struct.error, ValueError) as exc:
+            raise CorruptionError(
+                blob_name, offset, f"undecodable block: {exc}"
+            ) from None
         self.keys: List[bytes] = [r.key for r in self.records]
         self.size_bytes = len(raw)
 
@@ -73,6 +117,8 @@ class SSTable:
         oldest_tombstone_seq: Optional[int],
         data_size: int,
         max_sequence: int,
+        checksum_kind: ChecksumKind = ChecksumKind.NONE,
+        sections: Optional[_Sections] = None,
     ) -> None:
         self.file_id = file_id
         self._storage = storage
@@ -87,6 +133,8 @@ class SSTable:
         self.oldest_tombstone_seq = oldest_tombstone_seq
         self.data_size = data_size
         self.max_sequence = max_sequence
+        self.checksum_kind = checksum_kind
+        self._sections = sections
 
     # -- reads ------------------------------------------------------------
 
@@ -98,7 +146,11 @@ class SSTable:
     def get_records(
         self, key: bytes, block_cache: Optional[LRUCache] = None
     ) -> List[Record]:
-        """All records (oldest-first) stored for ``key``."""
+        """All records (oldest-first) stored for ``key``.
+
+        Raises :class:`CorruptionError` if a consulted block fails its
+        checksum -- wrong bytes are never returned.
+        """
         if not self.may_contain(key):
             return []
         # Records for one key are contiguous but may straddle block
@@ -126,19 +178,92 @@ class SSTable:
             if cached is not None:
                 return cached
         raw = self._storage.read_range(self.blob_name, handle.offset, handle.length)
-        block = ParsedBlock(raw)
+        self._verify_block(handle, raw)
+        block = ParsedBlock(raw, self.blob_name, handle.offset)
         if block_cache is not None:
             block_cache.put(cache_key, block)
         return block
+
+    def _verify_block(self, handle: BlockHandle, raw: bytes) -> None:
+        if len(raw) != handle.length:
+            raise CorruptionError(
+                self.blob_name,
+                handle.offset,
+                f"short block read ({len(raw)} of {handle.length} bytes)",
+            )
+        if handle.crc is not None:
+            if checksum(raw, self.checksum_kind) != handle.crc:
+                raise CorruptionError(
+                    self.blob_name, handle.offset, "block checksum mismatch"
+                )
 
     def iter_records(self) -> Iterator[Record]:
         """Sequential full scan (used by compaction)."""
         for handle in self._index:
             raw = self._storage.read_range(self.blob_name, handle.offset, handle.length)
+            self._verify_block(handle, raw)
             yield from decode_all(raw)
 
     def overlaps(self, smallest: bytes, largest: bytes) -> bool:
         return not (self.largest_key < smallest or self.smallest_key > largest)
+
+    def verify(self) -> ScrubReport:
+        """Re-read and checksum every persisted byte of this table.
+
+        Checks each data block against its CRC (or structurally for v1
+        tables) plus the bloom and index sections; corrupt structures
+        are unrecoverable at the table level (the caller quarantines
+        the table and relies on redundancy in deeper levels).
+        """
+        report = ScrubReport()
+        with timed_scrub(report):
+            for handle in self._index:
+                report.structures_checked += 1
+                try:
+                    raw = self._storage.read_range(
+                        self.blob_name, handle.offset, handle.length
+                    )
+                    self._verify_block(handle, raw)
+                    ParsedBlock(raw, self.blob_name, handle.offset)
+                except CorruptionError as exc:
+                    report.add(
+                        ScrubFinding(self.blob_name, handle.offset, exc.detail)
+                    )
+                except Exception as exc:  # storage errors: missing blob, I/O
+                    report.add(ScrubFinding(self.blob_name, handle.offset, str(exc)))
+            if self._sections is not None:
+                report.structures_checked += 2
+                sections = self._sections
+                for label, offset, length, crc in (
+                    (
+                        "bloom",
+                        sections.bloom_offset,
+                        sections.bloom_length,
+                        sections.bloom_crc,
+                    ),
+                    (
+                        "index",
+                        sections.index_offset,
+                        sections.index_length,
+                        sections.index_crc,
+                    ),
+                ):
+                    if crc is None:
+                        continue
+                    try:
+                        raw = self._storage.read_range(self.blob_name, offset, length)
+                    except Exception as exc:
+                        report.add(ScrubFinding(self.blob_name, offset, str(exc)))
+                        continue
+                    if len(raw) != length or checksum(raw, self.checksum_kind) != crc:
+                        report.add(
+                            ScrubFinding(
+                                self.blob_name,
+                                offset,
+                                f"{label} section checksum mismatch",
+                            )
+                        )
+        return report
 
     def drop(self, block_cache: Optional[LRUCache] = None) -> None:
         """Delete the backing blob and purge cached blocks."""
@@ -162,11 +287,13 @@ def build_sstable(
     block_size: int = DEFAULT_BLOCK_SIZE,
     bits_per_key: int = 10,
     blob_prefix: str = "sst",
+    checksum_kind: ChecksumKind = DEFAULT_CHECKSUM_KIND,
 ) -> Optional[SSTable]:
     """Serialize sorted ``records`` into a new SSTable blob.
 
     ``records`` must already be sorted by (key, sequence).  Returns
-    ``None`` when there are no records.
+    ``None`` when there are no records.  ``checksum_kind`` NONE writes
+    the legacy v1 format byte-for-byte.
     """
     blocks: List[bytes] = []
     index: List[BlockHandle] = []
@@ -180,6 +307,7 @@ def build_sstable(
     largest: Optional[bytes] = None
     max_sequence = 0
     offset = 0
+    checksummed = checksum_kind is not ChecksumKind.NONE
 
     def cut_block() -> None:
         nonlocal current, current_first, offset
@@ -187,7 +315,8 @@ def build_sstable(
             return
         raw = bytes(current)
         assert current_first is not None
-        index.append(BlockHandle(current_first, offset, len(raw)))
+        crc = checksum(raw, checksum_kind) if checksummed else None
+        index.append(BlockHandle(current_first, offset, len(raw), crc))
         blocks.append(raw)
         offset += len(raw)
         current = bytearray()
@@ -220,16 +349,48 @@ def build_sstable(
 
     data = b"".join(blocks)
     bloom_bytes = bloom.encode()
+    index_entry = _INDEX_ENTRY_V2 if checksummed else _INDEX_ENTRY_V1
     index_parts = []
     for handle in index:
-        index_parts.append(
-            _INDEX_ENTRY.pack(len(handle.first_key), handle.offset, handle.length)
-        )
+        if checksummed:
+            index_parts.append(
+                index_entry.pack(
+                    len(handle.first_key), handle.offset, handle.length, handle.crc
+                )
+            )
+        else:
+            index_parts.append(
+                index_entry.pack(len(handle.first_key), handle.offset, handle.length)
+            )
         index_parts.append(handle.first_key)
     index_bytes = b"".join(index_parts)
-    footer = _FOOTER.pack(
-        len(data), len(bloom_bytes), len(data) + len(bloom_bytes), len(index_bytes)
-    )
+    sections: Optional[_Sections] = None
+    if checksummed:
+        bloom_crc = checksum(bloom_bytes, checksum_kind)
+        index_crc = checksum(index_bytes, checksum_kind)
+        footer = _FOOTER_V2.pack(
+            len(data),
+            len(bloom_bytes),
+            len(data) + len(bloom_bytes),
+            len(index_bytes),
+            bloom_crc,
+            index_crc,
+            int(checksum_kind),
+            b"\x00" * 3,
+            SST_MAGIC,
+        )
+        sections = _Sections(
+            len(data),
+            len(bloom_bytes),
+            len(data) + len(bloom_bytes),
+            len(index_bytes),
+            bloom_crc,
+            index_crc,
+        )
+    else:
+        footer = _FOOTER_V1.pack(
+            len(data), len(bloom_bytes), len(data) + len(bloom_bytes), len(index_bytes)
+        )
     blob_name = f"{blob_prefix}-{file_id:08d}"
     storage.write(blob_name, data + bloom_bytes + index_bytes + footer)
 
@@ -247,23 +408,86 @@ def build_sstable(
         oldest_tombstone_seq=oldest_tombstone_seq,
         data_size=len(data),
         max_sequence=max_sequence,
+        checksum_kind=checksum_kind,
+        sections=sections,
     )
 
 
 def open_sstable(file_id: int, storage: Storage, blob_name: str) -> SSTable:
-    """Re-open an SSTable from its blob (recovery path)."""
+    """Re-open an SSTable from its blob (recovery path).
+
+    Detects the footer format, verifies the bloom/index section
+    checksums (v2), and validates every data block while rebuilding the
+    table statistics.  Truncated or damaged blobs raise
+    :class:`CorruptionError` rather than ``struct.error``.
+    """
     blob = storage.read(blob_name)
-    bloom_off, bloom_len, index_off, index_len = _FOOTER.unpack(blob[-_FOOTER.size :])
-    bloom = BloomFilter.decode(blob[bloom_off : bloom_off + bloom_len])
+    if len(blob) >= _FOOTER_V2.size and blob[-4:] == SST_MAGIC:
+        (
+            bloom_off,
+            bloom_len,
+            index_off,
+            index_len,
+            bloom_crc,
+            index_crc,
+            kind_value,
+            _,
+            _,
+        ) = _FOOTER_V2.unpack(blob[-_FOOTER_V2.size :])
+        try:
+            kind = ChecksumKind(kind_value)
+        except ValueError:
+            raise CorruptionError(
+                blob_name, len(blob) - _FOOTER_V2.size,
+                f"unknown checksum kind {kind_value}",
+            ) from None
+        sections: Optional[_Sections] = _Sections(
+            bloom_off, bloom_len, index_off, index_len, bloom_crc, index_crc
+        )
+        index_entry = _INDEX_ENTRY_V2
+    elif len(blob) >= _FOOTER_V1.size:
+        bloom_off, bloom_len, index_off, index_len = _FOOTER_V1.unpack(
+            blob[-_FOOTER_V1.size :]
+        )
+        kind = ChecksumKind.NONE
+        sections = None
+        index_entry = _INDEX_ENTRY_V1
+    else:
+        raise CorruptionError(
+            blob_name, 0, f"truncated sstable ({len(blob)} bytes, no footer)"
+        )
+
+    if index_off + index_len > len(blob) or bloom_off + bloom_len > len(blob):
+        raise CorruptionError(blob_name, 0, "footer sections exceed blob size")
+    bloom_bytes = blob[bloom_off : bloom_off + bloom_len]
+    index_bytes = blob[index_off : index_off + index_len]
+    if sections is not None:
+        if checksum(bytes(bloom_bytes), kind) != sections.bloom_crc:
+            raise CorruptionError(blob_name, bloom_off, "bloom section checksum mismatch")
+        if checksum(bytes(index_bytes), kind) != sections.index_crc:
+            raise CorruptionError(blob_name, index_off, "index section checksum mismatch")
+
+    try:
+        bloom = BloomFilter.decode(bloom_bytes)
+    except (struct.error, ValueError) as exc:
+        raise CorruptionError(blob_name, bloom_off, f"undecodable bloom: {exc}") from None
+
     index: List[BlockHandle] = []
     pos = index_off
     end = index_off + index_len
-    while pos < end:
-        key_len, offset, length = _INDEX_ENTRY.unpack_from(blob, pos)
-        pos += _INDEX_ENTRY.size
-        first_key = bytes(blob[pos : pos + key_len])
-        pos += key_len
-        index.append(BlockHandle(first_key, offset, length))
+    try:
+        while pos < end:
+            if index_entry is _INDEX_ENTRY_V2:
+                key_len, offset, length, crc = index_entry.unpack_from(blob, pos)
+            else:
+                key_len, offset, length = index_entry.unpack_from(blob, pos)
+                crc = None
+            pos += index_entry.size
+            first_key = bytes(blob[pos : pos + key_len])
+            pos += key_len
+            index.append(BlockHandle(first_key, offset, length, crc))
+    except struct.error as exc:
+        raise CorruptionError(blob_name, pos, f"undecodable index: {exc}") from None
 
     num_entries = 0
     num_tombstones = 0
@@ -273,23 +497,32 @@ def open_sstable(file_id: int, storage: Storage, blob_name: str) -> SSTable:
     max_sequence = 0
     for handle in index:
         raw = blob[handle.offset : handle.offset + handle.length]
+        if len(raw) != handle.length:
+            raise CorruptionError(blob_name, handle.offset, "block exceeds blob size")
+        if handle.crc is not None and checksum(bytes(raw), kind) != handle.crc:
+            raise CorruptionError(blob_name, handle.offset, "block checksum mismatch")
         offset2 = 0
-        while offset2 < len(raw):
-            record, offset2 = decode_record(raw, offset2)
-            num_entries += 1
-            max_sequence = max(max_sequence, record.sequence)
-            if record.kind is RecordKind.DELETE:
-                num_tombstones += 1
-                if (
-                    oldest_tombstone_seq is None
-                    or record.sequence < oldest_tombstone_seq
-                ):
-                    oldest_tombstone_seq = record.sequence
-            if smallest is None:
-                smallest = record.key
-            largest = record.key
+        try:
+            while offset2 < len(raw):
+                record, offset2 = decode_record(raw, offset2)
+                num_entries += 1
+                max_sequence = max(max_sequence, record.sequence)
+                if record.kind is RecordKind.DELETE:
+                    num_tombstones += 1
+                    if (
+                        oldest_tombstone_seq is None
+                        or record.sequence < oldest_tombstone_seq
+                    ):
+                        oldest_tombstone_seq = record.sequence
+                if smallest is None:
+                    smallest = record.key
+                largest = record.key
+        except (struct.error, ValueError) as exc:
+            raise CorruptionError(
+                blob_name, handle.offset + offset2, f"undecodable block: {exc}"
+            ) from None
     if smallest is None or largest is None:
-        raise ValueError(f"empty sstable blob: {blob_name}")
+        raise CorruptionError(blob_name, 0, "empty sstable blob")
     return SSTable(
         file_id=file_id,
         storage=storage,
@@ -303,4 +536,6 @@ def open_sstable(file_id: int, storage: Storage, blob_name: str) -> SSTable:
         oldest_tombstone_seq=oldest_tombstone_seq,
         data_size=bloom_off,
         max_sequence=max_sequence,
+        checksum_kind=kind,
+        sections=sections,
     )

@@ -18,12 +18,21 @@ from __future__ import annotations
 
 import heapq
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from ..api import AppendMergeOperator, KVStore, MergeOperator
 from ..cache import LRUCache
-from ..storage import MemoryStorage, Storage
+from ..integrity import (
+    ChecksumKind,
+    CorruptionError,
+    ScrubFinding,
+    ScrubReport,
+    resolve_checksum_kind,
+    timed_scrub,
+)
+from ..storage import MemoryStorage, Storage, StorageError
 from .compaction import (
     CompactionStats,
     compact_records,
@@ -32,7 +41,7 @@ from .compaction import (
     split_into_runs,
 )
 from .memtable import Memtable
-from .record import Record, RecordKind, decode_all
+from .record import Record, RecordKind, decode_wal, frame_record, wal_header
 from .sstable import SSTable, build_sstable, open_sstable
 
 
@@ -58,6 +67,10 @@ class LSMConfig:
     level_multiplier: int = 10
     target_file_size: int = 256 * 1024
     enable_wal: bool = True
+    #: checksum algorithm for WAL frames and SSTable blocks:
+    #: "crc32c", "crc32", "none" (legacy v1 formats), or None/"default"
+    #: for the fastest available kind
+    checksum: Optional[str] = None
 
     def max_level_bytes(self, level: int) -> int:
         """Byte budget of level ``level`` (level 1 is the base)."""
@@ -92,8 +105,11 @@ class RocksLSMStore(KVStore):
         self._wal_bytes = 0
         self._new_outputs: List[SSTable] = []
         self._background_ns = 0
+        self.checksum_kind = resolve_checksum_kind(self.config.checksum)
+        #: tables removed from the tree after failing a checksum
+        self.quarantined: List[SSTable] = []
         if self.config.enable_wal and not self.storage.exists(self._wal_name):
-            self.storage.write(self._wal_name, b"")
+            self._reset_wal()
 
     # ------------------------------------------------------------------
     # Write path
@@ -118,9 +134,22 @@ class RocksLSMStore(KVStore):
         self._sequence += 1
         return self._sequence
 
+    def _reset_wal(self) -> None:
+        """(Re)create the WAL holding only its format header."""
+        header = (
+            wal_header(self.checksum_kind)
+            if self.checksum_kind is not ChecksumKind.NONE
+            else b""
+        )
+        self.storage.write(self._wal_name, header)
+        self._wal_bytes = 0
+
     def _write(self, record: Record) -> None:
         if self.config.enable_wal:
-            encoded = record.encode()
+            if self.checksum_kind is not ChecksumKind.NONE:
+                encoded = frame_record(record, self.checksum_kind)
+            else:
+                encoded = record.encode()
             self.storage.append(self._wal_name, encoded)
             self._wal_bytes += len(encoded)
             self.stats.bytes_written += len(encoded)
@@ -152,8 +181,7 @@ class RocksLSMStore(KVStore):
         # in between must never leave data reachable from neither.
         self._write_manifest()
         if self.config.enable_wal:
-            self.storage.write(self._wal_name, b"")
-            self._wal_bytes = 0
+            self._reset_wal()
 
     def _flush_memtable(self, memtable: Memtable) -> None:
         table = build_sstable(
@@ -162,6 +190,7 @@ class RocksLSMStore(KVStore):
             self.storage,
             block_size=self.config.block_size,
             bits_per_key=self.config.bits_per_key,
+            checksum_kind=self.checksum_kind,
         )
         if table is None:
             return
@@ -231,7 +260,14 @@ class RocksLSMStore(KVStore):
     def _scan_table_records(
         self, table: SSTable, key: bytes, operands: List[bytes]
     ) -> Tuple[bool, Optional[bytes]]:
-        records = table.get_records(key, self.block_cache)
+        try:
+            records = table.get_records(key, self.block_cache)
+        except CorruptionError:
+            # Fail-stop: never serve bytes from a damaged block.  The
+            # table is quarantined so later reads of this key range go
+            # to intact tables in deeper levels instead.
+            self._quarantine_table(table)
+            raise
         self.stats.bytes_read += sum(r.encoded_size for r in records)
         for record in reversed(records):
             if record.kind is RecordKind.MERGE:
@@ -363,6 +399,7 @@ class RocksLSMStore(KVStore):
                 self.storage,
                 block_size=self.config.block_size,
                 bits_per_key=self.config.bits_per_key,
+                checksum_kind=self.checksum_kind,
             )
             if table is not None:
                 outputs.append(table)
@@ -405,6 +442,18 @@ class RocksLSMStore(KVStore):
     # Introspection / recovery
     # ------------------------------------------------------------------
 
+    def _quarantine_table(self, table: SSTable) -> None:
+        """Remove a corrupt table from the tree (blob left for forensics)."""
+        self.integrity.detected += 1
+        self.quarantined.append(table)
+        for level_index, level in enumerate(self._levels):
+            self._levels[level_index] = [t for t in level if t is not table]
+        self.block_cache.invalidate_where(
+            lambda ck: isinstance(ck, tuple) and ck[0] == table.file_id
+        )
+        if self.storage.exists(self._MANIFEST_NAME):
+            self._write_manifest()
+
     def level_file_counts(self) -> List[int]:
         return [len(level) for level in self._levels]
 
@@ -436,7 +485,18 @@ class RocksLSMStore(KVStore):
             if not line.strip():
                 continue
             level_str, file_id_str, blob_name = line.split(" ", 2)
-            table = open_sstable(int(file_id_str), self.storage, blob_name)
+            try:
+                table = open_sstable(int(file_id_str), self.storage, blob_name)
+            except (CorruptionError, StorageError) as exc:
+                # A zero-length blob (interrupted flush) or damaged
+                # table must not abort recovery of the healthy rest.
+                warnings.warn(
+                    f"skipping unreadable sstable {blob_name!r} during "
+                    f"recovery: {exc}",
+                    stacklevel=2,
+                )
+                self.integrity.detected += 1
+                continue
             self._levels[int(level_str)].append(table)
             self._next_file_id = max(self._next_file_id, table.file_id)
             self._sequence = max(self._sequence, table.max_sequence)
@@ -451,15 +511,90 @@ class RocksLSMStore(KVStore):
         Used after simulated crashes: a fresh store pointed at the same
         storage rebuilds its unflushed writes.  Use :meth:`recover` for
         full recovery including flushed data.
+
+        Replay is corruption-aware: it stops at the first torn or
+        checksum-failing record, truncates the file to the intact
+        prefix (counted as a detected + repaired corruption), and
+        replays exactly the records before the damage.
         """
         if not self.config.enable_wal or not self.storage.exists(self._wal_name):
             return 0
+        buf = self.storage.read(self._wal_name)
+        decoded = decode_wal(buf)
+        if decoded.truncated:
+            self.integrity.detected += 1
+            self.storage.write(self._wal_name, buf[: decoded.valid_bytes])
+            self.integrity.repaired += 1
+            warnings.warn(
+                f"WAL corruption ({decoded.corruption}); truncated to "
+                f"{decoded.valid_bytes} intact bytes",
+                stacklevel=2,
+            )
         replayed = 0
-        for record in decode_all(self.storage.read(self._wal_name)):
+        for record in decoded.records:
             self._memtable.add(record)
             self._sequence = max(self._sequence, record.sequence)
             replayed += 1
         return replayed
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def storage_backend(self) -> Storage:
+        return self.storage
+
+    def scrub(self) -> ScrubReport:
+        """Verify every persisted structure: WAL framing and checksums,
+        plus each SSTable's blocks and pinned sections.
+
+        A damaged WAL tail is repaired by truncation; SSTables with any
+        damaged block are quarantined (removed from the tree) and their
+        corrupt blocks counted unrecoverable.
+        """
+        report = ScrubReport()
+        with timed_scrub(report):
+            if self.config.enable_wal and self.storage.exists(self._wal_name):
+                report.structures_checked += 1
+                buf = self.storage.read(self._wal_name)
+                decoded = decode_wal(buf)
+                if decoded.truncated:
+                    self.storage.write(self._wal_name, buf[: decoded.valid_bytes])
+                    report.add(
+                        ScrubFinding(
+                            self._wal_name,
+                            decoded.valid_bytes,
+                            f"{decoded.corruption}; truncated to intact prefix",
+                            repaired=True,
+                        )
+                    )
+            corrupt_tables = []
+            for level in self._levels:
+                for table in level:
+                    table_report = table.verify()
+                    report.structures_checked += table_report.structures_checked
+                    if not table_report.clean:
+                        # One finding per damaged blob (matching the
+                        # other engines' granularity), detailing how
+                        # many of its blocks/sections failed.
+                        first = table_report.findings[0]
+                        report.add(
+                            ScrubFinding(
+                                table.blob_name,
+                                first.offset,
+                                f"{table_report.corruptions_detected} damaged "
+                                f"structures (first: {first.detail})",
+                            )
+                        )
+                        corrupt_tables.append(table)
+            for table in corrupt_tables:
+                self._quarantine_table(table)
+                # _quarantine_table counts an ambient detection; the
+                # finding was already added above, so undo the double
+                # count.
+                self.integrity.detected -= 1
+        self.integrity.absorb(report)
+        return report
 
     def close(self) -> None:
         if not self.closed:

@@ -1,0 +1,125 @@
+"""CLI integrity surface: scrub command, --disk-faults, --crash-at guards."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+PLAN = {
+    "seed": 7,
+    "bit_flip_rate": 1.0,
+    "bits_per_flip": 3,
+    "targets": ["sst-*"],
+}
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("traces") / "t.gdgt")
+    main([
+        "generate", "-w", "tumbling-incremental", "-o", path,
+        "--events", "600",
+    ])
+    return path
+
+
+@pytest.fixture
+def plan_path(tmp_path):
+    path = tmp_path / "faults.json"
+    path.write_text(json.dumps(PLAN))
+    return str(path)
+
+
+class TestScrubCommand:
+    def test_clean_scrub_exits_zero(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["scrub", trace_path, "--stores", "rocksdb"]) == 0
+        out = capsys.readouterr().out
+        assert "detected" in out
+        assert "rocksdb" in out
+
+    def test_faulted_scrub_exits_nonzero(self, trace_path, plan_path, capsys):
+        capsys.readouterr()
+        code = main([
+            "scrub", trace_path, "--stores", "rocksdb",
+            "--disk-faults", plan_path,
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "injected" in out
+
+    def test_default_store_set(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main(["scrub", trace_path]) == 0
+        out = capsys.readouterr().out
+        for name in ("rocksdb", "lethe", "faster", "berkeleydb"):
+            assert name in out
+
+    def test_checksum_none_still_scrubs(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "scrub", trace_path, "--stores", "rocksdb", "--checksum", "none",
+        ]) == 0
+
+
+class TestCompareDiskFaults:
+    def test_integrity_table(self, trace_path, plan_path, capsys):
+        capsys.readouterr()
+        code = main([
+            "compare", trace_path, "--stores", "rocksdb", "lethe",
+            "--disk-faults", plan_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corrupt found" in out
+        assert "repaired" in out
+        assert "scrub ms" in out
+
+    @pytest.mark.filterwarnings("ignore:WAL corruption")
+    def test_crash_at_with_disk_faults(self, trace_path, tmp_path, capsys):
+        plan = tmp_path / "wal.json"
+        plan.write_text(json.dumps({
+            "seed": 3, "torn_write_rate": 1.0, "targets": ["wal-current"],
+        }))
+        capsys.readouterr()
+        code = main([
+            "compare", trace_path, "--stores", "rocksdb",
+            "--crash-at", "900", "--disk-faults", str(plan),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corrupt found" in out
+
+
+class TestCrashRecoveryGuards:
+    def test_compare_all_non_recoverable_fails(self, trace_path, capsys):
+        capsys.readouterr()
+        code = main([
+            "compare", trace_path, "--stores", "berkeleydb", "memory",
+            "--crash-at", "500",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "crash recovery" in err
+
+    def test_compare_skips_non_recoverable(self, trace_path, capsys):
+        capsys.readouterr()
+        code = main([
+            "compare", trace_path, "--stores", "rocksdb", "berkeleydb",
+            "--crash-at", "500",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "skipping" in captured.err
+        assert "berkeleydb" in captured.err
+        assert "rocksdb" in captured.out
+
+    def test_replay_non_recoverable_fails(self, trace_path, capsys):
+        capsys.readouterr()
+        code = main([
+            "replay", trace_path, "--store", "berkeleydb",
+            "--crash-at", "500",
+        ])
+        assert code == 2
+        assert "crash recovery" in capsys.readouterr().err

@@ -1,0 +1,334 @@
+"""Disk-fault injection: plans, corrupting storage, recovery integration."""
+
+import json
+import random
+import warnings
+
+import pytest
+
+from repro.faults import (
+    CorruptingStorage,
+    DiskFaultPlan,
+    DiskFullError,
+    FaultPlan,
+    check_recoverable,
+    evaluate_crash_recovery,
+    flip_bits,
+    load_disk_fault_plan,
+    tear_blob,
+)
+from repro.kvstores import CorruptionError
+from repro.kvstores.lsm.store import LSMConfig, RocksLSMStore
+from repro.kvstores.storage import MemoryStorage
+from repro.core import SourceConfig, generate_workload_trace
+
+TINY_LSM = dict(
+    write_buffer_size=4096,
+    block_cache_size=8192,
+    level_base_bytes=16384,
+    target_file_size=8192,
+    max_levels=4,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_workload_trace(
+        "tumbling-incremental", [SourceConfig(num_events=2_000, seed=9)]
+    )
+
+
+class TestPrimitives:
+    def test_flip_bits_changes_exactly_n_bits(self):
+        data = bytes(range(256))
+        flipped = flip_bits(data, random.Random(3), 4)
+        assert len(flipped) == len(data)
+        diff = sum(bin(a ^ b).count("1") for a, b in zip(data, flipped))
+        assert diff == 4
+
+    def test_flip_bits_empty_is_noop(self):
+        assert flip_bits(b"", random.Random(0), 3) == b""
+
+    def test_tear_blob_keeps_proper_prefix(self):
+        data = bytes(range(100))
+        torn = tear_blob(data, random.Random(5))
+        assert 1 <= len(torn) < len(data)
+        assert data.startswith(torn)
+
+
+class TestDiskFaultPlan:
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown disk-fault-plan keys"):
+            DiskFaultPlan.from_dict({"seed": 1, "bitflip_rate": 0.5})
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="rate"):
+            DiskFaultPlan(bit_flip_rate=1.5)
+
+    def test_load_round_trip(self, tmp_path):
+        plan = DiskFaultPlan(seed=3, bit_flip_rate=0.5, targets=("sst-*",))
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        loaded = load_disk_fault_plan(str(path))
+        assert loaded == plan
+
+    def test_shipped_config_loads(self):
+        plan = load_disk_fault_plan("configs/disk_faults.json")
+        assert plan.seed == 7
+        assert plan.matches("sst-00000001")
+        assert not plan.matches("unrelated-blob")
+
+    def test_fate_is_pure_and_seeded(self):
+        plan = DiskFaultPlan(seed=11, bit_flip_rate=0.5, torn_write_rate=0.2)
+        fates = [plan.fate(f"blob-{i}") for i in range(50)]
+        assert fates == [plan.fate(f"blob-{i}") for i in range(50)]
+        assert any(f is not None for f in fates)
+        other = DiskFaultPlan(seed=12, bit_flip_rate=0.5, torn_write_rate=0.2)
+        assert fates != [other.fate(f"blob-{i}") for i in range(50)]
+
+    def test_targets_filter(self):
+        plan = DiskFaultPlan(seed=1, bit_flip_rate=1.0, targets=("wal-*",))
+        assert plan.fate("wal-current") == "bit_flip"
+        assert plan.fate("sst-00000001") is None
+
+    def test_apply_is_order_independent(self):
+        plan = DiskFaultPlan(
+            seed=4, bit_flip_rate=0.4, torn_write_rate=0.3, lost_write_rate=0.1
+        )
+        blobs = {f"blob-{i:02d}": bytes([i]) * 200 for i in range(30)}
+        a, b = MemoryStorage(), MemoryStorage()
+        for name, data in blobs.items():
+            a.write(name, data)
+        for name in reversed(sorted(blobs)):
+            b.write(name, blobs[name])
+        stats_a = plan.apply(a)
+        stats_b = plan.apply(b)
+        assert stats_a.findings == stats_b.findings
+        assert sorted(a.list()) == sorted(b.list())
+        for name in a.list():
+            assert a.read(name) == b.read(name)
+
+    def test_apply_stats_consistency(self):
+        plan = DiskFaultPlan(
+            seed=4, bit_flip_rate=0.4, torn_write_rate=0.3, lost_write_rate=0.1
+        )
+        storage = MemoryStorage()
+        for i in range(40):
+            storage.write(f"blob-{i:02d}", bytes([i]) * 100)
+        stats = plan.apply(storage)
+        assert stats.blobs_seen == 40
+        assert stats.blobs_matched == 40
+        assert stats.faults_injected == (
+            stats.bit_flips + stats.torn_writes + stats.lost_writes
+        )
+        assert stats.faults_injected == len(stats.findings)
+        assert stats.lost_writes == 40 - len(storage.list())
+
+    def test_damage_certain_bit_flip(self):
+        plan = DiskFaultPlan(seed=1, bit_flip_rate=1.0, bits_per_flip=2)
+        kind, damaged = plan.damage("x", b"\x00" * 64)
+        assert kind == "bit_flip"
+        assert damaged != b"\x00" * 64 and len(damaged) == 64
+
+
+class TestCorruptingStorage:
+    def test_lost_write_never_persisted(self):
+        plan = DiskFaultPlan(seed=1, lost_write_rate=1.0)
+        inner = MemoryStorage()
+        storage = CorruptingStorage(inner, plan)
+        storage.write("doomed", b"payload")
+        assert "doomed" not in inner.list()
+        assert storage.stats.lost_writes == 1
+
+    def test_bit_flip_on_write_path(self):
+        plan = DiskFaultPlan(seed=2, bit_flip_rate=1.0)
+        inner = MemoryStorage()
+        storage = CorruptingStorage(inner, plan)
+        storage.write("blob", b"\x00" * 128)
+        assert inner.read("blob") != b"\x00" * 128
+
+    def test_untargeted_blob_untouched(self):
+        plan = DiskFaultPlan(seed=2, bit_flip_rate=1.0, targets=("sst-*",))
+        inner = MemoryStorage()
+        storage = CorruptingStorage(inner, plan)
+        storage.write("wal-current", b"\x00" * 64)
+        assert inner.read("wal-current") == b"\x00" * 64
+
+    def test_disk_full_budget(self):
+        plan = DiskFaultPlan(seed=1, disk_full_after_bytes=100)
+        storage = CorruptingStorage(MemoryStorage(), plan)
+        storage.write("a", b"x" * 60)
+        with pytest.raises(DiskFullError):
+            storage.write("b", b"x" * 60)
+
+
+class TestFaultPlanIntegration:
+    def test_nested_disk_dict_coerced(self):
+        plan = FaultPlan(disk={"seed": 5, "bit_flip_rate": 0.5})
+        assert isinstance(plan.disk, DiskFaultPlan)
+        assert plan.disk.seed == 5
+
+    def test_check_recoverable(self):
+        check_recoverable("rocksdb")
+        check_recoverable("lethe")
+        for name in ("memory", "berkeleydb", "faster"):
+            with pytest.raises(ValueError, match="crash recovery"):
+                check_recoverable(name)
+
+
+class TestCrashRecoveryWithDiskFaults:
+    def test_torn_wal_detected_and_repaired(self, trace):
+        disk = DiskFaultPlan(seed=3, torn_write_rate=1.0, targets=("wal-current",))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = evaluate_crash_recovery(
+                "rocksdb",
+                trace,
+                crash_at=1_500,
+                store_config=TINY_LSM,
+                disk_plan=disk,
+            )
+        assert result.disk_faults is not None
+        assert result.disk_faults.torn_writes == 1
+        assert result.corruptions_detected >= 1
+        assert result.corruptions_repaired >= 1
+        assert result.scrub_ms is not None
+
+    def test_clean_disk_plan_reports_zero(self, trace):
+        disk = DiskFaultPlan(seed=3, targets=("nothing-matches-*",))
+        result = evaluate_crash_recovery(
+            "rocksdb", trace, crash_at=1_500, store_config=TINY_LSM, disk_plan=disk
+        )
+        assert result.recovered_ok
+        assert result.corruptions_detected == 0
+        assert result.corruptions_repaired == 0
+
+    def test_non_recoverable_store_fails_fast(self, trace):
+        with pytest.raises(ValueError, match="does not support crash recovery"):
+            evaluate_crash_recovery("berkeleydb", trace, crash_at=100)
+
+
+class TestAcceptance:
+    """ISSUE acceptance: seeded faults -> 100% detection, exact-prefix WAL replay."""
+
+    @staticmethod
+    def _tiny_config(config_cls):
+        return config_cls(
+            write_buffer_size=2048,
+            block_size=512,
+            block_cache_size=8192,
+            level_base_bytes=16384,
+            target_file_size=8192,
+            max_levels=4,
+            checksum="crc32",
+        )
+
+    def _grown_store(self, store_cls, config_cls, storage):
+        store = store_cls(self._tiny_config(config_cls), storage=storage)
+        for i in range(500):
+            store.put(b"key-%04d" % (i % 150), b"value-" + b"%d" % i * 4)
+        store.flush()
+        for i in range(20):
+            store.put(b"tail-%02d" % i, b"tail-value-%02d" % i)
+        return store
+
+    @pytest.mark.parametrize("store_name", ["rocksdb", "lethe"])
+    def test_lsm_full_detection_and_prefix_recovery(self, store_name):
+        from repro.kvstores.lsm.lethe import LetheConfig, LetheStore
+        from repro.kvstores.lsm.record import decode_wal
+
+        store_cls, config_cls = {
+            "rocksdb": (RocksLSMStore, LSMConfig),
+            "lethe": (LetheStore, LetheConfig),
+        }[store_name]
+        storage = MemoryStorage()
+        store = self._grown_store(store_cls, config_cls, storage)
+        sstables = sorted(n for n in storage.list() if n.startswith("sst-"))
+        assert sstables, "store must have flushed sstables"
+        victim_sst = sstables[0]
+        del store
+
+        flip = DiskFaultPlan(seed=21, bit_flip_rate=1.0, bits_per_flip=3,
+                             targets=(victim_sst,))
+        tear = DiskFaultPlan(seed=22, torn_write_rate=1.0,
+                             targets=("wal-current",))
+        injected = flip.apply(storage).faults_injected + tear.apply(
+            storage
+        ).faults_injected
+        assert injected == 2
+        expected_replay = len(decode_wal(storage.read("wal-current")).records)
+
+        revived = store_cls(self._tiny_config(config_cls), storage=storage)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            replayed = revived.recover()
+        # WAL replay recovers exactly the intact prefix of the torn log.
+        assert replayed == expected_replay
+        report = revived.scrub()
+        # Every injected fault is detected: the torn WAL during recover(),
+        # the flipped sstable either at open (footer/index damage -> skipped
+        # with a warning) or during scrub (data-block damage -> quarantined).
+        assert revived.integrity.detected == injected
+        if report.findings:
+            assert report.findings[0].blob == victim_sst
+        else:
+            assert victim_sst not in {
+                t.blob_name for level in revived._levels for t in level
+            }
+        # Reads never return wrong bytes: the damaged table is gone.
+        for i in range(150):
+            revived.get(b"key-%04d" % i)
+
+    def test_btree_full_detection(self):
+        from repro.kvstores.btree.store import BTreeConfig, BTreeStore
+
+        storage = MemoryStorage()
+        store = BTreeStore(
+            BTreeConfig(cache_bytes=4096, checksum="crc32"), storage=storage
+        )
+        for i in range(800):
+            store.put(b"%05d" % i, b"v" * 40)
+        store.flush()
+        pages = sorted(storage.list())
+        assert len(pages) >= 3
+        plan = DiskFaultPlan(seed=9, bit_flip_rate=0.5, targets=("btree-page-*",))
+        stats = plan.apply(storage)
+        damaged = {name for name, kind in stats.findings if kind == "bit_flip"}
+        lost = {name for name, kind in stats.findings if kind != "bit_flip"}
+        assert damaged
+        report = store.scrub()
+        found = {f.blob for f in report.findings}
+        # 100% of surviving damaged blobs detected (lost blobs vanish entirely).
+        assert damaged - lost <= found
+
+    def test_faster_full_detection(self):
+        from repro.kvstores.faster.store import FasterConfig, FasterStore
+
+        storage = MemoryStorage()
+        store = FasterStore(
+            FasterConfig(memory_budget=16 * 1024, segment_size=4 * 1024,
+                         checksum="crc32"),
+            storage=storage,
+        )
+        for i in range(800):
+            store.put(b"k%04d" % i, b"v" * 48)
+        store.flush()
+        segments = store.log.sealed_segments()
+        assert len(segments) >= 2
+        plan = DiskFaultPlan(seed=13, bit_flip_rate=1.0,
+                             targets=(segments[0], segments[-1]))
+        stats = plan.apply(storage)
+        assert stats.bit_flips == 2
+        report = store.scrub()
+        assert {f.blob for f in report.findings} == {segments[0], segments[-1]}
+        assert report.corruptions_detected == 2
+        # A read landing in a damaged segment raises, never returns garbage.
+        raised = 0
+        for i in range(800):
+            try:
+                value = store.get(b"k%04d" % i)
+            except CorruptionError:
+                raised += 1
+            else:
+                assert value in (None, b"v" * 48)
+        assert raised >= 1
