@@ -67,6 +67,14 @@ class LockedConnector:
         with self._lock:
             self._inner.delete(key)
 
+    def multi_get(self, keys):
+        with self._lock:
+            return self._inner.multi_get(keys)
+
+    def apply_batch(self, ops) -> None:
+        with self._lock:
+            self._inner.apply_batch(ops)
+
     def take_background_ns(self) -> int:
         with self._lock:
             return self._inner.take_background_ns()
@@ -95,6 +103,8 @@ class EvaluationRow:
     retries: int = 0
     #: operations that failed even after retries
     failed_ops: int = 0
+    #: micro-batch size the replay ran with (1 = per-op)
+    batch_size: int = 1
     #: wall-clock of the store's recover() path (crash-recovery mode)
     recovery_ms: Optional[float] = None
     #: WAL records replayed during recovery (crash-recovery mode)
@@ -221,6 +231,7 @@ class PerformanceEvaluator:
         setup: Optional[Callable[[StoreConnector], None]] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        batch_size: Optional[int] = None,
     ) -> List[EvaluationRow]:
         """Replay one trace against every configured store.
 
@@ -230,6 +241,9 @@ class PerformanceEvaluator:
         this call; with a plan set, every store is driven through an
         identical injected-fault schedule and the rows report the
         faults, retries, and residual failures alongside throughput.
+        ``batch_size`` micro-batches the replay (see
+        :class:`~repro.core.replayer.TraceReplayer`); rows carry the
+        size so batched and per-op rows stay distinguishable.
         """
         plan = fault_plan if fault_plan is not None else self.fault_plan
         rows: List[EvaluationRow] = []
@@ -242,10 +256,13 @@ class PerformanceEvaluator:
                 service_rate=self.service_rate,
                 fault_plan=plan,
                 retry_policy=self._fresh_policy(retry_policy),
+                batch_size=batch_size,
             )
             result = replayer.replay(trace)
             connector.close()
-            rows.append(EvaluationRow.from_result(workload_name, result))
+            row = EvaluationRow.from_result(workload_name, result)
+            row.batch_size = batch_size or 1
+            rows.append(row)
         return rows
 
     def evaluate_matrix(
@@ -314,6 +331,7 @@ class PerformanceEvaluator:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         disk_plan: Optional[DiskFaultPlan] = None,
+        batch_size: Optional[int] = None,
     ) -> List[EvaluationRow]:
         """Kill-recover-verify each recoverable store (the robustness
         counterpart of :meth:`evaluate`).
@@ -353,8 +371,11 @@ class PerformanceEvaluator:
                 service_rate=self.service_rate,
                 store_config=self.store_configs.get(store_name),
                 disk_plan=disk_plan,
+                batch_size=batch_size,
             )
-            rows.append(EvaluationRow.from_recovery(workload_name, result))
+            row = EvaluationRow.from_recovery(workload_name, result)
+            row.batch_size = batch_size or 1
+            rows.append(row)
         return rows
 
     def evaluate_integrity(
@@ -404,6 +425,7 @@ class PerformanceEvaluator:
         share_store: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        batch_size: Optional[int] = None,
     ) -> ShardedReplayResult:
         """Hash-partitioned parallel replay (the scale-out mode).
 
@@ -424,6 +446,7 @@ class PerformanceEvaluator:
                 service_rate=self.service_rate,
                 fault_plan=plan,
                 retry_policy=policy,
+                batch_size=batch_size,
             )
             try:
                 return replayer.replay(trace)
@@ -435,6 +458,7 @@ class PerformanceEvaluator:
             service_rate=self.service_rate,
             fault_plan=plan,
             retry_policy=policy,
+            batch_size=batch_size,
         )
         try:
             return replayer.replay(trace)

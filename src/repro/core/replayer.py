@@ -100,14 +100,30 @@ class ReplayResult:
 
 
 _VALUE_CACHE: Dict[int, bytes] = {}
+#: cache bounds: a trace with many distinct value sizes must not grow
+#: the cache without limit.  Oldest-inserted entries are evicted first
+#: (dict insertion order); values above the byte budget are never
+#: cached at all.
+_VALUE_CACHE_MAX_ENTRIES = 1024
+_VALUE_CACHE_MAX_BYTES = 32 * 1024 * 1024
+_value_cache_bytes = 0
 
 
 def synthesize_value(size: int) -> bytes:
     """Deterministic payload of ``size`` bytes (cached per size)."""
+    global _value_cache_bytes
     value = _VALUE_CACHE.get(size)
     if value is None:
         value = bytes((i * 131 + 17) & 0xFF for i in range(size))
-        _VALUE_CACHE[size] = value
+        if size <= _VALUE_CACHE_MAX_BYTES:
+            cache = _VALUE_CACHE
+            while cache and (
+                len(cache) >= _VALUE_CACHE_MAX_ENTRIES
+                or _value_cache_bytes + size > _VALUE_CACHE_MAX_BYTES
+            ):
+                _value_cache_bytes -= len(cache.pop(next(iter(cache))))
+            cache[size] = value
+            _value_cache_bytes += size
     return value
 
 
@@ -158,10 +174,17 @@ class TraceReplayer:
         use_histograms: bool = False,
         fault_plan=None,
         retry_policy=None,
+        batch_size: Optional[int] = None,
     ) -> None:
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.connector = connector
         self.service_rate = service_rate
         self.measure_latency = measure_latency
+        #: micro-batch size: runs of consecutive same-kind ops (reads
+        #: vs. writes) are grouped up to this many and dispatched via
+        #: ``multi_get``/``apply_batch``.  ``None``/1 replays per-op.
+        self.batch_size = batch_size
         #: record latencies into O(1)-memory histograms instead of
         #: per-sample lists -- for multi-million-op replays
         self.use_histograms = use_histograms
@@ -185,8 +208,13 @@ class TraceReplayer:
             gc.collect()
             gc.disable()
         try:
+            batched = self.batch_size is not None and self.batch_size > 1
             if self.fault_plan is not None or self.retry_policy is not None:
+                if batched:
+                    return self._replay_batched_guarded(trace)
                 return self._replay_guarded(trace)
+            if batched:
+                return self._replay_batched(trace)
             return self._replay(trace)
         finally:
             if self.disable_gc and gc_was_enabled:
@@ -275,6 +303,232 @@ class TraceReplayer:
             elapsed_s=elapsed,
             latencies_ns=latencies,
             histograms=histograms,
+        )
+
+    def _replay_batched(self, trace: AccessTrace) -> ReplayResult:
+        """Micro-batched replay: group runs of consecutive same-kind
+        ops and dispatch them via ``multi_get``/``apply_batch``.
+
+        Grouping is only done where it is safe: a batch never mixes
+        reads with writes (run boundaries preserve read-after-write
+        order), and write batches keep trace order, so same-key
+        sequences retain per-op semantics.
+
+        Latency accounting stays honest: each member's **arrival** is
+        stamped when the op is drawn from the trace (its throttled
+        dispatch time under a ``service_rate``), and its latency is
+        ``batch completion - arrival`` minus an even share of the
+        background work the batch triggered.  Members that wait for the
+        batch to fill thus pay their queueing delay -- percentiles are
+        measured, not fabricated from a divided mean.
+        """
+        from .histogram import LatencyHistogram
+
+        connector = self.connector
+        multi_get = connector.multi_get
+        apply_batch = connector.apply_batch
+        take_background = connector.take_background_ns
+        batch_size = self.batch_size
+        latencies: Dict[OpType, List[int]] = {op: [] for op in OpType}
+        histograms: Dict[OpType, LatencyHistogram] = (
+            {op: LatencyHistogram() for op in OpType}
+            if self.use_histograms
+            else {}
+        )
+        if self.use_histograms:
+            sink = tuple(histograms[op].record for op in OPS_BY_CODE)
+        else:
+            sink = tuple(latencies[op].append for op in OPS_BY_CODE)
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
+        measure = self.measure_latency
+        timer = time.perf_counter_ns
+        synth = synthesize_value
+        keys = trace.unique_keys()
+        op_codes = trace.op_codes
+        key_ids = trace.key_ids
+        value_sizes = trace.value_sizes
+        total = len(trace)
+        started = time.perf_counter()
+        next_dispatch = started
+        index = 0
+        while index < total:
+            is_read = op_codes[index] == 0
+            limit = index + batch_size
+            if limit > total:
+                limit = total
+            batch_keys: List[bytes] = []
+            ops: List[tuple] = []
+            codes: List[int] = []
+            arrivals: List[int] = []
+            j = index
+            while j < limit:
+                code = op_codes[j]
+                if (code == 0) != is_read:
+                    break
+                if interval:
+                    if time.perf_counter() < next_dispatch:
+                        _throttle(next_dispatch)
+                    next_dispatch += interval
+                if measure:
+                    arrivals.append(timer())
+                key = keys[key_ids[j]]
+                if is_read:
+                    batch_keys.append(key)
+                elif code == 3:
+                    ops.append((code, key, b""))
+                else:
+                    ops.append((code, key, synth(value_sizes[j])))
+                codes.append(code)
+                j += 1
+            if is_read:
+                multi_get(batch_keys)
+            else:
+                apply_batch(ops)
+            if measure:
+                completion = timer()
+                share = take_background() // (j - index)
+                for code, arrival in zip(codes, arrivals):
+                    elapsed_ns = completion - arrival - share
+                    sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+            index = j
+        elapsed = time.perf_counter() - started
+        return ReplayResult(
+            store=connector.name,
+            operations=total,
+            elapsed_s=elapsed,
+            latencies_ns=latencies,
+            histograms=histograms,
+        )
+
+    def _replay_batched_guarded(self, trace: AccessTrace) -> ReplayResult:
+        """Micro-batched replay under a fault plan and/or retry policy.
+
+        Same batching and latency rules as :meth:`_replay_batched`;
+        composition is retry(faults(connector)), as in the per-op
+        guarded loop.  The fault gate draws one schedule entry per
+        batch *member*, so fault timelines line up with per-op replay:
+        a transient failure costs exactly its member (abandoned and
+        skipped on the in-place batch retry), and an injected crash at
+        member ``k`` stops the run having applied exactly the ops
+        before ``k``.
+        """
+        from ..faults.errors import InjectedCrash, TransientStoreError
+        from ..faults.injector import FaultInjectingConnector
+        from ..faults.retry import RetryingConnector
+        from .histogram import LatencyHistogram
+
+        target = self.connector
+        injector = None
+        if self.fault_plan is not None:
+            injector = FaultInjectingConnector(target, self.fault_plan)
+            target = injector
+        retrier = None
+        if self.retry_policy is not None:
+            retrier = RetryingConnector(target, self.retry_policy)
+            target = retrier
+        multi_get = target.multi_get
+        apply_batch = target.apply_batch
+        take_background = target.take_background_ns
+        batch_size = self.batch_size
+        latencies: Dict[OpType, List[int]] = {op: [] for op in OpType}
+        histograms: Dict[OpType, LatencyHistogram] = (
+            {op: LatencyHistogram() for op in OpType}
+            if self.use_histograms
+            else {}
+        )
+        if self.use_histograms:
+            sink = tuple(histograms[op].record for op in OPS_BY_CODE)
+        else:
+            sink = tuple(latencies[op].append for op in OPS_BY_CODE)
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
+        measure = self.measure_latency
+        timer = time.perf_counter_ns
+        synth = synthesize_value
+        keys = trace.unique_keys()
+        op_codes = trace.op_codes
+        key_ids = trace.key_ids
+        value_sizes = trace.value_sizes
+        total = len(trace)
+        operations = total
+        failed_ops = 0
+        crashed_at: Optional[int] = None
+        started = time.perf_counter()
+        next_dispatch = started
+        index = 0
+        while index < total:
+            is_read = op_codes[index] == 0
+            limit = index + batch_size
+            if limit > total:
+                limit = total
+            batch_keys: List[bytes] = []
+            ops: List[tuple] = []
+            codes: List[int] = []
+            arrivals: List[int] = []
+            j = index
+            while j < limit:
+                code = op_codes[j]
+                if (code == 0) != is_read:
+                    break
+                if interval:
+                    if time.perf_counter() < next_dispatch:
+                        _throttle(next_dispatch)
+                    next_dispatch += interval
+                if measure:
+                    arrivals.append(timer())
+                key = keys[key_ids[j]]
+                if is_read:
+                    batch_keys.append(key)
+                elif code == 3:
+                    ops.append((code, key, b""))
+                else:
+                    ops.append((code, key, synth(value_sizes[j])))
+                codes.append(code)
+                j += 1
+            failed_members: set = set()
+            while True:
+                try:
+                    if is_read:
+                        multi_get(batch_keys)
+                    else:
+                        apply_batch(ops)
+                    break
+                except InjectedCrash as crash:
+                    crashed_at = crash.op_index
+                    operations = crash.op_index
+                    break
+                except TransientStoreError:
+                    failed_ops += 1
+                    if injector is None:
+                        raise
+                    member = injector.abandon_op()
+                    if member is not None:
+                        failed_members.add(member)
+                    # Re-call the same batch: already-executed members
+                    # are not re-run, the abandoned member is skipped.
+                    continue
+            if crashed_at is not None:
+                break
+            if measure:
+                completion = timer()
+                share = take_background() // (j - index)
+                for member, (code, arrival) in enumerate(zip(codes, arrivals)):
+                    if member in failed_members:
+                        continue
+                    elapsed_ns = completion - arrival - share
+                    sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+            index = j
+        elapsed = time.perf_counter() - started
+        return ReplayResult(
+            store=self.connector.name,
+            operations=operations,
+            elapsed_s=elapsed,
+            latencies_ns=latencies,
+            histograms=histograms,
+            failed_ops=failed_ops,
+            retries=retrier.retries if retrier is not None else 0,
+            injected_faults=injector.injected.total_faults if injector is not None else 0,
+            injected_delay_s=injector.injected.injected_delay_s if injector is not None else 0.0,
+            crashed_at=crashed_at,
         )
 
     def _replay_guarded(self, trace: AccessTrace) -> ReplayResult:
@@ -482,6 +736,7 @@ class ShardedReplayer:
         use_histograms: bool = True,
         fault_plan=None,
         retry_policy=None,
+        batch_size: Optional[int] = None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -501,6 +756,8 @@ class ShardedReplayer:
         #: same per-shard fault timeline
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        #: micro-batch size applied by every worker to its shard
+        self.batch_size = batch_size
         if callable(connectors):
             self._connectors = [connectors() for _ in range(num_workers)]
             self._owns_connectors = True
@@ -552,6 +809,7 @@ class ShardedReplayer:
                 use_histograms=self.use_histograms,
                 fault_plan=self.fault_plan,
                 retry_policy=policy,
+                batch_size=self.batch_size,
             )
             try:
                 start_barrier.wait()

@@ -21,7 +21,17 @@ class FaultInjectionError(KVStoreError):
 
 
 class TransientStoreError(FaultInjectionError):
-    """A retryable, injected failure of a single store operation."""
+    """A retryable, injected failure of a single store operation.
+
+    ``op_index`` (when known) is the schedule index of the logical
+    operation that failed; batch-aware retry loops use it to grant a
+    fresh retry budget per faulting batch member, keeping batched
+    fault tolerance comparable to per-op replay.
+    """
+
+    def __init__(self, message: str, op_index=None) -> None:
+        super().__init__(message)
+        self.op_index = op_index
 
 
 class InjectedCrash(FaultInjectionError):

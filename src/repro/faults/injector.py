@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..kvstores.connectors import StoreConnector
 from .errors import InjectedCrash, TransientStoreError
@@ -64,6 +64,15 @@ class FaultInjectingConnector:
         #: operation re-enter the gate without advancing the schedule
         self._current = None
         self._errors_left = 0
+        # Batch-gate state: one draw per batch member, cached across
+        # retries of the same (failed) batch call.
+        self._batch = None
+        self._batch_errors: List[int] = []
+        self._batch_skip: List[bool] = []
+        self._batch_done = 0
+        self._batch_base = 0
+        self._batch_fault_at: Optional[int] = None
+        self._batch_results: Optional[list] = None
         self.injected = FaultStats()
         self.name = inner.name
 
@@ -93,7 +102,9 @@ class FaultInjectingConnector:
         if self._errors_left:
             self._errors_left -= 1
             self.injected.transient_errors += 1
-            raise TransientStoreError(f"injected transient error (op {op_index})")
+            raise TransientStoreError(
+                f"injected transient error (op {op_index})", op_index
+            )
         if faults.delay_s:
             self.injected.latency_spikes += 1
             self.injected.injected_delay_s += faults.delay_s
@@ -109,9 +120,93 @@ class FaultInjectingConnector:
         shifting every later fault (and the crash point) by one.
         The guarded replay loop calls this whenever it counts a
         failed op and moves on.
+
+        In batch context (a batch call raised), only the *faulty
+        member* is abandoned: re-calling the same batch skips it and
+        executes the remaining members, so a transient failure inside
+        a batch costs exactly one logical op -- same as per-op replay.
+        Returns the abandoned member's index within the batch (``None``
+        outside batch context) so callers can exclude it from latency
+        accounting.
         """
+        if self._batch is not None:
+            fault_at = self._batch_fault_at
+            if fault_at is not None:
+                self._batch_errors[fault_at] = 0
+                self._batch_skip[fault_at] = True
+                self._batch_fault_at = None
+            return fault_at
         self._current = None
         self._errors_left = 0
+        return None
+
+    def _run_batch(self, count: int, execute: Callable[[int, int], None]) -> None:
+        """Gate a batch of ``count`` logical ops through the schedule.
+
+        Draws ``count`` entries from the schedule exactly once (cached
+        across retries), executes maximal fault-free sub-batches via
+        ``execute(i, j)`` (members ``[i, j)``), and raises at the first
+        blocking fault so a crash at member ``k`` leaves exactly the
+        members before ``k`` applied -- the same prefix semantics as
+        per-op replay.  The call is resumable: after a
+        :class:`TransientStoreError` the caller retries the *same*
+        batch (already-executed members are not re-run) or calls
+        :meth:`abandon_op` to skip the faulty member and then retries.
+        """
+        if self.injected.crashed_at is not None:
+            # A crashed process stays dead: every further call refails.
+            raise InjectedCrash(self.injected.crashed_at)
+        draws = self._batch
+        if draws is None:
+            draws = [self._schedule.next_op() for _ in range(count)]
+            self._batch = draws
+            self._batch_errors = [d.transient_errors for d in draws]
+            self._batch_skip = [False] * count
+            self._batch_done = 0
+            self._batch_base = self._schedule.index - count
+            self._batch_fault_at = None
+        elif len(draws) != count:
+            raise RuntimeError(
+                "batch retry must replay the same ops: got a batch of "
+                f"{count} while {len(draws)} are in flight"
+            )
+        errors = self._batch_errors
+        skip = self._batch_skip
+        i = self._batch_done
+        while i < count:
+            if skip[i]:
+                self._batch_done = i + 1
+                i += 1
+                continue
+            j = i
+            while j < count and not skip[j] and not draws[j].crash and not errors[j]:
+                j += 1
+            if j > i:
+                delay = 0.0
+                for k in range(i, j):
+                    spike = draws[k].delay_s
+                    if spike:
+                        self.injected.latency_spikes += 1
+                        self.injected.injected_delay_s += spike
+                        delay += spike
+                if delay:
+                    self._sleep(delay)
+                execute(i, j)
+                self._batch_done = j
+                i = j
+                continue
+            op_index = self._batch_base + i
+            if draws[i].crash:
+                self.injected.crashed_at = op_index
+                raise InjectedCrash(op_index)
+            errors[i] -= 1
+            self.injected.transient_errors += 1
+            self._batch_fault_at = i
+            raise TransientStoreError(
+                f"injected transient error (op {op_index})", op_index
+            )
+        self._batch = None
+        self._batch_fault_at = None
 
     # -- connector API -------------------------------------------------------
 
@@ -130,6 +225,30 @@ class FaultInjectingConnector:
     def delete(self, key: bytes) -> None:
         self._gate()
         self._inner.delete(key)
+
+    def multi_get(self, keys: Sequence[bytes]):
+        """Batched read under the fault schedule: each key is one
+        logical op.  Results of members executed in an earlier faulted
+        attempt are preserved across retries of the same batch."""
+        fresh = self._batch is None
+        if fresh or self._batch_results is None:
+            self._batch_results = [None] * len(keys)
+        results = self._batch_results
+
+        def execute(i: int, j: int) -> None:
+            results[i:j] = self._inner.multi_get(keys[i:j])
+
+        self._run_batch(len(keys), execute)
+        self._batch_results = None
+        return results
+
+    def apply_batch(self, ops: Sequence) -> None:
+        """Batched write under the fault schedule: each op draws its
+        own faults, and a crash at member ``k`` leaves exactly the
+        members before ``k`` applied."""
+        self._run_batch(
+            len(ops), lambda i, j: self._inner.apply_batch(ops[i:j])
+        )
 
     def take_background_ns(self) -> int:
         return self._inner.take_background_ns()

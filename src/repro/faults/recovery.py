@@ -126,8 +126,15 @@ def evaluate_crash_recovery(
     store_config: Optional[dict] = None,
     verify: bool = True,
     disk_plan: Optional[DiskFaultPlan] = None,
+    batch_size: Optional[int] = None,
 ) -> CrashRecoveryResult:
     """Kill ``store_name`` at op ``crash_at``, recover, and verify.
+
+    ``batch_size`` micro-batches the doomed and resumed replays (the
+    reference run stays per-op, serving as the oracle): group-commit
+    WAL frames must replay to the exact intact prefix, and a crash at
+    member ``k`` of a batch must leave exactly the ops before ``k``
+    applied -- this experiment proves both.
 
     An optional ``plan`` layers additional faults (transient errors,
     latency spikes) onto the pre-crash phase; its ``crash_at`` is
@@ -173,6 +180,7 @@ def evaluate_crash_recovery(
         service_rate=service_rate,
         fault_plan=crash_plan,
         retry_policy=retry_policy,
+        batch_size=batch_size,
     ).replay(trace)
     if pre_crash.crashed_at != crash_at:
         raise RuntimeError(
@@ -198,9 +206,9 @@ def evaluate_crash_recovery(
 
     # 4. Resume the rest of the trace on the recovered store.
     recovered = connect(revived, merge_operator)
-    resumed = TraceReplayer(recovered, service_rate=service_rate).replay(
-        trace[crash_at:]
-    )
+    resumed = TraceReplayer(
+        recovered, service_rate=service_rate, batch_size=batch_size
+    ).replay(trace[crash_at:])
 
     # 5. Verify post-recovery contents against the reference.
     keys_checked = 0

@@ -161,6 +161,58 @@ class RetryingConnector:
     def delete(self, key: bytes) -> None:
         self._call(self._inner.delete, key)
 
+    def _call_batch(self, fn, arg):
+        """Retry a resumable batch call with a per-member budget.
+
+        A batch call re-raises for each faulting member in turn; under
+        the plain :meth:`_call` the whole batch would share one
+        ``max_attempts`` budget, so large batches would give up where
+        per-op replay retries through.  Here the budget (attempts and
+        per-op deadline) resets whenever the faulting member changes
+        (identified by the error's ``op_index``), which makes batched
+        fault tolerance identical to per-op replay.  Errors without an
+        ``op_index`` (e.g. a remote transport failure) keep the shared
+        whole-call budget.
+        """
+        policy = self._policy
+        retryable = self._retry_on if self._retry_on is not None else policy.retry_on
+        clock = time.monotonic
+        member: object = None
+        delays = None
+        deadline: Optional[float] = None
+        while True:
+            try:
+                return fn(arg)
+            except retryable as error:
+                error_member = getattr(error, "op_index", None)
+                if delays is None or (
+                    error_member is not None and error_member != member
+                ):
+                    member = error_member
+                    delays = policy.base_delays()
+                    deadline = (
+                        clock() + policy.op_timeout_s
+                        if policy.op_timeout_s is not None
+                        else None
+                    )
+                try:
+                    delay = policy._jittered(next(delays))
+                except StopIteration:
+                    self.giveups += 1
+                    raise error
+                if deadline is not None and clock() + delay > deadline:
+                    self.giveups += 1
+                    raise error
+                self.retries += 1
+                if delay:
+                    self._sleep(delay)
+
+    def multi_get(self, keys):
+        return self._call_batch(self._inner.multi_get, keys)
+
+    def apply_batch(self, ops) -> None:
+        self._call_batch(self._inner.apply_batch, ops)
+
     def take_background_ns(self) -> int:
         return self._inner.take_background_ns()
 

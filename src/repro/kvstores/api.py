@@ -14,7 +14,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+#: batch opcodes, numerically identical to the trace's column encoding
+#: (:data:`repro.trace.OPS_BY_CODE`): get=0, put=1, merge=2, delete=3
+OP_GET, OP_PUT, OP_MERGE, OP_DELETE = 0, 1, 2, 3
+
+#: one entry of a write batch: ``(opcode, key, value)``; the value is
+#: ignored for deletes
+BatchOp = Tuple[int, bytes, bytes]
 
 
 class KVStoreError(Exception):
@@ -156,6 +164,46 @@ class KVStore(abc.ABC):
         through a :class:`~repro.kvstores.connectors.StoreConnector`.
         """
         raise UnsupportedOperationError(f"{self.name} has no native merge")
+
+    # -- batched operations ------------------------------------------------
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Vectored ``get``: one result per key, in input order.
+
+        The base implementation is a correct per-key loop; stores
+        override it to amortize shared work across the batch (the LSM
+        sorts keys so bloom/block-cache probes are shared per SSTable,
+        the B-tree reuses leaf descents, the remote client packs the
+        whole batch into one round-trip).
+        """
+        get = self.get
+        return [get(key) for key in keys]
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Apply a write batch of ``(opcode, key, value)`` entries.
+
+        Opcodes are :data:`OP_PUT`, :data:`OP_MERGE`, and
+        :data:`OP_DELETE` (the trace's numeric encoding); entries are
+        applied in order, so same-key sequences keep their semantics.
+        The base implementation dispatches per entry; stores override
+        it to pay fixed per-operation costs once per batch (the LSM
+        appends one group-commit WAL frame, FASTER appends one
+        contiguous log region).  Reads are not allowed in a write
+        batch -- use :meth:`multi_get`.
+        """
+        for opcode, key, value in ops:
+            if opcode == OP_PUT:
+                self.put(key, value)
+            elif opcode == OP_MERGE:
+                self.merge(key, value)
+            elif opcode == OP_DELETE:
+                self.delete(key)
+            elif opcode == OP_GET:
+                raise ValueError(
+                    "apply_batch is write-only; use multi_get for reads"
+                )
+            else:
+                raise ValueError(f"unknown batch opcode {opcode}")
 
     # -- background-work accounting ----------------------------------------
 

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Iterator, List, Optional, Tuple
 
-from ..api import KVStore
+from ..api import OP_DELETE, OP_MERGE, OP_PUT, KVStore
 from ..integrity import ScrubReport, resolve_checksum_kind
 from ..storage import Storage
 from .node import InternalNode, LeafNode
@@ -110,6 +111,54 @@ class BTreeStore(KVStore):
             self._root_id = root.children[0]
             self._pages.free(old_root)
             self._height -= 1
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+
+    def multi_get(self, keys) -> List[Optional[bytes]]:
+        """Vectored get: probe keys in sorted order so consecutive keys
+        landing in the same leaf reuse one descent (BerkeleyDB's bulk-get
+        amortization)."""
+        self._check_open()
+        self.stats.gets += len(keys)
+        resolved = {}
+        leaf: Optional[LeafNode] = None
+        for key in sorted(set(keys)):
+            if (
+                leaf is None
+                or not leaf.keys
+                or key < leaf.keys[0]
+                or key > leaf.keys[-1]
+            ):
+                leaf, _ = self._descend(key)
+            index = bisect.bisect_left(leaf.keys, key)
+            if index < len(leaf.keys) and leaf.keys[index] == key:
+                value = leaf.values[index]
+                self.stats.bytes_read += len(value)
+                resolved[key] = value
+            else:
+                resolved[key] = None
+        return [resolved[key] for key in keys]
+
+    def apply_batch(self, ops) -> None:
+        """Key-sorted write batch amortizing page-cache descents.
+
+        The sort is stable, so multiple ops on the same key keep their
+        order; ops on distinct keys commute, so sorting is safe.  Merges
+        are rejected exactly as the per-op path does (the
+        read-modify-write connector rewrites them before they get here).
+        """
+        self._check_open()
+        for opcode, key, value in sorted(ops, key=itemgetter(1)):
+            if opcode == OP_PUT:
+                self.put(key, value)
+            elif opcode == OP_DELETE:
+                self.delete(key)
+            elif opcode == OP_MERGE:
+                self.merge(key, value)
+            else:
+                raise ValueError(f"apply_batch is write-only; cannot apply opcode {opcode}")
 
     def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, bytes]]:
         self._check_open()

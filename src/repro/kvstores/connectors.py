@@ -13,9 +13,17 @@ operations its store actually supports (paper section 5.5):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from .api import AppendMergeOperator, KVStore, MergeOperator, UnsupportedOperationError
+from .api import (
+    OP_DELETE,
+    OP_MERGE,
+    OP_PUT,
+    AppendMergeOperator,
+    BatchOp,
+    KVStore,
+    MergeOperator,
+)
 
 
 class StoreConnector:
@@ -39,6 +47,12 @@ class StoreConnector:
 
     def merge(self, key: bytes, operand: bytes) -> None:
         self.store.merge(key, operand)
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        return self.store.multi_get(keys)
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> None:
+        self.store.apply_batch(ops)
 
     def take_background_ns(self) -> int:
         return self.store.take_background_ns()
@@ -72,6 +86,34 @@ class ReadModifyWriteConnector(StoreConnector):
         existing = self.store.get(key)
         merged = self.merge_operator.full_merge(existing, (operand,))
         self.store.put(key, merged)
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Rewrite merges to puts before handing the batch down.
+
+        A merge must see the effect of earlier ops *in the same batch*,
+        so pending batch writes are tracked in an overlay: a merge reads
+        its base value from the overlay first and the store only as a
+        fallback, then becomes a plain put of the materialized value.
+        """
+        overlay: dict = {}
+        rewritten: List[BatchOp] = []
+        full_merge = self.merge_operator.full_merge
+        store_get = self.store.get
+        for opcode, key, value in ops:
+            if opcode == OP_PUT:
+                overlay[key] = value
+                rewritten.append((opcode, key, value))
+            elif opcode == OP_DELETE:
+                overlay[key] = None
+                rewritten.append((opcode, key, value))
+            elif opcode == OP_MERGE:
+                existing = overlay[key] if key in overlay else store_get(key)
+                merged = full_merge(existing, (value,))
+                overlay[key] = merged
+                rewritten.append((OP_PUT, key, merged))
+            else:
+                rewritten.append((opcode, key, value))
+        self.store.apply_batch(rewritten)
 
 
 def connect(store: KVStore, merge_operator: Optional[MergeOperator] = None) -> StoreConnector:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import struct
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..integrity import (
     ChecksumKind,
@@ -211,6 +211,33 @@ class HybridLog:
         self.appends += 1
         self._maybe_evict()
         return address
+
+    def append_many(self, records: Sequence[LogRecord]) -> List[int]:
+        """Append a write batch as one contiguous log region.
+
+        The per-record bookkeeping runs in one tight loop and eviction
+        is checked once at the end, so the batch occupies adjacent
+        addresses and pays the region-boundary accounting once instead
+        of per record.  Returns the address of every record, in order.
+        """
+        addresses: List[int] = []
+        push = addresses.append
+        tail = self.tail
+        memory = self._memory
+        order = self._memory_order.append
+        added = 0
+        for record in records:
+            push(tail)
+            memory[tail] = record
+            order(tail)
+            size = record.size
+            added += size
+            tail += size
+        self.tail = tail
+        self._memory_bytes += added
+        self.appends += len(records)
+        self._maybe_evict()
+        return addresses
 
     def read(self, address: int) -> LogRecord:
         record = self._memory.get(address)

@@ -15,9 +15,16 @@ Design traits the paper's evaluation rests on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional
 
-from ..api import AppendMergeOperator, KVStore, MergeOperator
+from ..api import (
+    OP_DELETE,
+    OP_MERGE,
+    OP_PUT,
+    AppendMergeOperator,
+    KVStore,
+    MergeOperator,
+)
 from ..integrity import ScrubReport, resolve_checksum_kind
 from ..storage import Storage
 from .hashindex import HashIndex
@@ -129,6 +136,127 @@ class FasterStore(KVStore):
             new_address = self.log.append(LogRecord(key, merged))
             self.index.update(key, new_address)
         self.stats.bytes_written += len(merged)
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+
+    def multi_get(self, keys) -> List[Optional[bytes]]:
+        """Vectored read: one hoisted index-probe/log-read loop."""
+        self._check_open()
+        self.stats.gets += len(keys)
+        lookup = self.index.lookup
+        read = self.log.read
+        out: List[Optional[bytes]] = []
+        push = out.append
+        bytes_read = 0
+        for key in keys:
+            address = lookup(key)
+            if address is None:
+                push(None)
+                continue
+            record = read(address)
+            if record.tombstone:
+                push(None)
+            else:
+                bytes_read += record.size
+                push(record.value)
+        self.stats.bytes_read += bytes_read
+        return out
+
+    def apply_batch(self, ops) -> None:
+        """Apply a write batch as ONE contiguous hybrid-log region.
+
+        New record versions are collected and appended together via
+        :meth:`HybridLog.append_many`; the hash index is repointed once
+        per key afterwards.  Ops later in the batch see earlier members
+        through a pending map, so same-key sequences keep per-op
+        semantics (a pending tail record is trivially mutable -- exactly
+        what the per-op path would find at the log tail).
+        """
+        self._check_open()
+        stats = self.stats
+        index = self.index
+        log = self.log
+        full_merge = self.merge_operator.full_merge
+        batch: List[LogRecord] = []
+        #: key -> position in ``batch`` of its newest pending record
+        pending: Dict[bytes, int] = {}
+        for opcode, key, value in ops:
+            if opcode == OP_PUT:
+                stats.puts += 1
+                pos = pending.get(key)
+                if pos is not None:
+                    record = batch[pos]
+                    if not record.tombstone and len(value) <= record.alloc:
+                        record.value = value
+                        log.in_place_updates += 1
+                        stats.bytes_written += len(value)
+                        continue
+                else:
+                    address = index.lookup(key)
+                    if address is not None and log.can_update_in_place(
+                        address, len(value)
+                    ):
+                        record = log.read(address)
+                        if not record.tombstone:
+                            log.update_in_place(address, value)
+                            stats.bytes_written += len(value)
+                            continue
+                pending[key] = len(batch)
+                batch.append(LogRecord(key, value))
+                stats.bytes_written += len(key) + len(value)
+            elif opcode == OP_MERGE:
+                stats.merges += 1
+                pos = pending.get(key)
+                existing: Optional[bytes] = None
+                if pos is not None:
+                    record = batch[pos]
+                    if not record.tombstone:
+                        existing = record.value
+                        stats.bytes_read += record.size
+                    merged = full_merge(existing, (value,))
+                    if existing is not None and len(merged) <= record.alloc:
+                        record.value = merged
+                        log.in_place_updates += 1
+                    else:
+                        pending[key] = len(batch)
+                        batch.append(LogRecord(key, merged))
+                    stats.bytes_written += len(merged)
+                else:
+                    address = index.lookup(key)
+                    if address is not None:
+                        record = log.read(address)
+                        if not record.tombstone:
+                            existing = record.value
+                            stats.bytes_read += record.size
+                    merged = full_merge(existing, (value,))
+                    if (
+                        address is not None
+                        and existing is not None
+                        and log.can_update_in_place(address, len(merged))
+                    ):
+                        log.update_in_place(address, merged)
+                    else:
+                        pending[key] = len(batch)
+                        batch.append(LogRecord(key, merged))
+                    stats.bytes_written += len(merged)
+            elif opcode == OP_DELETE:
+                stats.deletes += 1
+                if key not in pending and key not in index:
+                    continue
+                pending[key] = len(batch)
+                batch.append(LogRecord(key, b"", tombstone=True))
+                stats.bytes_written += len(key)
+            else:
+                raise ValueError(
+                    f"apply_batch is write-only; cannot apply opcode {opcode}"
+                )
+        if batch:
+            addresses = log.append_many(batch)
+            update = index.update
+            for key, pos in pending.items():
+                update(key, addresses[pos])
 
     def flush(self) -> None:
         self.log.flush()

@@ -6,6 +6,8 @@ import hashlib
 import math
 from typing import Iterable
 
+from ..integrity import CorruptionError
+
 
 class BloomFilter:
     """Classic Bloom filter with double hashing.
@@ -61,10 +63,37 @@ class BloomFilter:
 
     @classmethod
     def decode(cls, data: bytes) -> "BloomFilter":
+        """Decode a filter, validating structural consistency.
+
+        A truncated or bit-flipped bloom that slipped past block
+        checksums must not silently decode into a filter that answers
+        wrongly (a false *negative* loses data); any header/bitmap
+        mismatch raises :class:`CorruptionError` so the caller can
+        quarantine the table.
+        """
+        if len(data) < 10:
+            raise CorruptionError(
+                "bloom", 0, f"truncated bloom header: {len(data)} bytes < 10"
+            )
+        num_bits = int.from_bytes(data[:8], "little")
+        num_hashes = int.from_bytes(data[8:10], "little")
+        bitmap = data[10:]
+        if num_bits < 1:
+            raise CorruptionError("bloom", 0, f"invalid num_bits {num_bits}")
+        if num_hashes > 30:
+            # Construction caps at 30 probes; anything above is damage.
+            raise CorruptionError("bloom", 8, f"invalid num_hashes {num_hashes}")
+        expected = (num_bits + 7) // 8
+        if len(bitmap) != expected:
+            raise CorruptionError(
+                "bloom",
+                10,
+                f"bitmap length {len(bitmap)} != {expected} for {num_bits} bits",
+            )
         bloom = cls.__new__(cls)
-        bloom.num_bits = int.from_bytes(data[:8], "little")
-        bloom.num_hashes = int.from_bytes(data[8:10], "little")
-        bloom._bits = bytearray(data[10:])
+        bloom.num_bits = num_bits
+        bloom.num_hashes = num_hashes
+        bloom._bits = bytearray(bitmap)
         return bloom
 
     @property

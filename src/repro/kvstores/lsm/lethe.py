@@ -71,6 +71,17 @@ class LetheStore(RocksLSMStore):
             self._write_manifest()  # FADE reshapes levels outside flushes
             self._background_ns += time.perf_counter_ns() - begin
 
+    def _note_batch_writes(self, count: int) -> None:
+        # Group-committed batches bypass the per-record _write hook;
+        # account every member so FADE cadence matches per-op replay.
+        self._writes_since_fade += count
+        if self._writes_since_fade >= self.lethe_config.fade_check_interval:
+            self._writes_since_fade = 0
+            begin = time.perf_counter_ns()
+            self._enforce_delete_persistence()
+            self._write_manifest()  # FADE reshapes levels outside flushes
+            self._background_ns += time.perf_counter_ns() - begin
+
     def _flush_memtable(self, memtable) -> None:
         before = {t.file_id for level in self._levels for t in level}
         super()._flush_memtable(memtable)

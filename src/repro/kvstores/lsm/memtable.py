@@ -53,6 +53,26 @@ class Memtable:
             stack.clear()
             stack.append(record)
 
+    def add_all(self, records: List[Record]) -> None:
+        """Bulk :meth:`add`: one pass with hoisted lookups, the
+        memtable half of the group-commit write path."""
+        entries = self._entries
+        get = entries.get
+        merge = RecordKind.MERGE
+        added = 0
+        for record in records:
+            key = record.key
+            added += record.encoded_size
+            stack = get(key)
+            if stack is None:
+                entries[key] = [record]
+            elif record.kind is merge:
+                stack.append(record)
+            else:
+                stack.clear()
+                stack.append(record)
+        self._approximate_bytes += added
+
     def lookup(self, key: bytes) -> Optional[List[Record]]:
         """Return the pending record stack for ``key`` (oldest first)."""
         return self._entries.get(key)

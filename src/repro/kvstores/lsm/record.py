@@ -25,7 +25,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..integrity import ChecksumKind, checksum
 
@@ -40,8 +40,11 @@ _HEADER = struct.Struct("<BQII")
 HEADER_SIZE = _HEADER.size
 
 
-@dataclass(frozen=True)
-class Record:
+class Record(NamedTuple):
+    # A NamedTuple rather than a frozen dataclass: record construction
+    # sits on the write, WAL-replay, and compaction hot paths, and
+    # tuple construction skips the object.__setattr__ per field that
+    # frozen dataclasses pay.
     kind: RecordKind
     sequence: int
     key: bytes
@@ -96,6 +99,19 @@ def wal_header(kind: ChecksumKind) -> bytes:
 def frame_record(record: Record, kind: ChecksumKind) -> bytes:
     """Frame one record for a v2 WAL append."""
     payload = record.encode()
+    return _FRAME.pack(checksum(payload, kind), len(payload)) + payload
+
+
+def frame_records(records: Sequence[Record], kind: ChecksumKind) -> bytes:
+    """Frame a whole write batch as ONE v2 WAL frame (group commit).
+
+    The frame payload is the back-to-back encoding of every record in
+    the batch, covered by a single CRC.  Replay decodes all of them
+    (:func:`decode_wal` walks records inside each frame), and the frame
+    is atomic: a torn or bit-flipped group frame drops the whole batch,
+    never a partial one -- the group-commit durability contract.
+    """
+    payload = b"".join(record.encode() for record in records)
     return _FRAME.pack(checksum(payload, kind), len(payload)) + payload
 
 
@@ -155,8 +171,14 @@ def _decode_wal_v2(buf: bytes) -> WalDecodeResult:
             result.truncated = True
             result.corruption = f"checksum mismatch at offset {offset}"
             return result
+        # A frame holds one record (per-op append) or a whole write
+        # batch (group commit); decode every record it contains.
+        frame_records_: List[Record] = []
         try:
-            record, consumed = decode_record(payload, 0)
+            consumed = 0
+            while consumed < length:
+                record, consumed = decode_record(payload, consumed)
+                frame_records_.append(record)
             if consumed != length:
                 raise ValueError("trailing bytes inside frame")
         except (struct.error, ValueError) as exc:
@@ -165,7 +187,7 @@ def _decode_wal_v2(buf: bytes) -> WalDecodeResult:
             result.truncated = True
             result.corruption = f"undecodable record at offset {offset}: {exc}"
             return result
-        result.records.append(record)
+        result.records.extend(frame_records_)
         offset = start + length
         result.valid_bytes = offset
     return result

@@ -469,6 +469,9 @@ def open_sstable(file_id: int, storage: Storage, blob_name: str) -> SSTable:
 
     try:
         bloom = BloomFilter.decode(bloom_bytes)
+    except CorruptionError as exc:
+        # Re-anchor the bloom's own validation failure at this blob.
+        raise CorruptionError(blob_name, bloom_off, f"undecodable bloom: {exc.detail}") from None
     except (struct.error, ValueError) as exc:
         raise CorruptionError(blob_name, bloom_off, f"undecodable bloom: {exc}") from None
 

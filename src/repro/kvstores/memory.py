@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from .api import AppendMergeOperator, KVStore, MergeOperator
+from .api import (
+    OP_DELETE,
+    OP_MERGE,
+    OP_PUT,
+    AppendMergeOperator,
+    KVStore,
+    MergeOperator,
+)
 
 
 class InMemoryStore(KVStore):
@@ -42,6 +49,32 @@ class InMemoryStore(KVStore):
         self.stats.merges += 1
         existing = self._data.get(key)
         self._data[key] = self._merge_operator.full_merge(existing, (operand,))
+
+    def multi_get(self, keys) -> List[Optional[bytes]]:
+        self._check_open()
+        self.stats.gets += len(keys)
+        data = self._data
+        return [data.get(key) for key in keys]
+
+    def apply_batch(self, ops) -> None:
+        self._check_open()
+        stats = self.stats
+        data = self._data
+        full_merge = self._merge_operator.full_merge
+        for opcode, key, value in ops:
+            if opcode == OP_PUT:
+                stats.puts += 1
+                data[key] = value
+            elif opcode == OP_MERGE:
+                stats.merges += 1
+                data[key] = full_merge(data.get(key), (value,))
+            elif opcode == OP_DELETE:
+                stats.deletes += 1
+                data.pop(key, None)
+            else:
+                raise ValueError(
+                    f"apply_batch is write-only; cannot apply opcode {opcode}"
+                )
 
     def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, bytes]]:
         self._check_open()

@@ -40,9 +40,9 @@ import socket
 import socketserver
 import struct
 import threading
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from .api import KVStore, KVStoreError
+from .api import BatchOp, KVStore, KVStoreError
 from .connectors import StoreConnector, connect
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -55,13 +55,38 @@ OP_PUT = 1
 OP_MERGE = 2
 OP_DELETE = 3
 OP_CLOSE = 4
+#: protocol v2: N ops in one request, vectored replies in one response.
+#: The header's ``key_len`` field carries the op count and ``value_len``
+#: the total payload length; the payload is ``count`` back-to-back
+#: :data:`_BATCH_ITEM`-framed ops.
+OP_BATCH = 5
 
 _KNOWN_OPS = frozenset((OP_GET, OP_PUT, OP_MERGE, OP_DELETE))
+_WRITE_OPS = frozenset((OP_PUT, OP_MERGE, OP_DELETE))
+
+#: one batched op on the wire: opcode, key length, value length
+_BATCH_ITEM = struct.Struct("<BII")
+_REPLY_ITEM = struct.Struct("<BI")  # per-op status, data length
+
+#: sentinel returned by the client's batch request when every op in the
+#: reply is ``REPLY_OK`` with no data (the common all-writes-succeeded
+#: case); lets ``apply_batch`` skip per-item reply parsing entirely
+_BATCH_ALL_OK: List[Tuple[int, bytes]] = []
 
 REPLY_MISSING = 0
 REPLY_VALUE = 1
 REPLY_OK = 2
 REPLY_ERROR = 3
+#: reply frame carrying one :data:`_REPLY_ITEM` per batched op
+REPLY_BATCH = 4
+
+#: the encoded ``(REPLY_OK, 0)`` reply item; an all-writes-succeeded
+#: batch reply body is just this item repeated ``count`` times, which
+#: both ends exploit to avoid per-item framing work
+_OK_ITEM = _REPLY_ITEM.pack(REPLY_OK, 0)
+
+#: wire protocol generation spoken by this build of the code
+PROTOCOL_VERSION = 2
 
 #: default per-operation socket timeout for clients, in seconds
 DEFAULT_TIMEOUT_S = 5.0
@@ -70,6 +95,13 @@ DEFAULT_TIMEOUT_S = 5.0
 class RemoteStoreError(KVStoreError):
     """A remote store operation failed (timeout, dead server, or an
     error reply from the protocol)."""
+
+
+class _BatchUnsupportedError(Exception):
+    """The server answered :data:`OP_BATCH` with ``unknown opcode``:
+    it speaks protocol v1.  Internal signal for the client's permanent
+    per-op fallback; deliberately NOT a :class:`RemoteStoreError` so
+    retry policies never retry it."""
 
 
 def _recv_exact(sock: socket.socket, length: int) -> bytes:
@@ -98,6 +130,87 @@ def _send_error(sock: socket.socket, message: str) -> None:
         pass  # peer already gone; nothing left to tell it
 
 
+def _decode_batch_items(payload: bytes, count: int) -> List[Tuple[int, bytes, bytes]]:
+    """Decode ``count`` :data:`_BATCH_ITEM`-framed ops; raises
+    ``ValueError``/``struct.error`` on malformed payloads."""
+    items: List[Tuple[int, bytes, bytes]] = []
+    offset = 0
+    for _ in range(count):
+        opcode, key_len, value_len = _BATCH_ITEM.unpack_from(payload, offset)
+        offset += _BATCH_ITEM.size
+        if offset + key_len + value_len > len(payload):
+            raise ValueError("batch item exceeds payload")
+        key = payload[offset : offset + key_len]
+        offset += key_len
+        value = payload[offset : offset + value_len]
+        offset += value_len
+        items.append((opcode, key, value))
+    if offset != len(payload):
+        raise ValueError("trailing bytes after batch items")
+    return items
+
+
+def _execute_batch(
+    connector: StoreConnector, items: List[Tuple[int, bytes, bytes]]
+) -> bytes:
+    """Run a decoded batch and build the vectored reply body.
+
+    Consecutive reads become one ``multi_get`` and consecutive writes
+    one ``apply_batch``, so the server amortizes exactly like an
+    embedded store.  A failing run marks its members ``REPLY_ERROR``
+    (message embedded per op) and execution continues with the next
+    run -- one bad op never kills the connection.
+    """
+    count = len(items)
+    # Fast path for the common shape: a batch that is entirely writes
+    # succeeding as one run needs no per-item reply framing at all.
+    if all(item[0] in _WRITE_OPS for item in items):
+        try:
+            connector.apply_batch(items)
+            return _OK_ITEM * count
+        except Exception as exc:
+            message = f"{type(exc).__name__}: {exc}".encode("utf-8", "replace")
+            item = _REPLY_ITEM.pack(REPLY_ERROR, len(message)) + message
+            return item * count
+    statuses: List[Tuple[int, bytes]] = [(REPLY_ERROR, b"unhandled")] * count
+    i = 0
+    while i < count:
+        opcode = items[i][0]
+        if opcode == OP_GET:
+            j = i
+            while j < count and items[j][0] == OP_GET:
+                j += 1
+            try:
+                values = connector.multi_get([items[k][1] for k in range(i, j)])
+                for k, value in zip(range(i, j), values):
+                    statuses[k] = (
+                        (REPLY_MISSING, b"") if value is None else (REPLY_VALUE, value)
+                    )
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}".encode("utf-8", "replace")
+                for k in range(i, j):
+                    statuses[k] = (REPLY_ERROR, message)
+            i = j
+        elif opcode in _WRITE_OPS:
+            j = i
+            while j < count and items[j][0] in _WRITE_OPS:
+                j += 1
+            try:
+                connector.apply_batch(items[i:j])
+                statuses[i:j] = [(REPLY_OK, b"")] * (j - i)
+            except Exception as exc:
+                message = f"{type(exc).__name__}: {exc}".encode("utf-8", "replace")
+                for k in range(i, j):
+                    statuses[k] = (REPLY_ERROR, message)
+            i = j
+        else:
+            statuses[i] = (REPLY_ERROR, f"unknown batch opcode {opcode}".encode())
+            i += 1
+    return b"".join(
+        _REPLY_ITEM.pack(status, len(data)) + data for status, data in statuses
+    )
+
+
 class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         connector: StoreConnector = self.server.connector  # type: ignore[attr-defined]
@@ -111,6 +224,29 @@ class _Handler(socketserver.BaseRequestHandler):
             opcode, key_len, value_len = _HEADER.unpack(header)
             if opcode == OP_CLOSE:
                 return
+            if (
+                opcode == OP_BATCH
+                and self.server.protocol_version >= 2  # type: ignore[attr-defined]
+            ):
+                try:
+                    payload = _recv_exact(sock, value_len) if value_len else b""
+                except (ConnectionError, OSError):
+                    return
+                try:
+                    items = _decode_batch_items(payload, key_len)
+                except (ValueError, struct.error) as exc:
+                    _send_error(sock, f"malformed batch: {exc}")
+                    continue
+                with lock:
+                    if self.server.closing:  # type: ignore[attr-defined]
+                        _send_error(sock, "server is shutting down")
+                        return
+                    body = _execute_batch(connector, items)
+                try:
+                    sock.sendall(struct.pack("<BI", REPLY_BATCH, len(body)) + body)
+                except OSError:
+                    return
+                continue
             if opcode not in _KNOWN_OPS:
                 # Always answer: a handler that dies without replying
                 # leaves the client deadlocked on the socket.
@@ -155,9 +291,17 @@ class _Handler(socketserver.BaseRequestHandler):
 
 
 class StoreServer:
-    """Serves a store on 127.0.0.1; one thread per client connection."""
+    """Serves a store on 127.0.0.1; one thread per client connection.
 
-    def __init__(self, store: KVStore, port: int = 0) -> None:
+    ``protocol_version=1`` makes the server behave like a pre-batching
+    build: :data:`OP_BATCH` is answered with an ``unknown opcode`` error
+    (the historical behaviour), which new clients use to fall back to
+    per-op requests.  Version 2 (the default) accepts batch frames.
+    """
+
+    def __init__(
+        self, store: KVStore, port: int = 0, protocol_version: int = PROTOCOL_VERSION
+    ) -> None:
         self.store = store
         self._server = socketserver.ThreadingTCPServer(
             ("127.0.0.1", port), _Handler, bind_and_activate=True
@@ -166,6 +310,7 @@ class StoreServer:
         self._server.connector = connect(store)  # type: ignore[attr-defined]
         self._server.store_lock = threading.Lock()  # type: ignore[attr-defined]
         self._server.closing = False  # type: ignore[attr-defined]
+        self._server.protocol_version = protocol_version  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -234,6 +379,9 @@ class RemoteStoreClient:
         self._retry_policy = retry_policy
         self._sock: Optional[socket.socket] = None
         self.reconnects = 0
+        #: False once the server proved to be v1; batch calls then fall
+        #: back to per-op requests for the life of this client
+        self._batch_supported = True
         self._connect()
 
     # -- connection management ---------------------------------------------
@@ -308,6 +456,97 @@ class RemoteStoreClient:
             self._attempt, opcode, key, value, retry_on=(RemoteStoreError,)
         )
 
+    # -- batch protocol (v2) -------------------------------------------------
+
+    def _batch_request_once(
+        self, items: Sequence[Tuple[int, bytes, bytes]]
+    ) -> List[Tuple[int, bytes]]:
+        """Send one :data:`OP_BATCH` frame; return ``(status, data)``
+        per op.  Raises :class:`_BatchUnsupportedError` against a v1
+        server (which also closes the connection, so the socket is
+        dropped for the reconnecting per-op fallback)."""
+        sock = self._sock
+        if sock is None:
+            raise RemoteStoreError(f"{self.name} client is not connected")
+        payload = b"".join(
+            _BATCH_ITEM.pack(opcode, len(key), len(value)) + key + value
+            for opcode, key, value in items
+        )
+        try:
+            sock.sendall(_HEADER.pack(OP_BATCH, len(items), len(payload)) + payload)
+            status, length = struct.unpack("<BI", _recv_exact(sock, 5))
+            if status == REPLY_ERROR:
+                message = (
+                    _recv_exact(sock, length).decode("utf-8", errors="replace")
+                    if length
+                    else "unspecified server error"
+                )
+                if "unknown opcode" in message:
+                    # v1 server: it closes the connection after the
+                    # error, so discard the socket before falling back.
+                    self._drop_socket()
+                    raise _BatchUnsupportedError(message)
+                raise RemoteStoreError(f"{self.name} server error: {message}")
+            if status != REPLY_BATCH:
+                self._drop_socket()
+                raise RemoteStoreError(
+                    f"{self.name} protocol violation: reply {status} to a batch"
+                )
+            body = _recv_exact(sock, length)
+            if body == _OK_ITEM * len(items):
+                # All writes succeeded: one memcmp instead of per-item
+                # unpacking (the hot shape of batched write replay).
+                return _BATCH_ALL_OK
+            replies: List[Tuple[int, bytes]] = []
+            offset = 0
+            for _ in range(len(items)):
+                item_status, item_len = _REPLY_ITEM.unpack_from(body, offset)
+                offset += _REPLY_ITEM.size
+                replies.append((item_status, body[offset : offset + item_len]))
+                offset += item_len
+            return replies
+        except struct.error as exc:
+            self._drop_socket()
+            raise RemoteStoreError(
+                f"{self.name} sent a malformed batch reply: {exc}"
+            ) from exc
+        except socket.timeout as exc:
+            self._drop_socket()
+            raise RemoteStoreError(
+                f"{self.name} operation timed out after {self._timeout}s "
+                "(server hung or dead)"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self._drop_socket()
+            raise RemoteStoreError(
+                f"lost connection to {self.name} server: {exc}"
+            ) from exc
+
+    def _reconnect_for_fallback(self) -> None:
+        """A v1 server closes the connection after rejecting
+        :data:`OP_BATCH`; re-establish it so the per-op fallback can
+        proceed even without a retry policy."""
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+
+    def _batch_attempt(
+        self, items: Sequence[Tuple[int, bytes, bytes]]
+    ) -> List[Tuple[int, bytes]]:
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+        return self._batch_request_once(items)
+
+    def _batch_request(
+        self, items: Sequence[Tuple[int, bytes, bytes]]
+    ) -> List[Tuple[int, bytes]]:
+        if self._retry_policy is None:
+            return self._batch_request_once(items)
+        return self._retry_policy.call(
+            self._batch_attempt, items, retry_on=(RemoteStoreError,)
+        )
+
     # -- connector API -------------------------------------------------------
 
     def get(self, key: bytes) -> Optional[bytes]:
@@ -321,6 +560,62 @@ class RemoteStoreClient:
 
     def delete(self, key: bytes) -> None:
         self._request(OP_DELETE, key)
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Vectored get in ONE round-trip (protocol v2); transparently
+        degrades to per-key requests against a v1 server."""
+        if self._batch_supported and keys:
+            try:
+                replies = self._batch_request([(OP_GET, key, b"") for key in keys])
+            except _BatchUnsupportedError:
+                self._batch_supported = False
+                self._reconnect_for_fallback()
+            else:
+                out: List[Optional[bytes]] = []
+                for status, data in replies:
+                    if status == REPLY_VALUE:
+                        out.append(data)
+                    elif status == REPLY_MISSING:
+                        out.append(None)
+                    else:
+                        raise RemoteStoreError(
+                            f"{self.name} server error: "
+                            f"{data.decode('utf-8', errors='replace')}"
+                        )
+                return out
+        get = self.get
+        return [get(key) for key in keys]
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> None:
+        """Write batch in ONE round-trip (protocol v2); transparently
+        degrades to per-op requests against a v1 server."""
+        if self._batch_supported and ops:
+            try:
+                replies = self._batch_request(list(ops))
+            except _BatchUnsupportedError:
+                self._batch_supported = False
+                self._reconnect_for_fallback()
+            else:
+                if replies is _BATCH_ALL_OK:
+                    return
+                for status, data in replies:
+                    if status == REPLY_ERROR:
+                        raise RemoteStoreError(
+                            f"{self.name} server error: "
+                            f"{data.decode('utf-8', errors='replace')}"
+                        )
+                return
+        for opcode, key, value in ops:
+            if opcode == OP_PUT:
+                self.put(key, value)
+            elif opcode == OP_MERGE:
+                self.merge(key, value)
+            elif opcode == OP_DELETE:
+                self.delete(key)
+            else:
+                raise ValueError(
+                    f"apply_batch is write-only; cannot apply opcode {opcode}"
+                )
 
     def take_background_ns(self) -> int:
         return 0  # network time is genuinely client-visible
