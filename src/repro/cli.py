@@ -203,15 +203,37 @@ def _recovery_rows(result) -> List[List]:
     return rows
 
 
+def _telemetry_options(args):
+    """Resolve --trace / --metrics / --progress into a ReplayTelemetry
+    (or None when no recording was requested)."""
+    if not (args.trace_out or args.metrics or args.progress):
+        return None
+    from .obs import ReplayTelemetry
+
+    return ReplayTelemetry(
+        trace_path=args.trace_out,
+        metrics_path=args.metrics,
+        progress_stream=sys.stderr if args.progress else None,
+        interval_ms=args.metrics_interval_ms,
+        meta={"trace": args.trace, "batch": args.batch or 1},
+    )
+
+
 def cmd_replay(args) -> int:
     trace = AccessTrace.load(args.trace)
     fault_plan, retry_policy = _fault_options(args)
     disk_plan = _disk_plan(args)
+    telemetry = _telemetry_options(args)
     if args.crash_at is not None:
         from .faults import RECOVERABLE_STORES, evaluate_crash_recovery
 
         if args.shards > 1:
             raise SystemExit("error: --crash-at does not combine with --shards")
+        if args.metrics or args.progress:
+            raise SystemExit(
+                "error: --crash-at runs several replays (reference, doomed, "
+                "resumed); only --trace records it, as one span timeline"
+            )
         if args.store not in RECOVERABLE_STORES:
             print(
                 f"error: store {args.store!r} does not support crash recovery "
@@ -220,12 +242,22 @@ def cmd_replay(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        result = evaluate_crash_recovery(
-            args.store, trace, args.crash_at,
-            plan=fault_plan, retry_policy=retry_policy,
-            service_rate=args.service_rate, disk_plan=disk_plan,
-            batch_size=args.batch,
-        )
+        from .obs import tracing as _tracing
+
+        tracer = None
+        if args.trace_out:
+            tracer = _tracing.install(_tracing.SpanTracer())
+        try:
+            result = evaluate_crash_recovery(
+                args.store, trace, args.crash_at,
+                plan=fault_plan, retry_policy=retry_policy,
+                service_rate=args.service_rate, disk_plan=disk_plan,
+                batch_size=args.batch,
+            )
+        finally:
+            if tracer is not None:
+                _tracing.uninstall()
+                tracer.export(args.trace_out)
         print(render_table(["metric", "value"], _recovery_rows(result),
                            title="crash-recovery result"))
         return 0 if result.recovered_ok else 1
@@ -245,6 +277,7 @@ def cmd_replay(args) -> int:
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             batch_size=args.batch,
+            telemetry=telemetry,
         )
         result = replayer.replay(trace)
         replayer.close()
@@ -263,12 +296,13 @@ def cmd_replay(args) -> int:
             for index, shard in enumerate(result.shard_results)
         ]
         print(render_table(["metric", "value"], rows, title="sharded replay result"))
+        _telemetry_note(args)
         return 0
     connector = create_connector(args.store)
     replayer = TraceReplayer(
         connector, service_rate=args.service_rate,
         fault_plan=fault_plan, retry_policy=retry_policy,
-        batch_size=args.batch,
+        batch_size=args.batch, telemetry=telemetry,
     )
     result = replayer.replay(trace)
     connector.close()
@@ -283,7 +317,17 @@ def cmd_replay(args) -> int:
         ["p99.9 (us)", round(summary["p99.9_us"], 1)],
     ] + _fault_rows(result, fault_plan)
     print(render_table(["metric", "value"], rows, title="replay result"))
+    _telemetry_note(args)
     return 0
+
+
+def _telemetry_note(args) -> None:
+    if args.trace_out:
+        print(f"wrote span trace to {args.trace_out} "
+              f"(load in Perfetto / chrome://tracing)")
+    if args.metrics:
+        print(f"wrote metrics time series to {args.metrics} "
+              f"(inspect with 'repro metrics summarize')")
 
 
 def _fault_rows(result, fault_plan) -> List[List]:
@@ -325,6 +369,12 @@ def cmd_compare(args) -> int:
     evaluator = PerformanceEvaluator(
         stores=args.stores, fault_plan=fault_plan, retry_policy=retry_policy
     )
+    if args.metrics and (args.crash_at is not None or disk_plan is not None):
+        raise SystemExit(
+            "error: --metrics records the performance comparison only; "
+            "drop --crash-at/--disk-faults or record those runs with "
+            "'repro replay --trace'"
+        )
     if args.crash_at is not None:
         from .faults import RECOVERABLE_STORES
 
@@ -392,7 +442,10 @@ def cmd_compare(args) -> int:
         best = max(rows, key=lambda r: (r[2], r[3]))
         print(f"most corruption detected: {best[0]}")
         return 0
-    results = evaluator.evaluate(args.trace, trace, batch_size=args.batch)
+    results = evaluator.evaluate(
+        args.trace, trace, batch_size=args.batch,
+        metrics_dir=args.metrics, metrics_interval_ms=args.metrics_interval_ms,
+    )
     if fault_plan is not None:
         rows = [
             [row.store, row.batch_size, round(row.throughput_kops, 1),
@@ -414,7 +467,26 @@ def cmd_compare(args) -> int:
                            rows, title=f"store comparison on {args.trace}"))
     best = max(rows, key=lambda r: r[2])
     print(f"best throughput: {best[0]}")
+    if args.metrics:
+        paths = [row.timeseries_path for row in results if row.timeseries_path]
+        print(f"wrote {len(paths)} metrics time series under {args.metrics} "
+              f"(compare two with 'repro metrics diff')")
     return 0
+
+
+def cmd_metrics(args) -> int:
+    from .obs import diff_series, format_diff, format_summary, summarize_series
+
+    if args.metrics_command == "summarize":
+        for index, path in enumerate(args.series):
+            if index:
+                print()
+            print(format_summary(summarize_series(path)))
+        return 0
+    if args.metrics_command == "diff":
+        print(format_diff(diff_series(args.a, args.b, bins=args.bins)))
+        return 0
+    raise SystemExit(f"error: unknown metrics command {args.metrics_command!r}")
 
 
 def cmd_scrub(args) -> int:
@@ -513,6 +585,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="max attempts per operation under faults (default: 4)",
         )
 
+    def add_metrics_interval(sub) -> None:
+        sub.add_argument(
+            "--metrics-interval-ms", type=float, default=100.0,
+            help="sampling period for --metrics and --progress "
+            "(default: 100)",
+        )
+
     replay = subparsers.add_parser("replay", help="replay a trace on one store")
     replay.add_argument("trace")
     replay.add_argument("--store", default="rocksdb", choices=STORE_NAMES)
@@ -529,6 +608,24 @@ def build_parser() -> argparse.ArgumentParser:
         "stays honest -- measured from each op's arrival, queueing "
         "included",
     )
+    replay.add_argument(
+        "--trace-out", "--trace", dest="trace_out", metavar="FILE",
+        default=None,
+        help="record internal spans (flushes, compactions, WAL commits, "
+        "page IO, RPCs, retries) to a Chrome trace-event JSON file, "
+        "loadable in Perfetto",
+    )
+    replay.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="sample store gauges plus interval throughput and latency "
+        "percentiles into a JSONL time series for 'repro metrics'",
+    )
+    replay.add_argument(
+        "--progress", action="store_true",
+        help="live single-line progress view on stderr (ops/s, p99, "
+        "compactions, cache hit rate, faults)",
+    )
+    add_metrics_interval(replay)
     add_fault_options(replay)
 
     compare = subparsers.add_parser("compare", help="replay on several stores")
@@ -540,7 +637,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batch up to N consecutive same-kind ops into one "
         "multi_get/apply_batch call on every store (default: per-op)",
     )
+    compare.add_argument(
+        "--metrics", metavar="DIR", default=None,
+        help="sample each store's replay into DIR/<trace>-<store>.jsonl "
+        "time series for 'repro metrics summarize|diff'",
+    )
+    add_metrics_interval(compare)
     add_fault_options(compare)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="report on recorded metrics time series"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    summarize = metrics_sub.add_parser(
+        "summarize", help="aggregate one or more series into run summaries"
+    )
+    summarize.add_argument("series", nargs="+", metavar="FILE")
+    diff = metrics_sub.add_parser(
+        "diff", help="align two runs by replay progress; attribute the "
+        "worst phase to the internal-activity series that diverged most"
+    )
+    diff.add_argument("a", metavar="A.jsonl")
+    diff.add_argument("b", metavar="B.jsonl")
+    diff.add_argument(
+        "--bins", type=_positive_int, default=10,
+        help="number of progress-aligned phase bins (default: 10)",
+    )
 
     scrub = subparsers.add_parser(
         "scrub", help="verify on-disk checksums after replaying a trace"
@@ -580,6 +702,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "replay": cmd_replay,
     "compare": cmd_compare,
+    "metrics": cmd_metrics,
     "scrub": cmd_scrub,
     "ycsb": cmd_ycsb,
 }

@@ -10,6 +10,7 @@ the traces of multiple operators onto one store instance.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
@@ -120,6 +121,10 @@ class EvaluationRow:
     corruptions_unrecoverable: Optional[int] = None
     #: wall-clock of the scrub walk
     scrub_ms: Optional[float] = None
+    # -- observability ------------------------------------------------------
+    #: metrics JSONL recorded during this row's replay (None when the
+    #: run was not sampled); lets ``compare`` runs keep their series
+    timeseries_path: Optional[str] = None
 
     @classmethod
     def from_result(cls, workload: str, result: ReplayResult) -> "EvaluationRow":
@@ -232,6 +237,8 @@ class PerformanceEvaluator:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: Optional[int] = None,
+        metrics_dir: Optional[str] = None,
+        metrics_interval_ms: float = 100.0,
     ) -> List[EvaluationRow]:
         """Replay one trace against every configured store.
 
@@ -244,6 +251,9 @@ class PerformanceEvaluator:
         ``batch_size`` micro-batches the replay (see
         :class:`~repro.core.replayer.TraceReplayer`); rows carry the
         size so batched and per-op rows stay distinguishable.
+        ``metrics_dir`` samples every store's replay into
+        ``<dir>/<workload>-<store>.jsonl`` (see :mod:`repro.obs`) and
+        records the path in the row's ``timeseries_path``.
         """
         plan = fault_plan if fault_plan is not None else self.fault_plan
         rows: List[EvaluationRow] = []
@@ -251,17 +261,36 @@ class PerformanceEvaluator:
             connector = self._connector(store_name)
             if setup is not None:
                 setup(connector)
+            telemetry = None
+            series_path = None
+            if metrics_dir is not None:
+                from ..obs import ReplayTelemetry
+
+                os.makedirs(metrics_dir, exist_ok=True)
+                # The workload name is often a trace file path; keep
+                # only its stem so the series lands inside metrics_dir.
+                stem = os.path.splitext(os.path.basename(str(workload_name)))[0]
+                series_path = os.path.join(
+                    metrics_dir, f"{stem or 'workload'}-{store_name}.jsonl"
+                )
+                telemetry = ReplayTelemetry(
+                    metrics_path=series_path,
+                    interval_ms=metrics_interval_ms,
+                    meta={"workload": workload_name},
+                )
             replayer = TraceReplayer(
                 connector,
                 service_rate=self.service_rate,
                 fault_plan=plan,
                 retry_policy=self._fresh_policy(retry_policy),
                 batch_size=batch_size,
+                telemetry=telemetry,
             )
             result = replayer.replay(trace)
             connector.close()
             row = EvaluationRow.from_result(workload_name, result)
             row.batch_size = batch_size or 1
+            row.timeseries_path = series_path
             rows.append(row)
         return rows
 

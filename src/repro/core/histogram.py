@@ -101,6 +101,45 @@ class LatencyHistogram:
             self.min_value = other.min_value
         self.max_value = max(self.max_value, other.max_value)
 
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Sparse, merge-preserving JSON form (metrics JSONL schema).
+
+        Carries the geometry and the raw bucket counts (not midpoints),
+        so :meth:`from_dict` rebuilds a histogram that merges and
+        answers percentiles exactly like the original -- sampled
+        interval histograms can be re-aggregated offline.
+        """
+        return {
+            "subbuckets": self.subbuckets,
+            "max_exponent": self.max_exponent,
+            "total": self.total,
+            "sum": self.sum_values,
+            "min": self.min_value,
+            "max": self.max_value,
+            "counts": {
+                str(index): count
+                for index, count in enumerate(self._counts)
+                if count
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LatencyHistogram":
+        """Rebuild a histogram exported by :meth:`to_dict`."""
+        histogram = cls(
+            subbuckets=int(data["subbuckets"]),
+            max_exponent=int(data["max_exponent"]),
+        )
+        for index, count in data.get("counts", {}).items():
+            histogram._counts[int(index)] = int(count)
+        histogram.total = int(data["total"])
+        histogram.sum_values = int(data["sum"])
+        histogram.min_value = int(data["min"])
+        histogram.max_value = int(data["max"])
+        return histogram
+
     def nonzero_buckets(self) -> List[Tuple[int, int]]:
         """(midpoint, count) pairs for every populated bucket."""
         return [

@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from zlib import crc32
 
 from ..kvstores.connectors import StoreConnector
+from ..obs import tracing as _tracing
 from ..trace import AccessTrace, OpType, OPS_BY_CODE
 
 
@@ -142,9 +143,27 @@ def _throttle(next_dispatch: float) -> None:
     """
     wait = next_dispatch - time.perf_counter()
     if wait > _SPIN_THRESHOLD_S:
-        time.sleep(wait - _SLEEP_SLACK_S)
+        if _tracing.active() is not None:
+            with _tracing.span("replay.throttle", wait_ms=round(wait * 1000.0, 3)):
+                time.sleep(wait - _SLEEP_SLACK_S)
+        else:
+            time.sleep(wait - _SLEEP_SLACK_S)
     while time.perf_counter() < next_dispatch:
         pass
+
+
+def _tee(sink, record):
+    """Wrap each latency sink so samples also reach the progress
+    recorder (used only when a telemetry session is active)."""
+
+    def wrap(base):
+        def call(value, base=base, record=record):
+            base(value)
+            record(value)
+
+        return call
+
+    return tuple(wrap(base) for base in sink)
 
 
 def _dispatch_table(connector: StoreConnector):
@@ -175,6 +194,7 @@ class TraceReplayer:
         fault_plan=None,
         retry_policy=None,
         batch_size: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -201,8 +221,28 @@ class TraceReplayer:
         #: (injected or remote) failures, with retries counted in the
         #: result.
         self.retry_policy = retry_policy
+        #: optional :class:`~repro.obs.ReplayTelemetry`; when set,
+        #: :meth:`replay` records the run (trace spans, metrics
+        #: samples, live progress).  ``None`` replays the pre-existing
+        #: fast paths untouched.
+        self.telemetry = telemetry
+        #: live :class:`~repro.obs.metrics.ReplayProgress` during a
+        #: telemetry session (set by :meth:`replay`, or externally by
+        #: :class:`ShardedReplayer` sharing one progress across shards)
+        self._progress = None
 
     def replay(self, trace: AccessTrace) -> ReplayResult:
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._run(trace)
+        with telemetry.session(self.connector, len(trace)) as progress:
+            self._progress = progress
+            try:
+                return self._run(trace)
+            finally:
+                self._progress = None
+
+    def _run(self, trace: AccessTrace) -> ReplayResult:
         gc_was_enabled = gc.isenabled()
         if self.disable_gc and gc_was_enabled:
             gc.collect()
@@ -239,6 +279,13 @@ class TraceReplayer:
             sink = tuple(latencies[op].append for op in OPS_BY_CODE)
         interval = 1.0 / self.service_rate if self.service_rate else 0.0
         measure = self.measure_latency
+        progress = self._progress
+        if progress is not None and measure:
+            # tee client-observed latencies into the sampler's shared
+            # progress; the sinks already see every loop variant's
+            # honest per-op latency, so the telemetry hook lives here
+            sink = _tee(sink, progress.record)
+        count = progress.count if progress is not None and not measure else None
         timer = time.perf_counter_ns
         # The inlined form of ``trace.iter_raw()``: iterate the raw
         # columns directly (no generator frame per op) and branch on
@@ -267,6 +314,8 @@ class TraceReplayer:
                     sink[code](elapsed_ns if elapsed_ns > 0 else 0)
                 else:
                     dispatch[code](key, size)
+                    if count is not None:
+                        count()
         elif measure:
             for code, kid, size in columns:
                 key = keys[kid]
@@ -285,6 +334,18 @@ class TraceReplayer:
                 # includes it).
                 elapsed_ns = timer() - begin - take_background()
                 sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+        elif count is not None:
+            for code, kid, size in columns:
+                key = keys[kid]
+                if code == 0:
+                    get(key)
+                elif code == 1:
+                    put(key, synth(size))
+                elif code == 2:
+                    merge(key, synth(size))
+                else:
+                    delete(key)
+                count()
         else:
             for code, kid, size in columns:
                 key = keys[kid]
@@ -339,8 +400,12 @@ class TraceReplayer:
             sink = tuple(histograms[op].record for op in OPS_BY_CODE)
         else:
             sink = tuple(latencies[op].append for op in OPS_BY_CODE)
-        interval = 1.0 / self.service_rate if self.service_rate else 0.0
+        progress = self._progress
         measure = self.measure_latency
+        if progress is not None and measure:
+            sink = _tee(sink, progress.record)
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
+        trace_on = _tracing.active() is not None
         timer = time.perf_counter_ns
         synth = synthesize_value
         keys = trace.unique_keys()
@@ -381,15 +446,25 @@ class TraceReplayer:
                 codes.append(code)
                 j += 1
             if is_read:
-                multi_get(batch_keys)
+                if trace_on:
+                    with _tracing.span("replay.multi_get", n=len(batch_keys)):
+                        multi_get(batch_keys)
+                else:
+                    multi_get(batch_keys)
             else:
-                apply_batch(ops)
+                if trace_on:
+                    with _tracing.span("replay.apply_batch", n=len(ops)):
+                        apply_batch(ops)
+                else:
+                    apply_batch(ops)
             if measure:
                 completion = timer()
                 share = take_background() // (j - index)
                 for code, arrival in zip(codes, arrivals):
                     elapsed_ns = completion - arrival - share
                     sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+            elif progress is not None:
+                progress.count(j - index)
             index = j
         elapsed = time.perf_counter() - started
         return ReplayResult(
@@ -426,6 +501,9 @@ class TraceReplayer:
         if self.retry_policy is not None:
             retrier = RetryingConnector(target, self.retry_policy)
             target = retrier
+        progress = self._progress
+        if progress is not None:
+            progress.attach_fault_sources(injector, retrier)
         multi_get = target.multi_get
         apply_batch = target.apply_batch
         take_background = target.take_background_ns
@@ -440,8 +518,10 @@ class TraceReplayer:
             sink = tuple(histograms[op].record for op in OPS_BY_CODE)
         else:
             sink = tuple(latencies[op].append for op in OPS_BY_CODE)
-        interval = 1.0 / self.service_rate if self.service_rate else 0.0
         measure = self.measure_latency
+        if progress is not None and measure:
+            sink = _tee(sink, progress.record)
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
         timer = time.perf_counter_ns
         synth = synthesize_value
         keys = trace.unique_keys()
@@ -488,9 +568,11 @@ class TraceReplayer:
             while True:
                 try:
                     if is_read:
-                        multi_get(batch_keys)
+                        with _tracing.span("replay.multi_get", n=len(batch_keys)):
+                            multi_get(batch_keys)
                     else:
-                        apply_batch(ops)
+                        with _tracing.span("replay.apply_batch", n=len(ops)):
+                            apply_batch(ops)
                     break
                 except InjectedCrash as crash:
                     crashed_at = crash.op_index
@@ -516,6 +598,8 @@ class TraceReplayer:
                         continue
                     elapsed_ns = completion - arrival - share
                     sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+            elif progress is not None:
+                progress.count(j - index)
             index = j
         elapsed = time.perf_counter() - started
         return ReplayResult(
@@ -558,6 +642,9 @@ class TraceReplayer:
         if self.retry_policy is not None:
             retrier = RetryingConnector(target, self.retry_policy)
             target = retrier
+        progress = self._progress
+        if progress is not None:
+            progress.attach_fault_sources(injector, retrier)
         dispatch = _dispatch_table(target)
         take_background = target.take_background_ns
         latencies: Dict[OpType, List[int]] = {op: [] for op in OpType}
@@ -570,8 +657,10 @@ class TraceReplayer:
             sink = tuple(histograms[op].record for op in OPS_BY_CODE)
         else:
             sink = tuple(latencies[op].append for op in OPS_BY_CODE)
-        interval = 1.0 / self.service_rate if self.service_rate else 0.0
         measure = self.measure_latency
+        if progress is not None and measure:
+            sink = _tee(sink, progress.record)
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
         timer = time.perf_counter_ns
         keys = trace.unique_keys()
         columns = zip(trace.op_codes, trace.key_ids, trace.value_sizes)
@@ -601,6 +690,8 @@ class TraceReplayer:
             if measure:
                 elapsed_ns = timer() - begin - take_background()
                 sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+            elif progress is not None:
+                progress.count()
         elapsed = time.perf_counter() - started
         return ReplayResult(
             store=self.connector.name,
@@ -737,6 +828,7 @@ class ShardedReplayer:
         fault_plan=None,
         retry_policy=None,
         batch_size: Optional[int] = None,
+        telemetry=None,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -758,6 +850,11 @@ class ShardedReplayer:
         self.retry_policy = retry_policy
         #: micro-batch size applied by every worker to its shard
         self.batch_size = batch_size
+        #: optional :class:`~repro.obs.ReplayTelemetry` recording the
+        #: whole fan-out; all workers share one progress object (the
+        #: lock-protected recorder) and appear as separate trace lanes.
+        self.telemetry = telemetry
+        self._shared_progress = None
         if callable(connectors):
             self._connectors = [connectors() for _ in range(num_workers)]
             self._owns_connectors = True
@@ -785,6 +882,17 @@ class ShardedReplayer:
                 connector.close()
 
     def replay(self, trace: AccessTrace) -> ShardedReplayResult:
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._run(trace)
+        with telemetry.session(self._connectors[0], len(trace)) as progress:
+            self._shared_progress = progress
+            try:
+                return self._run(trace)
+            finally:
+                self._shared_progress = None
+
+    def _run(self, trace: AccessTrace) -> ShardedReplayResult:
         shards = shard_trace(trace, self.num_workers)
         per_worker_rate = (
             self.service_rate / self.num_workers if self.service_rate else None
@@ -811,6 +919,10 @@ class ShardedReplayer:
                 retry_policy=policy,
                 batch_size=self.batch_size,
             )
+            # all workers tee into the session's shared (lock-
+            # protected) progress; their distinct thread identities
+            # still give one trace lane per shard
+            replayer._progress = self._shared_progress
             try:
                 start_barrier.wait()
                 results[index] = replayer.replay(shards[index])

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with repro.core
 
 from ..kvstores.api import MergeOperator
 from ..kvstores.connectors import StoreConnector, connect
+from ..obs import tracing
 from ..kvstores.lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
 from ..kvstores.storage import MemoryStorage, Storage
 from ..trace import AccessTrace
@@ -166,7 +167,8 @@ def evaluate_crash_recovery(
         _make_store(store_name, MemoryStorage(), merge_operator, overrides),
         merge_operator,
     )
-    TraceReplayer(reference, measure_latency=False).replay(trace)
+    with tracing.span("recovery.reference", ops=len(trace)):
+        TraceReplayer(reference, measure_latency=False).replay(trace)
 
     # 2. Doomed run: planned crash; the store object is abandoned with
     #    whatever its storage holds (no flush, no close).
@@ -175,13 +177,14 @@ def evaluate_crash_recovery(
         _make_store(store_name, storage, merge_operator, overrides), merge_operator
     )
     crash_plan = replace(plan or FaultPlan(), crash_at=crash_at)
-    pre_crash = TraceReplayer(
-        doomed,
-        service_rate=service_rate,
-        fault_plan=crash_plan,
-        retry_policy=retry_policy,
-        batch_size=batch_size,
-    ).replay(trace)
+    with tracing.span("recovery.doomed", crash_at=crash_at):
+        pre_crash = TraceReplayer(
+            doomed,
+            service_rate=service_rate,
+            fault_plan=crash_plan,
+            retry_policy=retry_policy,
+            batch_size=batch_size,
+        ).replay(trace)
     if pre_crash.crashed_at != crash_at:
         raise RuntimeError(
             f"crash fired at {pre_crash.crashed_at}, expected {crash_at}"
@@ -191,33 +194,39 @@ def evaluate_crash_recovery(
     # 2.5. Damage the surviving storage before anyone reopens it.
     disk_faults: Optional[DiskFaultStats] = None
     if disk_plan is not None:
-        disk_faults = disk_plan.apply(storage)
+        with tracing.span("recovery.disk_faults"):
+            disk_faults = disk_plan.apply(storage)
 
     # 3. Recovery: new store over the surviving storage.
     revived = _make_store(store_name, storage, merge_operator, overrides)
-    began = time.perf_counter()
-    wal_records = revived.recover()
-    recovery_s = time.perf_counter() - began
+    with tracing.span("recovery.recover") as recovering:
+        began = time.perf_counter()
+        wal_records = revived.recover()
+        recovery_s = time.perf_counter() - began
+        recovering.add(wal_records=wal_records)
 
     # 3.5. Post-recovery scrub: surface any damage recovery missed.
     scrub_ms: Optional[float] = None
     if disk_plan is not None:
-        scrub_ms = revived.scrub().scrub_ms
+        with tracing.span("recovery.scrub"):
+            scrub_ms = revived.scrub().scrub_ms
 
     # 4. Resume the rest of the trace on the recovered store.
     recovered = connect(revived, merge_operator)
-    resumed = TraceReplayer(
-        recovered, service_rate=service_rate, batch_size=batch_size
-    ).replay(trace[crash_at:])
+    with tracing.span("recovery.resume", ops=len(trace) - crash_at):
+        resumed = TraceReplayer(
+            recovered, service_rate=service_rate, batch_size=batch_size
+        ).replay(trace[crash_at:])
 
     # 5. Verify post-recovery contents against the reference.
     keys_checked = 0
     mismatches = 0
     if verify:
-        for key in trace.unique_keys():
-            keys_checked += 1
-            if recovered.get(key) != reference.get(key):
-                mismatches += 1
+        with tracing.span("recovery.verify"):
+            for key in trace.unique_keys():
+                keys_checked += 1
+                if recovered.get(key) != reference.get(key):
+                    mismatches += 1
     reference.close()
     recovered.close()
 

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Tuple, Type
 
+from ..obs import tracing
 from .errors import TransientStoreError
 
 
@@ -138,6 +139,9 @@ class RetryingConnector:
     def _call(self, fn, *args):
         def count(attempt: int, error: BaseException) -> None:
             self.retries += 1
+            tracing.instant(
+                "retry.attempt", attempt=attempt, error=type(error).__name__
+            )
 
         try:
             return self._policy.call(
@@ -204,6 +208,11 @@ class RetryingConnector:
                     self.giveups += 1
                     raise error
                 self.retries += 1
+                tracing.instant(
+                    "retry.attempt",
+                    member=error_member,
+                    error=type(error).__name__,
+                )
                 if delay:
                     self._sleep(delay)
 

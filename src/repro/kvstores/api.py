@@ -13,6 +13,7 @@ dataflow model's single-thread access isolation (paper section 2.3).
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -110,20 +111,17 @@ class StoreStats:
         return self.gets + self.puts + self.merges + self.deletes
 
     def snapshot(self) -> "StoreStats":
-        copy = StoreStats(
-            gets=self.gets,
-            puts=self.puts,
-            merges=self.merges,
-            deletes=self.deletes,
-            flushes=self.flushes,
-            compactions=self.compactions,
-            bytes_written=self.bytes_written,
-            bytes_read=self.bytes_read,
-            cache_hits=self.cache_hits,
-            cache_misses=self.cache_misses,
-        )
-        copy.extra = dict(self.extra)
-        return copy
+        """Field-complete copy.
+
+        Built from the declared dataclass fields so newly added
+        counters are never silently dropped; mutable containers are
+        shallow-copied to decouple the snapshot from live updates.
+        """
+        values = {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+        values["extra"] = dict(values["extra"])
+        return StoreStats(**values)
 
 
 class KVStore(abc.ABC):

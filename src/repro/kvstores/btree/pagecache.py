@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Set
 
+from ...obs import tracing
 from ..cache import LRUCache
 from ..integrity import ChecksumKind, CorruptionError, ScrubFinding, ScrubReport, timed_scrub
 from ..storage import MemoryStorage, Storage, StorageError
@@ -60,8 +61,10 @@ class PageCache:
             return node
         if page_id not in self._on_disk:
             raise KeyError(f"unknown page: {page_id}")
-        raw = self.storage.read(self._blob(page_id))
-        node = decode_page(raw, self._blob(page_id))
+        with tracing.span("btree.page_in", page=page_id) as sp:
+            raw = self.storage.read(self._blob(page_id))
+            node = decode_page(raw, self._blob(page_id))
+            sp.add(bytes=len(raw))
         self.page_ins += 1
         self._cache.put(page_id, node)
         return node
@@ -137,7 +140,8 @@ class PageCache:
         # BerkeleyDB; tracked so latency reporting can exclude it.
         if page_id in self._dirty:
             begin = time.perf_counter_ns()
-            self._persist(page_id, node)
+            with tracing.span("btree.page_out", page=page_id):
+                self._persist(page_id, node)
             self._dirty.discard(page_id)
             self.background_ns += time.perf_counter_ns() - begin
 

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...obs import tracing
 from ..integrity import (
     ChecksumKind,
     CorruptionError,
@@ -310,29 +311,34 @@ class HybridLog:
         if not self._pending_segment:
             return
         begin = time.perf_counter_ns()
-        blob = f"faster-seg-{self._segment_count:08d}"
-        self._segment_count += 1
-        checksummed = self.checksum_kind is not ChecksumKind.NONE
-        parts: List[bytes] = []
-        offset = 0
-        if checksummed:
-            header = segment_header(self.checksum_kind)
-            parts.append(header)
-            offset = len(header)
-        for address, record in self._pending_segment:
-            encoded = (
-                frame_log_record(record, self.checksum_kind)
-                if checksummed
-                else record.encode()
-            )
-            self._disk_index[address] = (blob, offset)
-            parts.append(encoded)
-            offset += len(encoded)
-        self.storage.write(blob, b"".join(parts))
-        self._segments.append(blob)
-        self._pending_segment = []
-        self._pending_map.clear()
-        self._pending_bytes = 0
+        with tracing.span(
+            "faster.segment_roll",
+            records=len(self._pending_segment),
+            bytes=self._pending_bytes,
+        ):
+            blob = f"faster-seg-{self._segment_count:08d}"
+            self._segment_count += 1
+            checksummed = self.checksum_kind is not ChecksumKind.NONE
+            parts: List[bytes] = []
+            offset = 0
+            if checksummed:
+                header = segment_header(self.checksum_kind)
+                parts.append(header)
+                offset = len(header)
+            for address, record in self._pending_segment:
+                encoded = (
+                    frame_log_record(record, self.checksum_kind)
+                    if checksummed
+                    else record.encode()
+                )
+                self._disk_index[address] = (blob, offset)
+                parts.append(encoded)
+                offset += len(encoded)
+            self.storage.write(blob, b"".join(parts))
+            self._segments.append(blob)
+            self._pending_segment = []
+            self._pending_map.clear()
+            self._pending_bytes = 0
         self.background_ns += time.perf_counter_ns() - begin
 
     def flush(self) -> None:

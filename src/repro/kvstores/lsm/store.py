@@ -31,6 +31,7 @@ from ..api import (
     KVStore,
     MergeOperator,
 )
+from ...obs import tracing
 from ..cache import LRUCache
 from ..integrity import (
     ChecksumKind,
@@ -183,11 +184,13 @@ class RocksLSMStore(KVStore):
                 )
         self._sequence = sequence
         if self.config.enable_wal:
-            if self.checksum_kind is not ChecksumKind.NONE:
-                encoded = frame_records(records, self.checksum_kind)
-            else:
-                encoded = b"".join(record.encode() for record in records)
-            self.storage.append(self._wal_name, encoded)
+            with tracing.span("lsm.wal_commit", records=len(records)) as sp:
+                if self.checksum_kind is not ChecksumKind.NONE:
+                    encoded = frame_records(records, self.checksum_kind)
+                else:
+                    encoded = b"".join(record.encode() for record in records)
+                self.storage.append(self._wal_name, encoded)
+                sp.add(bytes=len(encoded))
             self._wal_bytes += len(encoded)
             stats.bytes_written += len(encoded)
         self._memtable.add_all(records)
@@ -249,19 +252,21 @@ class RocksLSMStore(KVStore):
             self._reset_wal()
 
     def _flush_memtable(self, memtable: Memtable) -> None:
-        table = build_sstable(
-            self._take_file_id(),
-            memtable.sorted_records(),
-            self.storage,
-            block_size=self.config.block_size,
-            bits_per_key=self.config.bits_per_key,
-            checksum_kind=self.checksum_kind,
-        )
-        if table is None:
-            return
-        self._levels[0].append(table)
-        self.stats.flushes += 1
-        self.stats.bytes_written += table.data_size
+        with tracing.span("lsm.flush", bytes=memtable.approximate_bytes) as sp:
+            table = build_sstable(
+                self._take_file_id(),
+                memtable.sorted_records(),
+                self.storage,
+                block_size=self.config.block_size,
+                bits_per_key=self.config.bits_per_key,
+                checksum_kind=self.checksum_kind,
+            )
+            if table is None:
+                return
+            self._levels[0].append(table)
+            self.stats.flushes += 1
+            self.stats.bytes_written += table.data_size
+            sp.add(sstable_bytes=table.data_size)
         self._maybe_compact()
 
     def flush(self) -> None:
@@ -468,6 +473,17 @@ class RocksLSMStore(KVStore):
     def _run_compaction(
         self, inputs: List[SSTable], from_levels: Tuple[int, ...], target_level: int
     ) -> None:
+        with tracing.span(
+            "lsm.compaction",
+            level=target_level,
+            inputs=len(inputs),
+            bytes_in=sum(t.data_size for t in inputs),
+        ):
+            self._run_compaction_inner(inputs, target_level)
+
+    def _run_compaction_inner(
+        self, inputs: List[SSTable], target_level: int
+    ) -> None:
         at_bottom = self._is_bottom(target_level, inputs)
         stream = merged_record_stream(inputs)
         compacted = compact_records(stream, self.merge_operator, at_bottom)
@@ -555,8 +571,12 @@ class RocksLSMStore(KVStore):
     def recover(self) -> int:
         """Full crash recovery: reopen the manifest's SSTables, then
         replay the WAL.  Returns the number of WAL records replayed."""
-        self._recover_manifest()
-        return self.recover_wal()
+        with tracing.span("lsm.recover_manifest"):
+            self._recover_manifest()
+        with tracing.span("lsm.recover_wal") as sp:
+            replayed = self.recover_wal()
+            sp.add(records=replayed)
+        return replayed
 
     def _recover_manifest(self) -> None:
         if not self.storage.exists(self._MANIFEST_NAME):

@@ -42,6 +42,7 @@ import struct
 import threading
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from ..obs import tracing
 from .api import BatchOp, KVStore, KVStoreError
 from .connectors import StoreConnector, connect
 
@@ -387,17 +388,18 @@ class RemoteStoreClient:
     # -- connection management ---------------------------------------------
 
     def _connect(self) -> None:
-        try:
-            sock = socket.create_connection(
-                self._address, timeout=self._connect_timeout
-            )
-        except OSError as exc:
-            raise RemoteStoreError(
-                f"cannot connect to {self.name} at "
-                f"{self._address[0]}:{self._address[1]}: {exc}"
-            ) from exc
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        sock.settimeout(self._timeout)
+        with tracing.span("remote.connect", peer=f"{self._address[0]}:{self._address[1]}"):
+            try:
+                sock = socket.create_connection(
+                    self._address, timeout=self._connect_timeout
+                )
+            except OSError as exc:
+                raise RemoteStoreError(
+                    f"cannot connect to {self.name} at "
+                    f"{self._address[0]}:{self._address[1]}: {exc}"
+                ) from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self._timeout)
         self._sock = sock
 
     def _drop_socket(self) -> None:
@@ -413,6 +415,12 @@ class RemoteStoreClient:
     # -- protocol ----------------------------------------------------------
 
     def _request_once(self, opcode: int, key: bytes, value: bytes) -> Optional[bytes]:
+        if tracing.active() is None:
+            return self._request_raw(opcode, key, value)
+        with tracing.span("remote.rpc", op=opcode):
+            return self._request_raw(opcode, key, value)
+
+    def _request_raw(self, opcode: int, key: bytes, value: bytes) -> Optional[bytes]:
         sock = self._sock
         if sock is None:
             raise RemoteStoreError(f"{self.name} client is not connected")
@@ -447,6 +455,7 @@ class RemoteStoreClient:
         if self._sock is None:
             self._connect()
             self.reconnects += 1
+            tracing.instant("remote.reconnect", total=self.reconnects)
         return self._request_once(opcode, key, value)
 
     def _request(self, opcode: int, key: bytes, value: bytes = b"") -> Optional[bytes]:
@@ -465,6 +474,14 @@ class RemoteStoreClient:
         per op.  Raises :class:`_BatchUnsupportedError` against a v1
         server (which also closes the connection, so the socket is
         dropped for the reconnecting per-op fallback)."""
+        if tracing.active() is None:
+            return self._batch_request_raw(items)
+        with tracing.span("remote.batch_rpc", n=len(items)):
+            return self._batch_request_raw(items)
+
+    def _batch_request_raw(
+        self, items: Sequence[Tuple[int, bytes, bytes]]
+    ) -> List[Tuple[int, bytes]]:
         sock = self._sock
         if sock is None:
             raise RemoteStoreError(f"{self.name} client is not connected")

@@ -1,0 +1,45 @@
+"""Telemetry subsystem: span tracing, metrics sampling, live dashboard.
+
+Everything in this package is zero-dependency and **no-op by default**:
+a replay without a :class:`ReplayTelemetry` attached runs byte-for-byte
+the same loops it ran before this package existed, and a disabled
+:func:`~repro.obs.tracing.span` site costs one global load.
+"""
+
+from .dashboard import (
+    ProgressView,
+    diff_series,
+    format_diff,
+    format_summary,
+    summarize_series,
+)
+from .metrics import (
+    Counter,
+    MetricsRegistry,
+    ReplayProgress,
+    Sampler,
+    read_series,
+    register_store,
+)
+from .telemetry import ReplayTelemetry
+from . import tracing
+from .tracing import SpanTracer, instant, span
+
+__all__ = [
+    "Counter",
+    "MetricsRegistry",
+    "ProgressView",
+    "ReplayProgress",
+    "ReplayTelemetry",
+    "Sampler",
+    "SpanTracer",
+    "diff_series",
+    "format_diff",
+    "format_summary",
+    "instant",
+    "read_series",
+    "register_store",
+    "span",
+    "summarize_series",
+    "tracing",
+]

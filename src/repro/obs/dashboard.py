@@ -1,0 +1,301 @@
+"""Live progress view and offline metrics reporting.
+
+Two consumers of the sampler's output live here:
+
+* :class:`ProgressView` -- an opt-in single-line TTY view refreshed
+  from the sampler's ``on_sample`` callback (ops/s, p99, faults,
+  compactions, cache hit rate).  It writes ``\\r``-terminated lines to
+  any stream, so tests drive it with a ``StringIO``.
+* ``summarize_series`` / ``diff_series`` -- the ``repro metrics``
+  subcommands.  ``diff`` aligns two runs **by replay progress** (not
+  wall time -- a slower run stretches the same logical work over more
+  seconds) into fixed phase bins and prints per-phase throughput/p99
+  deltas, attributing the worst phase to the internal-activity series
+  that diverged most.  This is what turns "batching got slower" into
+  "compaction stall at 62%".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+
+from .metrics import read_series
+
+
+class ProgressView:
+    """Single-line soft-refresh replay progress display."""
+
+    def __init__(self, stream: IO[str], store: str = "") -> None:
+        self.stream = stream
+        self.store = store
+        self._wrote = False
+
+    def __call__(self, sample: dict) -> None:
+        gauges = sample.get("gauges", {})
+        parts = [
+            f"[{self.store}]" if self.store else "[replay]",
+            f"{sample.get('progress', 0.0) * 100.0:5.1f}%",
+            f"{_si(sample.get('throughput_ops', 0.0))}op/s",
+            f"p99={sample.get('p99_us', 0.0):.0f}us",
+        ]
+        compactions = gauges.get("ops.compactions")
+        if compactions is not None:
+            parts.append(f"compactions={int(compactions)}")
+        hit_rate = None
+        for key in (
+            "lsm.block_cache_hit_rate",
+            "btree.page_cache_hit_rate",
+        ):
+            if gauges.get(key) is not None:
+                hit_rate = gauges[key]
+                break
+        if hit_rate is not None:
+            parts.append(f"cache={hit_rate * 100.0:.0f}%")
+        if "faults" in sample:
+            parts.append(f"faults={sample['faults']}")
+        if "retries" in sample:
+            parts.append(f"retries={sample['retries']}")
+        line = "  ".join(parts)
+        self.stream.write("\r" + line.ljust(78)[:118])
+        try:
+            self.stream.flush()
+        except Exception:
+            pass
+        self._wrote = True
+
+    def finish(self) -> None:
+        """Terminate the refresh line so later output starts clean."""
+        if self._wrote:
+            self.stream.write("\n")
+
+
+def _si(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.0f}"
+
+
+# -- offline reporting -------------------------------------------------------
+
+#: gauge series treated as cumulative internal-activity counters for
+#: phase attribution (per-phase increase is meaningful work done)
+ACTIVITY_SERIES = (
+    "ops.flushes",
+    "ops.compactions",
+    "ops.bytes_written",
+    "ops.bytes_read",
+    "btree.page_ins",
+    "btree.page_outs",
+    "faster.disk_reads",
+    "faster.sealed_segments",
+    "remote.reconnects",
+    "integrity.detected",
+    "lsm.quarantined",
+)
+
+
+def summarize_series(path: str) -> Dict[str, Any]:
+    """Aggregate one metrics JSONL file into a run summary."""
+    header, samples = read_series(path)
+    if not samples:
+        return {"path": path, "store": header.get("store", ""), "samples": 0}
+    last = samples[-1]
+    duration = last.get("t_s", 0.0)
+    ops = last.get("ops", 0)
+    p99s = [s["p99_us"] for s in samples if s.get("interval_ops")]
+    throughputs = [
+        s["throughput_ops"] for s in samples if s.get("interval_ops")
+    ]
+    summary: Dict[str, Any] = {
+        "path": path,
+        "store": header.get("store", ""),
+        "samples": len(samples),
+        "duration_s": round(duration, 3),
+        "ops": ops,
+        "mean_throughput_ops": round(ops / duration, 1) if duration else 0.0,
+        "min_interval_throughput_ops": round(min(throughputs), 1) if throughputs else 0.0,
+        "max_p99_us": round(max(p99s), 1) if p99s else 0.0,
+    }
+    activity: Dict[str, float] = {}
+    first_g = samples[0].get("gauges", {})
+    last_g = last.get("gauges", {})
+    for name in ACTIVITY_SERIES:
+        if last_g.get(name) is not None:
+            delta = last_g[name] - (first_g.get(name) or 0)
+            if delta:
+                activity[name] = delta
+    if activity:
+        summary["activity"] = activity
+    if "faults" in last:
+        summary["faults"] = last["faults"]
+        summary["retries"] = last.get("retries", 0)
+    return summary
+
+
+def format_summary(summary: Dict[str, Any]) -> str:
+    lines = [
+        f"{summary['path']}  store={summary.get('store') or '?'}  "
+        f"samples={summary.get('samples', 0)}"
+    ]
+    if summary.get("samples"):
+        lines.append(
+            f"  {summary['ops']} ops in {summary['duration_s']:.2f}s"
+            f"  ({_si(summary['mean_throughput_ops'])}op/s mean,"
+            f" {_si(summary['min_interval_throughput_ops'])}op/s worst interval,"
+            f" max p99 {summary['max_p99_us']:.0f}us)"
+        )
+        for name, delta in sorted(summary.get("activity", {}).items()):
+            lines.append(f"  {name:28s} +{delta:g}")
+        if "faults" in summary:
+            lines.append(
+                f"  faults={summary['faults']} retries={summary['retries']}"
+            )
+    return "\n".join(lines)
+
+
+def _phase_bins(samples: Sequence[dict], bins: int) -> List[List[dict]]:
+    """Bucket samples into ``bins`` equal spans of replay progress."""
+    out: List[List[dict]] = [[] for _ in range(bins)]
+    for sample in samples:
+        progress = sample.get("progress", 0.0)
+        index = min(int(progress * bins), bins - 1)
+        out[index].append(sample)
+    return out
+
+
+def _phase_stats(bucket: Sequence[dict]) -> Optional[Dict[str, float]]:
+    active = [s for s in bucket if s.get("interval_ops")]
+    if not active:
+        return None
+    ops = sum(s["interval_ops"] for s in active)
+    seconds = sum(
+        s["interval_ops"] / s["throughput_ops"]
+        for s in active
+        if s.get("throughput_ops")
+    )
+    return {
+        "throughput_ops": ops / seconds if seconds else 0.0,
+        "p99_us": max(s["p99_us"] for s in active),
+    }
+
+
+def _phase_activity(bucket: Sequence[dict]) -> Dict[str, float]:
+    gauged = [s for s in bucket if s.get("gauges")]
+    if len(gauged) < 1:
+        return {}
+    first = gauged[0]["gauges"]
+    last = gauged[-1]["gauges"]
+    out = {}
+    for name in ACTIVITY_SERIES:
+        if last.get(name) is not None:
+            out[name] = last[name] - (first.get(name) or 0)
+    return out
+
+
+def diff_series(
+    path_a: str, path_b: str, bins: int = 10
+) -> Dict[str, Any]:
+    """Align two runs by replay progress and compute per-phase deltas.
+
+    Returns a dict with one entry per phase bin carrying both runs'
+    throughput and p99, plus an ``attribution``: for the phase where
+    run B loses the most throughput relative to run A, the internal-
+    activity series whose per-phase delta diverges most between runs.
+    """
+    header_a, samples_a = read_series(path_a)
+    header_b, samples_b = read_series(path_b)
+    bins_a = _phase_bins(samples_a, bins)
+    bins_b = _phase_bins(samples_b, bins)
+    phases: List[Dict[str, Any]] = []
+    worst: Optional[Tuple[float, int]] = None
+    for index in range(bins):
+        stats_a = _phase_stats(bins_a[index])
+        stats_b = _phase_stats(bins_b[index])
+        phase: Dict[str, Any] = {
+            "phase": index,
+            "progress": f"{index * 100 // bins}-{(index + 1) * 100 // bins}%",
+        }
+        if stats_a and stats_b:
+            phase["a_throughput_ops"] = round(stats_a["throughput_ops"], 1)
+            phase["b_throughput_ops"] = round(stats_b["throughput_ops"], 1)
+            if stats_a["throughput_ops"] > 0:
+                ratio = stats_b["throughput_ops"] / stats_a["throughput_ops"]
+                phase["throughput_ratio"] = round(ratio, 3)
+                if worst is None or ratio < worst[0]:
+                    worst = (ratio, index)
+            phase["a_p99_us"] = round(stats_a["p99_us"], 1)
+            phase["b_p99_us"] = round(stats_b["p99_us"], 1)
+        activity_a = _phase_activity(bins_a[index])
+        activity_b = _phase_activity(bins_b[index])
+        divergence: Dict[str, float] = {}
+        for name in set(activity_a) | set(activity_b):
+            delta = (activity_b.get(name) or 0) - (activity_a.get(name) or 0)
+            if delta:
+                divergence[name] = delta
+        if divergence:
+            phase["activity_delta"] = divergence
+        phases.append(phase)
+    result: Dict[str, Any] = {
+        "a": {"path": path_a, "store": header_a.get("store", "")},
+        "b": {"path": path_b, "store": header_b.get("store", "")},
+        "bins": bins,
+        "phases": phases,
+    }
+    if worst is not None:
+        ratio, index = worst
+        attribution: Dict[str, Any] = {
+            "phase": index,
+            "progress": phases[index]["progress"],
+            "throughput_ratio": round(ratio, 3),
+        }
+        divergence = phases[index].get("activity_delta", {})
+        if divergence:
+            series, delta = max(
+                divergence.items(), key=lambda kv: abs(kv[1])
+            )
+            attribution["series"] = series
+            attribution["delta"] = delta
+        result["attribution"] = attribution
+    return result
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    lines = [
+        f"A: {diff['a']['path']} ({diff['a'].get('store') or '?'})",
+        f"B: {diff['b']['path']} ({diff['b'].get('store') or '?'})",
+        f"{'phase':>8s} {'A op/s':>12s} {'B op/s':>12s} {'B/A':>7s}"
+        f" {'A p99us':>9s} {'B p99us':>9s}",
+    ]
+    for phase in diff["phases"]:
+        if "a_throughput_ops" not in phase:
+            continue
+        ratio = phase.get("throughput_ratio")
+        lines.append(
+            f"{phase['progress']:>8s}"
+            f" {phase['a_throughput_ops']:>12.0f}"
+            f" {phase['b_throughput_ops']:>12.0f}"
+            f" {ratio if ratio is not None else float('nan'):>7.3f}"
+            f" {phase['a_p99_us']:>9.0f}"
+            f" {phase['b_p99_us']:>9.0f}"
+        )
+        for name, delta in sorted(
+            phase.get("activity_delta", {}).items(),
+            key=lambda kv: -abs(kv[1]),
+        ):
+            lines.append(f"{'':>8s}   {name} {delta:+g}")
+    attribution = diff.get("attribution")
+    if attribution:
+        lines.append("")
+        sentence = (
+            f"worst phase: {attribution['progress']}"
+            f" (B runs at {attribution['throughput_ratio']:.2f}x of A)"
+        )
+        if "series" in attribution:
+            sentence += (
+                f", dominated by {attribution['series']}"
+                f" ({attribution['delta']:+g} in B vs A)"
+            )
+        lines.append(sentence)
+    return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""Span tracer: bounded ring-buffer tracing with Chrome trace export.
+
+The harness's diagnostic claim (paper sections 5-6) is that aggregate
+numbers hide *when* a store does its internal work; a latency cliff is
+explained by lining client-observed slowness up against the flushes,
+compactions, page evictions, and reconnects that caused it.  This
+module records those internal activities as **spans** -- named, timed
+intervals -- into a fixed-size ring buffer, and exports them as Chrome
+trace-event JSON loadable in Perfetto or ``chrome://tracing``.
+
+Zero-overhead when off: a single module-level tracer slot is ``None``
+by default, and :func:`span` returns a shared no-op context manager
+without allocating.  Instrumentation sites therefore stay in the code
+permanently; the cost of a disabled site is one global load, one
+comparison, and an empty ``with`` block.  Hot per-operation paths
+(the replay fast loop, per-record WAL appends) are deliberately *not*
+instrumented -- spans cover the rare internal events (flush,
+compaction, segment roll, page eviction, reconnect) plus per-batch and
+per-RPC work where the traced operation dwarfs the tracing cost.
+
+Thread lanes: every span records the identifier and name of the thread
+that closed it, so a :class:`~repro.core.replayer.ShardedReplayer` run
+exports one lane per ``replay-shard-N`` worker.
+
+Overflow keeps the *newest* spans: the ring overwrites oldest-first
+and counts every overwritten span in :attr:`SpanTracer.dropped`, so a
+long run's trace always ends at the interesting part (the end) and the
+export says how much history it lost.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+#: ring entry: (name, thread id, start_ns, dur_ns, args); dur_ns < 0
+#: marks an instant event
+_Entry = Tuple[str, int, int, int, Optional[Dict[str, Any]]]
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def add(self, **args) -> None:
+        """Attach attributes late (no-op)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+#: the installed tracer, or None (the no-op default)
+_tracer: Optional["SpanTracer"] = None
+
+
+def active() -> Optional["SpanTracer"]:
+    """The installed tracer, or ``None`` when tracing is off."""
+    return _tracer
+
+
+def install(tracer: "SpanTracer") -> "SpanTracer":
+    """Install ``tracer`` as the process-wide span sink."""
+    global _tracer
+    _tracer = tracer
+    return tracer
+
+
+def uninstall() -> Optional["SpanTracer"]:
+    """Remove the installed tracer (tracing reverts to no-op)."""
+    global _tracer
+    tracer, _tracer = _tracer, None
+    return tracer
+
+
+def span(name: str, **args):
+    """Open a span; use as ``with span("lsm.flush", entries=n):``.
+
+    Returns the shared no-op span when tracing is off -- the disabled
+    cost is one global load and a truth test.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return _Span(tracer, name, args or None)
+
+
+def instant(name: str, **args) -> None:
+    """Record a zero-duration event (e.g. a retry attempt)."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.record_instant(name, args or None)
+
+
+@contextmanager
+def tracing(capacity: int = 65536):
+    """Install a fresh :class:`SpanTracer` for the ``with`` block."""
+    tracer = install(SpanTracer(capacity))
+    try:
+        yield tracer
+    finally:
+        if _tracer is tracer:
+            uninstall()
+
+
+class _Span:
+    """A live span; closing it records one ring entry."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "SpanTracer", name: str, args: Optional[dict]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start = 0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        tracer._record(self.name, self._start, end - self._start, self.args)
+        return False
+
+    def add(self, **args) -> None:
+        """Attach attributes discovered mid-span."""
+        if self.args is None:
+            self.args = args
+        else:
+            self.args.update(args)
+
+
+class SpanTracer:
+    """Fixed-capacity span ring with thread lanes.
+
+    Recording takes one short lock (append + lane bookkeeping); the
+    ring never grows, so an arbitrarily long replay traces in bounded
+    memory and keeps its newest ``capacity`` spans.
+    """
+
+    def __init__(self, capacity: int = 65536, clock=time.perf_counter_ns) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self._ring: List[Optional[_Entry]] = [None] * capacity
+        self._count = 0
+        #: spans overwritten after the ring filled (newest are kept)
+        self.dropped = 0
+        self._lock = threading.Lock()
+        #: thread ident -> thread name, captured at first record
+        self._lane_names: Dict[int, str] = {}
+        #: ts base, so exported timestamps start near zero
+        self.epoch_ns = clock()
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **args) -> _Span:
+        return _Span(self, name, args or None)
+
+    def record_instant(self, name: str, args: Optional[dict] = None) -> None:
+        self._record(name, self._clock(), -1, args)
+
+    def _record(self, name: str, start_ns: int, dur_ns: int, args: Optional[dict]) -> None:
+        tid = threading.get_ident()
+        entry = (name, tid, start_ns, dur_ns, args)
+        with self._lock:
+            if tid not in self._lane_names:
+                self._lane_names[tid] = threading.current_thread().name
+            if self._count >= self.capacity:
+                self.dropped += 1
+            self._ring[self._count % self.capacity] = entry
+            self._count += 1
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    def spans(self) -> List[_Entry]:
+        """Recorded entries, oldest surviving first."""
+        with self._lock:
+            if self._count <= self.capacity:
+                return [e for e in self._ring[: self._count] if e is not None]
+            head = self._count % self.capacity
+            return [
+                e for e in self._ring[head:] + self._ring[:head] if e is not None
+            ]
+
+    def lane_names(self) -> Dict[int, str]:
+        with self._lock:
+            return dict(self._lane_names)
+
+    # -- Chrome trace-event export ------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event JSON object.
+
+        Complete (``X``) events carry microsecond ``ts``/``dur``;
+        instant events use ``ph: "i"`` with thread scope.  Each thread
+        becomes a ``tid`` lane named by a ``thread_name`` metadata
+        event, so sharded replays render one lane per worker.
+        """
+        entries = self.spans()
+        lanes = self.lane_names()
+        #: stable small lane numbers in order of first appearance
+        tid_of = {ident: lane for lane, ident in enumerate(sorted(lanes))}
+        pid = 1
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro replay"},
+            }
+        ]
+        for ident, lane in sorted(tid_of.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": lane,
+                    "args": {"name": lanes[ident]},
+                }
+            )
+        epoch = self.epoch_ns
+        for name, ident, start_ns, dur_ns, args in entries:
+            event = {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ts": (start_ns - epoch) / 1000.0,
+                "pid": pid,
+                "tid": tid_of[ident],
+            }
+            if dur_ns < 0:
+                event["ph"] = "i"
+                event["s"] = "t"
+            else:
+                event["ph"] = "X"
+                event["dur"] = dur_ns / 1000.0
+            if args:
+                event["args"] = dict(args)
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_spans": self.dropped},
+        }
+
+    def export(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+            handle.write("\n")

@@ -86,6 +86,51 @@ class TestMerge:
             LatencyHistogram(subbuckets=32).merge(LatencyHistogram(subbuckets=64))
 
 
+class TestDictExport:
+    def test_round_trip_preserves_everything(self):
+        histogram = LatencyHistogram()
+        histogram.record_many([1, 7, 1500, 1500, 250_000, 9_000_000])
+        rebuilt = LatencyHistogram.from_dict(histogram.to_dict())
+        assert rebuilt.total == histogram.total
+        assert rebuilt.sum_values == histogram.sum_values
+        assert rebuilt.min_value == histogram.min_value
+        assert rebuilt.max_value == histogram.max_value
+        assert rebuilt.nonzero_buckets() == histogram.nonzero_buckets()
+        for percent in (50.0, 90.0, 99.0, 99.9):
+            assert rebuilt.percentile(percent) == histogram.percentile(percent)
+
+    def test_round_trip_keeps_geometry(self):
+        histogram = LatencyHistogram(subbuckets=64, max_exponent=30)
+        histogram.record(12345)
+        rebuilt = LatencyHistogram.from_dict(histogram.to_dict())
+        assert rebuilt.subbuckets == 64
+        assert rebuilt.max_exponent == 30
+
+    def test_rebuilt_histograms_merge(self):
+        """The reason to_dict exists: sampler intervals re-aggregate."""
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record_many([100, 200, 300])
+        b.record_many([5000, 6000])
+        merged = LatencyHistogram.from_dict(a.to_dict())
+        merged.merge(LatencyHistogram.from_dict(b.to_dict()))
+        direct = LatencyHistogram()
+        direct.record_many([100, 200, 300, 5000, 6000])
+        assert merged.total == direct.total
+        assert merged.percentile(50.0) == direct.percentile(50.0)
+        assert merged.percentile(99.0) == direct.percentile(99.0)
+
+    def test_empty_histogram_round_trips(self):
+        rebuilt = LatencyHistogram.from_dict(LatencyHistogram().to_dict())
+        assert rebuilt.total == 0
+        assert rebuilt.percentile(99.0) == 0
+
+    def test_dict_counts_are_sparse(self):
+        histogram = LatencyHistogram()
+        histogram.record(1000)
+        data = histogram.to_dict()
+        assert len(data["counts"]) == 1
+
+
 class TestReplayerIntegration:
     def test_histogram_mode(self):
         from repro.core import SourceConfig, TraceReplayer, generate_workload_trace

@@ -57,6 +57,27 @@ class TestStoreStats:
         stats.gets = 99
         assert snap.gets == 1
 
+    def test_snapshot_covers_every_declared_field(self):
+        """Drift guard: snapshot() must copy every dataclass field, so
+        adding a counter can never silently produce zeroed snapshots."""
+        import dataclasses
+
+        stats = StoreStats()
+        expected = {}
+        for index, field in enumerate(dataclasses.fields(StoreStats)):
+            value = {"marker": index} if field.name == "extra" else index + 1
+            setattr(stats, field.name, value)
+            expected[field.name] = value
+        snap = stats.snapshot()
+        for name, value in expected.items():
+            assert getattr(snap, name) == value, name
+
+    def test_snapshot_decouples_extra_dict(self):
+        stats = StoreStats(extra={"wal_truncations": 1})
+        snap = stats.snapshot()
+        stats.extra["wal_truncations"] = 99
+        assert snap.extra == {"wal_truncations": 1}
+
 
 class TestKVStoreBase:
     def test_default_merge_unsupported(self):

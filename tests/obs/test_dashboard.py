@@ -1,0 +1,174 @@
+"""Progress view, series summaries, progress-aligned diff, CLI plumbing."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.obs.dashboard import (
+    ProgressView,
+    diff_series,
+    format_diff,
+    format_summary,
+    summarize_series,
+)
+
+
+def write_series(path, store, rows):
+    """Write a minimal metrics JSONL file for the offline readers."""
+    with open(path, "w") as handle:
+        header = {
+            "sample": "header", "store": store, "total_ops": 1000,
+            "interval_ms": 100.0, "metrics": [],
+        }
+        handle.write(json.dumps(header) + "\n")
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+
+
+def sample(t_s, ops, progress, throughput, p99, gauges=None, **extra):
+    row = {
+        "t_s": t_s, "ops": ops, "progress": progress,
+        "interval_ops": int(throughput * 0.1),
+        "throughput_ops": throughput,
+        "p50_us": p99 / 4, "p95_us": p99 / 2, "p99_us": p99,
+        "gauges": gauges or {},
+    }
+    row.update(extra)
+    return row
+
+
+class TestProgressView:
+    def test_renders_single_refreshing_line(self):
+        stream = io.StringIO()
+        view = ProgressView(stream, store="rocksdb")
+        view(sample(0.1, 500, 0.5, 125_000.0, 42.0,
+                    gauges={"ops.compactions": 3,
+                            "lsm.block_cache_hit_rate": 0.875}))
+        view.finish()
+        text = stream.getvalue()
+        assert text.startswith("\r")
+        assert text.endswith("\n")
+        assert "[rocksdb]" in text
+        assert "50.0%" in text
+        assert "125.0kop/s" in text
+        assert "p99=42us" in text
+        assert "compactions=3" in text
+        assert "cache=88%" in text
+
+    def test_shows_fault_counters_when_present(self):
+        stream = io.StringIO()
+        view = ProgressView(stream)
+        view(sample(0.1, 10, 0.1, 100.0, 5.0, faults=2, retries=7))
+        assert "faults=2" in stream.getvalue()
+        assert "retries=7" in stream.getvalue()
+
+    def test_finish_without_samples_writes_nothing(self):
+        stream = io.StringIO()
+        ProgressView(stream).finish()
+        assert stream.getvalue() == ""
+
+
+class TestSummarize:
+    def test_aggregates_run_and_activity(self, tmp_path):
+        path = str(tmp_path / "a.jsonl")
+        write_series(path, "rocksdb", [
+            sample(0.1, 100, 0.1, 1000.0, 10.0,
+                   gauges={"ops.flushes": 1, "ops.compactions": 0}),
+            sample(1.0, 1000, 1.0, 900.0, 25.0,
+                   gauges={"ops.flushes": 5, "ops.compactions": 2}),
+        ])
+        summary = summarize_series(path)
+        assert summary["store"] == "rocksdb"
+        assert summary["samples"] == 2
+        assert summary["ops"] == 1000
+        assert summary["duration_s"] == 1.0
+        assert summary["mean_throughput_ops"] == 1000.0
+        assert summary["min_interval_throughput_ops"] == 900.0
+        assert summary["max_p99_us"] == 25.0
+        assert summary["activity"] == {
+            "ops.flushes": 4, "ops.compactions": 2,
+        }
+        text = format_summary(summary)
+        assert "rocksdb" in text
+        assert "ops.flushes" in text
+
+    def test_empty_series_is_reported_not_crashed(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        write_series(path, "memory", [])
+        summary = summarize_series(path)
+        assert summary["samples"] == 0
+        assert "samples=0" in format_summary(summary)
+
+
+class TestDiff:
+    def _two_runs(self, tmp_path):
+        """Run B stalls in the 50-60% phase with a compaction burst."""
+        path_a = str(tmp_path / "a.jsonl")
+        path_b = str(tmp_path / "b.jsonl")
+        rows_a, rows_b = [], []
+        for step in range(10):
+            progress = (step + 0.5) / 10
+            gauges = {"ops.compactions": step // 4, "ops.flushes": step}
+            rows_a.append(sample(step * 0.1, step * 100, progress,
+                                 1000.0, 10.0, gauges=dict(gauges)))
+            if step == 5:
+                gauges_b = {"ops.compactions": 40, "ops.flushes": step}
+                rows_b.append(sample(step * 0.3, step * 100, progress,
+                                     250.0, 90.0, gauges=gauges_b))
+                rows_b.append(sample(step * 0.3 + 0.1, step * 100 + 50,
+                                     progress + 0.04, 260.0, 80.0,
+                                     gauges={"ops.compactions": 55,
+                                             "ops.flushes": step}))
+            else:
+                rows_b.append(sample(step * 0.3, step * 100, progress,
+                                     950.0, 12.0, gauges=dict(gauges)))
+        write_series(path_a, "rocksdb", rows_a)
+        write_series(path_b, "rocksdb", rows_b)
+        return path_a, path_b
+
+    def test_attributes_worst_phase_to_divergent_series(self, tmp_path):
+        path_a, path_b = self._two_runs(tmp_path)
+        diff = diff_series(path_a, path_b, bins=10)
+        assert diff["bins"] == 10
+        assert len(diff["phases"]) == 10
+        attribution = diff["attribution"]
+        assert attribution["phase"] == 5
+        assert attribution["progress"] == "50-60%"
+        assert attribution["throughput_ratio"] < 0.5
+        assert attribution["series"] == "ops.compactions"
+        assert attribution["delta"] > 0
+
+    def test_format_diff_prints_table_and_verdict(self, tmp_path):
+        path_a, path_b = self._two_runs(tmp_path)
+        text = format_diff(diff_series(path_a, path_b))
+        assert "50-60%" in text
+        assert "worst phase: 50-60%" in text
+        assert "dominated by ops.compactions" in text
+
+    def test_identical_runs_have_ratio_near_one(self, tmp_path):
+        path_a, _ = self._two_runs(tmp_path)
+        diff = diff_series(path_a, path_a)
+        for phase in diff["phases"]:
+            if "throughput_ratio" in phase:
+                assert phase["throughput_ratio"] == 1.0
+
+
+class TestMetricsCLI:
+    def test_summarize_command(self, tmp_path, capsys):
+        path = str(tmp_path / "a.jsonl")
+        write_series(path, "faster", [
+            sample(0.5, 500, 0.5, 1000.0, 8.0),
+        ])
+        assert main(["metrics", "summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "faster" in out
+        assert "500 ops" in out
+
+    def test_diff_command(self, tmp_path, capsys):
+        path = str(tmp_path / "a.jsonl")
+        write_series(path, "rocksdb", [
+            sample(0.5, 500, 0.5, 1000.0, 8.0),
+        ])
+        assert main(["metrics", "diff", path, path, "--bins", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "B/A" in out

@@ -1,0 +1,260 @@
+"""End-to-end replay telemetry: sessions, crash shutdown, sharding, CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import PerformanceEvaluator, SourceConfig, TraceReplayer
+from repro.core.replayer import ShardedReplayer
+from repro.core import generate_workload_trace
+from repro.cli import main
+from repro.faults import FaultPlan
+from repro.kvstores import create_connector
+from repro.obs import ReplayTelemetry, tracing
+from repro.obs.metrics import read_series
+
+
+@pytest.fixture(autouse=True)
+def no_global_tracer():
+    tracing.uninstall()
+    yield
+    tracing.uninstall()
+
+
+def small_trace(n=300, workload="tumbling-incremental"):
+    return generate_workload_trace(workload, [SourceConfig(num_events=n)])
+
+
+class TestTelemetrySession:
+    def test_full_session_writes_trace_and_metrics(self, tmp_path):
+        # Large enough that the LSM flushes at least once (so internal
+        # spans actually fire), small enough to stay fast.
+        trace = small_trace(5000)
+        trace_path = str(tmp_path / "run.trace.json")
+        metrics_path = str(tmp_path / "run.jsonl")
+        telemetry = ReplayTelemetry(
+            trace_path=trace_path, metrics_path=metrics_path,
+            interval_ms=5.0,
+        )
+        connector = create_connector("rocksdb")
+        result = TraceReplayer(connector, telemetry=telemetry).replay(trace)
+        connector.close()
+        assert result.operations == len(trace)
+
+        doc = json.loads(open(trace_path).read())
+        cats = {e.get("cat") for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "lsm" in cats  # flush/WAL/compaction spans fired
+        assert doc["otherData"]["dropped_spans"] == 0
+
+        header, samples = read_series(metrics_path)
+        assert header["store"] == "rocksdb"
+        assert header["total_ops"] == len(trace)
+        assert samples[-1]["ops"] == len(trace)
+        assert samples[-1]["progress"] == 1.0
+        assert samples[-1]["gauges"]["ops.puts"] > 0
+        # client-observed latency reached the interval histograms
+        assert sum(s["interval_ops"] for s in samples) == len(trace)
+        assert any(s["p99_us"] > 0 for s in samples)
+
+    def test_session_uninstalls_tracer_after_replay(self, tmp_path):
+        telemetry = ReplayTelemetry(trace_path=str(tmp_path / "t.json"))
+        connector = create_connector("memory")
+        TraceReplayer(connector, telemetry=telemetry).replay(small_trace(50))
+        connector.close()
+        assert tracing.active() is None
+
+    def test_no_telemetry_keeps_plain_path(self):
+        connector = create_connector("memory")
+        replayer = TraceReplayer(connector)
+        assert replayer.telemetry is None
+        result = replayer.replay(small_trace(50))
+        assert result.operations > 0
+        assert tracing.active() is None
+        connector.close()
+
+    def test_progress_view_draws_from_sampler(self, tmp_path):
+        stream = io.StringIO()
+        telemetry = ReplayTelemetry(progress_stream=stream, interval_ms=2.0)
+        connector = create_connector("memory")
+        TraceReplayer(connector, telemetry=telemetry).replay(small_trace())
+        connector.close()
+        text = stream.getvalue()
+        assert "[memory]" in text
+        assert text.endswith("\n")
+
+    def test_unmeasured_replay_still_tracks_progress(self, tmp_path):
+        metrics_path = str(tmp_path / "m.jsonl")
+        telemetry = ReplayTelemetry(metrics_path=metrics_path)
+        trace = small_trace(100)
+        connector = create_connector("memory")
+        TraceReplayer(
+            connector, measure_latency=False, telemetry=telemetry
+        ).replay(trace)
+        connector.close()
+        _header, samples = read_series(metrics_path)
+        assert samples[-1]["ops"] == len(trace)
+        assert samples[-1]["progress"] == 1.0
+
+
+class TestCleanShutdown:
+    def test_sampler_stops_when_replay_raises(self, tmp_path):
+        class ExplodingConnector:
+            name = "exploding"
+
+            def __init__(self):
+                self.calls = 0
+
+            def _boom(self, *args):
+                self.calls += 1
+                if self.calls > 10:
+                    raise RuntimeError("store wedged")
+
+            get = put = merge = delete = _boom
+
+            def take_background_ns(self):
+                return 0
+
+            def close(self):
+                pass
+
+        metrics_path = str(tmp_path / "m.jsonl")
+        telemetry = ReplayTelemetry(
+            trace_path=str(tmp_path / "t.json"),
+            metrics_path=metrics_path, interval_ms=5.0,
+        )
+        replayer = TraceReplayer(ExplodingConnector(), telemetry=telemetry)
+        with pytest.raises(RuntimeError):
+            replayer.replay(small_trace())
+        assert telemetry.last_sampler is not None
+        assert telemetry.last_sampler.stopped
+        assert tracing.active() is None
+        # both outputs are complete and parseable despite the crash
+        json.loads(open(tmp_path / "t.json").read())
+        for line in open(metrics_path):
+            json.loads(line)
+
+    def test_sampler_stops_on_injected_crash_point(self, tmp_path):
+        metrics_path = str(tmp_path / "m.jsonl")
+        telemetry = ReplayTelemetry(metrics_path=metrics_path, interval_ms=5.0)
+        trace = small_trace()
+        connector = create_connector("rocksdb")
+        replayer = TraceReplayer(
+            connector,
+            fault_plan=FaultPlan(crash_at=100),
+            telemetry=telemetry,
+        )
+        result = replayer.replay(trace)
+        assert result.crashed_at == 100
+        assert telemetry.last_sampler.stopped
+        _header, samples = read_series(metrics_path)
+        assert samples[-1]["ops"] == 100  # progress froze at the crash
+
+
+class TestShardedTelemetry:
+    def test_workers_share_progress_and_export_lanes(self, tmp_path):
+        trace = small_trace(20_000)  # big enough for per-shard LSM flushes
+        trace_path = str(tmp_path / "sh.trace.json")
+        metrics_path = str(tmp_path / "sh.jsonl")
+        telemetry = ReplayTelemetry(
+            trace_path=trace_path, metrics_path=metrics_path,
+            interval_ms=5.0,
+        )
+        replayer = ShardedReplayer(
+            lambda: create_connector("rocksdb"),
+            num_workers=3,
+            telemetry=telemetry,
+        )
+        result = replayer.replay(trace)
+        replayer.close()
+        assert result.operations == len(trace)
+
+        _header, samples = read_series(metrics_path)
+        assert samples[-1]["ops"] == len(trace)  # all shards counted
+
+        doc = json.loads(open(trace_path).read())
+        lanes = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert any(name.startswith("replay-shard-") for name in lanes)
+
+
+class TestEvaluatorSeries:
+    def test_rows_carry_timeseries_path(self, tmp_path):
+        evaluator = PerformanceEvaluator(stores=["memory", "faster"])
+        rows = evaluator.evaluate(
+            "unit", small_trace(), metrics_dir=str(tmp_path / "series"),
+            metrics_interval_ms=5.0,
+        )
+        for row in rows:
+            assert row.timeseries_path is not None
+            assert row.store in row.timeseries_path
+            header, samples = read_series(row.timeseries_path)
+            assert header["workload"] == "unit"
+            assert samples[-1]["progress"] == 1.0
+
+    def test_no_metrics_dir_means_no_series(self):
+        evaluator = PerformanceEvaluator(stores=["memory"])
+        (row,) = evaluator.evaluate("unit", small_trace(50))
+        assert row.timeseries_path is None
+
+
+class TestReplayCLI:
+    def test_replay_with_all_telemetry_flags(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.gdgt")
+        main(["generate", "-w", "tumbling-incremental", "-o", trace_file,
+              "--events", "5000"])
+        trace_out = str(tmp_path / "out.trace.json")
+        metrics_out = str(tmp_path / "out.jsonl")
+        code = main([
+            "replay", trace_file, "--store", "rocksdb",
+            "--trace", trace_out, "--metrics", metrics_out,
+            "--metrics-interval-ms", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote span trace" in out
+        assert "wrote metrics time series" in out
+        doc = json.loads(open(trace_out).read())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        header, samples = read_series(metrics_out)
+        assert header["store"] == "rocksdb"
+        assert samples[-1]["progress"] == 1.0
+
+    def test_compare_metrics_dir(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.gdgt")
+        main(["generate", "-w", "tumbling-incremental", "-o", trace_file,
+              "--events", "300"])
+        series_dir = tmp_path / "series"
+        code = main([
+            "compare", trace_file, "--stores", "memory", "faster",
+            "--metrics", str(series_dir), "--metrics-interval-ms", "5",
+        ])
+        assert code == 0
+        written = sorted(p.name for p in series_dir.iterdir())
+        assert written == ["t-faster.jsonl", "t-memory.jsonl"]
+        assert main([
+            "metrics", "diff",
+            str(series_dir / "t-memory.jsonl"),
+            str(series_dir / "t-faster.jsonl"),
+        ]) == 0
+        assert "worst phase" in capsys.readouterr().out
+
+    def test_crash_at_rejects_metrics_but_takes_trace(self, tmp_path):
+        trace_file = str(tmp_path / "t.gdgt")
+        main(["generate", "-w", "tumbling-incremental", "-o", trace_file,
+              "--events", "300"])
+        with pytest.raises(SystemExit):
+            main(["replay", trace_file, "--store", "rocksdb",
+                  "--crash-at", "100", "--metrics", str(tmp_path / "m.jsonl")])
+        trace_out = str(tmp_path / "crash.trace.json")
+        code = main(["replay", trace_file, "--store", "rocksdb",
+                     "--crash-at", "100", "--trace", trace_out])
+        assert code == 0
+        doc = json.loads(open(trace_out).read())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "recovery.recover" in names
+        assert "recovery.verify" in names
+        assert tracing.active() is None
