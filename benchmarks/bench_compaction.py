@@ -1,0 +1,258 @@
+"""Background-maintenance benchmark: inline vs worker flush/compaction.
+
+Replays a paced 100%-put ingest trace against the LSM store across a
+grid of
+
+* **mode** -- ``inline`` (flush + compaction absorbed synchronously by
+  whichever write crosses the trigger) vs ``background`` (immutable
+  memtables drained by a flush worker, compaction driven by a policy
+  worker, writers pausing only at the write-stall gate),
+* **compaction policy** -- leveled / tiered / universal, and
+* **memtable size** -- a small buffer (flushes more frequent than the
+  p99 boundary, so inline p99 *must* capture maintenance cost) and a
+  large one (few flushes; maintenance only visible past p99.9).
+
+Design notes, each load-bearing on a 1-CPU GIL runtime:
+
+* **Paced replay** (``service_rate``): an open-loop arrival process is
+  the realistic regime for tail-latency claims -- closed-loop replay
+  lets a slow op delay all subsequent arrivals, and coordinated
+  omission hides exactly the bursts this benchmark measures.  The
+  replayer stamps op latency after the pacing sleep, so each op's
+  latency is its service time.
+* **MemoryStorage**: file I/O releases the GIL mid-op, which lets a
+  GIL-waiting worker thread steal a slice *inside* a foreground op and
+  charge maintenance time to it.  Memory ops are GIL-atomic, so worker
+  interference lands between ops (absorbed by pacing slack) or at the
+  explicit stall gate -- never silently inside an unrelated op.
+* **Raw latency**: the replayer's usual ``take_background_ns``
+  subtraction is disabled through a wrapper, so inline cells pay their
+  synchronous flush/compaction bursts inside op latency and background
+  cells pay their write stalls.  The p99 comparison is then exactly
+  the paper's question: how much foreground tail latency does moving
+  maintenance off the write path buy?
+
+Every cell is the median of ``REPS`` runs by p99 (pacing pins
+throughput, so latency is the stable ranking key).  Writes
+``BENCH_compaction.json`` next to the repo root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_compaction.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core import TraceReplayer  # noqa: E402
+from repro.kvstores import connect  # noqa: E402
+from repro.kvstores.lsm import LSMConfig, RocksLSMStore  # noqa: E402
+from repro.kvstores.storage import MemoryStorage  # noqa: E402
+from repro.trace import AccessTrace, OpType  # noqa: E402
+
+MODES = ("inline", "background")
+POLICIES = ("leveled", "tiered", "universal")
+#: (write_buffer_bytes, paced arrival rate ops/s).  4K floods ~1.9% of
+#: ops with a flush (above the 1% p99 boundary); 32K flushes ~0.2% of
+#: ops (maintenance visible only past p99.9).
+CELLS = ((4 * 1024, 1200.0), (32 * 1024, 2000.0))
+SEED = 42
+VALUE_SIZE = 64
+NUM_KEYS = 2_000
+
+#: smoke mode shrinks everything so CI can validate the pipeline
+SMOKE = "--smoke" in sys.argv
+OPS = 2_000 if SMOKE else 10_000
+REPS = 1 if SMOKE else 5
+
+
+def make_trace(ops: int) -> AccessTrace:
+    """Pure ingest: 100% puts over uniform keys -- the maintenance-heavy
+    shape where flushes and compactions dominate the write path."""
+    rng = random.Random(SEED)
+    trace = AccessTrace()
+    for i in range(ops):
+        key = b"key%06d" % rng.randrange(NUM_KEYS)
+        trace.record(OpType.PUT, key, VALUE_SIZE, i)
+    return trace
+
+
+class RawLatencyConnector:
+    """Pass-through that hides ``take_background_ns`` from the replayer.
+
+    The replayer normally subtracts maintenance time pro-rata from op
+    latencies; this benchmark measures the *client-observed* latency,
+    so inline maintenance bursts and background write stalls must stay
+    inside the percentiles.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def take_background_ns(self) -> int:
+        self._inner.take_background_ns()  # drain so nothing accumulates
+        return 0
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def run_cell(policy: str, write_buffer: int, rate: float, background: bool, trace):
+    store = RocksLSMStore(
+        LSMConfig(
+            write_buffer_size=write_buffer,
+            compaction_policy=policy,
+            background=background,
+            max_immutable_memtables=8,
+        ),
+        storage=MemoryStorage(),
+    )
+    connector = connect(store)
+    try:
+        replayer = TraceReplayer(RawLatencyConnector(connector), service_rate=rate)
+        result = replayer.replay(trace)
+        summary = result.summary()
+        return {
+            "throughput_kops": summary["throughput_kops"],
+            "p50_us": summary["p50_us"],
+            "p99_us": summary["p99_us"],
+            "p999_us": summary["p99.9_us"],
+            "write_stalls": store.write_stall_count,
+            "stall_ms": round(store.write_stall_ns / 1e6, 3),
+            "compactions": store.stats.compactions,
+        }
+    finally:
+        connector.close()
+
+
+def median_run(policy, write_buffer, rate, background, trace):
+    """Median-of-REPS by p99: pacing pins throughput, so tail latency
+    is the quantity under test and the stable ranking key."""
+    runs = [
+        run_cell(policy, write_buffer, rate, background, trace) for _ in range(REPS)
+    ]
+    runs.sort(key=lambda r: r["p99_us"])
+    return runs[len(runs) // 2]
+
+
+def main():
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_compaction.json",
+    )
+    trace = make_trace(OPS)
+
+    grid = {}
+    for policy in POLICIES:
+        per_buffer = {}
+        for write_buffer, rate in CELLS:
+            cells = {}
+            for mode in MODES:
+                cell = median_run(
+                    policy, write_buffer, rate, mode == "background", trace
+                )
+                for key in ("throughput_kops", "p50_us", "p99_us", "p999_us"):
+                    cell[key] = round(cell[key], 1)
+                cells[mode] = cell
+                print(
+                    f"  {policy:<10} buf {write_buffer // 1024:>3}K "
+                    f"{mode:<10}: p50={cell['p50_us']:>6.1f}us "
+                    f"p99={cell['p99_us']:>7.1f}us "
+                    f"p99.9={cell['p999_us']:>8.1f}us "
+                    f"stalls={cell['write_stalls']} "
+                    f"stall_ms={cell['stall_ms']}"
+                )
+            cells["arrival_rate_ops_s"] = rate
+            cells["inline_over_background_p99"] = round(
+                cells["inline"]["p99_us"] / max(cells["background"]["p99_us"], 0.001),
+                2,
+            )
+            cells["inline_over_background_p999"] = round(
+                cells["inline"]["p999_us"]
+                / max(cells["background"]["p999_us"], 0.001),
+                2,
+            )
+            per_buffer[str(write_buffer)] = cells
+        grid[policy] = per_buffer
+
+    small, large = (str(buf) for buf, _ in CELLS)
+    claims = {
+        "inline_over_background_p99_leveled_small_buffer":
+            grid["leveled"][small]["inline_over_background_p99"],
+        "inline_over_background_p99_tiered_small_buffer":
+            grid["tiered"][small]["inline_over_background_p99"],
+        "inline_over_background_p999_leveled_large_buffer":
+            grid["leveled"][large]["inline_over_background_p999"],
+        "background_write_stalls_leveled_small_buffer":
+            grid["leveled"][small]["background"]["write_stalls"],
+        "background_stall_ms_leveled_small_buffer":
+            grid["leveled"][small]["background"]["stall_ms"],
+    }
+
+    results = {
+        "env": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+        },
+        "method": {
+            "modes": list(MODES),
+            "policies": list(POLICIES),
+            "cells": [list(cell) for cell in CELLS],
+            "reps_per_cell": REPS,
+            "aggregation": "median by p99_us (pacing pins throughput)",
+            "operations": OPS,
+            "value_size": VALUE_SIZE,
+            "num_keys": NUM_KEYS,
+            "storage": (
+                "MemoryStorage: GIL-atomic ops keep worker interference "
+                "out of unrelated foreground op latencies (file I/O "
+                "releases the GIL mid-op and would smear maintenance "
+                "time across ops)"
+            ),
+            "latency": (
+                "raw client-observed, open-loop paced arrivals: the "
+                "replayer's take_background_ns subtraction is disabled, "
+                "so inline cells include their synchronous "
+                "flush/compaction bursts and background cells include "
+                "their write stalls"
+            ),
+        },
+        "note": (
+            "single-process, 1-CPU measurements: worker threads share one "
+            "core and the GIL with the writer, so background mode wins by "
+            "duty-cycling maintenance into the pacing gaps between "
+            "arrivals instead of absorbing a whole flush or compaction "
+            "inside one unlucky op; when the worker cannot keep up the "
+            "write-stall gate blocks the writer and that stall time is "
+            "counted (write_stalls / stall_ms), not hidden; absolute "
+            "numbers are not comparable across machines"
+        ),
+        "workload": {"name": "ingest_100put", "operations": OPS},
+        "grid": grid,
+        "claims": claims,
+    }
+
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {out_path}")
+    print(json.dumps(claims, indent=2))
+
+    if not SMOKE:
+        assert claims["inline_over_background_p99_leveled_small_buffer"] >= 1.2, (
+            "background maintenance should cut p99 on maintenance-heavy "
+            "ingest by at least 1.2x"
+        )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -45,7 +45,11 @@ from .datasets import (
     generate_taxi,
 )
 from .kvstores import STORE_NAMES, create_connector
+from .kvstores.lsm import POLICY_NAMES
 from .trace import AccessTrace
+
+#: stores whose config understands the compaction/background knobs
+_LSM_STORES = ("rocksdb", "lethe")
 
 
 def _build_sources(args) -> List:
@@ -178,6 +182,63 @@ def _disk_plan(args):
     return None
 
 
+def _lsm_overrides(args) -> dict:
+    """Resolve replay's --compaction / --background into store config
+    overrides, rejecting stores without an LSM maintenance pipeline."""
+    overrides = {}
+    if getattr(args, "compaction", None):
+        overrides["compaction_policy"] = args.compaction
+    if getattr(args, "background", False):
+        overrides["background"] = True
+    if overrides and args.store not in _LSM_STORES:
+        raise SystemExit(
+            f"error: --compaction/--background tune the LSM family only "
+            f"({', '.join(_LSM_STORES)}); store {args.store!r} has no "
+            f"compaction pipeline"
+        )
+    return overrides
+
+
+def _compaction_options(args):
+    """Resolve compare's --compaction / --background / --compaction-config
+    into (policies, background, stores, store_overrides).
+
+    Explicit flags win over the config file.  ``stores`` is None when
+    neither source named any (caller falls back to --stores)."""
+    policies = list(args.compaction or [])
+    background = bool(args.background)
+    stores = None
+    store_overrides: dict = {}
+    if getattr(args, "compaction_config", None):
+        import json
+
+        with open(args.compaction_config, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+        unknown = set(config) - {"policies", "background", "stores",
+                                 "store_overrides"}
+        if unknown:
+            raise SystemExit(
+                f"error: unknown compaction-config keys: "
+                f"{', '.join(sorted(unknown))} (expected policies, "
+                f"background, stores, store_overrides)"
+            )
+        if not policies:
+            policies = list(config.get("policies", []))
+        if not background:
+            background = bool(config.get("background", False))
+        stores = config.get("stores")
+        store_overrides = dict(config.get("store_overrides", {}))
+    if not policies:
+        policies = list(POLICY_NAMES)
+    bad = [p for p in policies if p not in POLICY_NAMES]
+    if bad:
+        raise SystemExit(
+            f"error: unknown compaction policies: {', '.join(bad)}; "
+            f"expected one of {', '.join(POLICY_NAMES)}"
+        )
+    return policies, background, stores, store_overrides
+
+
 def _recovery_rows(result) -> List[List]:
     rows = [
         ["store", result.store],
@@ -224,6 +285,7 @@ def cmd_replay(args) -> int:
     fault_plan, retry_policy = _fault_options(args)
     disk_plan = _disk_plan(args)
     telemetry = _telemetry_options(args)
+    lsm_overrides = _lsm_overrides(args)
     if args.crash_at is not None:
         from .faults import RECOVERABLE_STORES, evaluate_crash_recovery
 
@@ -253,6 +315,7 @@ def cmd_replay(args) -> int:
                 plan=fault_plan, retry_policy=retry_policy,
                 service_rate=args.service_rate, disk_plan=disk_plan,
                 batch_size=args.batch,
+                store_config=lsm_overrides or None,
             )
         finally:
             if tracer is not None:
@@ -271,7 +334,7 @@ def cmd_replay(args) -> int:
         from .core import ShardedReplayer
 
         replayer = ShardedReplayer(
-            lambda: create_connector(args.store),
+            lambda: create_connector(args.store, **lsm_overrides),
             num_workers=args.shards,
             service_rate=args.service_rate,
             fault_plan=fault_plan,
@@ -298,13 +361,21 @@ def cmd_replay(args) -> int:
         print(render_table(["metric", "value"], rows, title="sharded replay result"))
         _telemetry_note(args)
         return 0
-    connector = create_connector(args.store)
+    connector = create_connector(args.store, **lsm_overrides)
     replayer = TraceReplayer(
         connector, service_rate=args.service_rate,
         fault_plan=fault_plan, retry_policy=retry_policy,
         batch_size=args.batch, telemetry=telemetry,
     )
     result = replayer.replay(trace)
+    stall_rows: List[List] = []
+    if args.background:
+        store = getattr(connector, "store", None)
+        stall_rows = [
+            ["write stalls", getattr(store, "write_stall_count", 0)],
+            ["stall time (ms)",
+             round(getattr(store, "write_stall_ns", 0) / 1e6, 3)],
+        ]
     connector.close()
     summary = result.summary()
     rows = [
@@ -315,7 +386,10 @@ def cmd_replay(args) -> int:
         ["p50 (us)", round(summary["p50_us"], 1)],
         ["p99 (us)", round(summary["p99_us"], 1)],
         ["p99.9 (us)", round(summary["p99.9_us"], 1)],
-    ] + _fault_rows(result, fault_plan)
+    ] + stall_rows + _fault_rows(result, fault_plan)
+    if args.compaction or args.background:
+        rows.insert(1, ["compaction", f"{args.compaction or 'leveled'}"
+                        f"{' (background)' if args.background else ''}"])
     print(render_table(["metric", "value"], rows, title="replay result"))
     _telemetry_note(args)
     return 0
@@ -369,11 +443,27 @@ def cmd_compare(args) -> int:
     evaluator = PerformanceEvaluator(
         stores=args.stores, fault_plan=fault_plan, retry_policy=retry_policy
     )
-    if args.metrics and (args.crash_at is not None or disk_plan is not None):
+    wants_compaction = bool(args.compaction or args.compaction_config)
+    if args.metrics and (args.crash_at is not None or disk_plan is not None
+                         or wants_compaction):
         raise SystemExit(
             "error: --metrics records the performance comparison only; "
-            "drop --crash-at/--disk-faults or record those runs with "
-            "'repro replay --trace'"
+            "drop --crash-at/--disk-faults/--compaction or record those "
+            "runs with 'repro replay --trace'"
+        )
+    if wants_compaction:
+        if fault_plan is not None or args.crash_at is not None \
+                or disk_plan is not None:
+            raise SystemExit(
+                "error: the --compaction sweep measures clean replays; "
+                "drop --faults/--crash-at/--disk-faults"
+            )
+        return _compare_compaction(args, trace)
+    if args.background:
+        raise SystemExit(
+            "error: --background needs --compaction (or "
+            "--compaction-config) on compare; for a single background "
+            "run use 'repro replay --background'"
         )
     if args.crash_at is not None:
         from .faults import RECOVERABLE_STORES
@@ -471,6 +561,76 @@ def cmd_compare(args) -> int:
         paths = [row.timeseries_path for row in results if row.timeseries_path]
         print(f"wrote {len(paths)} metrics time series under {args.metrics} "
               f"(compare two with 'repro metrics diff')")
+    return 0
+
+
+def _compare_compaction(args, trace) -> int:
+    """The ``compare --compaction`` axis: policy x LSM-store sweep,
+    inline or under background maintenance workers."""
+    from .faults import RECOVERABLE_STORES
+
+    policies, background, stores, store_overrides = _compaction_options(args)
+    store_names = list(stores or args.stores)
+    lsm_stores = [s for s in store_names if s in RECOVERABLE_STORES]
+    skipped = [s for s in store_names if s not in RECOVERABLE_STORES]
+    if not lsm_stores:
+        print(
+            f"error: none of the requested stores "
+            f"({', '.join(store_names)}) have a compaction pipeline; "
+            f"LSM stores: {', '.join(RECOVERABLE_STORES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if skipped:
+        print(
+            f"note: skipping {', '.join(skipped)}: no compaction "
+            f"pipeline", file=sys.stderr,
+        )
+    evaluator = PerformanceEvaluator(
+        stores=lsm_stores,
+        store_configs=(
+            {name: dict(store_overrides) for name in lsm_stores}
+            if store_overrides else None
+        ),
+    )
+    results = evaluator.evaluate_compaction_axis(
+        args.trace, trace, policies,
+        background=background, batch_size=args.batch,
+    )
+    produced = {(row.store, row.compaction) for row in results}
+    incompatible = [
+        f"{store}+{policy}"
+        for policy in policies for store in lsm_stores
+        if (store, policy) not in produced
+    ]
+    if incompatible:
+        print(
+            f"note: skipping incompatible combinations: "
+            f"{', '.join(incompatible)}", file=sys.stderr,
+        )
+    if background:
+        rows = [
+            [row.store, row.compaction, round(row.throughput_kops, 1),
+             round(row.p50_us, 1), round(row.p999_us, 1),
+             row.write_stalls or 0, row.stall_ms or 0.0]
+            for row in results
+        ]
+        headers = ["store", "policy", "kops", "p50 us", "p99.9 us",
+                   "stalls", "stall ms"]
+    else:
+        rows = [
+            [row.store, row.compaction, round(row.throughput_kops, 1),
+             round(row.p50_us, 1), round(row.p999_us, 1)]
+            for row in results
+        ]
+        headers = ["store", "policy", "kops", "p50 us", "p99.9 us"]
+    mode = "background" if background else "inline"
+    print(render_table(
+        headers, rows,
+        title=f"compaction-policy comparison on {args.trace} "
+        f"({mode} maintenance)"))
+    best = max(rows, key=lambda r: r[2])
+    print(f"best throughput: {best[0]} with {best[1]}")
     return 0
 
 
@@ -625,6 +785,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="live single-line progress view on stderr (ops/s, p99, "
         "compactions, cache hit rate, faults)",
     )
+    replay.add_argument(
+        "--compaction", default=None, choices=POLICY_NAMES,
+        help="compaction policy for the LSM store (rocksdb/lethe only; "
+        "default: leveled)",
+    )
+    replay.add_argument(
+        "--background", action="store_true",
+        help="move LSM flush and compaction to background workers with "
+        "write-stall backpressure instead of running them inline on the "
+        "write path (rocksdb/lethe only)",
+    )
     add_metrics_interval(replay)
     add_fault_options(replay)
 
@@ -641,6 +812,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="DIR", default=None,
         help="sample each store's replay into DIR/<trace>-<store>.jsonl "
         "time series for 'repro metrics summarize|diff'",
+    )
+    compare.add_argument(
+        "--compaction", nargs="+", default=None, choices=POLICY_NAMES,
+        metavar="POLICY",
+        help="sweep LSM compaction policies instead of stores: replay "
+        "the trace once per policy on each LSM store "
+        f"({', '.join(POLICY_NAMES)})",
+    )
+    compare.add_argument(
+        "--background", action="store_true",
+        help="run the compaction sweep under background maintenance "
+        "workers (reports write-stall columns)",
+    )
+    compare.add_argument(
+        "--compaction-config", metavar="FILE", default=None,
+        help="JSON file for the compaction sweep with keys policies, "
+        "background, stores, store_overrides (explicit flags win)",
     )
     add_metrics_interval(compare)
     add_fault_options(compare)

@@ -121,6 +121,14 @@ class EvaluationRow:
     corruptions_unrecoverable: Optional[int] = None
     #: wall-clock of the scrub walk
     scrub_ms: Optional[float] = None
+    # -- background-maintenance columns (compaction-axis runs) -------------
+    #: compaction policy the LSM store ran with (None for non-LSM rows
+    #: or default-policy runs)
+    compaction: Optional[str] = None
+    #: write stalls the backpressure gate imposed (background mode)
+    write_stalls: Optional[int] = None
+    #: total milliseconds writers spent blocked in those stalls
+    stall_ms: Optional[float] = None
     # -- observability ------------------------------------------------------
     #: metrics JSONL recorded during this row's replay (None when the
     #: run was not sampled); lets ``compare`` runs keep their series
@@ -164,6 +172,15 @@ class EvaluationRow:
             row.corruptions_repaired = result.corruptions_repaired
             row.scrub_ms = result.scrub_ms
         return row
+
+
+def _stall_columns(connector) -> tuple:
+    """(write_stalls, stall_ms) from a connector's store, read before
+    the store closes; (0, None) for stores without a stall gate."""
+    store = getattr(connector, "store", None)
+    stalls = getattr(store, "write_stall_count", 0) or 0
+    stall_ns = getattr(store, "write_stall_ns", 0) or 0
+    return stalls, round(stall_ns / 1e6, 3) if stalls else None
 
 
 def _merge_phase_results(result: CrashRecoveryResult) -> ReplayResult:
@@ -287,11 +304,66 @@ class PerformanceEvaluator:
                 telemetry=telemetry,
             )
             result = replayer.replay(trace)
+            stalls, stall_ms = _stall_columns(connector)
             connector.close()
             row = EvaluationRow.from_result(workload_name, result)
             row.batch_size = batch_size or 1
             row.timeseries_path = series_path
+            if stalls:
+                row.write_stalls = stalls
+                row.stall_ms = stall_ms
             rows.append(row)
+        return rows
+
+    def evaluate_compaction_axis(
+        self,
+        workload_name: str,
+        trace: AccessTrace,
+        policies: Sequence[str],
+        background: bool = False,
+        batch_size: Optional[int] = None,
+    ) -> List[EvaluationRow]:
+        """Replay one trace across compaction policies (LSM stores).
+
+        Sweeps the ``repro compare --compaction`` axis: every LSM store
+        in this evaluator's store list runs the trace once per policy,
+        inline or (with ``background``) under the flush/compaction
+        workers, and the rows carry the policy plus the write-stall
+        columns.  Store/policy combinations a store rejects (Lethe with
+        overlapping-run policies) are skipped.
+        """
+        lsm_stores = [s for s in self.stores if s in RECOVERABLE_STORES]
+        if not lsm_stores:
+            raise ValueError(
+                "the compaction axis needs at least one LSM store "
+                f"({', '.join(RECOVERABLE_STORES)}); got {self.stores}"
+            )
+        rows: List[EvaluationRow] = []
+        for policy in policies:
+            for store_name in lsm_stores:
+                overrides = dict(self.store_configs.get(store_name, {}))
+                overrides["compaction_policy"] = policy
+                overrides["background"] = background
+                try:
+                    connector = create_connector(store_name, **overrides)
+                except ValueError:
+                    # Incompatible combination (e.g. lethe + tiered).
+                    continue
+                replayer = TraceReplayer(
+                    connector,
+                    service_rate=self.service_rate,
+                    batch_size=batch_size,
+                )
+                result = replayer.replay(trace)
+                stalls, stall_ms = _stall_columns(connector)
+                connector.close()
+                row = EvaluationRow.from_result(workload_name, result)
+                row.batch_size = batch_size or 1
+                row.compaction = policy
+                if background:
+                    row.write_stalls = stalls
+                    row.stall_ms = stall_ms
+                rows.append(row)
         return rows
 
     def evaluate_matrix(

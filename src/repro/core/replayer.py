@@ -331,7 +331,10 @@ class TraceReplayer:
                 # Flushes/compactions/write-backs run on background
                 # threads in the real stores; exclude their inline cost
                 # from the client-observed latency (throughput still
-                # includes it).
+                # includes it).  Stores running true background workers
+                # report their write-*stall* time through the same
+                # channel -- worker busy time is concurrent and never
+                # charged here.
                 elapsed_ns = timer() - begin - take_background()
                 sink[code](elapsed_ns if elapsed_ns > 0 else 0)
         elif count is not None:

@@ -189,6 +189,10 @@ def evaluate_crash_recovery(
         raise RuntimeError(
             f"crash fired at {pre_crash.crashed_at}, expected {crash_at}"
         )
+    # Hard-stop like a process kill: background maintenance workers
+    # abort at their next checkpoint instead of continuing to mutate
+    # the storage the revived store is about to read.
+    doomed.abandon()
     del doomed
 
     # 2.5. Damage the surviving storage before anyone reopens it.

@@ -213,7 +213,11 @@ class KVStore(abc.ABC):
         appear in client-observed operation latency.  Our single-thread
         implementations perform it inline; the performance evaluator
         subtracts it from per-op latencies to model the threaded
-        behaviour (throughput still pays the full cost).
+        behaviour (throughput still pays the full cost).  Stores that
+        *do* run maintenance on worker threads (the LSM's background
+        mode) report only the time writers spent blocked on the
+        write-stall gate -- the client-visible share -- and must make
+        this method thread-safe.
         """
         return 0
 
@@ -252,6 +256,14 @@ class KVStore(abc.ABC):
         if not self._closed:
             self.flush()
             self._closed = True
+
+    def abandon(self) -> None:
+        """Drop the store as a process kill would: nothing is flushed,
+        buffered state is lost, and stores with background workers stop
+        them at their next checkpoint.  Crash-recovery evaluation uses
+        this on the doomed store so the revived store reads storage in
+        exactly the state a real crash would leave."""
+        self._closed = True
 
     # -- helpers -----------------------------------------------------------
 

@@ -69,6 +69,11 @@ class StoreConnector:
     def close(self) -> None:
         self.store.close()
 
+    def abandon(self) -> None:
+        """Drop the store like a process kill (no flush, workers
+        hard-stopped); see :meth:`repro.kvstores.api.KVStore.abandon`."""
+        self.store.abandon()
+
 
 class ReadModifyWriteConnector(StoreConnector):
     """Emulates ``merge`` with get + full_merge + put.

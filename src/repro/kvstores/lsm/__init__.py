@@ -2,23 +2,41 @@
 
 from .bloom import BloomFilter
 from .lethe import LetheConfig, LetheStore
+from .maintenance import MaintenanceWorkers
 from .memtable import Memtable
+from .policies import (
+    POLICY_NAMES,
+    CompactionPolicy,
+    CompactionTask,
+    LeveledPolicy,
+    TieredPolicy,
+    UniversalPolicy,
+    resolve_policy,
+)
 from .record import Record, RecordKind, decode_all, decode_record
 from .sstable import SSTable, build_sstable, open_sstable
 from .store import LSMConfig, RocksLSMStore
 
 __all__ = [
     "BloomFilter",
+    "CompactionPolicy",
+    "CompactionTask",
     "LSMConfig",
     "LetheConfig",
     "LetheStore",
+    "LeveledPolicy",
+    "MaintenanceWorkers",
     "Memtable",
+    "POLICY_NAMES",
     "Record",
     "RecordKind",
     "RocksLSMStore",
     "SSTable",
+    "TieredPolicy",
+    "UniversalPolicy",
     "build_sstable",
     "decode_all",
     "decode_record",
     "open_sstable",
+    "resolve_policy",
 ]

@@ -12,9 +12,14 @@ This implementation layers FADE onto :class:`RocksLSMStore`:
   its oldest tombstone entered the tree; compaction outputs inherit the
   oldest stamp of their inputs
 * every ``fade_check_interval`` writes, files with expired tombstones
-  are compacted toward the bottom, oldest stamp first
+  are compacted toward the bottom, oldest stamp first -- inline on the
+  write path, or handed to the compaction worker in background mode
 * ordinary size-triggered compaction picks the file with the most
   tombstones instead of the largest file
+
+FADE's single-file compactions assume disjoint levels, so Lethe only
+runs with the leveled compaction policy; tiered/universal configs are
+rejected at construction.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..api import MergeOperator
 from ..storage import Storage
+from .policies import CompactionTask
 from .sstable import SSTable
 from .store import LSMConfig, RocksLSMStore
 
@@ -57,6 +63,16 @@ class LetheStore(RocksLSMStore):
     def lethe_config(self) -> LetheConfig:
         return self.config  # type: ignore[return-value]
 
+    def _validate_policy(self) -> None:
+        if self._policy.overlapping_runs:
+            # FADE compacts one file against the (disjoint) next level;
+            # under overlapping runs that would produce runs whose
+            # sequence intervals interleave, breaking newest-first reads.
+            raise ValueError(
+                f"lethe's FADE requires the leveled compaction policy, "
+                f"got {self._policy.name!r}"
+            )
+
     # ------------------------------------------------------------------
     # Hooks into the base store
     # ------------------------------------------------------------------
@@ -66,10 +82,7 @@ class LetheStore(RocksLSMStore):
         self._writes_since_fade += 1
         if self._writes_since_fade >= self.lethe_config.fade_check_interval:
             self._writes_since_fade = 0
-            begin = time.perf_counter_ns()
-            self._enforce_delete_persistence()
-            self._write_manifest()  # FADE reshapes levels outside flushes
-            self._background_ns += time.perf_counter_ns() - begin
+            self._request_fade()
 
     def _note_batch_writes(self, count: int) -> None:
         # Group-committed batches bypass the per-record _write hook;
@@ -77,19 +90,28 @@ class LetheStore(RocksLSMStore):
         self._writes_since_fade += count
         if self._writes_since_fade >= self.lethe_config.fade_check_interval:
             self._writes_since_fade = 0
-            begin = time.perf_counter_ns()
-            self._enforce_delete_persistence()
-            self._write_manifest()  # FADE reshapes levels outside flushes
-            self._background_ns += time.perf_counter_ns() - begin
+            self._request_fade()
 
-    def _flush_memtable(self, memtable) -> None:
-        before = {t.file_id for level in self._levels for t in level}
-        super()._flush_memtable(memtable)
-        now = self._clock()
-        for level in self._levels:
-            for table in level:
-                if table.file_id not in before and table.num_tombstones:
-                    self._tombstone_stamp.setdefault(table.file_id, now)
+    def _request_fade(self) -> None:
+        """Run a FADE pass inline, or queue it for the compaction
+        worker in background mode."""
+        if self._bg is not None:
+            self._bg.request_fade()
+            return
+        begin = time.perf_counter_ns()
+        self._run_fade()
+        self._add_background_ns(time.perf_counter_ns() - begin)
+
+    def _run_fade(self) -> None:
+        self._enforce_delete_persistence()
+        with self._mutex:
+            self._write_manifest()  # FADE reshapes levels outside flushes
+
+    def _note_flushed_table(self, table: SSTable) -> None:
+        # Called under the tree mutex whenever a flush lands in L0:
+        # stamp the moment its tombstones entered the tree.
+        if table.num_tombstones:
+            self._tombstone_stamp.setdefault(table.file_id, self._clock())
 
     def _run_compaction(self, inputs, from_levels, target_level) -> None:
         inherited = [
@@ -105,6 +127,10 @@ class LetheStore(RocksLSMStore):
             for table in self._new_outputs:
                 if table.num_tombstones:
                     self._tombstone_stamp[table.file_id] = oldest
+
+    def _discard_compaction_outputs(self, outputs: List[SSTable]) -> None:
+        for table in outputs:
+            self._tombstone_stamp.pop(table.file_id, None)
 
     def _pick_compaction_file(self, level: int) -> Optional[SSTable]:
         candidates = self._levels[level]
@@ -144,13 +170,12 @@ class LetheStore(RocksLSMStore):
             self.fade_compactions += 1
 
     def _compact_single_file(self, level: int, source: SSTable) -> None:
-        from .compaction import pick_overlapping
-
-        overlapping, disjoint = pick_overlapping(
-            self._levels[level + 1], source.smallest_key, source.largest_key
+        self._execute_task(
+            CompactionTask(
+                inputs=[source],
+                target_level=level + 1,
+                source_levels=(level,),
+                merge_target_overlap=True,
+                reason="fade",
+            )
         )
-        self._run_compaction(
-            [source] + overlapping, from_levels=(level,), target_level=level + 1
-        )
-        self._levels[level] = [t for t in self._levels[level] if t is not source]
-        self._levels[level + 1] = self._sorted_level(disjoint + self._new_outputs)

@@ -1,0 +1,214 @@
+"""Background maintenance workers for the LSM store.
+
+In background mode (``LSMConfig.background``) flushes and compactions
+leave the foreground write path: full memtables are queued as
+immutables and drained by a dedicated **flush worker**, while a
+**compaction worker** watches the tree and executes whatever the
+configured :mod:`~.policies` policy picks.  Writers only block at the
+explicit backpressure gate (immutable-queue depth / L0 run count), and
+that *stall* time -- not the workers' busy time -- is what flows into
+``take_background_ns`` so replay latency attribution stays honest.
+
+Both workers share the store's tree mutex.  Two condition variables on
+that mutex coordinate the parties:
+
+* ``work`` -- writers notify it when they queue an immutable memtable
+  or a fade request; the flush worker notifies it when a flush grows
+  L0 (new compaction work)
+* ``room`` -- workers notify it whenever they finish installing
+  something; stalled writers, ``flush()`` and ``quiesce()`` wait on it
+
+All waits are timed (:data:`MaintenanceWorkers._TICK_S`) so a missed
+notification degrades to a short delay, never a hang.
+
+Crash semantics: :meth:`abandon` models a process kill.  Workers stop
+at their next *checkpoint* -- the instant before installing a built
+sstable or committing a manifest update -- discarding in-flight work,
+exactly the state a real crash would leave for recovery to replay from
+the WAL segments and last-committed manifest.  :meth:`shutdown` is the
+graceful counterpart used by ``close()``: the flush worker drains the
+queue first.
+
+Worker threads are named ``lsm-flush-worker`` and
+``lsm-compaction-worker``; the span tracer keys lanes by thread name,
+so Chrome-trace exports show maintenance concurrency on separate lanes
+for free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from .store import RocksLSMStore
+
+
+class MaintenanceWorkers:
+    """Flush + compaction worker pair sharing the store's tree mutex."""
+
+    #: timed-wait interval: bounds missed-notify latency and lets the
+    #: loops observe stop/abandon flags promptly
+    _TICK_S = 0.05
+
+    def __init__(self, store: "RocksLSMStore") -> None:
+        self.store = store
+        self.work = threading.Condition(store._mutex)
+        self.room = threading.Condition(store._mutex)
+        self.stopped = False
+        self.abandoned = False
+        self.fade_requested = False
+        self.flush_busy = False
+        self.compact_busy = False
+        #: first unhandled worker exception; re-raised to the writer
+        self.error: Optional[BaseException] = None
+        #: wall time the workers spent busy (diagnostics only -- never
+        #: fed into take_background_ns, which reports writer stalls)
+        self.flush_ns = 0
+        self.compact_ns = 0
+        self.flush_thread = threading.Thread(
+            target=self._flush_loop, name="lsm-flush-worker", daemon=True
+        )
+        self.compact_thread = threading.Thread(
+            target=self._compact_loop, name="lsm-compaction-worker", daemon=True
+        )
+        self.flush_thread.start()
+        self.compact_thread.start()
+
+    # -- control -------------------------------------------------------
+
+    def request_fade(self) -> None:
+        """Ask the compaction worker to run a FADE pass (Lethe)."""
+        with self.store._mutex:
+            self.fade_requested = True
+            self.work.notify_all()
+
+    def shutdown(self) -> None:
+        """Graceful stop: the flush worker drains the queue, then both
+        workers exit and are joined."""
+        with self.store._mutex:
+            self.stopped = True
+            self.work.notify_all()
+            self.room.notify_all()
+        self._join()
+
+    def abandon(self) -> None:
+        """Crash-style stop: workers abort at their next checkpoint,
+        dropping un-installed work, and are joined."""
+        with self.store._mutex:
+            self.abandoned = True
+            self.work.notify_all()
+            self.room.notify_all()
+        self._join()
+
+    def _join(self) -> None:
+        for thread in (self.flush_thread, self.compact_thread):
+            if thread is not threading.current_thread():
+                thread.join()
+
+    def _delay(self) -> None:
+        """Optional pre-install sleep (``background_delay_s``) that lets
+        crash tests deterministically land a kill mid-maintenance."""
+        delay = self.store.config.background_delay_s
+        if delay > 0:
+            time.sleep(delay)
+
+    def _fail(self, exc: BaseException) -> None:
+        with self.store._mutex:
+            if self.error is None:
+                self.error = exc
+            self.flush_busy = False
+            self.compact_busy = False
+            self.room.notify_all()
+            self.work.notify_all()
+
+    # -- flush worker ---------------------------------------------------
+
+    def _flush_loop(self) -> None:
+        store = self.store
+        try:
+            while True:
+                with store._mutex:
+                    while (
+                        not store._immutables
+                        and not self.stopped
+                        and not self.abandoned
+                    ):
+                        self.work.wait(self._TICK_S)
+                    if self.abandoned:
+                        return
+                    if not store._immutables:  # stopped with queue drained
+                        return
+                    # Peek rather than pop: the memtable must stay
+                    # visible to readers until its sstable is installed.
+                    memtable = store._immutables[0]
+                    self.flush_busy = True
+                began = time.perf_counter_ns()
+                try:
+                    self._delay()
+                    if self.abandoned:
+                        return
+                    table = store._build_flush_table(memtable)
+                    with store._mutex:
+                        if self.abandoned:
+                            # Checkpoint: a kill here loses the built
+                            # sstable; recovery replays its WAL segments.
+                            return
+                        store._immutables.pop(0)
+                        segments = (
+                            store._immutable_segments.pop(0)
+                            if store._immutable_segments
+                            else []
+                        )
+                        store._install_flushed_table(table)
+                        # Commit the new layout before deleting the WAL
+                        # segments that fed it: a crash in between only
+                        # replays already-flushed records (idempotent).
+                        store._write_manifest()
+                        store._drop_wal_segments(segments)
+                        self.work.notify_all()  # L0 grew: wake compactor
+                finally:
+                    self.flush_ns += time.perf_counter_ns() - began
+                    with store._mutex:
+                        self.flush_busy = False
+                        self.room.notify_all()
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._fail(exc)
+
+    # -- compaction worker ----------------------------------------------
+
+    def _compact_loop(self) -> None:
+        store = self.store
+        try:
+            while True:
+                with store._mutex:
+                    while (
+                        not self.stopped
+                        and not self.abandoned
+                        and not self.fade_requested
+                        and store._policy.pick(store) is None
+                    ):
+                        self.work.wait(self._TICK_S)
+                    if self.stopped or self.abandoned:
+                        return
+                    fade = self.fade_requested
+                    self.fade_requested = False
+                    self.compact_busy = True
+                began = time.perf_counter_ns()
+                try:
+                    self._delay()
+                    if self.abandoned:
+                        return
+                    if fade:
+                        store._run_fade()
+                    else:
+                        store._compact_once()
+                finally:
+                    self.compact_ns += time.perf_counter_ns() - began
+                    with store._mutex:
+                        self.compact_busy = False
+                        self.work.notify_all()
+                        self.room.notify_all()
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._fail(exc)

@@ -288,12 +288,18 @@ def build_sstable(
     bits_per_key: int = 10,
     blob_prefix: str = "sst",
     checksum_kind: ChecksumKind = DEFAULT_CHECKSUM_KIND,
+    cooperate=None,
 ) -> Optional[SSTable]:
     """Serialize sorted ``records`` into a new SSTable blob.
 
     ``records`` must already be sorted by (key, sequence).  Returns
     ``None`` when there are no records.  ``checksum_kind`` NONE writes
-    the legacy v1 format byte-for-byte.
+    the legacy v1 format byte-for-byte.  ``cooperate``, when given, is
+    called between chunks of the bloom-filter build -- the one long
+    loop that runs after the record stream is exhausted -- so a
+    background worker can periodically yield the interpreter to
+    foreground writers instead of holding it for a multi-millisecond
+    stretch on large tables.
     """
     blocks: List[bytes] = []
     index: List[BlockHandle] = []
@@ -345,7 +351,12 @@ def build_sstable(
         return None
 
     bloom = BloomFilter(len(set(keys)), bits_per_key)
-    bloom.add_all(keys)
+    if cooperate is None:
+        bloom.add_all(keys)
+    else:
+        for start in range(0, len(keys), 256):
+            bloom.add_all(keys[start:start + 256])
+            cooperate()
 
     data = b"".join(blocks)
     bloom_bytes = bloom.encode()

@@ -7,20 +7,40 @@ Implements the design traits the paper's evaluation leans on:
 * ``merge`` appends a lazy operand -- O(1) at write time -- and the cost
   of combining operands is deferred to reads and compaction (this is why
   LSM stores win the paper's holistic-window workloads, Figure 13)
-* leveled compaction: L0 runs may overlap; L1+ are sorted, disjoint runs
-  compacted downward when a level outgrows its budget
+* pluggable compaction (:mod:`.policies`): leveled (the default -- L0
+  runs may overlap; L1+ are sorted, disjoint runs compacted downward
+  when a level outgrows its budget), tiered, and universal shapes
 * reads consult memtables, then L0 newest-to-oldest, then one file per
-  deeper level, short-circuited by per-table bloom filters and served
-  through a shared LRU block cache
+  deeper level (or every covering run, for overlapping-run policies),
+  short-circuited by per-table bloom filters and served through a
+  shared LRU block cache
+
+Two maintenance modes (``LSMConfig.background``):
+
+* **inline** (default): flushes and compactions run synchronously on
+  the write path, timed into the background-time account that the
+  replayer subtracts from client latency -- the original single-thread
+  model, byte-for-byte unchanged
+* **background**: full memtables queue as immutables behind a
+  dedicated flush worker, compactions run on a second worker
+  (:mod:`.maintenance`), the WAL is segmented per memtable so flushed
+  segments can be dropped independently, and writers block only at the
+  write-stall gate (queue depth / L0 run count); only that stall time
+  enters the background-time account
 """
 
 from __future__ import annotations
 
 import heapq
+import re
+import threading
 import time
 import warnings
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .maintenance import MaintenanceWorkers
 
 from ..api import (
     OP_DELETE,
@@ -50,6 +70,7 @@ from .compaction import (
     split_into_runs,
 )
 from .memtable import Memtable
+from .policies import CompactionTask, resolve_policy
 from .record import (
     Record,
     RecordKind,
@@ -59,6 +80,18 @@ from .record import (
     wal_header,
 )
 from .sstable import SSTable, build_sstable, open_sstable
+
+#: numbered WAL segment blobs used by background mode ("wal-000001");
+#: inline mode keeps the single legacy "wal-current" blob
+_WAL_SEGMENT_RE = re.compile(r"^wal-(\d{6,})$")
+
+#: background-build duty cycle (see :meth:`RocksLSMStore._cooperative`):
+#: work ~_COOP_SLICE_S, sleep _COOP_SLEEP_S.  Timer slack and scheduler
+#: wake latency stretch the effective pause to ~0.2-1ms alongside an
+#: active writer thread, so the slice is sized to keep the worker's
+#: duty cycle above realistic maintenance demand (~20-25%).
+_COOP_SLICE_S = 300e-6
+_COOP_SLEEP_S = 100e-6
 
 
 @dataclass
@@ -87,6 +120,29 @@ class LSMConfig:
     #: "crc32c", "crc32", "none" (legacy v1 formats), or None/"default"
     #: for the fastest available kind
     checksum: Optional[str] = None
+    #: compaction shape: "leveled", "tiered", or "universal"
+    #: (see :mod:`repro.kvstores.lsm.policies`)
+    compaction_policy: str = "leveled"
+    #: runs per level before a tiered whole-level merge; 0 reuses
+    #: ``l0_compaction_trigger``
+    tier_trigger: int = 0
+    #: universal: full-merge when bytes above the deepest level reach
+    #: this multiple of it
+    universal_max_size_amp: float = 2.0
+    #: universal: full-merge when the total sorted-run count reaches this
+    universal_max_runs: int = 8
+    #: run flushes and compactions on background worker threads instead
+    #: of inline on the write path
+    background: bool = False
+    #: background: writers stall while this many immutable memtables
+    #: are queued for flush
+    max_immutable_memtables: int = 4
+    #: background: writers stall while L0 holds this many runs
+    l0_stall_trigger: int = 12
+    #: background: seconds each worker sleeps before installing its
+    #: work -- lets crash tests deterministically land a kill
+    #: mid-flush / mid-compaction (0 = no delay)
+    background_delay_s: float = 0.0
 
     def max_level_bytes(self, level: int) -> int:
         """Byte budget of level ``level`` (level 1 is the base)."""
@@ -121,11 +177,44 @@ class RocksLSMStore(KVStore):
         self._wal_bytes = 0
         self._new_outputs: List[SSTable] = []
         self._background_ns = 0
+        #: guards _background_ns: in background mode the writer's stall
+        #: accounting and take_background_ns race across threads
+        self._background_lock = threading.Lock()
+        #: tree mutex: guards memtables, levels, WAL segment lists, and
+        #: stats in background mode (a no-op re-entrant lock inline)
+        self._mutex = threading.RLock()
+        self._write_stall_count = 0
+        self._write_stall_ns = 0
         self.checksum_kind = resolve_checksum_kind(self.config.checksum)
         #: tables removed from the tree after failing a checksum
         self.quarantined: List[SSTable] = []
-        if self.config.enable_wal and not self.storage.exists(self._wal_name):
+        self._policy = resolve_policy(self.config.compaction_policy)
+        self._validate_policy()
+        #: background-mode WAL segments: the active memtable's segments,
+        #: one segment list per queued immutable, and per-segment sizes
+        self._wal_seq = 0
+        self._active_segments: List[str] = []
+        self._immutable_segments: List[List[str]] = []
+        self._segment_bytes = {}
+        self._bg: Optional["MaintenanceWorkers"] = None
+        if self.config.background:
+            if self.config.enable_wal:
+                # Seed the segment counter past anything already on
+                # disk so a recovering store never overwrites segments
+                # it has yet to replay.
+                for name in self.storage.list():
+                    match = _WAL_SEGMENT_RE.match(name)
+                    if match:
+                        self._wal_seq = max(self._wal_seq, int(match.group(1)))
+                self._active_segments = [self._new_wal_segment()]
+            from .maintenance import MaintenanceWorkers
+
+            self._bg = MaintenanceWorkers(self)
+        elif self.config.enable_wal and not self.storage.exists(self._wal_name):
             self._reset_wal()
+
+    def _validate_policy(self) -> None:
+        """Subclass hook: veto incompatible compaction policies."""
 
     # ------------------------------------------------------------------
     # Write path
@@ -183,6 +272,10 @@ class RocksLSMStore(KVStore):
                     f"apply_batch is write-only; cannot apply opcode {opcode}"
                 )
         self._sequence = sequence
+        if self._bg is not None:
+            self._apply_batch_background(records)
+            self._note_batch_writes(len(records))
+            return
         if self.config.enable_wal:
             with tracing.span("lsm.wal_commit", records=len(records)) as sp:
                 if self.checksum_kind is not ChecksumKind.NONE:
@@ -198,6 +291,24 @@ class RocksLSMStore(KVStore):
             self._rotate_memtable()
         self._note_batch_writes(len(records))
 
+    def _apply_batch_background(self, records: List[Record]) -> None:
+        with self._mutex:
+            if self.config.enable_wal:
+                with tracing.span("lsm.wal_commit", records=len(records)) as sp:
+                    if self.checksum_kind is not ChecksumKind.NONE:
+                        encoded = frame_records(records, self.checksum_kind)
+                    else:
+                        encoded = b"".join(record.encode() for record in records)
+                    self.storage.append(self._wal_name, encoded)
+                    sp.add(bytes=len(encoded))
+                self._segment_bytes[self._wal_name] += len(encoded)
+                self._wal_bytes += len(encoded)
+                self.stats.bytes_written += len(encoded)
+            self._memtable.add_all(records)
+            if self._memtable.approximate_bytes >= self.config.write_buffer_size:
+                self._rotate_background()
+                self._stall_for_room()
+
     def _note_batch_writes(self, count: int) -> None:
         """Hook for subclasses that account per-write work (Lethe's
         FADE counter); called once per applied batch."""
@@ -212,7 +323,32 @@ class RocksLSMStore(KVStore):
         self.storage.write(self._wal_name, header)
         self._wal_bytes = 0
 
+    def _new_wal_segment(self) -> str:
+        """Create the next numbered WAL segment and make it active."""
+        self._wal_seq += 1
+        name = f"wal-{self._wal_seq:06d}"
+        header = (
+            wal_header(self.checksum_kind)
+            if self.checksum_kind is not ChecksumKind.NONE
+            else b""
+        )
+        self.storage.write(name, header)
+        self._segment_bytes[name] = 0
+        self._wal_name = name
+        return name
+
+    def _drop_wal_segments(self, names: List[str]) -> None:
+        """Delete flushed-and-committed WAL segments."""
+        for name in names:
+            self.storage.delete(name)
+            self._wal_bytes -= self._segment_bytes.pop(name, 0)
+        if self._wal_bytes < 0:
+            self._wal_bytes = 0
+
     def _write(self, record: Record) -> None:
+        if self._bg is not None:
+            self._write_background(record)
+            return
         if self.config.enable_wal:
             if self.checksum_kind is not ChecksumKind.NONE:
                 encoded = frame_record(record, self.checksum_kind)
@@ -225,6 +361,22 @@ class RocksLSMStore(KVStore):
         if self._memtable.approximate_bytes >= self.config.write_buffer_size:
             self._rotate_memtable()
 
+    def _write_background(self, record: Record) -> None:
+        with self._mutex:
+            if self.config.enable_wal:
+                if self.checksum_kind is not ChecksumKind.NONE:
+                    encoded = frame_record(record, self.checksum_kind)
+                else:
+                    encoded = record.encode()
+                self.storage.append(self._wal_name, encoded)
+                self._segment_bytes[self._wal_name] += len(encoded)
+                self._wal_bytes += len(encoded)
+                self.stats.bytes_written += len(encoded)
+            self._memtable.add(record)
+            if self._memtable.approximate_bytes >= self.config.write_buffer_size:
+                self._rotate_background()
+                self._stall_for_room()
+
     def _rotate_memtable(self) -> None:
         if not self._memtable:
             return
@@ -235,11 +387,85 @@ class RocksLSMStore(KVStore):
             # RocksDB; track the time so latency reporting can exclude it.
             begin = time.perf_counter_ns()
             self._flush_immutables()
-            self._background_ns += time.perf_counter_ns() - begin
+            self._add_background_ns(time.perf_counter_ns() - begin)
+
+    def _rotate_background(self) -> None:
+        """Queue the full memtable for the flush worker (mutex held)."""
+        if not self._memtable:
+            return
+        self._immutables.append(self._memtable)
+        self._immutable_segments.append(self._active_segments)
+        self._memtable = Memtable()
+        if self.config.enable_wal:
+            self._active_segments = [self._new_wal_segment()]
+        else:
+            self._active_segments = []
+        self._bg.work.notify_all()
+
+    def _stall_needed(self) -> bool:
+        cfg = self.config
+        return (
+            len(self._immutables) >= cfg.max_immutable_memtables
+            or len(self._levels[0]) >= cfg.l0_stall_trigger
+        )
+
+    def _stall_for_room(self) -> None:
+        """Write-stall gate (mutex held): block the writer while the
+        flush queue or L0 exceed their limits.
+
+        The time spent here is the *client-visible* cost of background
+        maintenance, so it feeds the background-time account that the
+        replayer subtracts -- mirroring how a real store's stalled
+        writers, not its worker threads, are what latency percentiles
+        see.
+        """
+        bg = self._bg
+        if not self._stall_needed():
+            return
+        self._write_stall_count += 1
+        begin = time.perf_counter_ns()
+        with tracing.span("lsm.write_stall") as sp:
+            while self._stall_needed():
+                if bg.error is not None:
+                    raise bg.error
+                if bg.stopped or bg.abandoned:
+                    break
+                bg.room.wait(0.05)
+            stalled = time.perf_counter_ns() - begin
+            sp.add(stall_ms=round(stalled / 1e6, 3))
+        self._write_stall_ns += stalled
+        self._add_background_ns(stalled)
+
+    def _add_background_ns(self, delta: int) -> None:
+        with self._background_lock:
+            self._background_ns += delta
 
     def take_background_ns(self) -> int:
-        spent, self._background_ns = self._background_ns, 0
+        """Background-maintenance time attributable to recent ops.
+
+        Inline mode: the flush/compaction work performed on the write
+        path.  Background mode: writer *stall* time only -- worker busy
+        time is genuinely concurrent and never double-counted here.
+        Thread-safe either way.
+        """
+        with self._background_lock:
+            spent, self._background_ns = self._background_ns, 0
         return spent
+
+    @property
+    def write_stall_count(self) -> int:
+        """Write stalls imposed by the backpressure gate."""
+        return self._write_stall_count
+
+    @property
+    def write_stall_ns(self) -> int:
+        """Total nanoseconds writers spent blocked in write stalls."""
+        return self._write_stall_ns
+
+    @property
+    def immutable_queue_depth(self) -> int:
+        """Immutable memtables queued for flushing."""
+        return len(self._immutables)
 
     def _flush_immutables(self) -> None:
         while self._immutables:
@@ -252,28 +478,123 @@ class RocksLSMStore(KVStore):
             self._reset_wal()
 
     def _flush_memtable(self, memtable: Memtable) -> None:
+        table = self._build_flush_table(memtable)
+        self._install_flushed_table(table)
+        self._maybe_compact()
+
+    def _bg_pause(self) -> None:
+        """One politeness pause of a background build (see
+        :meth:`_cooperative`).  Skips the sleep once writers are
+        stalling: the worker then drains at full speed and the stall
+        gate accounts the pressure honestly."""
+        time.sleep(0.0 if self._stall_needed() else _COOP_SLEEP_S)
+
+    def _cooperative(self, records, slice_s: float = _COOP_SLICE_S):
+        """Duty-cycle background builds: work ~``slice_s`` seconds,
+        then briefly *sleep* so the foreground writer can run.
+
+        On a single core a CPU-bound worker is not background at all:
+        it holds the GIL for a full switch interval (5 ms by default)
+        per slice, and ``time.sleep(0)`` does not hand the GIL over --
+        a waiting thread only forces a drop after the switch interval.
+        A real sleep releases the GIL for its whole duration, so the
+        writer's worst-case interference drops from the switch interval
+        to one work slice.  Slices are time-based because per-record
+        cost varies ~10x between flush encoding and deep k-way merges.
+        Inline mode returns ``records`` untouched -- the build runs on
+        the write path there anyway.
+        """
+        if self._bg is None:
+            return records
+
+        def generator():
+            clock = time.perf_counter
+            deadline = clock() + slice_s
+            for record in records:
+                if clock() >= deadline:
+                    self._bg_pause()
+                    deadline = clock() + slice_s
+                yield record
+
+        return generator()
+
+    def _build_flush_table(self, memtable: Memtable) -> Optional[SSTable]:
+        """Write a memtable out as an SSTable (not yet in the tree)."""
         with tracing.span("lsm.flush", bytes=memtable.approximate_bytes) as sp:
             table = build_sstable(
                 self._take_file_id(),
-                memtable.sorted_records(),
+                self._cooperative(memtable.sorted_records()),
                 self.storage,
                 block_size=self.config.block_size,
                 bits_per_key=self.config.bits_per_key,
                 checksum_kind=self.checksum_kind,
+                cooperate=self._bg_pause if self._bg is not None else None,
             )
-            if table is None:
-                return
+            if table is not None:
+                sp.add(sstable_bytes=table.data_size)
+        return table
+
+    def _install_flushed_table(self, table: Optional[SSTable]) -> None:
+        """Add a freshly built SSTable to level 0."""
+        if table is None:
+            return
+        with self._mutex:
             self._levels[0].append(table)
             self.stats.flushes += 1
             self.stats.bytes_written += table.data_size
-            sp.add(sstable_bytes=table.data_size)
-        self._maybe_compact()
+            self._note_flushed_table(table)
+
+    def _note_flushed_table(self, table: SSTable) -> None:
+        """Subclass hook, called under the tree mutex when a flushed
+        table lands in level 0 (Lethe stamps tombstone ages here)."""
 
     def flush(self) -> None:
-        """Flush the active and immutable memtables to level 0."""
-        if self._memtable:
-            self._rotate_memtable()
-        self._flush_immutables()
+        """Flush the active and immutable memtables to level 0.
+
+        Background mode queues the active memtable and waits for the
+        flush worker to drain the queue.
+        """
+        bg = self._bg
+        if bg is None:
+            if self._memtable:
+                self._rotate_memtable()
+            self._flush_immutables()
+            return
+        with self._mutex:
+            if self._memtable:
+                self._rotate_background()
+            while self._immutables or bg.flush_busy:
+                if bg.error is not None:
+                    raise bg.error
+                if bg.abandoned:
+                    return
+                bg.room.wait(0.05)
+
+    def quiesce(self) -> None:
+        """Drain all background maintenance: flush queue empty, no
+        compaction in flight, no pending policy work.  No-op inline."""
+        bg = self._bg
+        if bg is None:
+            return
+        self.flush()
+        with self._mutex:
+            while True:
+                if bg.error is not None:
+                    raise bg.error
+                if bg.stopped or bg.abandoned:
+                    return
+                if (
+                    not bg.flush_busy
+                    and not bg.compact_busy
+                    and not bg.fade_requested
+                    and not self._immutables
+                    and self._policy.pick(self) is None
+                ):
+                    return
+                bg.room.wait(0.05)
+
+    def _run_fade(self) -> None:
+        """Execute a queued FADE pass (Lethe overrides; base no-op)."""
 
     # ------------------------------------------------------------------
     # Read path
@@ -282,7 +603,10 @@ class RocksLSMStore(KVStore):
     def get(self, key: bytes) -> Optional[bytes]:
         self._check_open()
         self.stats.gets += 1
-        return self._get_resolved(key)
+        if self._bg is None:
+            return self._get_resolved(key)
+        with self._mutex:
+            return self._get_resolved(key)
 
     def multi_get(self, keys) -> List[Optional[bytes]]:
         """Vectored get: probe keys in sorted order.
@@ -295,9 +619,14 @@ class RocksLSMStore(KVStore):
         """
         self._check_open()
         self.stats.gets += len(keys)
-        resolve = self._get_resolved
-        resolved = {key: resolve(key) for key in sorted(set(keys))}
-        return [resolved[key] for key in keys]
+        if self._bg is None:
+            resolve = self._get_resolved
+            resolved = {key: resolve(key) for key in sorted(set(keys))}
+            return [resolved[key] for key in keys]
+        with self._mutex:
+            resolve = self._get_resolved
+            resolved = {key: resolve(key) for key in sorted(set(keys))}
+            return [resolved[key] for key in keys]
 
     def _get_resolved(self, key: bytes) -> Optional[bytes]:
         operands: List[bytes] = []
@@ -331,6 +660,8 @@ class RocksLSMStore(KVStore):
     def _lookup_tables(
         self, key: bytes, operands: List[bytes]
     ) -> Tuple[bool, Optional[bytes]]:
+        if self._policy.overlapping_runs:
+            return self._lookup_tables_overlapping(key, operands)
         for table in reversed(self._levels[0]):
             resolved, value = self._scan_table_records(table, key, operands)
             if resolved:
@@ -342,6 +673,29 @@ class RocksLSMStore(KVStore):
                     if resolved:
                         return True, value
                     break  # disjoint level: only one file can hold the key
+        return False, None
+
+    def _lookup_tables_overlapping(
+        self, key: bytes, operands: List[bytes]
+    ) -> Tuple[bool, Optional[bytes]]:
+        """Probe every run covering ``key``, newest data first.
+
+        Tiered/universal runs may overlap in key space but never in
+        sequence intervals (flush order and whole-level merges keep
+        each run's epoch contiguous and disjoint from its siblings'),
+        so descending ``max_sequence`` order is newest-first.
+        """
+        candidates = [
+            table
+            for level in self._levels
+            for table in level
+            if table.smallest_key <= key <= table.largest_key
+        ]
+        candidates.sort(key=lambda t: -t.max_sequence)
+        for table in candidates:
+            resolved, value = self._scan_table_records(table, key, operands)
+            if resolved:
+                return True, value
         return False, None
 
     def _scan_table_records(
@@ -376,8 +730,18 @@ class RocksLSMStore(KVStore):
         return self.merge_operator.full_merge(None, tuple(reversed(operands)))
 
     def scan(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, bytes]]:
-        """Merged ordered scan across memtables and all levels."""
+        """Merged ordered scan across memtables and all levels.
+
+        Background mode materializes the scan under the tree mutex so
+        the iterator never races a concurrent flush or compaction.
+        """
         self._check_open()
+        if self._bg is None:
+            return self._scan_resolved(start, end)
+        with self._mutex:
+            return iter(list(self._scan_resolved(start, end)))
+
+    def _scan_resolved(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, bytes]]:
         sources: List[List[Record]] = []
         for memtable in [self._memtable] + list(self._immutables):
             sources.append(
@@ -424,45 +788,70 @@ class RocksLSMStore(KVStore):
     # ------------------------------------------------------------------
 
     def _take_file_id(self) -> int:
-        self._next_file_id += 1
-        return self._next_file_id
+        with self._mutex:
+            self._next_file_id += 1
+            return self._next_file_id
 
     def _maybe_compact(self) -> None:
-        if len(self._levels[0]) >= self.config.l0_compaction_trigger:
-            self._compact_l0()
-        for level in range(1, self.config.max_levels - 1):
-            size = sum(t.data_size for t in self._levels[level])
-            while size > self.config.max_level_bytes(level) and self._levels[level]:
-                size -= self._compact_level(level)
+        """Run policy-picked compactions to quiescence (inline mode)."""
+        while self._compact_once():
+            pass
+
+    def _compact_once(self) -> bool:
+        """Pick and execute one compaction; False when the tree is in
+        shape (shared by the inline path and the compaction worker)."""
+        with self._mutex:
+            task = self._policy.pick(self)
+        if task is None:
+            return False
+        return self._execute_task(task)
+
+    def _execute_task(self, task: CompactionTask) -> bool:
+        with self._mutex:
+            inputs = self._task_inputs(task)
+        if not inputs:
+            return False
+        self._run_compaction(
+            inputs, from_levels=task.source_levels, target_level=task.target_level
+        )
+        return self._install_compaction(inputs, task)
+
+    def _task_inputs(self, task: CompactionTask) -> List[SSTable]:
+        """Validate a task against the current tree (mutex held).
+
+        Tables the policy picked may have been quarantined since; they
+        are filtered out.  Leveled-style tasks fold in the target-level
+        tables overlapping the inputs' key range so the target stays
+        disjoint.
+        """
+        in_tree = {id(t) for level in self._levels for t in level}
+        inputs = [t for t in task.inputs if id(t) in in_tree]
+        if not inputs:
+            return []
+        if task.merge_target_overlap:
+            smallest = min(t.smallest_key for t in inputs)
+            largest = max(t.largest_key for t in inputs)
+            overlapping, _ = pick_overlapping(
+                self._levels[task.target_level], smallest, largest
+            )
+            seen = {id(t) for t in inputs}
+            inputs = inputs + [t for t in overlapping if id(t) not in seen]
+        return inputs
 
     def _compact_l0(self) -> None:
+        """Merge all of L0 one level down (Lethe's FADE uses this)."""
         inputs = list(self._levels[0])
         if not inputs:
             return
-        smallest = min(t.smallest_key for t in inputs)
-        largest = max(t.largest_key for t in inputs)
-        overlapping, disjoint = pick_overlapping(self._levels[1], smallest, largest)
-        self._run_compaction(inputs + overlapping, from_levels=(0,), target_level=1)
-        self._levels[0] = []
-        self._levels[1] = self._sorted_level(disjoint + self._new_outputs)
-
-    def _compact_level(self, level: int) -> int:
-        """Compact one file from ``level`` into ``level + 1``.
-
-        Returns the number of bytes removed from ``level``.
-        """
-        source = self._pick_compaction_file(level)
-        if source is None:
-            return 0
-        overlapping, disjoint = pick_overlapping(
-            self._levels[level + 1], source.smallest_key, source.largest_key
+        self._execute_task(
+            CompactionTask(
+                inputs=inputs,
+                target_level=1,
+                source_levels=(0,),
+                merge_target_overlap=not self._policy.overlapping_runs,
+                reason="l0",
+            )
         )
-        self._run_compaction(
-            [source] + overlapping, from_levels=(level,), target_level=level + 1
-        )
-        self._levels[level] = [t for t in self._levels[level] if t is not source]
-        self._levels[level + 1] = self._sorted_level(disjoint + self._new_outputs)
-        return source.data_size
 
     def _pick_compaction_file(self, level: int) -> Optional[SSTable]:
         if not self._levels[level]:
@@ -484,46 +873,100 @@ class RocksLSMStore(KVStore):
     def _run_compaction_inner(
         self, inputs: List[SSTable], target_level: int
     ) -> None:
-        at_bottom = self._is_bottom(target_level, inputs)
-        stream = merged_record_stream(inputs)
+        """Merge ``inputs`` into new output tables (``_new_outputs``).
+
+        Pure build phase: the tree is not modified, so in background
+        mode it runs without the mutex and readers keep serving from
+        the input tables until :meth:`_install_compaction` swaps them.
+        """
+        with self._mutex:
+            at_bottom = self._is_bottom(target_level, inputs)
+        stream = self._cooperative(merged_record_stream(inputs))
         compacted = compact_records(stream, self.merge_operator, at_bottom)
         outputs: List[SSTable] = []
-        records_out = 0
-        bytes_out = 0
         for run in split_into_runs(compacted, self.config.target_file_size):
             table = build_sstable(
                 self._take_file_id(),
-                iter(run),
+                self._cooperative(iter(run)),
                 self.storage,
                 block_size=self.config.block_size,
                 bits_per_key=self.config.bits_per_key,
                 checksum_kind=self.checksum_kind,
+                cooperate=self._bg_pause if self._bg is not None else None,
             )
             if table is not None:
                 outputs.append(table)
-                records_out += table.num_entries
-                bytes_out += table.data_size
-        tombstones_in = sum(t.num_tombstones for t in inputs)
-        tombstones_out = sum(t.num_tombstones for t in outputs)
-        self.compaction_stats.compactions += 1
-        self.compaction_stats.records_in += sum(t.num_entries for t in inputs)
-        self.compaction_stats.records_out += records_out
-        self.compaction_stats.bytes_in += sum(t.data_size for t in inputs)
-        self.compaction_stats.bytes_out += bytes_out
-        self.compaction_stats.tombstones_dropped += max(
-            0, tombstones_in - tombstones_out
-        )
-        self.stats.compactions += 1
-        self.stats.bytes_read += sum(t.data_size for t in inputs)
-        self.stats.bytes_written += bytes_out
-        for table in inputs:
-            table.drop(self.block_cache)
         self._new_outputs = outputs
 
+    def _install_compaction(self, inputs: List[SSTable], task: CompactionTask) -> bool:
+        """Atomically swap compaction inputs for outputs in the tree."""
+        outputs = self._new_outputs
+        with self._mutex:
+            bg = self._bg
+            if bg is not None and bg.abandoned:
+                # Simulated kill at the install checkpoint: output blobs
+                # stay as orphans (recovery ignores anything the
+                # manifest doesn't reference), like a real crash.
+                self._discard_compaction_outputs(outputs)
+                self._new_outputs = []
+                return False
+            input_ids = {id(t) for t in inputs}
+            present = sum(
+                1 for level in self._levels for t in level if id(t) in input_ids
+            )
+            if present != len(inputs):
+                # An input was quarantined while the merge ran;
+                # installing the outputs could resurrect data the
+                # quarantine removed, so discard them instead.
+                for table in outputs:
+                    table.drop(self.block_cache)
+                self._discard_compaction_outputs(outputs)
+                self._new_outputs = []
+                return False
+            for index, level in enumerate(self._levels):
+                self._levels[index] = [t for t in level if id(t) not in input_ids]
+            target = task.target_level
+            self._levels[target] = self._sorted_level(self._levels[target] + outputs)
+            bytes_in = sum(t.data_size for t in inputs)
+            bytes_out = sum(t.data_size for t in outputs)
+            tombstones_in = sum(t.num_tombstones for t in inputs)
+            tombstones_out = sum(t.num_tombstones for t in outputs)
+            self.compaction_stats.compactions += 1
+            self.compaction_stats.records_in += sum(t.num_entries for t in inputs)
+            self.compaction_stats.records_out += sum(t.num_entries for t in outputs)
+            self.compaction_stats.bytes_in += bytes_in
+            self.compaction_stats.bytes_out += bytes_out
+            self.compaction_stats.tombstones_dropped += max(
+                0, tombstones_in - tombstones_out
+            )
+            self.stats.compactions += 1
+            self.stats.bytes_read += bytes_in
+            self.stats.bytes_written += bytes_out
+            # Commit the new layout before dropping the replaced blobs:
+            # a crash in between leaves orphans, never dangling manifest
+            # references.
+            self._write_manifest()
+            for table in inputs:
+                table.drop(self.block_cache)
+            self._new_outputs = []
+            return True
+
+    def _discard_compaction_outputs(self, outputs: List[SSTable]) -> None:
+        """Subclass hook: compaction outputs were built but will never
+        enter the tree (Lethe forgets their tombstone stamps)."""
+
     def _is_bottom(self, target_level: int, inputs: List[SSTable]) -> bool:
+        input_ids = {t.file_id for t in inputs}
+        if self._policy.overlapping_runs:
+            # Overlapping runs can shadow-hide data under the inputs at
+            # *any* level from the target down, so tombstones may only
+            # drop when every such run is an input.
+            for level in self._levels[target_level:]:
+                if any(t.file_id not in input_ids for t in level):
+                    return False
+            return True
         if target_level >= self.config.max_levels - 1:
             return True
-        input_ids = {t.file_id for t in inputs}
         for deeper in self._levels[target_level + 1 :]:
             if any(t.file_id not in input_ids for t in deeper):
                 return False
@@ -542,15 +985,16 @@ class RocksLSMStore(KVStore):
 
     def _quarantine_table(self, table: SSTable) -> None:
         """Remove a corrupt table from the tree (blob left for forensics)."""
-        self.integrity.detected += 1
-        self.quarantined.append(table)
-        for level_index, level in enumerate(self._levels):
-            self._levels[level_index] = [t for t in level if t is not table]
-        self.block_cache.invalidate_where(
-            lambda ck: isinstance(ck, tuple) and ck[0] == table.file_id
-        )
-        if self.storage.exists(self._MANIFEST_NAME):
-            self._write_manifest()
+        with self._mutex:
+            self.integrity.detected += 1
+            self.quarantined.append(table)
+            for level_index, level in enumerate(self._levels):
+                self._levels[level_index] = [t for t in level if t is not table]
+            self.block_cache.invalidate_where(
+                lambda ck: isinstance(ck, tuple) and ck[0] == table.file_id
+            )
+            if self.storage.exists(self._MANIFEST_NAME):
+                self._write_manifest()
 
     def level_file_counts(self) -> List[int]:
         return [len(level) for level in self._levels]
@@ -571,11 +1015,12 @@ class RocksLSMStore(KVStore):
     def recover(self) -> int:
         """Full crash recovery: reopen the manifest's SSTables, then
         replay the WAL.  Returns the number of WAL records replayed."""
-        with tracing.span("lsm.recover_manifest"):
-            self._recover_manifest()
-        with tracing.span("lsm.recover_wal") as sp:
-            replayed = self.recover_wal()
-            sp.add(records=replayed)
+        with self._mutex:
+            with tracing.span("lsm.recover_manifest"):
+                self._recover_manifest()
+            with tracing.span("lsm.recover_wal") as sp:
+                replayed = self.recover_wal()
+                sp.add(records=replayed)
         return replayed
 
     def _recover_manifest(self) -> None:
@@ -618,25 +1063,114 @@ class RocksLSMStore(KVStore):
         checksum-failing record, truncates the file to the intact
         prefix (counted as a detected + repaired corruption), and
         replays exactly the records before the damage.
+
+        Replay order is independent of *this* store's mode -- a store
+        that died in background mode may well restart inline, and its
+        numbered segments still hold acknowledged writes.  The legacy
+        ``wal-current`` blob replays first (if an inline life left
+        one), then each numbered segment in order, stopping
+        point-in-time at the first damaged segment; segments written
+        after the damage are dropped, since replaying around a hole
+        would reorder history.
         """
-        if not self.config.enable_wal or not self.storage.exists(self._wal_name):
+        if not self.config.enable_wal:
             return 0
-        buf = self.storage.read(self._wal_name)
-        decoded = decode_wal(buf)
-        if decoded.truncated:
-            self.integrity.detected += 1
-            self.storage.write(self._wal_name, buf[: decoded.valid_bytes])
-            self.integrity.repaired += 1
-            warnings.warn(
-                f"WAL corruption ({decoded.corruption}); truncated to "
-                f"{decoded.valid_bytes} intact bytes",
-                stacklevel=2,
-            )
-        replayed = 0
-        for record in decoded.records:
-            self._memtable.add(record)
-            self._sequence = max(self._sequence, record.sequence)
-            replayed += 1
+        return self._recover_wal_segments()
+
+    def _discover_wal_segments(self) -> List[str]:
+        """All WAL blobs on storage, replay-ordered (legacy first)."""
+        found = []
+        for name in self.storage.list():
+            if name == "wal-current":
+                found.append((0, 0, name))
+            else:
+                match = _WAL_SEGMENT_RE.match(name)
+                if match:
+                    found.append((1, int(match.group(1)), name))
+        return [name for _, _, name in sorted(found)]
+
+    def _recover_wal_segments(self) -> int:
+        with self._mutex:
+            active = set(self._active_segments)
+            names = [n for n in self._discover_wal_segments() if n not in active]
+            replayed = 0
+            replayed_records: List[Record] = []
+            survivors: List[str] = []
+            damaged_at: Optional[int] = None
+            for index, name in enumerate(names):
+                buf = self.storage.read(name)
+                decoded = decode_wal(buf)
+                for record in decoded.records:
+                    self._memtable.add(record)
+                    self._sequence = max(self._sequence, record.sequence)
+                    replayed_records.append(record)
+                    replayed += 1
+                survivors.append(name)
+                if decoded.truncated:
+                    self.integrity.detected += 1
+                    self.storage.write(name, buf[: decoded.valid_bytes])
+                    self.integrity.repaired += 1
+                    warnings.warn(
+                        f"WAL corruption in segment {name!r} "
+                        f"({decoded.corruption}); truncated to "
+                        f"{decoded.valid_bytes} intact bytes",
+                        stacklevel=2,
+                    )
+                    damaged_at = index
+                    break
+            if damaged_at is not None:
+                # Point-in-time stop: segments written after the damage
+                # are dropped -- replaying around a hole would reorder
+                # history.
+                for name in names[damaged_at + 1 :]:
+                    self.integrity.detected += 1
+                    self.storage.delete(name)
+                    warnings.warn(
+                        f"dropping WAL segment {name!r} written after a "
+                        f"damaged segment; recovery stops at the "
+                        f"corruption point",
+                        stacklevel=2,
+                    )
+            if self._bg is None:
+                # Inline life after a background life: fold the
+                # surviving segments into the single legacy WAL, which
+                # is the only blob the inline flush path resets.  Each
+                # segment carries its own file header, so the replayed
+                # records are re-framed rather than byte-concatenated
+                # (this also normalizes any v1/v2 format mix).
+                if survivors and survivors != [self._wal_name]:
+                    if self.checksum_kind is not ChecksumKind.NONE:
+                        merged = wal_header(self.checksum_kind) + b"".join(
+                            frame_record(record, self.checksum_kind)
+                            for record in replayed_records
+                        )
+                    else:
+                        merged = b"".join(
+                            record.encode() for record in replayed_records
+                        )
+                    self.storage.write(self._wal_name, merged)
+                    for name in survivors:
+                        if name != self._wal_name:
+                            self.storage.delete(name)
+                self._wal_bytes = (
+                    self.storage.size(self._wal_name)
+                    if self.storage.exists(self._wal_name)
+                    else 0
+                )
+            else:
+                # The replayed records now live in the active memtable;
+                # keep the surviving segments attached to it so they
+                # are deleted together once it flushes.
+                self._active_segments = survivors + self._active_segments
+                total = 0
+                for name in self._active_segments:
+                    try:
+                        size = self.storage.size(name)
+                    except StorageError:
+                        size = 0
+                    self._segment_bytes[name] = size
+                    total += size
+                self._wal_bytes = total
         return replayed
 
     # ------------------------------------------------------------------
@@ -652,24 +1186,29 @@ class RocksLSMStore(KVStore):
 
         A damaged WAL tail is repaired by truncation; SSTables with any
         damaged block are quarantined (removed from the tree) and their
-        corrupt blocks counted unrecoverable.
+        corrupt blocks counted unrecoverable.  Background workers are
+        quiesced first so the scrub never races a half-written sstable.
         """
+        self.quiesce()
         report = ScrubReport()
         with timed_scrub(report):
-            if self.config.enable_wal and self.storage.exists(self._wal_name):
-                report.structures_checked += 1
-                buf = self.storage.read(self._wal_name)
-                decoded = decode_wal(buf)
-                if decoded.truncated:
-                    self.storage.write(self._wal_name, buf[: decoded.valid_bytes])
-                    report.add(
-                        ScrubFinding(
-                            self._wal_name,
-                            decoded.valid_bytes,
-                            f"{decoded.corruption}; truncated to intact prefix",
-                            repaired=True,
+            if self.config.enable_wal:
+                for name in self._wal_blob_names():
+                    if not self.storage.exists(name):
+                        continue
+                    report.structures_checked += 1
+                    buf = self.storage.read(name)
+                    decoded = decode_wal(buf)
+                    if decoded.truncated:
+                        self.storage.write(name, buf[: decoded.valid_bytes])
+                        report.add(
+                            ScrubFinding(
+                                name,
+                                decoded.valid_bytes,
+                                f"{decoded.corruption}; truncated to intact prefix",
+                                repaired=True,
+                            )
                         )
-                    )
             corrupt_tables = []
             for level in self._levels:
                 for table in level:
@@ -698,6 +1237,35 @@ class RocksLSMStore(KVStore):
         self.integrity.absorb(report)
         return report
 
+    def _wal_blob_names(self) -> List[str]:
+        """The WAL blobs a scrub must verify."""
+        if self._bg is None:
+            return [self._wal_name]
+        with self._mutex:
+            names = [
+                name
+                for segments in self._immutable_segments
+                for name in segments
+            ]
+            names.extend(self._active_segments)
+            return names
+
     def close(self) -> None:
-        if not self.closed:
-            super().close()
+        if self.closed:
+            return
+        bg = self._bg
+        if bg is not None:
+            try:
+                self.quiesce()
+            finally:
+                bg.shutdown()
+        super().close()
+
+    def abandon(self) -> None:
+        """Drop the store like a process kill: background workers stop
+        at their next checkpoint without flushing or draining, leaving
+        storage exactly as a crash would for :meth:`recover`."""
+        bg = self._bg
+        if bg is not None:
+            bg.abandon()
+        super().abandon()

@@ -156,6 +156,21 @@ def register_store(registry: MetricsRegistry, store, prefix: str = "") -> int:
         registry.gauge(
             f"{prefix}lsm.quarantined", lambda s=inner: len(s.quarantined)
         )
+        # Background-maintenance surface: queue depth feeding the flush
+        # worker and the write-stall gate's counters (all zero while
+        # the store runs inline).
+        registry.gauge(
+            f"{prefix}lsm.immutable_queue_depth",
+            lambda s=inner: s.immutable_queue_depth,
+        )
+        registry.gauge(
+            f"{prefix}lsm.write_stall_count",
+            lambda s=inner: s.write_stall_count,
+        )
+        registry.gauge(
+            f"{prefix}lsm.write_stall_ms",
+            lambda s=inner: round(s.write_stall_ns / 1e6, 3),
+        )
 
     # -- B+Tree -------------------------------------------------------------
     if hasattr(inner, "cache_stats") and hasattr(inner, "_pages"):

@@ -108,3 +108,81 @@ class TestReplayAndCompare:
         out = capsys.readouterr().out
         assert "best throughput" in out
         assert "faster" in out
+
+
+class TestCompactionAxis:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        path = str(tmp_path / "t.gdgt")
+        main([
+            "generate", "-w", "continuous-aggregation", "-o", path,
+            "--events", "500",
+        ])
+        return path
+
+    @pytest.fixture
+    def config_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "compaction.json"
+        path.write_text(json.dumps({
+            "policies": ["leveled", "tiered"],
+            "background": True,
+            "stores": ["rocksdb"],
+            "store_overrides": {"write_buffer_size": 4096},
+        }))
+        return str(path)
+
+    def test_replay_with_background_compaction(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "replay", trace_path, "--store", "rocksdb",
+            "--compaction", "tiered", "--background",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tiered (background)" in out
+        assert "write stalls" in out
+        assert "stall time (ms)" in out
+
+    def test_replay_compaction_rejects_non_lsm_store(self, trace_path):
+        with pytest.raises(SystemExit):
+            main([
+                "replay", trace_path, "--store", "memory",
+                "--compaction", "tiered",
+            ])
+
+    def test_compare_compaction_axis(self, trace_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "compare", trace_path, "--stores", "rocksdb",
+            "--compaction", "leveled", "tiered",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "compaction-policy comparison" in out
+        assert "leveled" in out and "tiered" in out
+
+    def test_compare_compaction_config_file(self, trace_path, config_path, capsys):
+        capsys.readouterr()
+        assert main([
+            "compare", trace_path, "--compaction-config", config_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "background maintenance" in out
+        assert "stalls" in out
+
+    def test_checked_in_config_is_valid(self, trace_path, capsys):
+        import os
+
+        repo_root = os.path.join(os.path.dirname(__file__), "..", "..")
+        config = os.path.join(repo_root, "configs", "compaction.json")
+        capsys.readouterr()
+        assert main([
+            "compare", trace_path, "--compaction-config", config,
+        ]) == 0
+        assert "compaction-policy comparison" in capsys.readouterr().out
+
+    def test_compare_config_rejects_unknown_keys(self, trace_path, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"polices": ["leveled"]}')  # typo'd key
+        with pytest.raises(SystemExit):
+            main(["compare", trace_path, "--compaction-config", str(bad)])
