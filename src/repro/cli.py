@@ -13,7 +13,6 @@ Mirrors the workflow of the original tool's config-file driven binary::
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import List, Optional, Sequence
 
@@ -280,6 +279,24 @@ def _telemetry_options(args):
     )
 
 
+def _print_sharded_table(args, result, fault_plan, store_label) -> None:
+    merged = result.merged_result()
+    summary = result.summary()
+    rows = [
+        ["store", store_label],
+        ["batch size", args.batch or 1],
+        ["operations", result.operations],
+        ["aggregate throughput (kops)", round(summary["throughput_kops"], 1)],
+        ["p50 (us)", round(summary["p50_us"], 1)],
+        ["p99 (us)", round(summary["p99_us"], 1)],
+        ["p99.9 (us)", round(summary["p99.9_us"], 1)],
+    ] + _fault_rows(merged, fault_plan) + [
+        [f"shard {index} ops", shard.operations]
+        for index, shard in enumerate(result.shard_results)
+    ]
+    print(render_table(["metric", "value"], rows, title="sharded replay result"))
+
+
 def cmd_replay(args) -> int:
     trace = AccessTrace.load(args.trace)
     fault_plan, retry_policy = _fault_options(args)
@@ -289,8 +306,10 @@ def cmd_replay(args) -> int:
     if args.crash_at is not None:
         from .faults import RECOVERABLE_STORES, evaluate_crash_recovery
 
-        if args.shards > 1:
-            raise SystemExit("error: --crash-at does not combine with --shards")
+        if args.shards > 1 or args.processes:
+            raise SystemExit(
+                "error: --crash-at does not combine with --shards/--processes"
+            )
         if args.metrics or args.progress:
             raise SystemExit(
                 "error: --crash-at runs several replays (reference, doomed, "
@@ -330,6 +349,37 @@ def cmd_replay(args) -> int:
             "--crash-at; use 'repro scrub' or 'repro compare' for "
             "disk-fault runs"
         )
+    if args.processes:
+        import shutil
+
+        from .core import ConnectorSpec, ProcessShardedReplayer
+
+        if args.trace_out or args.progress:
+            raise SystemExit(
+                "error: --processes supports --metrics only; span traces "
+                "and the live progress view need in-process telemetry"
+            )
+        metrics_dir = f"{args.metrics}.shards" if args.metrics else None
+        replayer = ProcessShardedReplayer(
+            ConnectorSpec.for_store(
+                args.store, storage_root=args.storage_root, **lsm_overrides
+            ),
+            num_workers=args.shards,
+            service_rate=args.service_rate,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            batch_size=args.batch,
+            metrics_dir=metrics_dir,
+        )
+        result = replayer.replay(trace)
+        if args.metrics and replayer.last_metrics_path:
+            shutil.copyfile(replayer.last_metrics_path, args.metrics)
+        _print_sharded_table(
+            args, result, fault_plan,
+            f"{args.store} x{args.shards} processes",
+        )
+        _telemetry_note(args)
+        return 0
     if args.shards > 1:
         from .core import ShardedReplayer
 
@@ -344,21 +394,9 @@ def cmd_replay(args) -> int:
         )
         result = replayer.replay(trace)
         replayer.close()
-        merged = result.merged_result()
-        summary = result.summary()
-        rows = [
-            ["store", f"{args.store} x{args.shards} shards"],
-            ["batch size", args.batch or 1],
-            ["operations", result.operations],
-            ["aggregate throughput (kops)", round(summary["throughput_kops"], 1)],
-            ["p50 (us)", round(summary["p50_us"], 1)],
-            ["p99 (us)", round(summary["p99_us"], 1)],
-            ["p99.9 (us)", round(summary["p99.9_us"], 1)],
-        ] + _fault_rows(merged, fault_plan) + [
-            [f"shard {index} ops", shard.operations]
-            for index, shard in enumerate(result.shard_results)
-        ]
-        print(render_table(["metric", "value"], rows, title="sharded replay result"))
+        _print_sharded_table(
+            args, result, fault_plan, f"{args.store} x{args.shards} shards"
+        )
         _telemetry_note(args)
         return 0
     connector = create_connector(args.store, **lsm_overrides)
@@ -760,6 +798,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=_positive_int, default=1,
         help="hash-partition the trace by key across N worker threads, "
         "one store instance per worker (default: 1, single-threaded)",
+    )
+    replay.add_argument(
+        "--processes", action="store_true",
+        help="run the --shards workers as separate OS processes over a "
+        "shared-memory view of the trace: true parallelism past the "
+        "GIL, identical partitioning and fault schedules to thread "
+        "mode (histogram populations and store contents match)",
+    )
+    replay.add_argument(
+        "--storage-root", metavar="DIR", default=None,
+        help="with --processes, back each worker's store with its own "
+        "on-disk partition under DIR/shard-N (disk-backed stores only)",
     )
     replay.add_argument(
         "--batch", type=_positive_int, default=None, metavar="N",

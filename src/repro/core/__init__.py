@@ -25,6 +25,13 @@ from .generator import (
 )
 from .harness import Gadget, generate_workload_trace
 from .histogram import LatencyHistogram
+from .mp_replay import (
+    ConnectorSpec,
+    ProcessShardedReplayer,
+    WorkerCrashError,
+    WorkerProcessError,
+    store_content_digest,
+)
 from .operators import (
     ContinuousAggregationModel,
     ContinuousJoinModel,
@@ -37,9 +44,11 @@ from .operators import (
 )
 from .replayer import (
     ReplayResult,
+    ReplayStopped,
     ShardedReplayer,
     ShardedReplayResult,
     TraceReplayer,
+    shard_indices,
     shard_trace,
     synthesize_value,
 )
@@ -82,14 +91,21 @@ __all__ = [
     "MergeBufferMachine",
     "OperatorModel",
     "PerformanceEvaluator",
+    "ConnectorSpec",
+    "ProcessShardedReplayer",
     "ReplayResult",
+    "ReplayStopped",
     "SessionWindowModel",
     "ShardedReplayResult",
     "ShardedReplayer",
     "SourceConfig",
     "StateMachine",
     "TraceReplayer",
+    "WorkerCrashError",
+    "WorkerProcessError",
+    "shard_indices",
     "shard_trace",
+    "store_content_digest",
     "ValueConfig",
     "ValueSampler",
     "WORKLOADS",

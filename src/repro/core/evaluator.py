@@ -527,6 +527,8 @@ class PerformanceEvaluator:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: Optional[int] = None,
+        processes: bool = False,
+        storage_root: Optional[str] = None,
     ) -> ShardedReplayResult:
         """Hash-partitioned parallel replay (the scale-out mode).
 
@@ -536,9 +538,40 @@ class PerformanceEvaluator:
         ``share_store=True`` all workers hit one store instance behind
         a lock (the section 6.4 co-location setup, but with Gadget's
         one-writer-per-key guarantee enforced by the partitioning).
+
+        ``processes=True`` routes through
+        :class:`~repro.core.mp_replay.ProcessShardedReplayer`: same
+        partitioning and per-shard fault derivation, but each worker
+        is a separate OS process attached to the trace via shared
+        memory -- the mode that scales past the GIL on multi-core
+        hosts.  ``storage_root`` optionally gives the worker stores
+        partitioned on-disk directories (``<root>/shard-<i>``);
+        ``share_store`` is thread-only and rejected here.
         """
         plan = fault_plan if fault_plan is not None else self.fault_plan
         policy = self._fresh_policy(retry_policy)
+        if processes:
+            if share_store:
+                raise ValueError(
+                    "share_store requires threads; processes cannot "
+                    "share one in-process store instance"
+                )
+            from .mp_replay import ConnectorSpec, ProcessShardedReplayer
+
+            spec = ConnectorSpec.for_store(
+                store_name,
+                storage_root=storage_root,
+                **self.store_configs.get(store_name, {}),
+            )
+            replayer = ProcessShardedReplayer(
+                spec,
+                num_workers=num_workers,
+                service_rate=self.service_rate,
+                fault_plan=plan,
+                retry_policy=policy,
+                batch_size=batch_size,
+            )
+            return replayer.replay(trace)
         if share_store:
             shared = self._connector(store_name)
             replayer = ShardedReplayer(

@@ -127,17 +127,68 @@ class LatencyHistogram:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "LatencyHistogram":
-        """Rebuild a histogram exported by :meth:`to_dict`."""
+        """Rebuild a histogram exported by :meth:`to_dict`.
+
+        Raises :class:`ValueError` (never a bare ``IndexError``) on
+        malformed input: out-of-range bucket indices, negative counts,
+        or totals inconsistent with the bucket counts.  Multi-process
+        replays transport every worker's histogram through this path,
+        so a corrupted payload must fail loudly rather than silently
+        skew the merged quantiles.
+        """
         histogram = cls(
             subbuckets=int(data["subbuckets"]),
             max_exponent=int(data["max_exponent"]),
         )
-        for index, count in data.get("counts", {}).items():
-            histogram._counts[int(index)] = int(count)
-        histogram.total = int(data["total"])
-        histogram.sum_values = int(data["sum"])
-        histogram.min_value = int(data["min"])
-        histogram.max_value = int(data["max"])
+        num_buckets = len(histogram._counts)
+        for raw_index, raw_count in data.get("counts", {}).items():
+            try:
+                index = int(raw_index)
+                count = int(raw_count)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"histogram bucket entry {raw_index!r}: {raw_count!r} "
+                    "is not an integer index/count pair"
+                ) from None
+            if not 0 <= index < num_buckets:
+                raise ValueError(
+                    f"histogram bucket index {index} out of range for "
+                    f"geometry subbuckets={histogram.subbuckets} "
+                    f"max_exponent={histogram.max_exponent} "
+                    f"({num_buckets} buckets)"
+                )
+            if count < 0:
+                raise ValueError(
+                    f"histogram bucket {index} has negative count {count}"
+                )
+            histogram._counts[index] = count
+        total = int(data["total"])
+        sum_values = int(data["sum"])
+        min_value = int(data["min"])
+        max_value = int(data["max"])
+        counted = sum(histogram._counts)
+        if total != counted:
+            raise ValueError(
+                f"histogram total {total} does not match bucket counts "
+                f"(sum {counted})"
+            )
+        if sum_values < 0:
+            raise ValueError(f"histogram sum must be >= 0, got {sum_values}")
+        if total == 0:
+            if min_value != -1 or max_value != 0 or sum_values != 0:
+                raise ValueError(
+                    "empty histogram must have min=-1 max=0 sum=0, got "
+                    f"min={min_value} max={max_value} sum={sum_values}"
+                )
+        elif min_value < 0 or max_value < min_value:
+            raise ValueError(
+                f"histogram min/max inconsistent: min={min_value} "
+                f"max={max_value} with total={total}"
+            )
+        histogram.total = total
+        histogram.sum_values = sum_values
+        histogram.min_value = min_value
+        histogram.max_value = max_value
         return histogram
 
     def nonzero_buckets(self) -> List[Tuple[int, int]]:

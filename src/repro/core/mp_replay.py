@@ -1,0 +1,554 @@
+"""True-parallel sharded replay across processes (GIL-free scaling).
+
+The thread-based :class:`~repro.core.replayer.ShardedReplayer` cannot
+exceed one core on CPython: every BENCH_*.json in this repo carries
+that caveat.  This module is the multi-core path:
+
+* the parent serializes the v2 columnar trace **once** into a
+  ``multiprocessing.shared_memory`` segment
+  (:meth:`~repro.trace.AccessTrace.write_image`);
+* each worker process attaches zero-copy views over the same physical
+  pages (:meth:`~repro.trace.AccessTrace.attach`), recomputes its own
+  CRC32 key partition with the exact
+  :func:`~repro.core.replayer.shard_indices` the thread mode uses, and
+  gathers its shard into private arrays -- no pickling of
+  multi-million-op traces, no per-worker trace copies in flight;
+* workers replay with per-process store connectors (embedded stores on
+  partitioned ``storage_dir``\\ s, or :class:`RemoteStoreClient`\\ s
+  against one event-loop :class:`~repro.kvstores.remote.StoreServer`)
+  under per-shard fault plans
+  (:meth:`~repro.faults.FaultPlan.for_shard`), so a seeded faulted run
+  is bit-identical between thread mode and process mode;
+* results come home as histogram dicts
+  (:meth:`~repro.core.histogram.LatencyHistogram.to_dict`) merged by
+  the parent into the same :class:`ShardedReplayResult` thread mode
+  produces, and per-worker metrics JSONL files concatenate via
+  :func:`~repro.obs.metrics.merge_shard_series`.
+
+Failure semantics mirror the thread mode's cooperative stop: a worker
+that fails reports a structured error and flips a shared stop event;
+surviving workers observe it in their replay loops (decimated to one
+semaphore read per 64 ops) and unwind promptly.  A worker that dies
+without reporting (SIGKILL, ``os._exit``) is detected by exit code and
+surfaced as :class:`WorkerCrashError`.  The shared-memory segment is
+unlinked in a ``finally`` on the parent, so neither completion nor any
+of those failure paths leaks ``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import queue as queue_mod
+import sys
+import time
+import traceback as traceback_mod
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional
+
+from ..trace import AccessTrace
+from .replayer import (
+    ReplayResult,
+    ReplayStopped,
+    ShardedReplayResult,
+    TraceReplayer,
+    _raise_shard_errors,
+    shard_indices,
+)
+
+
+class WorkerProcessError(Exception):
+    """A replay worker process failed; carries the worker-side
+    traceback text so the failure is diagnosable from the parent."""
+
+    def __init__(self, shard: int, type_name: str, message: str, tb: str) -> None:
+        super().__init__(
+            f"replay shard {shard} failed with {type_name}: {message}\n"
+            f"--- worker traceback ---\n{tb.rstrip()}"
+        )
+        self.shard = shard
+        self.type_name = type_name
+
+
+class WorkerCrashError(Exception):
+    """A replay worker died without reporting a result (killed, or a
+    hard exit mid-replay); only its exit code survives."""
+
+    def __init__(self, shard: int, exitcode: Optional[int]) -> None:
+        super().__init__(
+            f"replay shard {shard} worker died with exit code {exitcode} "
+            "before reporting a result"
+        )
+        self.shard = shard
+        self.exitcode = exitcode
+
+
+@dataclass(frozen=True)
+class ConnectorSpec:
+    """Picklable recipe for building a store connector *inside* a
+    worker process.
+
+    Connectors hold sockets, file handles, and caches -- none of which
+    survive a process boundary -- so the process replayer ships the
+    recipe instead of the object:
+
+    * ``for_store``: each worker builds its own embedded store via
+      :func:`~repro.kvstores.create_connector`; with ``storage_root``
+      set, worker ``i`` gets a private on-disk partition
+      ``<root>/shard-<i>`` (the reserved ``storage_dir`` override).
+    * ``for_remote``: each worker opens its own
+      :class:`~repro.kvstores.remote.RemoteStoreClient` socket against
+      one shared :class:`~repro.kvstores.remote.StoreServer`.
+    * ``from_factory``: an arbitrary zero-argument callable, for tests
+      and custom wiring (must survive the start method in use:
+      anything under ``fork``, picklable under ``spawn``).
+    """
+
+    kind: str
+    store: Optional[str] = None
+    config: Dict[str, object] = field(default_factory=dict)
+    storage_root: Optional[str] = None
+    host: Optional[str] = None
+    port: int = 0
+    timeout: Optional[float] = None
+    factory: Optional[Callable[[int], object]] = None
+
+    @classmethod
+    def for_store(
+        cls, name: str, storage_root: Optional[str] = None, **config
+    ) -> "ConnectorSpec":
+        return cls(kind="store", store=name, config=config, storage_root=storage_root)
+
+    @classmethod
+    def for_remote(
+        cls,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        store_name: str = "remote",
+    ) -> "ConnectorSpec":
+        return cls(
+            kind="remote", store=store_name, host=host, port=port, timeout=timeout
+        )
+
+    @classmethod
+    def from_factory(cls, factory: Callable[[int], object]) -> "ConnectorSpec":
+        """``factory(worker_index) -> connector``, called in the worker."""
+        return cls(kind="factory", factory=factory)
+
+    def build(self, index: int):
+        if self.kind == "store":
+            from ..kvstores import create_connector
+
+            overrides = dict(self.config)
+            if self.storage_root is not None:
+                overrides["storage_dir"] = os.path.join(
+                    self.storage_root, f"shard-{index}"
+                )
+            return create_connector(self.store, **overrides)
+        if self.kind == "remote":
+            from ..kvstores.remote import DEFAULT_TIMEOUT_S, RemoteStoreClient
+
+            return RemoteStoreClient(
+                self.host,
+                self.port,
+                store_name=self.store or "remote",
+                timeout=self.timeout if self.timeout is not None else DEFAULT_TIMEOUT_S,
+            )
+        if self.kind == "factory":
+            return self.factory(index)
+        raise ValueError(f"unknown connector spec kind {self.kind!r}")
+
+
+def store_content_digest(connector, keys) -> int:
+    """Order-independent digest of a store's contents over ``keys``.
+
+    XOR of per-key ``blake2b(key, value-or-missing)`` terms: disjoint
+    key sets XOR into the digest of their union, so per-shard digests
+    from N workers combine into exactly the digest a single replayer's
+    store would produce over the same keys -- the property the
+    single ≡ thread-sharded ≡ process-sharded equivalence tests check.
+    """
+    acc = 0
+    for key in keys:
+        value = connector.get(key)
+        if value is None:
+            payload = b"\x00" + key
+        else:
+            payload = b"\x01" + key + b"\x1f" + value
+        acc ^= int.from_bytes(
+            hashlib.blake2b(payload, digest_size=16).digest(), "little"
+        )
+    return acc
+
+
+class _DecimatedStop:
+    """Stop-check over a ``multiprocessing.Event``, sampled every 64th
+    call: an mp event read is a semaphore syscall, far too costly for
+    once-per-op, and stop latency of ~64 ops is ample."""
+
+    __slots__ = ("event", "tick")
+
+    def __init__(self, event) -> None:
+        self.event = event
+        self.tick = 0
+
+    def __call__(self) -> bool:
+        self.tick += 1
+        if self.tick & 63:
+            return False
+        return self.event.is_set()
+
+
+def _worker_main(index, shm_name, options, results, stop_event) -> None:
+    """Replay one shard inside a worker process.
+
+    Contract with the parent: exactly one message lands on ``results``
+    (a result, a stop acknowledgement, or a structured error) unless
+    the process dies outright -- which the parent detects by exit code.
+    """
+    sampler = None
+    connector = None
+    try:
+        # NB: attaching registers the segment with the resource
+        # tracker on CPython < 3.13, but workers share the parent's
+        # tracker process (fork inherits it; spawn passes its fd), so
+        # the registration set collapses the duplicate and the
+        # parent's unlink performs the single unregister.  Do NOT
+        # unregister here: that would clobber the parent's entry.
+        shm = shared_memory.SharedMemory(name=shm_name)
+        try:
+            full = AccessTrace.attach(shm.buf)
+            bucket = shard_indices(full, options["num_workers"])[index]
+            shard = full.select(bucket)
+        finally:
+            # select() gathered into private arrays; drop every view
+            # over the segment before closing our mapping of it
+            full = None
+            bucket = None
+            shm.close()
+
+        connector = ConnectorSpec(**options["spec"]).build(index)
+        plan = options["fault_plan"]
+        if plan is not None:
+            plan = plan.for_shard(index)
+        policy = options["retry_policy"]
+        if policy is not None:
+            policy = dataclasses.replace(policy)
+        replayer = TraceReplayer(
+            connector,
+            service_rate=options["service_rate"],
+            measure_latency=options["measure_latency"],
+            use_histograms=options["use_histograms"],
+            fault_plan=plan,
+            retry_policy=policy,
+            batch_size=options["batch_size"],
+            stop_check=_DecimatedStop(stop_event),
+        )
+
+        metrics_dir = options["metrics_dir"]
+        if metrics_dir is not None:
+            from ..obs.metrics import (
+                MetricsRegistry,
+                ReplayProgress,
+                Sampler,
+                register_store,
+            )
+
+            registry = MetricsRegistry()
+            register_store(registry, connector)
+            progress = ReplayProgress(len(shard))
+            sampler = Sampler(
+                registry,
+                progress,
+                sink=os.path.join(metrics_dir, f"shard-{index}.jsonl"),
+                store=connector.name,
+                meta={"shard": index},
+            ).start()
+            replayer._progress = progress
+
+        result = replayer.replay(shard)
+
+        payload = {
+            "store": result.store,
+            "operations": result.operations,
+            "elapsed_s": result.elapsed_s,
+            "failed_ops": result.failed_ops,
+            "retries": result.retries,
+            "injected_faults": result.injected_faults,
+            "injected_delay_s": result.injected_delay_s,
+            "histograms": {
+                op.value: hist.to_dict() for op, hist in result.histograms.items()
+            },
+            "latencies": {
+                op.value: values
+                for op, values in result.latencies_ns.items()
+                if values
+            },
+        }
+        if options["collect_digests"]:
+            klist = shard.unique_keys()
+            shard_keys = sorted({klist[kid] for kid in set(shard.key_ids)})
+            payload["digest"] = store_content_digest(connector, shard_keys)
+        results.put({"index": index, "result": payload})
+    except ReplayStopped:
+        results.put({"index": index, "stopped": True})
+    except BaseException as exc:
+        results.put(
+            {
+                "index": index,
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback_mod.format_exc(),
+                },
+            }
+        )
+        sys.exit(1)
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        if connector is not None:
+            try:
+                connector.close()
+            except Exception:
+                pass
+
+
+#: empty-queue polls (0.2 s apiece) a dead worker gets to deliver its
+#: already-queued message before the parent declares it crashed
+_DEAD_WORKER_GRACE_POLLS = 5
+
+
+class ProcessShardedReplayer:
+    """Replays a trace across N worker **processes**, one key partition
+    each -- the multi-core counterpart of
+    :class:`~repro.core.replayer.ShardedReplayer`.
+
+    Shard membership (:func:`~repro.core.replayer.shard_indices`),
+    per-shard fault plans (:meth:`~repro.faults.FaultPlan.for_shard`),
+    retry-policy copies, and histogram merging are all byte-compatible
+    with the thread mode, so for a fixed seed the two modes produce
+    identical merged per-op histogram populations and final store
+    contents; only wall-clock differs.
+
+    On this repo's 1-CPU container the processes still time-slice one
+    core (see BENCH_mp_replay.json's caveat); the architecture is what
+    unlocks real cores when the harness gets them.
+    """
+
+    def __init__(
+        self,
+        spec: ConnectorSpec,
+        num_workers: int = 4,
+        service_rate: Optional[float] = None,
+        measure_latency: bool = True,
+        use_histograms: bool = True,
+        fault_plan=None,
+        retry_policy=None,
+        batch_size: Optional[int] = None,
+        metrics_dir: Optional[str] = None,
+        collect_digests: bool = False,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if not isinstance(spec, ConnectorSpec):
+            raise TypeError(
+                "ProcessShardedReplayer takes a ConnectorSpec (live "
+                "connectors cannot cross a process boundary)"
+            )
+        if fault_plan is not None and fault_plan.crash_at is not None:
+            raise ValueError(
+                "crash points are single-threaded experiments; use "
+                "repro.faults.evaluate_crash_recovery instead of a "
+                "sharded replay"
+            )
+        if start_method is None:
+            # fork shares the page cache and skips interpreter boot;
+            # spawn is the portable fallback
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.spec = spec
+        self.num_workers = num_workers
+        self.service_rate = service_rate
+        self.measure_latency = measure_latency
+        self.use_histograms = use_histograms
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        self.batch_size = batch_size
+        self.metrics_dir = metrics_dir
+        self.collect_digests = collect_digests
+        self.start_method = start_method
+        #: per-shard content digests from the last replay (populated
+        #: when ``collect_digests`` is set; workers compute them before
+        #: exiting because their stores die with them)
+        self.last_digests: List[Optional[int]] = []
+        #: XOR-combined digest over all shards (key sets are disjoint)
+        self.last_content_digest: Optional[int] = None
+        #: path of the merged metrics series from the last replay
+        self.last_metrics_path: Optional[str] = None
+
+    # -- orchestration -------------------------------------------------------
+
+    def replay(self, trace: AccessTrace) -> ShardedReplayResult:
+        ctx = multiprocessing.get_context(self.start_method)
+        per_worker_rate = (
+            self.service_rate / self.num_workers if self.service_rate else None
+        )
+        options = {
+            "spec": dataclasses.asdict(self.spec),
+            "num_workers": self.num_workers,
+            "service_rate": per_worker_rate,
+            "measure_latency": self.measure_latency,
+            "use_histograms": self.use_histograms,
+            "fault_plan": self.fault_plan,
+            "retry_policy": self.retry_policy,
+            "batch_size": self.batch_size,
+            "metrics_dir": self.metrics_dir,
+            "collect_digests": self.collect_digests,
+        }
+        if self.metrics_dir is not None:
+            os.makedirs(self.metrics_dir, exist_ok=True)
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, trace.image_nbytes())
+        )
+        started = time.perf_counter()
+        try:
+            trace.write_image(shm.buf)
+            results_queue = ctx.Queue()
+            stop_event = ctx.Event()
+            workers = {
+                index: ctx.Process(
+                    target=_worker_main,
+                    args=(index, shm.name, options, results_queue, stop_event),
+                    name=f"replay-shard-{index}",
+                    daemon=True,
+                )
+                for index in range(self.num_workers)
+            }
+            for proc in workers.values():
+                proc.start()
+            payloads, errors = self._collect(workers, results_queue, stop_event)
+            for proc in workers.values():
+                proc.join(timeout=10)
+                if proc.is_alive():  # wedged post-report; don't hang the parent
+                    proc.terminate()
+                    proc.join(timeout=5)
+            results_queue.close()
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        elapsed = time.perf_counter() - started
+
+        _raise_shard_errors(errors)
+
+        shard_results = [
+            self._rebuild_result(payloads[index])
+            for index in sorted(payloads)
+        ]
+        self.last_digests = [
+            payloads[index].get("digest") for index in sorted(payloads)
+        ]
+        digests = [digest for digest in self.last_digests if digest is not None]
+        self.last_content_digest = None
+        if digests:
+            combined = 0
+            for digest in digests:
+                combined ^= digest
+            self.last_content_digest = combined
+        if self.metrics_dir is not None and payloads:
+            from ..obs.metrics import merge_shard_series
+
+            paths = [
+                os.path.join(self.metrics_dir, f"shard-{index}.jsonl")
+                for index in sorted(payloads)
+            ]
+            merged = os.path.join(self.metrics_dir, "merged.jsonl")
+            merge_shard_series([p for p in paths if os.path.exists(p)], merged)
+            self.last_metrics_path = merged
+        store = shard_results[0].store if shard_results else self.spec.store or "?"
+        return ShardedReplayResult(
+            store=store, shard_results=shard_results, elapsed_s=elapsed
+        )
+
+    def _collect(self, workers, results_queue, stop_event):
+        """Drain one message per worker, watching for silent deaths.
+
+        Draining happens *before* joining: a worker blocked flushing a
+        large result into the queue's pipe deadlocks against a parent
+        blocked in ``join`` (the classic ``multiprocessing`` trap).  A
+        worker observed dead with nothing queued gets a short grace
+        (its feeder thread may still be flushing), then is recorded as
+        crashed -- which also trips the stop event so live siblings
+        wind down instead of replaying their full shards.
+        """
+        pending = dict(workers)
+        payloads: Dict[int, dict] = {}
+        errors_by_index: Dict[int, BaseException] = {}
+        strikes: Dict[int, int] = {}
+        while pending:
+            try:
+                message = results_queue.get(timeout=0.2)
+            except queue_mod.Empty:
+                for index in list(pending):
+                    proc = pending[index]
+                    if proc.is_alive():
+                        strikes.pop(index, None)
+                        continue
+                    strikes[index] = strikes.get(index, 0) + 1
+                    if strikes[index] >= _DEAD_WORKER_GRACE_POLLS:
+                        errors_by_index[index] = WorkerCrashError(
+                            index, proc.exitcode
+                        )
+                        del pending[index]
+                        stop_event.set()
+                continue
+            index = message["index"]
+            pending.pop(index, None)
+            strikes.pop(index, None)
+            if "result" in message:
+                payloads[index] = message["result"]
+            elif "error" in message:
+                error = message["error"]
+                errors_by_index[index] = WorkerProcessError(
+                    index, error["type"], error["message"], error["traceback"]
+                )
+                stop_event.set()
+            # "stopped" acknowledgements carry no result: the shard
+            # unwound cooperatively after a sibling failed
+        errors = [errors_by_index[index] for index in sorted(errors_by_index)]
+        return payloads, errors
+
+    @staticmethod
+    def _rebuild_result(payload: dict) -> ReplayResult:
+        from ..trace import OpType
+        from .histogram import LatencyHistogram
+
+        histograms = {
+            OpType(name): LatencyHistogram.from_dict(data)
+            for name, data in payload["histograms"].items()
+            if data.get("total")
+        }
+        latencies = {
+            OpType(name): list(values)
+            for name, values in payload["latencies"].items()
+        }
+        return ReplayResult(
+            store=payload["store"],
+            operations=payload["operations"],
+            elapsed_s=payload["elapsed_s"],
+            latencies_ns=latencies,
+            histograms=histograms,
+            failed_ops=payload["failed_ops"],
+            retries=payload["retries"],
+            injected_faults=payload["injected_faults"],
+            injected_delay_s=payload["injected_delay_s"],
+        )

@@ -100,6 +100,17 @@ class ReplayResult:
         }
 
 
+class ReplayStopped(Exception):
+    """A cooperative stop was requested mid-replay.
+
+    Sharded replays set a shared stop flag when any worker fails; the
+    surviving workers' replay loops observe it through ``stop_check``
+    and unwind promptly with this exception instead of replaying their
+    full shard first.  It signals coordination, not failure -- the
+    coordinator swallows it and reports the original worker error.
+    """
+
+
 _VALUE_CACHE: Dict[int, bytes] = {}
 #: cache bounds: a trace with many distinct value sizes must not grow
 #: the cache without limit.  Oldest-inserted entries are evicted first
@@ -195,6 +206,7 @@ class TraceReplayer:
         retry_policy=None,
         batch_size: Optional[int] = None,
         telemetry=None,
+        stop_check: Optional[Callable[[], bool]] = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -226,6 +238,12 @@ class TraceReplayer:
         #: samples, live progress).  ``None`` replays the pre-existing
         #: fast paths untouched.
         self.telemetry = telemetry
+        #: cooperative cancellation: a zero-argument callable polled
+        #: from every replay loop; returning true raises
+        #: :class:`ReplayStopped`.  Sharded replays pass the shared
+        #: stop flag's ``is_set`` here so sibling shards stop promptly
+        #: when one worker fails.
+        self.stop_check = stop_check
         #: live :class:`~repro.obs.metrics.ReplayProgress` during a
         #: telemetry session (set by :meth:`replay`, or externally by
         #: :class:`ShardedReplayer` sharing one progress across shards)
@@ -286,6 +304,7 @@ class TraceReplayer:
             # honest per-op latency, so the telemetry hook lives here
             sink = _tee(sink, progress.record)
         count = progress.count if progress is not None and not measure else None
+        stop = self.stop_check
         timer = time.perf_counter_ns
         # The inlined form of ``trace.iter_raw()``: iterate the raw
         # columns directly (no generator frame per op) and branch on
@@ -303,6 +322,8 @@ class TraceReplayer:
         if interval:
             next_dispatch = started
             for code, kid, size in columns:
+                if stop is not None and stop():
+                    raise ReplayStopped
                 if time.perf_counter() < next_dispatch:
                     _throttle(next_dispatch)
                 next_dispatch += interval
@@ -318,6 +339,8 @@ class TraceReplayer:
                         count()
         elif measure:
             for code, kid, size in columns:
+                if stop is not None and stop():
+                    raise ReplayStopped
                 key = keys[kid]
                 begin = timer()
                 if code == 0:
@@ -339,6 +362,8 @@ class TraceReplayer:
                 sink[code](elapsed_ns if elapsed_ns > 0 else 0)
         elif count is not None:
             for code, kid, size in columns:
+                if stop is not None and stop():
+                    raise ReplayStopped
                 key = keys[kid]
                 if code == 0:
                     get(key)
@@ -351,6 +376,8 @@ class TraceReplayer:
                 count()
         else:
             for code, kid, size in columns:
+                if stop is not None and stop():
+                    raise ReplayStopped
                 key = keys[kid]
                 if code == 0:
                     get(key)
@@ -416,10 +443,13 @@ class TraceReplayer:
         key_ids = trace.key_ids
         value_sizes = trace.value_sizes
         total = len(trace)
+        stop = self.stop_check
         started = time.perf_counter()
         next_dispatch = started
         index = 0
         while index < total:
+            if stop is not None and stop():
+                raise ReplayStopped
             is_read = op_codes[index] == 0
             limit = index + batch_size
             if limit > total:
@@ -535,10 +565,13 @@ class TraceReplayer:
         operations = total
         failed_ops = 0
         crashed_at: Optional[int] = None
+        stop = self.stop_check
         started = time.perf_counter()
         next_dispatch = started
         index = 0
         while index < total:
+            if stop is not None and stop():
+                raise ReplayStopped
             is_read = op_codes[index] == 0
             limit = index + batch_size
             if limit > total:
@@ -670,9 +703,12 @@ class TraceReplayer:
         operations = len(trace)
         failed_ops = 0
         crashed_at: Optional[int] = None
+        stop = self.stop_check
         started = time.perf_counter()
         next_dispatch = started
         for index, (code, kid, size) in enumerate(columns):
+            if stop is not None and stop():
+                raise ReplayStopped
             if interval:
                 if time.perf_counter() < next_dispatch:
                     _throttle(next_dispatch)
@@ -715,6 +751,26 @@ class TraceReplayer:
 # ---------------------------------------------------------------------------
 
 
+def shard_indices(trace: AccessTrace, num_shards: int) -> List[List[int]]:
+    """Per-shard op-index buckets for CRC32 key partitioning.
+
+    The single source of truth for shard membership: the thread-based
+    :class:`ShardedReplayer` and the process-based
+    :class:`~repro.core.mp_replay.ProcessShardedReplayer` both route
+    through it (workers recompute their own bucket from the shared
+    trace), so the two modes agree op-for-op on every shard.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    if num_shards == 1:
+        return [list(range(len(trace)))]
+    shard_of_key = [crc32(key) % num_shards for key in trace.unique_keys()]
+    buckets: List[List[int]] = [[] for _ in range(num_shards)]
+    for index, kid in enumerate(trace.key_ids):
+        buckets[shard_of_key[kid]].append(index)
+    return buckets
+
+
 def shard_trace(trace: AccessTrace, num_shards: int) -> List[AccessTrace]:
     """Hash-partition a trace by key into ``num_shards`` sub-traces.
 
@@ -722,15 +778,36 @@ def shard_trace(trace: AccessTrace, num_shards: int) -> List[AccessTrace]:
     and order-preserving within each shard, so the per-key access order
     the dataflow model guarantees is intact in every partition.
     """
-    if num_shards <= 0:
-        raise ValueError("num_shards must be positive")
-    if num_shards == 1:
-        return [trace.select(range(len(trace)))]
-    shard_of_key = [crc32(key) % num_shards for key in trace.unique_keys()]
-    buckets: List[List[int]] = [[] for _ in range(num_shards)]
-    for index, kid in enumerate(trace.key_ids):
-        buckets[shard_of_key[kid]].append(index)
-    return [trace.select(bucket) for bucket in buckets]
+    return [
+        trace.select(bucket) for bucket in shard_indices(trace, num_shards)
+    ]
+
+
+def _raise_shard_errors(errors: Sequence[BaseException]) -> None:
+    """Raise the first worker error without dropping its siblings.
+
+    Python 3.9 has no ``ExceptionGroup``, so the extra failures ride
+    along as a ``shard_errors`` attribute on the raised exception (and
+    as ``add_note`` lines where the runtime supports them) -- a
+    multi-shard failure stays diagnosable from the one traceback that
+    reaches the caller.
+    """
+    if not errors:
+        return
+    primary = errors[0]
+    siblings = list(errors[1:])
+    try:
+        primary.shard_errors = siblings
+    except AttributeError:
+        pass  # exceptions with __slots__ cannot carry the attribute
+    add_note = getattr(primary, "add_note", None)
+    if add_note is not None:
+        for sibling in siblings:
+            add_note(
+                f"sibling shard also failed: "
+                f"{type(sibling).__name__}: {sibling}"
+            )
+    raise primary
 
 
 @dataclass
@@ -846,9 +923,11 @@ class ShardedReplayer:
         self.measure_latency = measure_latency
         self.disable_gc = disable_gc
         self.use_histograms = use_histograms
-        #: each worker draws a fresh schedule from the same plan, so
-        #: every shard (and every store under comparison) sees the
-        #: same per-shard fault timeline
+        #: each worker replays under a per-shard derived plan
+        #: (:meth:`~repro.faults.FaultPlan.for_shard`), so fault
+        #: timelines are a function of (seed, shard) alone -- identical
+        #: across thread interleavings, across process-based replays,
+        #: and across every store under comparison
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         #: micro-batch size applied by every worker to its shard
@@ -902,6 +981,8 @@ class ShardedReplayer:
         )
         results: List[Optional[ReplayResult]] = [None] * self.num_workers
         errors: List[BaseException] = []
+        errors_lock = threading.Lock()
+        stop_flag = threading.Event()
         start_barrier = threading.Barrier(self.num_workers)
 
         def worker(index: int) -> None:
@@ -918,9 +999,14 @@ class ShardedReplayer:
                 measure_latency=self.measure_latency,
                 disable_gc=False,  # GC is managed once for the fan-out
                 use_histograms=self.use_histograms,
-                fault_plan=self.fault_plan,
+                fault_plan=(
+                    self.fault_plan.for_shard(index)
+                    if self.fault_plan is not None
+                    else None
+                ),
                 retry_policy=policy,
                 batch_size=self.batch_size,
+                stop_check=stop_flag.is_set,
             )
             # all workers tee into the session's shared (lock-
             # protected) progress; their distinct thread identities
@@ -929,8 +1015,17 @@ class ShardedReplayer:
             try:
                 start_barrier.wait()
                 results[index] = replayer.replay(shards[index])
+            except ReplayStopped:
+                pass  # a sibling failed; this shard unwound on request
+            except threading.BrokenBarrierError:
+                pass  # a sibling aborted startup before we began
             except BaseException as exc:  # surface worker failures
-                errors.append(exc)
+                with errors_lock:
+                    errors.append(exc)
+                # wake siblings promptly wherever they are: parked at
+                # the barrier (abort) or deep in their replay loop
+                # (stop flag, polled per op/batch)
+                stop_flag.set()
                 start_barrier.abort()
 
         threads = [
@@ -951,8 +1046,7 @@ class ShardedReplayer:
             if self.disable_gc and gc_was_enabled:
                 gc.enable()
         elapsed = time.perf_counter() - started
-        if errors:
-            raise errors[0]
+        _raise_shard_errors(errors)
         return ShardedReplayResult(
             store=self._connectors[0].name,
             shard_results=[result for result in results if result is not None],

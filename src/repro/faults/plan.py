@@ -13,10 +13,11 @@ the paper's happy-path rows are.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
 from dataclasses import asdict, dataclass, fields
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Union
 
 from .corruption import DiskFaultPlan
 
@@ -45,7 +46,10 @@ class FaultPlan:
     draw, so the schedule is reproducible and identical across stores.
     """
 
-    seed: int = 0
+    #: every random draw flows from this seed; sharded replays derive
+    #: per-shard seeds (see :meth:`for_shard`), which is why the field
+    #: also admits strings
+    seed: Union[int, str] = 0
     #: probability that an operation draws a transient-error burst
     transient_error_rate: float = 0.0
     #: consecutive failures per burst (a retry policy must outlast this)
@@ -103,6 +107,30 @@ class FaultPlan:
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+    # -- sharding ------------------------------------------------------------
+
+    def for_shard(self, shard: int) -> "FaultPlan":
+        """Per-shard plan with a deterministically derived seed.
+
+        Sharded replays must not hand every worker the same schedule
+        seed: each shard replays a *different* op subsequence, so
+        "op 7 draws a spike" means a different logical operation in
+        every shard, and (worse) any shared schedule state would make
+        the draw order depend on thread interleaving.  Deriving
+        ``Random(f"{seed}:shard{i}")`` -- the same idiom
+        :class:`~repro.faults.corruption.DiskFaultPlan` uses per blob
+        -- gives every shard its own reproducible timeline that is
+        identical between thread-based and process-based replays of
+        the same trace at the same shard count.
+
+        ``crash_at`` does not shard (sharded replayers reject crash
+        plans outright), and disk plans already derive per-blob seeds,
+        so both carry over unchanged.
+        """
+        if shard < 0:
+            raise ValueError("shard index must be >= 0")
+        return dataclasses.replace(self, seed=f"{self.seed}:shard{shard}")
 
     # -- compilation ---------------------------------------------------------
 

@@ -10,6 +10,7 @@ from .connectors import StoreConnector, connect
 from .faster import FasterConfig, FasterStore
 from .lsm import LetheConfig, LetheStore, LSMConfig, RocksLSMStore
 from .memory import InMemoryStore
+from .storage import FileStorage
 
 STORE_NAMES = ("rocksdb", "lethe", "faster", "berkeleydb", "memory")
 
@@ -22,17 +23,29 @@ def create_store(
     """Instantiate a store by its paper name.
 
     ``config_overrides`` are forwarded to the store's config dataclass,
-    e.g. ``create_store("rocksdb", write_buffer_size=1 << 20)``.
+    e.g. ``create_store("rocksdb", write_buffer_size=1 << 20)``.  The
+    reserved override ``storage_dir`` is not a config field: it backs
+    the store with a :class:`~repro.kvstores.storage.FileStorage`
+    rooted there (how multi-process replay gives each worker its own
+    on-disk partition).
     """
+    storage_dir = config_overrides.pop("storage_dir", None)
+    storage = FileStorage(storage_dir) if storage_dir is not None else None
     builders: Dict[str, Callable[[], KVStore]] = {
         "rocksdb": lambda: RocksLSMStore(
-            LSMConfig(**config_overrides), merge_operator
+            LSMConfig(**config_overrides), merge_operator, storage
         ),
-        "lethe": lambda: LetheStore(LetheConfig(**config_overrides), merge_operator),
-        "faster": lambda: FasterStore(FasterConfig(**config_overrides), merge_operator),
-        "berkeleydb": lambda: BTreeStore(BTreeConfig(**config_overrides)),
+        "lethe": lambda: LetheStore(
+            LetheConfig(**config_overrides), merge_operator, storage
+        ),
+        "faster": lambda: FasterStore(
+            FasterConfig(**config_overrides), merge_operator, storage
+        ),
+        "berkeleydb": lambda: BTreeStore(BTreeConfig(**config_overrides), storage),
         "memory": lambda: InMemoryStore(merge_operator),
     }
+    if storage is not None and name == "memory":
+        raise ValueError("the in-memory store does not take a storage_dir")
     try:
         builder = builders[name]
     except KeyError:

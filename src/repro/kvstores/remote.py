@@ -12,10 +12,11 @@ this setting with the right store wrappers; this module provides them:
   embedded one (every access now pays serialization + a socket round
   trip, the external-state overhead the paper's introduction cites)
 
-The server handles each connection on its own thread; single-writer
-semantics per key are preserved by the dataflow model itself (one task
-writes any given key), while the server serializes store access with a
-lock, like the thread-safe facades of real external stores.
+The server multiplexes every connection on one ``selectors``-based
+event loop thread: N replay processes fan in over N sockets without a
+thread per connection, and store access is serialized naturally by the
+single loop (single-writer semantics per key are preserved by the
+dataflow model itself -- one task writes any given key).
 
 Failure semantics (the robustness axis):
 
@@ -36,11 +37,12 @@ Failure semantics (the robustness axis):
 
 from __future__ import annotations
 
+import selectors
 import socket
-import socketserver
 import struct
 import threading
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import tracing
 from .api import BatchOp, KVStore, KVStoreError
@@ -121,14 +123,6 @@ def _recv_exact(sock: socket.socket, length: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
-
-
-def _send_error(sock: socket.socket, message: str) -> None:
-    payload = message.encode("utf-8", errors="replace")
-    try:
-        sock.sendall(struct.pack("<BI", REPLY_ERROR, len(payload)) + payload)
-    except OSError:
-        pass  # peer already gone; nothing left to tell it
 
 
 def _decode_batch_items(payload: bytes, count: int) -> List[Tuple[int, bytes, bytes]]:
@@ -212,87 +206,34 @@ def _execute_batch(
     )
 
 
-class _Handler(socketserver.BaseRequestHandler):
-    def handle(self) -> None:
-        connector: StoreConnector = self.server.connector  # type: ignore[attr-defined]
-        lock: threading.Lock = self.server.store_lock  # type: ignore[attr-defined]
-        sock = self.request
-        while True:
-            try:
-                header = _recv_exact(sock, _HEADER.size)
-            except (ConnectionError, OSError):
-                return
-            opcode, key_len, value_len = _HEADER.unpack(header)
-            if opcode == OP_CLOSE:
-                return
-            if (
-                opcode == OP_BATCH
-                and self.server.protocol_version >= 2  # type: ignore[attr-defined]
-            ):
-                try:
-                    payload = _recv_exact(sock, value_len) if value_len else b""
-                except (ConnectionError, OSError):
-                    return
-                try:
-                    items = _decode_batch_items(payload, key_len)
-                except (ValueError, struct.error) as exc:
-                    _send_error(sock, f"malformed batch: {exc}")
-                    continue
-                with lock:
-                    if self.server.closing:  # type: ignore[attr-defined]
-                        _send_error(sock, "server is shutting down")
-                        return
-                    body = _execute_batch(connector, items)
-                try:
-                    sock.sendall(struct.pack("<BI", REPLY_BATCH, len(body)) + body)
-                except OSError:
-                    return
-                continue
-            if opcode not in _KNOWN_OPS:
-                # Always answer: a handler that dies without replying
-                # leaves the client deadlocked on the socket.
-                _send_error(sock, f"unknown opcode {opcode}")
-                return
-            try:
-                key = _recv_exact(sock, key_len) if key_len else b""
-                value = _recv_exact(sock, value_len) if value_len else b""
-            except (ConnectionError, OSError):
-                return
-            try:
-                with lock:
-                    if self.server.closing:  # type: ignore[attr-defined]
-                        _send_error(sock, "server is shutting down")
-                        return
-                    if opcode == OP_GET:
-                        result = connector.get(key)
-                    elif opcode == OP_PUT:
-                        connector.put(key, value)
-                        result = None
-                    elif opcode == OP_MERGE:
-                        connector.merge(key, value)
-                        result = None
-                    else:  # OP_DELETE
-                        connector.delete(key)
-                        result = None
-            except Exception as exc:  # store-level failure: report, keep serving
-                _send_error(sock, f"{type(exc).__name__}: {exc}")
-                continue
-            try:
-                if opcode == OP_GET:
-                    if result is None:
-                        sock.sendall(struct.pack("<BI", REPLY_MISSING, 0))
-                    else:
-                        sock.sendall(
-                            struct.pack("<BI", REPLY_VALUE, len(result)) + result
-                        )
-                else:
-                    sock.sendall(struct.pack("<BI", REPLY_OK, 0))
-            except OSError:
-                return
+class _Connection:
+    """Per-client state on the event loop: staged input, pending output."""
+
+    __slots__ = ("sock", "inbuf", "outbuf", "close_after_flush")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        #: set when the last queued reply must be the connection's final
+        #: word (unknown opcode, shutdown refusal): flush, then close
+        self.close_after_flush = False
+
+
+#: how long :meth:`StoreServer.stop` keeps trying to flush queued
+#: replies to slow readers before closing their sockets anyway
+_DRAIN_DEADLINE_S = 5.0
 
 
 class StoreServer:
-    """Serves a store on 127.0.0.1; one thread per client connection.
+    """Serves a store on 127.0.0.1 from one ``selectors`` event loop.
+
+    All client connections multiplex onto a single non-blocking loop
+    thread, so N replay processes cost N sockets, not N threads --
+    and store access needs no lock because only the loop thread ever
+    touches the store.  Requests on one connection still execute in
+    arrival order, and one op executes at a time globally (the same
+    serialization the old lock provided).
 
     ``protocol_version=1`` makes the server behave like a pre-batching
     build: :data:`OP_BATCH` is answered with an ``unknown opcode`` error
@@ -304,43 +245,260 @@ class StoreServer:
         self, store: KVStore, port: int = 0, protocol_version: int = PROTOCOL_VERSION
     ) -> None:
         self.store = store
-        self._server = socketserver.ThreadingTCPServer(
-            ("127.0.0.1", port), _Handler, bind_and_activate=True
-        )
-        self._server.daemon_threads = True
-        self._server.connector = connect(store)  # type: ignore[attr-defined]
-        self._server.store_lock = threading.Lock()  # type: ignore[attr-defined]
-        self._server.closing = False  # type: ignore[attr-defined]
-        self._server.protocol_version = protocol_version  # type: ignore[attr-defined]
+        self.protocol_version = protocol_version
+        self._connector = connect(store)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", port))
+        self._listener.listen(128)
+        self._listener.setblocking(False)
+        # the wake pipe lets stop() interrupt a parked select() at once
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._connections: Dict[socket.socket, _Connection] = {}
+        self._closing = False
+        self._stopped = False
         self._thread: Optional[threading.Thread] = None
 
     @property
     def address(self) -> Tuple[str, int]:
-        return self._server.server_address  # type: ignore[return-value]
+        return self._listener.getsockname()  # type: ignore[return-value]
 
     def start(self) -> "StoreServer":
+        self._selector.register(self._listener, selectors.EVENT_READ, "listener")
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
         self._thread = threading.Thread(
-            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
-            daemon=True,
+            target=self._serve, name="store-server", daemon=True
         )
         self._thread.start()
         return self
 
+    # -- event loop ----------------------------------------------------------
+
+    def _serve(self) -> None:
+        selector = self._selector
+        while not self._closing:
+            for key, mask in selector.select():
+                data = key.data
+                if data == "listener":
+                    self._accept()
+                elif data == "wake":
+                    try:
+                        while self._wake_r.recv(4096):
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                else:
+                    conn: _Connection = data
+                    if mask & selectors.EVENT_READ:
+                        self._read(conn)
+                    if (
+                        mask & selectors.EVENT_WRITE
+                        and conn.sock in self._connections
+                    ):
+                        self._flush(conn)
+        self._drain_and_close()
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(sock)
+            self._connections[sock] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _read(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(1 << 16)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close_connection(conn)
+            return
+        if not chunk:
+            self._close_connection(conn)
+            return
+        conn.inbuf += chunk
+        if self._process(conn):
+            self._flush(conn)
+
+    def _process(self, conn: _Connection) -> bool:
+        """Execute every complete frame staged in ``conn.inbuf``.
+
+        Returns False if the connection was closed (``conn`` must not
+        be touched again); replies are queued on ``conn.outbuf``.
+        """
+        buf = conn.inbuf
+        connector = self._connector
+        header_size = _HEADER.size
+        while not conn.close_after_flush:
+            if len(buf) < header_size:
+                break
+            opcode, key_len, value_len = _HEADER.unpack_from(buf, 0)
+            if opcode == OP_BATCH and self.protocol_version >= 2:
+                frame_len = header_size + value_len
+                if len(buf) < frame_len:
+                    break
+                payload = bytes(buf[header_size:frame_len])
+                del buf[:frame_len]
+                if self._closing:
+                    self._queue_error(conn, "server is shutting down")
+                    conn.close_after_flush = True
+                    break
+                try:
+                    items = _decode_batch_items(payload, key_len)
+                except (ValueError, struct.error) as exc:
+                    self._queue_error(conn, f"malformed batch: {exc}")
+                    continue
+                body = _execute_batch(connector, items)
+                conn.outbuf += struct.pack("<BI", REPLY_BATCH, len(body))
+                conn.outbuf += body
+                continue
+            if opcode == OP_CLOSE:
+                self._close_connection(conn)
+                return False
+            if opcode not in _KNOWN_OPS:
+                # Always answer: dying without a reply leaves the
+                # client deadlocked on the socket.
+                self._queue_error(conn, f"unknown opcode {opcode}")
+                conn.close_after_flush = True
+                break
+            frame_len = header_size + key_len + value_len
+            if len(buf) < frame_len:
+                break
+            key = bytes(buf[header_size : header_size + key_len])
+            value = bytes(buf[header_size + key_len : frame_len])
+            del buf[:frame_len]
+            if self._closing:
+                self._queue_error(conn, "server is shutting down")
+                conn.close_after_flush = True
+                break
+            try:
+                if opcode == OP_GET:
+                    result = connector.get(key)
+                    if result is None:
+                        conn.outbuf += struct.pack("<BI", REPLY_MISSING, 0)
+                    else:
+                        conn.outbuf += struct.pack("<BI", REPLY_VALUE, len(result))
+                        conn.outbuf += result
+                    continue
+                if opcode == OP_PUT:
+                    connector.put(key, value)
+                elif opcode == OP_MERGE:
+                    connector.merge(key, value)
+                else:  # OP_DELETE
+                    connector.delete(key)
+            except Exception as exc:  # store failure: report, keep serving
+                self._queue_error(conn, f"{type(exc).__name__}: {exc}")
+                continue
+            conn.outbuf += struct.pack("<BI", REPLY_OK, 0)
+        return True
+
+    def _queue_error(self, conn: _Connection, message: str) -> None:
+        payload = message.encode("utf-8", errors="replace")
+        conn.outbuf += struct.pack("<BI", REPLY_ERROR, len(payload))
+        conn.outbuf += payload
+
+    def _flush(self, conn: _Connection) -> None:
+        sock = conn.sock
+        while conn.outbuf:
+            try:
+                sent = sock.send(conn.outbuf)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._close_connection(conn)
+                return
+            if sent == 0:
+                break
+            del conn.outbuf[:sent]
+        if conn.outbuf:
+            self._selector.modify(
+                sock, selectors.EVENT_READ | selectors.EVENT_WRITE, conn
+            )
+        else:
+            if conn.close_after_flush:
+                self._close_connection(conn)
+                return
+            self._selector.modify(sock, selectors.EVENT_READ, conn)
+
+    def _close_connection(self, conn: _Connection) -> None:
+        if self._connections.pop(conn.sock, None) is None:
+            return
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _drain_and_close(self) -> None:
+        """Refuse staged requests, flush queued replies, close sockets.
+
+        Runs on the loop thread after ``stop()`` raises ``_closing`` --
+        by then any op that was executing has finished and its reply is
+        queued, so draining here is what makes ``stop()`` a clean
+        barrier between served traffic and ``store.close()``.
+        """
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        deadline = time.monotonic() + _DRAIN_DEADLINE_S
+        for conn in list(self._connections.values()):
+            # complete frames received before shutdown are refused, not
+            # silently dropped (the client would hang awaiting a reply)
+            if self._process(conn) and conn.outbuf:
+                conn.sock.setblocking(True)
+                conn.sock.settimeout(max(0.05, deadline - time.monotonic()))
+                try:
+                    conn.sock.sendall(conn.outbuf)
+                except OSError:
+                    pass
+        for conn in list(self._connections.values()):
+            self._close_connection(conn)
+        try:
+            self._selector.unregister(self._wake_r)
+        except (KeyError, ValueError):
+            pass
+        self._wake_r.close()
+        self._selector.close()
+
+    # -- lifecycle -----------------------------------------------------------
+
     def stop(self) -> None:
         """Stop accepting, drain in-flight requests, then close the store.
 
-        Every handler performs store operations under ``store_lock``;
-        taking that lock (with ``closing`` already set so late-arriving
-        requests are refused) guarantees no handler is mid-request when
-        ``store.close()`` runs.
+        The loop thread finishes whatever operation it is executing
+        (ops run to completion between ``select()`` rounds), refuses
+        anything that arrived after the flag went up, flushes replies,
+        and exits; only then -- with no thread left that could touch
+        the store -- does ``store.close()`` run.
         """
-        self._server.closing = True  # type: ignore[attr-defined]
-        self._server.shutdown()
-        self._server.server_close()
+        self._closing = True
+        try:
+            self._wake_w.send(b"\x00")
+        except OSError:
+            pass
         if self._thread is not None:
-            self._thread.join(timeout=5)
-        with self._server.store_lock:  # type: ignore[attr-defined]
-            self.store.close()
+            self._thread.join(timeout=10)
+            self._thread = None
+        elif not self._stopped:
+            self._drain_and_close()  # never started; just release sockets
+        try:
+            self._wake_w.close()
+        except OSError:
+            pass
+        self._stopped = True
+        self.store.close()
 
     def __enter__(self) -> "StoreServer":
         return self.start()

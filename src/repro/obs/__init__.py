@@ -18,6 +18,7 @@ from .metrics import (
     MetricsRegistry,
     ReplayProgress,
     Sampler,
+    merge_shard_series,
     read_series,
     register_store,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "format_diff",
     "format_summary",
     "instant",
+    "merge_shard_series",
     "read_series",
     "register_store",
     "span",

@@ -103,7 +103,17 @@ def summarize_series(path: str) -> Dict[str, Any]:
         return {"path": path, "store": header.get("store", ""), "samples": 0}
     last = samples[-1]
     duration = last.get("t_s", 0.0)
-    ops = last.get("ops", 0)
+    # A merged multi-process series interleaves per-shard samples whose
+    # cumulative counters (ops, gauges, faults) are per-shard: sum each
+    # shard's first/last instead of reading the globally-last sample,
+    # which would report one shard's counters as the whole run's.
+    first_by_lane: Dict[Any, dict] = {}
+    last_by_lane: Dict[Any, dict] = {}
+    for sample in samples:
+        lane = sample.get("shard")
+        first_by_lane.setdefault(lane, sample)
+        last_by_lane[lane] = sample
+    ops = sum(s.get("ops", 0) for s in last_by_lane.values())
     p99s = [s["p99_us"] for s in samples if s.get("interval_ops")]
     throughputs = [
         s["throughput_ops"] for s in samples if s.get("interval_ops")
@@ -119,18 +129,27 @@ def summarize_series(path: str) -> Dict[str, Any]:
         "max_p99_us": round(max(p99s), 1) if p99s else 0.0,
     }
     activity: Dict[str, float] = {}
-    first_g = samples[0].get("gauges", {})
-    last_g = last.get("gauges", {})
     for name in ACTIVITY_SERIES:
-        if last_g.get(name) is not None:
-            delta = last_g[name] - (first_g.get(name) or 0)
-            if delta:
-                activity[name] = delta
+        delta = 0.0
+        present = False
+        for lane, lane_last in last_by_lane.items():
+            value = lane_last.get("gauges", {}).get(name)
+            if value is None:
+                continue
+            present = True
+            start = first_by_lane[lane].get("gauges", {}).get(name) or 0
+            delta += value - start
+        if present and delta:
+            activity[name] = delta
     if activity:
         summary["activity"] = activity
-    if "faults" in last:
-        summary["faults"] = last["faults"]
-        summary["retries"] = last.get("retries", 0)
+    if any("faults" in s for s in last_by_lane.values()):
+        summary["faults"] = sum(
+            s.get("faults", 0) for s in last_by_lane.values()
+        )
+        summary["retries"] = sum(
+            s.get("retries", 0) for s in last_by_lane.values()
+        )
     return summary
 
 

@@ -404,6 +404,44 @@ class Sampler:
                 pass  # a broken progress view must not kill the sampler
 
 
+def merge_shard_series(paths: List[str], out_path: str) -> dict:
+    """Concatenate per-shard metrics JSONL files into one series.
+
+    Multi-process replay writes one JSONL file per worker; this folds
+    them into a single file the existing ``repro metrics`` tooling can
+    read: one merged header (``total_ops`` summed, ``shards`` recording
+    the fan-out, metric names unioned) followed by every shard's
+    samples tagged with their ``shard`` index and ordered by ``t_s``.
+    Returns the merged header.
+    """
+    merged_header: Dict[str, Any] = {}
+    total_ops = 0
+    names: List[str] = []
+    merged_samples: List[dict] = []
+    for shard, path in enumerate(paths):
+        header, samples = read_series(path)
+        if not merged_header:
+            merged_header = dict(header)
+        total_ops += int(header.get("total_ops", 0) or 0)
+        for name in header.get("metrics", []):
+            if name not in names:
+                names.append(name)
+        shard_id = header.get("shard", shard)
+        for sample in samples:
+            sample["shard"] = shard_id
+            merged_samples.append(sample)
+    merged_samples.sort(key=lambda sample: sample.get("t_s", 0.0))
+    merged_header["total_ops"] = total_ops
+    merged_header["metrics"] = names
+    merged_header["shards"] = len(paths)
+    merged_header.pop("shard", None)
+    with open(out_path, "w") as handle:
+        handle.write(json.dumps(merged_header) + "\n")
+        for sample in merged_samples:
+            handle.write(json.dumps(sample) + "\n")
+    return merged_header
+
+
 def read_series(path: str) -> Tuple[dict, List[dict]]:
     """Load a metrics JSONL file -> (header, samples)."""
     header: dict = {}

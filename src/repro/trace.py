@@ -303,7 +303,14 @@ class AccessTrace:
 
     def op_counts(self) -> Dict[OpType, int]:
         ops = self._ops
-        return {op: ops.count(code) for op, code in _OP_CODES.items()}
+        if hasattr(ops, "count"):
+            return {op: ops.count(code) for op, code in _OP_CODES.items()}
+        # attached traces expose the opcode column as a memoryview,
+        # which has no ``count``
+        totals = [0, 0, 0, 0]
+        for code in ops:
+            totals[code] += 1
+        return {op: totals[code] for op, code in _OP_CODES.items()}
 
     def op_fractions(self) -> Dict[OpType, float]:
         counts = self.op_counts()
@@ -394,6 +401,109 @@ class AccessTrace:
             vsizes.append(vsize)
             tstamps.append(timestamp)
             offset += klen
+        return trace
+
+    # -- shared-memory images (multi-process replay) -------------------------
+    #
+    # The v2 file layout doubles as the in-memory wire format between
+    # replay processes: the parent writes one image into a
+    # ``multiprocessing.shared_memory`` segment and every worker
+    # rebuilds column *views* over the same physical pages --
+    # zero-copy, no pickling of multi-million-op traces.
+
+    def image_nbytes(self) -> int:
+        """Exact byte size of this trace's v2 image (for sizing a
+        shared-memory segment before :meth:`write_image`)."""
+        count = len(self._ops)
+        return (
+            4  # magic
+            + _HEADER.size
+            + _V2_HEADER.size
+            + len(self._koffs) * 8
+            + len(self._kblob)
+            + count * (1 + 4 + 4 + 8)  # ops + kids + vsizes + tstamps
+        )
+
+    def write_image(self, buffer) -> int:
+        """Serialize the v2 image into a writable buffer; returns the
+        bytes written (== :meth:`image_nbytes`).
+
+        ``buffer`` is any writable bytes-like object at least
+        ``image_nbytes()`` long -- typically a
+        ``multiprocessing.shared_memory.SharedMemory().buf``.
+        """
+        view = memoryview(buffer)
+        offset = 0
+
+        def put(chunk) -> None:
+            nonlocal offset
+            nbytes = len(chunk)
+            view[offset : offset + nbytes] = chunk
+            offset += nbytes
+
+        put(self.MAGIC)
+        put(_HEADER.pack(2, len(self._ops)))
+        put(_V2_HEADER.pack(len(self._koffs) - 1, len(self._kblob)))
+        put(_le(self._koffs))
+        put(bytes(self._kblob))
+        put(_le(self._ops))
+        put(_le(self._kids))
+        put(_le(self._vsizes))
+        put(_le(self._tstamps))
+        return offset
+
+    @classmethod
+    def attach(cls, buffer) -> "AccessTrace":
+        """Trace view over a v2 image in ``buffer`` -- zero-copy.
+
+        On little-endian hosts (the file byte order) every column is a
+        ``memoryview`` cast straight over the buffer: no bytes are
+        copied, so attaching a multi-GB shared trace is O(1).
+        Big-endian hosts fall back to byteswapped array copies.
+
+        Attached traces are **read-only** (``record``/``extend`` on
+        one raise).  :meth:`select` gathers into fresh, independent
+        arrays, so a worker can attach, carve out its shard, then drop
+        the attached trace to release the buffer -- an outstanding
+        memoryview keeps ``SharedMemory.close()`` from unmapping.
+        """
+        view = memoryview(buffer)
+        if bytes(view[:4]) != cls.MAGIC:
+            raise ValueError("buffer does not hold a Gadget trace image")
+        version, count = _HEADER.unpack_from(view, 4)
+        if version != 2:
+            raise ValueError(
+                f"can only attach v2 columnar images, got version {version}"
+            )
+        offset = 4 + _HEADER.size
+        n_unique, blob_len = _V2_HEADER.unpack_from(view, offset)
+        offset += _V2_HEADER.size
+
+        def take(nbytes: int):
+            nonlocal offset
+            chunk = view[offset : offset + nbytes]
+            if len(chunk) != nbytes:
+                raise ValueError("truncated trace image")
+            offset += nbytes
+            return chunk
+
+        trace = cls()
+        if _LITTLE_ENDIAN:
+            trace._koffs = take((n_unique + 1) * 8).cast("Q")
+            trace._kblob = take(blob_len)
+            trace._ops = take(count)
+            trace._kids = take(count * 4).cast("I")
+            trace._vsizes = take(count * 4).cast("I")
+            trace._tstamps = take(count * 8).cast("q")
+        else:
+            trace._koffs = _from_le("Q", take((n_unique + 1) * 8))
+            trace._kblob = bytearray(take(blob_len))
+            trace._ops = _from_le("B", take(count))
+            trace._kids = _from_le("I", take(count * 4))
+            trace._vsizes = _from_le("I", take(count * 4))
+            trace._tstamps = _from_le("q", take(count * 8))
+        trace._kindex = None
+        trace._klist = None
         return trace
 
     @classmethod

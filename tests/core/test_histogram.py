@@ -156,3 +156,61 @@ class TestReplayerIntegration:
         assert sum(count for _, count in buckets) == 3
         summary = histogram.summary()
         assert summary["max"] == pytest.approx(1000.0)
+
+
+class TestFromDictValidation:
+    """Malformed payloads (hand-edited JSONL, version skew, worker bugs)
+    must fail loudly with context, never corrupt silently."""
+
+    def base(self, **overrides):
+        histogram = LatencyHistogram()
+        histogram.record_many([100, 200, 3000])
+        data = histogram.to_dict()
+        data.update(overrides)
+        return data
+
+    def test_out_of_range_bucket_index(self):
+        data = self.base()
+        data["counts"] = {"999999": 3}
+        with pytest.raises(ValueError, match="bucket index"):
+            LatencyHistogram.from_dict(data)
+
+    def test_negative_bucket_index(self):
+        data = self.base()
+        data["counts"] = {"-1": 3}
+        with pytest.raises(ValueError, match="bucket index"):
+            LatencyHistogram.from_dict(data)
+
+    def test_non_integer_index(self):
+        data = self.base()
+        data["counts"] = {"not-a-number": 3}
+        with pytest.raises(ValueError, match="integer"):
+            LatencyHistogram.from_dict(data)
+
+    def test_negative_count(self):
+        data = self.base()
+        data["counts"] = {"10": -5}
+        with pytest.raises(ValueError, match="count"):
+            LatencyHistogram.from_dict(data)
+
+    def test_total_must_match_counts(self):
+        data = self.base(total=999)
+        with pytest.raises(ValueError, match="total"):
+            LatencyHistogram.from_dict(data)
+
+    def test_negative_sum(self):
+        data = self.base(sum=-1)
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict(data)
+
+    def test_empty_histogram_invariants(self):
+        data = LatencyHistogram().to_dict()
+        data["min"] = 7  # empty histograms must keep min=-1
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict(data)
+
+    def test_max_below_min(self):
+        data = self.base()
+        data["min"], data["max"] = 500, 100
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict(data)

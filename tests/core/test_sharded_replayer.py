@@ -168,3 +168,83 @@ class TestThrottleHybridSleep:
         # The seed busy-wait burned ~100% of a core; the hybrid throttle
         # should spin only the last ~1 ms of each 6.7 ms interval.
         assert cpu_used < 0.6 * result.elapsed_s
+
+
+class TestWorkerFailureHandling:
+    """The sharded-replay bugfix batch: a failing worker stops its
+    siblings promptly, and their errors ride along on the primary."""
+
+    def test_failure_stops_siblings_early(self):
+        trace = make_trace(2600, distinct=301)
+
+        def failing_factory_holder():
+            built = [0]
+
+            def factory_with_bomb():
+                index = built[0]
+                built[0] += 1
+                connector = create_connector("memory")
+                if index == 0:
+                    state = {"count": 0}
+
+                    def put(key, value):
+                        state["count"] += 1
+                        if state["count"] > 5:
+                            raise RuntimeError("worker zero exploded")
+                        connector.store.put(key, value)
+
+                    connector.put = put
+                else:
+                    original = connector.put
+
+                    def put(key, value):
+                        time.sleep(0.005)
+                        original(key, value)
+
+                    connector.put = put
+                return connector
+
+            return factory_with_bomb
+
+        replayer = ShardedReplayer(failing_factory_holder(), num_workers=2)
+        started = time.perf_counter()
+        with pytest.raises(RuntimeError, match="worker zero exploded"):
+            replayer.replay(trace)
+        # the surviving shard alone would need seconds of sleeps; the
+        # cooperative stop flag must end it well before that
+        assert time.perf_counter() - started < 3.0
+        replayer.close()
+
+    def test_sibling_errors_attach_to_primary(self):
+        def factory():
+            connector = create_connector("memory")
+
+            def put(key, value):
+                raise RuntimeError("every shard explodes")
+
+            connector.put = put
+            return connector
+
+        replayer = ShardedReplayer(factory, num_workers=3)
+        with pytest.raises(RuntimeError) as excinfo:
+            replayer.replay(make_trace(300))
+        siblings = getattr(excinfo.value, "shard_errors", None)
+        assert siblings is not None
+        replayer.close()
+
+
+class TestShardIndices:
+    def test_indices_agree_with_shard_trace(self):
+        from repro.core import shard_indices
+
+        trace = make_trace(500)
+        buckets = shard_indices(trace, 4)
+        shards = shard_trace(trace, 4)
+        for bucket, shard in zip(buckets, shards):
+            assert trace.select(bucket).accesses == shard.accesses
+
+    def test_rejects_nonpositive(self):
+        from repro.core import shard_indices
+
+        with pytest.raises(ValueError):
+            shard_indices(make_trace(10), 0)

@@ -105,3 +105,35 @@ class TestOpFaults:
         assert OpFaults(transient_errors=1).any
         assert OpFaults(delay_s=0.001).any
         assert OpFaults(crash=True).any
+
+
+class TestPerShardDerivation:
+    def test_for_shard_is_deterministic(self):
+        plan = FaultPlan(seed=42, transient_error_rate=0.05)
+        assert plan.for_shard(2).preview(500) == plan.for_shard(2).preview(500)
+
+    def test_shards_draw_different_schedules(self):
+        plan = FaultPlan(seed=42, transient_error_rate=0.2)
+        assert plan.for_shard(0).preview(500) != plan.for_shard(1).preview(500)
+
+    def test_derivation_is_stable_across_calls(self):
+        """The exact derived seed is a contract: thread mode and
+        process mode derive independently and must agree."""
+        plan = FaultPlan(seed=7, transient_error_rate=0.1)
+        assert plan.for_shard(3).seed == "7:shard3"
+
+    def test_string_seeds_chain(self):
+        plan = FaultPlan(seed="base", latency_spike_rate=0.1)
+        assert plan.for_shard(1).seed == "base:shard1"
+
+    def test_other_fields_survive_derivation(self):
+        plan = FaultPlan(seed=1, transient_error_rate=0.5, error_burst=4,
+                         stall_every=10, stall_ms=2.0)
+        derived = plan.for_shard(0)
+        assert derived.transient_error_rate == 0.5
+        assert derived.error_burst == 4
+        assert derived.stall_every == 10
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1).for_shard(-1)

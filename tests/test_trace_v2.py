@@ -190,3 +190,61 @@ class TestMemoryFootprint:
     def test_nbytes_grows_with_ops_not_objects(self):
         small, large = make_trace(1000), make_trace(4000)
         assert large.nbytes < 4.5 * small.nbytes
+
+
+class TestSharedMemoryImage:
+    """write_image / attach: the v2 file format doubling as the
+    zero-copy shared-memory wire format for multi-process replay."""
+
+    def test_round_trip_preserves_accesses(self):
+        trace = make_trace(500)
+        buffer = bytearray(trace.image_nbytes())
+        written = trace.write_image(buffer)
+        assert written == trace.image_nbytes()
+        attached = AccessTrace.attach(buffer)
+        assert list(attached) == list(trace)
+
+    @SETTINGS
+    @given(ACCESSES)
+    def test_round_trip_any_trace(self, accesses):
+        trace = AccessTrace()
+        for access in accesses:
+            trace.record(access.op, access.key, access.value_size,
+                         access.timestamp)
+        buffer = bytearray(trace.image_nbytes())
+        trace.write_image(buffer)
+        attached = AccessTrace.attach(buffer)
+        assert list(attached) == list(trace)
+        assert attached.op_counts() == trace.op_counts()
+
+    def test_image_matches_file_format(self, tmp_path):
+        """A saved v2 file IS a valid image and vice versa."""
+        trace = make_trace(200)
+        path = tmp_path / "trace.bin"
+        trace.save(str(path))
+        attached = AccessTrace.attach(path.read_bytes())
+        assert list(attached) == list(trace)
+
+    def test_attach_rejects_bad_magic(self):
+        with pytest.raises(ValueError, match="trace image"):
+            AccessTrace.attach(b"\x00" * 64)
+
+    def test_attach_rejects_v1(self):
+        trace = make_trace(10)
+        buffer = bytearray(trace.image_nbytes())
+        trace.write_image(buffer)
+        struct.pack_into("<H", buffer, 4, 1)  # forge the version field
+        with pytest.raises(ValueError, match="version"):
+            AccessTrace.attach(bytes(buffer))
+
+    def test_select_detaches_from_buffer(self):
+        """select() on an attached trace must copy: workers gather
+        their shard then drop every view before closing the segment."""
+        trace = make_trace(300)
+        buffer = bytearray(trace.image_nbytes())
+        trace.write_image(buffer)
+        attached = AccessTrace.attach(buffer)
+        shard = attached.select(range(0, len(trace), 2))
+        del attached
+        buffer[:] = b"\x00" * len(buffer)  # clobber the "segment"
+        assert list(shard) == list(trace)[::2]
