@@ -171,6 +171,104 @@ def _fault_options(args):
     return fault_plan, retry_policy
 
 
+def _cluster_requested(args) -> bool:
+    return bool(getattr(args, "cluster", None) or
+                getattr(args, "cluster_config", None))
+
+
+def _cluster_settings(args, store: Optional[str] = None):
+    """Resolve --cluster/--replicas/--ack/--cluster-config/--chaos into
+    (ClusterConfig, ClusterFaultPlan-or-None, RetryPolicy-or-None).
+    Explicit flags win over the config file; ``store`` (compare mode)
+    overrides both."""
+    from .cluster import ClusterConfig, load_cluster_config
+    from .faults import ClusterFaultPlan, RetryPolicy
+
+    base = (load_cluster_config(args.cluster_config).to_dict()
+            if args.cluster_config else {})
+    if args.cluster:
+        base["partitions"] = args.cluster
+    if args.replicas is not None:
+        base["replicas"] = args.replicas
+    if args.ack is not None:
+        base["ack"] = args.ack
+    if store is not None:
+        base["store"] = store
+    elif "store" not in base:
+        base["store"] = args.store
+    config = ClusterConfig.from_dict(base)
+    chaos = ClusterFaultPlan.load(args.chaos) if args.chaos else None
+    policy = None if args.no_retry else RetryPolicy(
+        max_attempts=args.retry_attempts
+    )
+    return config, chaos, policy
+
+
+def _cluster_rows(result) -> List[List]:
+    summary = result.replay.summary()
+    rows = [
+        ["cluster", result.cluster],
+        ["backing store", result.store],
+        ["operations", result.operations],
+        ["throughput (kops)", round(summary["throughput_kops"], 1)],
+        ["p50 (us)", round(summary["p50_us"], 1)],
+        ["p99 (us)", round(summary["p99_us"], 1)],
+        ["p99.9 (us)", round(summary["p99.9_us"], 1)],
+        ["failovers", result.failovers],
+        ["chain repairs", result.chain_repairs],
+        ["recovery (ms, slowest repair)", round(result.recovery_ms, 3)],
+        ["lost-ack window (ops)", result.lost_ack_window],
+        ["replication lag (ms, max)", round(result.replication_lag_ms, 3)],
+        ["kills / restarts / isolations",
+         f"{result.kills} / {result.restarts} / {result.isolations}"],
+        ["keys verified", result.keys_checked],
+        ["mismatches", result.mismatches],
+        ["recovered ok", "yes" if result.recovered_ok else "NO"],
+    ]
+    if result.actions_executed:
+        fired = ", ".join(f"{action}@{at}:{target}"
+                          for at, action, target in result.actions_executed)
+        rows.insert(13, ["chaos actions fired", fired])
+    if result.actions_skipped:
+        skipped = ", ".join(f"{action}@{at}:{target}"
+                            for at, action, target in result.actions_skipped)
+        rows.insert(14, ["chaos actions skipped", skipped])
+    return rows
+
+
+def _replay_cluster(args, trace) -> int:
+    """The ``replay --cluster`` mode: one store, one cluster topology,
+    optional chaos plan, verified against a single-node oracle."""
+    from .cluster import evaluate_cluster_recovery
+
+    if args.shards > 1 or args.processes:
+        raise SystemExit(
+            "error: --cluster is its own fan-out (N partitioned server "
+            "chains); drop --shards/--processes"
+        )
+    if args.faults or args.crash_at is not None or args.disk_faults:
+        raise SystemExit(
+            "error: cluster replays take fault injection from --chaos "
+            "(topology events); --faults/--crash-at/--disk-faults are "
+            "single-node axes"
+        )
+    config, chaos, policy = _cluster_settings(args)
+    telemetry = _telemetry_options(args)
+    result = evaluate_cluster_recovery(
+        trace,
+        config=config,
+        chaos=chaos,
+        retry_policy=policy,
+        service_rate=args.service_rate,
+        batch_size=args.batch,
+        telemetry=telemetry,
+    )
+    print(render_table(["metric", "value"], _cluster_rows(result),
+                       title="cluster replay result"))
+    _telemetry_note(args)
+    return 0 if result.recovered_ok else 1
+
+
 def _disk_plan(args):
     """Resolve --disk-faults (and a fault plan's nested ``disk``) into
     a DiskFaultPlan or None."""
@@ -299,6 +397,13 @@ def _print_sharded_table(args, result, fault_plan, store_label) -> None:
 
 def cmd_replay(args) -> int:
     trace = AccessTrace.load(args.trace)
+    if _cluster_requested(args):
+        return _replay_cluster(args, trace)
+    if args.chaos:
+        raise SystemExit(
+            "error: --chaos needs a cluster (--cluster N or "
+            "--cluster-config) to aim its kills at"
+        )
     fault_plan, retry_policy = _fault_options(args)
     disk_plan = _disk_plan(args)
     telemetry = _telemetry_options(args)
@@ -476,6 +581,13 @@ def cmd_ycsb(args) -> int:
 
 def cmd_compare(args) -> int:
     trace = AccessTrace.load(args.trace)
+    if _cluster_requested(args):
+        return _compare_cluster(args, trace)
+    if args.chaos:
+        raise SystemExit(
+            "error: --chaos needs a cluster (--cluster N or "
+            "--cluster-config) to aim its kills at"
+        )
     fault_plan, retry_policy = _fault_options(args)
     disk_plan = _disk_plan(args)
     evaluator = PerformanceEvaluator(
@@ -600,6 +712,48 @@ def cmd_compare(args) -> int:
         print(f"wrote {len(paths)} metrics time series under {args.metrics} "
               f"(compare two with 'repro metrics diff')")
     return 0
+
+
+def _compare_cluster(args, trace) -> int:
+    """The ``compare --cluster`` axis: every backing store serves the
+    same topology under the same (seeded) chaos schedule."""
+    if args.faults or args.crash_at is not None or args.disk_faults:
+        raise SystemExit(
+            "error: cluster comparisons take fault injection from "
+            "--chaos; --faults/--crash-at/--disk-faults are single-node "
+            "axes"
+        )
+    if args.compaction or args.compaction_config or args.background:
+        raise SystemExit(
+            "error: --cluster does not combine with the compaction sweep"
+        )
+    if args.metrics:
+        raise SystemExit(
+            "error: record cluster metrics with 'repro replay --cluster "
+            "--metrics FILE' (one fleet per file); compare --metrics "
+            "covers single-node rows only"
+        )
+    config, chaos, policy = _cluster_settings(args, store=args.stores[0])
+    evaluator = PerformanceEvaluator(stores=args.stores, retry_policy=policy)
+    results = evaluator.evaluate_cluster(
+        args.trace, trace,
+        partitions=config.partitions, replicas=config.replicas,
+        ack=config.ack, chaos=chaos, batch_size=args.batch,
+    )
+    rows = [
+        [row.store, row.cluster, round(row.throughput_kops, 1),
+         round(row.p999_us, 1), row.failovers,
+         round(row.replication_lag_ms or 0.0, 3),
+         round(row.recovery_ms or 0.0, 3),
+         "yes" if row.recovered_ok else "NO"]
+        for row in results
+    ]
+    chaos_note = f", chaos seed {chaos.seed}" if chaos else ""
+    print(render_table(
+        ["store", "cluster", "kops", "p99.9 us", "failovers", "lag ms",
+         "recovery ms", "recovered"],
+        rows, title=f"cluster comparison on {args.trace}{chaos_note}"))
+    return 0 if all(row.recovered_ok for row in results) else 1
 
 
 def _compare_compaction(args, trace) -> int:
@@ -790,6 +944,35 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 100)",
         )
 
+    def add_cluster_options(sub) -> None:
+        sub.add_argument(
+            "--cluster", type=_positive_int, default=None, metavar="N",
+            help="serve the store from a cluster of N key partitions "
+            "(crc32-partitioned, one replicated server chain each) "
+            "instead of one embedded instance",
+        )
+        sub.add_argument(
+            "--replicas", type=int, default=None, metavar="R",
+            help="replicas behind each partition's primary "
+            "(replication factor R+1; default: 1)",
+        )
+        sub.add_argument(
+            "--ack", choices=("none", "one", "all"), default=None,
+            help="replicas a write waits for before the client is acked "
+            "(default: all -- the only level with zero acked-write loss "
+            "on primary death)",
+        )
+        sub.add_argument(
+            "--chaos", metavar="CONFIG", default=None,
+            help="JSON cluster fault plan: kill/restart/isolate servers "
+            "at logical-op offsets mid-replay (seeded, reproducible)",
+        )
+        sub.add_argument(
+            "--cluster-config", metavar="FILE", default=None,
+            help="JSON cluster topology config (partitions, replicas, "
+            "ack, store, store_config); explicit flags win",
+        )
+
     replay = subparsers.add_parser("replay", help="replay a trace on one store")
     replay.add_argument("trace")
     replay.add_argument("--store", default="rocksdb", choices=STORE_NAMES)
@@ -848,6 +1031,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_metrics_interval(replay)
     add_fault_options(replay)
+    add_cluster_options(replay)
 
     compare = subparsers.add_parser("compare", help="replay on several stores")
     compare.add_argument("trace")
@@ -882,6 +1066,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_metrics_interval(compare)
     add_fault_options(compare)
+    add_cluster_options(compare)
 
     metrics = subparsers.add_parser(
         "metrics", help="report on recorded metrics time series"

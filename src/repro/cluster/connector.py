@@ -1,0 +1,482 @@
+"""The cluster client: routing, batch splitting, failover, rebalance.
+
+:class:`ClusterConnector` implements the connector surface the trace
+replayer and evaluator already speak, against N server chains:
+
+* **Routing** -- ``crc32(key) % partitions``, byte-identical to
+  ``shard_trace``'s partitioner, so a trace sharded for offline replay
+  and a live cluster agree on key placement.
+* **Batching** -- ``multi_get`` / ``apply_batch`` split per partition
+  and cost one round trip per *touched* partition, reassembled in
+  request order.
+* **Chains** -- the connector owns the partition map.  It pushes each
+  chain's replication links to the servers over the admin channel
+  (node *i* forwards to node *i+1*); the ack level decides which links
+  are synchronous (see :meth:`_link_sync`).
+* **Failover** -- on a failed primary op the connector probes the
+  chain, promotes the first live member, rewires the survivors, and
+  retries.  The loop is bounded by the :class:`~repro.faults.
+  RetryPolicy` attempt budget; per-endpoint clients deliberately get
+  *no* retry policy of their own, so a failover never nests one retry
+  budget inside another.
+* **Rebalance** -- :meth:`begin_migration` dual-writes to the target
+  while a snapshot copies, :meth:`complete_migration` cuts the chain
+  head over atomically (from the single client's perspective, which
+  is the harness's write model).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from zlib import crc32
+
+from ..faults.retry import RetryPolicy
+from ..kvstores.api import OP_DELETE, OP_MERGE, OP_PUT, BatchOp
+from ..kvstores.remote import RemoteStoreClient, RemoteStoreError
+from ..obs import tracing
+from .manager import StoreCluster
+
+_WRITE_OPS = frozenset((OP_PUT, OP_MERGE, OP_DELETE))
+_COPY_BATCH = 256  # ops per apply_batch frame during snapshot copy
+
+
+class _Migration:
+    """In-flight partition move: dual-write target + catch-up state."""
+
+    __slots__ = ("target", "dirty")
+
+    def __init__(self, target: str) -> None:
+        self.target = target
+        #: keys already dual-written; the snapshot copy skips them so a
+        #: stale snapshot value never clobbers a newer dual-write
+        self.dirty: Set[bytes] = set()
+
+
+class ClusterConnector:
+    """Partitioned, replicated, failover-capable connector."""
+
+    def __init__(
+        self,
+        cluster: StoreCluster,
+        ack: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        config = cluster.config
+        self._cluster = cluster
+        self.ack = ack if ack is not None else config.ack
+        self._retry_policy = retry_policy
+        self._timeout = timeout if timeout is not None else config.timeout_s
+        self.partitions = config.partitions
+        self.name = f"cluster:{config.store}:{config.label}"
+        #: live chains, primary first; owned by this connector after
+        #: construction (failover and cutover rewrite them)
+        self._chains: List[List[str]] = [
+            cluster.chain(p) for p in range(config.partitions)
+        ]
+        self._clients: Dict[str, RemoteStoreClient] = {}
+        #: client constructions per endpoint; anything past the first
+        #: is a re-establishment (how a failover's latency spike gets
+        #: attributed to reconnects in the metrics series)
+        self._connects: Dict[str, int] = {}
+        #: endpoints the client is partitioned away from (chaos action)
+        self._isolated: Set[str] = set()
+        self._migrations: Dict[int, _Migration] = {}
+        # -- observability counters (metrics gauges read these) --
+        self.failovers = 0  # repairs that changed a primary
+        self.chain_repairs = 0  # all repairs, promotion or not
+        self.migrations_completed = 0
+        self.failover_ms: List[float] = []  # per-repair wall time
+        for partition in range(self.partitions):
+            self._configure_chain(partition)
+
+    # -- endpoint plumbing ---------------------------------------------------
+
+    def _client(self, name: str) -> RemoteStoreClient:
+        """(Cached) client for a node.  Raises if the chaos plan has
+        isolated us from it; connects fresh if the cache is cold."""
+        if name in self._isolated:
+            raise RemoteStoreError(
+                f"client is partitioned from {name} "
+                f"at {self._peer_of(name)} (chaos isolation)"
+            )
+        client = self._clients.get(name)
+        if client is None:
+            try:
+                host, port = self._cluster.address(name)
+            except RuntimeError as exc:  # node is down: same failure class
+                raise RemoteStoreError(str(exc)) from exc
+            client = RemoteStoreClient(
+                host, port, store_name=name, timeout=self._timeout
+            )
+            self._clients[name] = client
+            self._connects[name] = self._connects.get(name, 0) + 1
+        return client
+
+    def _peer_of(self, name: str) -> str:
+        try:
+            host, port = self._cluster.address(name)
+            return f"{host}:{port}"
+        except RuntimeError:
+            return "<down>"
+
+    def _forget_client(self, name: str) -> None:
+        client = self._clients.pop(name, None)
+        if client is not None:
+            client.close()
+
+    def reconnects_for(self, name: str) -> int:
+        """Connections re-established to an endpoint (fresh clients
+        after a drop, plus any in-client reconnects)."""
+        client = self._clients.get(name)
+        in_client = client.reconnects if client is not None else 0
+        return max(0, self._connects.get(name, 0) - 1) + in_client
+
+    def endpoints(self) -> List[str]:
+        """Every node any chain currently references, primaries first."""
+        out: List[str] = []
+        for chain in self._chains:
+            for name in chain:
+                if name not in out:
+                    out.append(name)
+        return out
+
+    def chain(self, partition: int) -> List[str]:
+        return list(self._chains[partition])
+
+    # -- chain wiring --------------------------------------------------------
+
+    def _link_sync(self, position: int) -> bool:
+        """Is the replication link *out of* chain position ``position``
+        synchronous?  ``ack`` counts replicas confirmed at client-ack
+        time: ``all`` makes every link wait (tail-confirmed writes),
+        ``one`` only the primary's link, ``none`` nothing."""
+        if self.ack == "all":
+            return True
+        if self.ack == "one":
+            return position == 0
+        return False
+
+    def _configure_chain(self, partition: int) -> None:
+        """Push the chain's links to the servers: node *i* forwards to
+        node *i+1*; the tail forwards nowhere."""
+        chain = self._chains[partition]
+        for position, name in enumerate(chain):
+            if position + 1 < len(chain):
+                downstream = list(self._cluster.address(chain[position + 1]))
+            else:
+                downstream = None
+            self._client(name).admin(
+                "configure",
+                {"downstream": downstream, "sync": self._link_sync(position)},
+            )
+
+    # -- failover ------------------------------------------------------------
+
+    def _max_attempts(self) -> int:
+        if self._retry_policy is not None:
+            return self._retry_policy.max_attempts
+        # no policy: one try per chain member plus one against the
+        # repaired chain is enough to survive a single failure
+        return max(len(chain) for chain in self._chains) + 1
+
+    def _on_primary(self, partition: int, fn: Callable[[RemoteStoreClient], object]):
+        """Run ``fn`` against the partition's primary, repairing the
+        chain and retrying on failure.
+
+        The attempt budget is the retry policy's ``max_attempts`` (a
+        failover consumes attempts from the same budget as a transient
+        error would -- it cannot silently retry forever), and the
+        policy's backoff paces the retries.
+        """
+        attempts = self._max_attempts()
+        delays = (
+            iter(self._retry_policy.base_delays())
+            if self._retry_policy is not None
+            else iter(())
+        )
+        last: Optional[RemoteStoreError] = None
+        for attempt in range(attempts):
+            try:
+                client = self._client(self._chains[partition][0])
+                return fn(client)
+            except RemoteStoreError as exc:
+                last = exc
+                # the failed client's socket may be wedged; a fresh
+                # connection is part of the repair
+                self._forget_client(self._chains[partition][0])
+                if attempt + 1 >= attempts:
+                    break
+                self._repair(partition, cause=exc)
+                delay = next(delays, 0.0)
+                if delay:
+                    time.sleep(delay)
+        raise RemoteStoreError(
+            f"partition {partition} unavailable after {attempts} attempts "
+            f"(chain {self._chains[partition]}): {last}"
+        )
+
+    def _probe(self, name: str) -> bool:
+        """Is a node answering pings?  Always over a fresh connection:
+        a cached client may hold a socket broken by the very failure
+        being repaired."""
+        self._forget_client(name)
+        if name in self._isolated:
+            return False
+        try:
+            self._client(name).admin("ping")
+            return True
+        except RemoteStoreError:
+            self._forget_client(name)
+            return False
+
+    def repair_partition(self, partition: int) -> None:
+        """Proactive repair (a failure detector noticed a death the
+        client has not tripped over yet -- e.g. a dead tail replica
+        under ``ack=none``)."""
+        self._repair(partition)
+
+    def _repair(self, partition: int, cause: Optional[Exception] = None) -> None:
+        """Probe the chain, drop the dead, promote the first survivor,
+        rewire replication.  Counts as a *failover* only when the
+        primary changed; every repair bumps ``chain_repairs``."""
+        began = time.perf_counter()
+        with tracing.span("cluster.failover", partition=partition) as span:
+            old = list(self._chains[partition])
+            live = [name for name in old if self._probe(name)]
+            if not live:
+                raise RemoteStoreError(
+                    f"partition {partition}: no live replicas among {old}"
+                    + (f" (repairing after: {cause})" if cause else "")
+                )
+            promoted = live[0] != old[0]
+            self._chains[partition] = live
+            self._configure_chain(partition)
+            self.chain_repairs += 1
+            if promoted:
+                self.failovers += 1
+                tracing.instant(
+                    "cluster.promoted", partition=partition, primary=live[0]
+                )
+            span.add(chain=",".join(live), promoted=promoted)
+        self.failover_ms.append((time.perf_counter() - began) * 1000.0)
+
+    # -- topology operations (chaos / rebalance) -----------------------------
+
+    def isolate(self, name: str) -> None:
+        """Partition this client away from one endpoint (the node
+        itself stays up and keeps serving its replication links)."""
+        self._isolated.add(name)
+        self._forget_client(name)
+        tracing.instant("cluster.isolate", server=name)
+
+    def heal(self, name: str) -> None:
+        self._isolated.discard(name)
+        tracing.instant("cluster.heal", server=name)
+
+    def attach_replica(self, partition: int, name: str) -> None:
+        """Resync a (re)started node from the partition's primary and
+        append it at the chain tail.
+
+        The node is assumed empty (restart = replacement node): the
+        primary's full snapshot is streamed over in ``apply_batch``
+        frames, then the chain is rewired so the old tail forwards to
+        the newcomer.  Needs a scan-capable backing store.
+        """
+        self._forget_client(name)  # the old incarnation's port is stale
+        snapshot = self._on_primary(partition, lambda c: c.admin_scan())
+        client = self._client(name)
+        for lo in range(0, len(snapshot), _COPY_BATCH):
+            client.apply_batch(
+                [(OP_PUT, k, v) for k, v in snapshot[lo : lo + _COPY_BATCH]]
+            )
+        chain = self._chains[partition]
+        if name not in chain:
+            chain.append(name)
+        self._configure_chain(partition)
+        tracing.instant(
+            "cluster.attach", server=name, partition=partition, keys=len(snapshot)
+        )
+
+    # -- online rebalancing --------------------------------------------------
+
+    def begin_migration(self, partition: int, target: str) -> None:
+        """Start moving a partition to ``target``: every subsequent
+        write to the partition is dual-written there while the old
+        chain keeps serving."""
+        if partition in self._migrations:
+            raise RuntimeError(f"partition {partition} is already migrating")
+        if target in self._chains[partition]:
+            raise ValueError(f"{target} is already in partition {partition}'s chain")
+        self._client(target).admin("ping")  # fail fast if unreachable
+        self._migrations[partition] = _Migration(target)
+        tracing.instant("cluster.migrate_begin", partition=partition, target=target)
+
+    def complete_migration(self, partition: int) -> None:
+        """Copy the snapshot (skipping dual-written keys) and cut over:
+        the target becomes the primary, the old replicas its chain, and
+        the old primary is demoted out.
+
+        With a single writer (the harness's model) the cutover is
+        atomic by construction: no op is in flight while the map entry
+        swaps.
+        """
+        migration = self._migrations.get(partition)
+        if migration is None:
+            raise RuntimeError(f"partition {partition} is not migrating")
+        with tracing.span(
+            "cluster.migrate_cutover", partition=partition, target=migration.target
+        ):
+            snapshot = self._on_primary(partition, lambda c: c.admin_scan())
+            target_client = self._client(migration.target)
+            chunk: List[BatchOp] = []
+            copied = 0
+            for key, value in snapshot:
+                if key in migration.dirty:
+                    continue  # dual-write already delivered a newer value
+                chunk.append((OP_PUT, key, value))
+                copied += 1
+                if len(chunk) >= _COPY_BATCH:
+                    target_client.apply_batch(chunk)
+                    chunk = []
+            if chunk:
+                target_client.apply_batch(chunk)
+            old_chain = self._chains[partition]
+            old_primary = old_chain[0]
+            self._chains[partition] = [migration.target] + old_chain[1:]
+            del self._migrations[partition]
+            self._configure_chain(partition)
+            # the demoted primary must stop forwarding into the chain
+            try:
+                self._client(old_primary).admin(
+                    "configure", {"downstream": None, "sync": False}
+                )
+            except RemoteStoreError:
+                pass  # it may be gone; the new chain no longer needs it
+            self.migrations_completed += 1
+            tracing.instant(
+                "cluster.migrate_done",
+                partition=partition,
+                copied=copied,
+                dual_written=len(migration.dirty),
+            )
+
+    def migrate(self, partition: int, target: str) -> None:
+        """One-shot migration (empty dual-write window)."""
+        self.begin_migration(partition, target)
+        self.complete_migration(partition)
+
+    def _after_write(self, partition: int, opcode: int, key: bytes, value: bytes) -> None:
+        """Dual-write one op to a migration target (if migrating)."""
+        migration = self._migrations.get(partition)
+        if migration is None:
+            return
+        client = self._client(migration.target)
+        if opcode == OP_MERGE:
+            # the target may lack the merge base; read-repair the
+            # materialized value from the primary instead of replaying
+            # the operand
+            current = self._on_primary(partition, lambda c: c.get(key))
+            if current is None:
+                client.delete(key)
+            else:
+                client.put(key, current)
+        elif opcode == OP_PUT:
+            client.put(key, value)
+        else:
+            client.delete(key)
+        migration.dirty.add(key)
+
+    def _after_write_batch(self, partition: int, group: Sequence[BatchOp]) -> None:
+        """Dual-write a batch: non-merge keys take their final op,
+        merge-touched keys read-repair their materialized value."""
+        migration = self._migrations.get(partition)
+        if migration is None:
+            return
+        direct: Dict[bytes, BatchOp] = {}
+        merge_keys: Set[bytes] = set()
+        for opcode, key, value in group:
+            if opcode == OP_MERGE:
+                direct.pop(key, None)
+                merge_keys.add(key)
+            elif opcode in _WRITE_OPS:
+                merge_keys.discard(key)  # a later put/delete supersedes
+                direct[key] = (opcode, key, value)
+        client = self._client(migration.target)
+        if direct:
+            client.apply_batch(list(direct.values()))
+            migration.dirty.update(direct)
+        for key in merge_keys:
+            current = self._on_primary(partition, lambda c, k=key: c.get(k))
+            if current is None:
+                client.delete(key)
+            else:
+                client.put(key, current)
+            migration.dirty.add(key)
+
+    # -- connector surface ---------------------------------------------------
+
+    def _partition(self, key: bytes) -> int:
+        return crc32(key) % self.partitions
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        partition = self._partition(key)
+        return self._on_primary(partition, lambda c: c.get(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        partition = self._partition(key)
+        self._on_primary(partition, lambda c: c.put(key, value))
+        self._after_write(partition, OP_PUT, key, value)
+
+    def merge(self, key: bytes, operand: bytes) -> None:
+        partition = self._partition(key)
+        self._on_primary(partition, lambda c: c.merge(key, operand))
+        self._after_write(partition, OP_MERGE, key, operand)
+
+    def delete(self, key: bytes) -> None:
+        partition = self._partition(key)
+        self._on_primary(partition, lambda c: c.delete(key))
+        self._after_write(partition, OP_DELETE, key, b"")
+
+    def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        if not keys:
+            return []
+        groups: Dict[int, List[int]] = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(self._partition(key), []).append(index)
+        out: List[Optional[bytes]] = [None] * len(keys)
+        for partition, indices in groups.items():
+            subset = [keys[i] for i in indices]
+            values = self._on_primary(
+                partition, lambda c, s=subset: c.multi_get(s)
+            )
+            for index, value in zip(indices, values):
+                out[index] = value
+        return out
+
+    def apply_batch(self, ops: Sequence[BatchOp]) -> None:
+        if not ops:
+            return
+        groups: Dict[int, List[BatchOp]] = {}
+        for op in ops:
+            groups.setdefault(self._partition(op[1]), []).append(op)
+        for partition, group in groups.items():
+            self._on_primary(partition, lambda c, g=group: c.apply_batch(g))
+            self._after_write_batch(partition, group)
+
+    def take_background_ns(self) -> int:
+        return 0
+
+    def flush(self) -> None:
+        pass  # durability is the servers' business; nothing buffered here
+
+    def close(self) -> None:
+        for name in list(self._clients):
+            self._forget_client(name)
+
+    def __enter__(self) -> "ClusterConnector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -40,7 +40,11 @@ class ConfigError(ValueError):
     """Raised for malformed or unknown configuration contents."""
 
 
-def _build_dataclass(cls, data: dict, context: str):
+def build_dataclass(cls, data: dict, context: str):
+    """Strictly construct ``cls`` from ``data``: unknown keys are a
+    :class:`ConfigError` naming the offending option and the valid set.
+    Shared by every JSON config surface (workload, cluster, chaos) so
+    a typo'd key fails loudly instead of silently using a default."""
     known = {field.name for field in dataclasses.fields(cls)}
     unknown = set(data) - known
     if unknown:
@@ -49,6 +53,10 @@ def _build_dataclass(cls, data: dict, context: str):
             f"expected a subset of {sorted(known)}"
         )
     return cls(**data)
+
+
+# historical private name, kept for callers inside this module's family
+_build_dataclass = build_dataclass
 
 
 def parse_source(data: dict) -> SourceConfig:

@@ -129,6 +129,14 @@ class EvaluationRow:
     write_stalls: Optional[int] = None
     #: total milliseconds writers spent blocked in those stalls
     stall_ms: Optional[float] = None
+    # -- cluster columns (distributed serving runs) -------------------------
+    #: topology label for cluster rows (``3x2@all`` = 3 partitions,
+    #: replication factor 2, ack=all); None for single-node rows
+    cluster: Optional[str] = None
+    #: primary promotions the client performed mid-replay
+    failovers: Optional[int] = None
+    #: max per-link replication lag observed across the fleet
+    replication_lag_ms: Optional[float] = None
     # -- observability ------------------------------------------------------
     #: metrics JSONL recorded during this row's replay (None when the
     #: run was not sampled); lets ``compare`` runs keep their series
@@ -171,6 +179,25 @@ class EvaluationRow:
             row.corruptions_detected = result.corruptions_detected
             row.corruptions_repaired = result.corruptions_repaired
             row.scrub_ms = result.scrub_ms
+        return row
+
+    @classmethod
+    def from_cluster(cls, workload: str, result) -> "EvaluationRow":
+        """Row for a cluster chaos replay (a
+        :class:`~repro.cluster.ClusterRecoveryResult`).
+
+        ``recovery_ms`` reuses the crash-recovery column: here it is
+        the slowest chain repair, i.e. the longest client-observed
+        outage.  Failed ops stay in the latency population, so a
+        failover's reconnect cost lands in the tail percentiles the
+        same way a slow ``recover()`` does."""
+        row = cls.from_result(workload, result.replay)
+        row.store = result.store  # backing store; topology is `cluster`
+        row.cluster = result.cluster
+        row.failovers = result.failovers
+        row.replication_lag_ms = round(result.replication_lag_ms, 3)
+        row.recovery_ms = result.recovery_ms
+        row.recovered_ok = result.recovered_ok
         return row
 
 
@@ -475,6 +502,60 @@ class PerformanceEvaluator:
                 batch_size=batch_size,
             )
             row = EvaluationRow.from_recovery(workload_name, result)
+            row.batch_size = batch_size or 1
+            rows.append(row)
+        return rows
+
+    def evaluate_cluster(
+        self,
+        workload_name: str,
+        trace: AccessTrace,
+        partitions: int = 3,
+        replicas: int = 1,
+        ack: str = "all",
+        chaos=None,
+        stores: Optional[Sequence[str]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[EvaluationRow]:
+        """Replay through a partitioned + replicated cluster per store.
+
+        Every backing store gets its own fresh ``partitions`` x
+        ``replicas + 1`` fleet and the *same* chaos schedule (the plan
+        is seeded, like every fault plan), so cluster rows compare
+        across stores the way faulted single-node rows do.  Rows carry
+        the ``cluster`` topology label, ``failovers``, and
+        ``replication_lag_ms`` next to the usual columns;
+        ``recovery_ms``/``recovered_ok`` are reused for the slowest
+        repair and the content check against a single-node oracle.
+
+        ``chaos`` is a :class:`~repro.faults.ClusterFaultPlan` (or a
+        :class:`~repro.faults.FaultPlan` whose ``cluster`` field is
+        set).
+        """
+        from ..cluster import evaluate_cluster_recovery as run_cluster
+
+        plan = chaos
+        if plan is None and self.fault_plan is not None:
+            plan = self.fault_plan.cluster
+        elif isinstance(plan, FaultPlan):
+            plan = plan.cluster
+        chosen = tuple(stores) if stores is not None else self.stores
+        rows: List[EvaluationRow] = []
+        for store_name in chosen:
+            result = run_cluster(
+                trace,
+                partitions=partitions,
+                replicas=replicas,
+                ack=ack,
+                store=store_name,
+                store_config=self.store_configs.get(store_name),
+                chaos=plan,
+                retry_policy=self._fresh_policy(retry_policy),
+                service_rate=self.service_rate,
+                batch_size=batch_size,
+            )
+            row = EvaluationRow.from_cluster(workload_name, result)
             row.batch_size = batch_size or 1
             rows.append(row)
         return rows

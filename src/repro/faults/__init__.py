@@ -13,6 +13,12 @@ package supplies the machinery the happy-path harness lacks:
   uninterrupted run
 """
 
+from .cluster import (
+    CLUSTER_ACTIONS,
+    ClusterAction,
+    ClusterFaultPlan,
+    load_cluster_fault_plan,
+)
 from .corruption import (
     CorruptingStorage,
     DiskFaultPlan,
@@ -35,6 +41,9 @@ from .recovery import (
 from .retry import RetryPolicy, RetryingConnector
 
 __all__ = [
+    "CLUSTER_ACTIONS",
+    "ClusterAction",
+    "ClusterFaultPlan",
     "CorruptingStorage",
     "CrashRecoveryResult",
     "DiskFaultPlan",
@@ -55,6 +64,7 @@ __all__ = [
     "crash_recovery_matrix",
     "evaluate_crash_recovery",
     "flip_bits",
+    "load_cluster_fault_plan",
     "load_disk_fault_plan",
     "load_fault_plan",
     "tear_blob",

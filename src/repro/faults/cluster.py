@@ -1,0 +1,178 @@
+"""Cluster-level fault actions: the chaos side of a fault plan.
+
+Single-node plans (:mod:`repro.faults.plan`) perturb one connector --
+transient errors, latency, a crash point.  A :class:`ClusterFaultPlan`
+instead schedules *topology* events against a running store cluster:
+kill a named server at a logical-op offset, restart it later as a
+replacement node, or partition the client away from one endpoint.  Like
+every other plan in this package the schedule is a pure function of the
+plan (all randomness flows from ``seed``), so two replays under the
+same plan kill the same servers at the same op offsets.
+
+Targets come in two forms:
+
+* a concrete node name (``"p0r1"`` -- partition 0, chain position 1),
+  resolved against the cluster's node table, or
+* a role selector (``"primary:2"`` / ``"replica:2"``), resolved at fire
+  time against partition 2's *current* chain -- after a failover the
+  primary is whatever the client promoted, which is exactly what a
+  chaos test wants to kill next.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import List, Optional, Tuple, Union
+
+#: actions a plan may schedule
+CLUSTER_ACTIONS = ("kill", "restart", "isolate", "heal")
+
+
+@dataclass(frozen=True)
+class ClusterAction:
+    """One scheduled topology event.
+
+    ``at`` is a logical-operation offset: the action fires immediately
+    before the ``at``-th operation (batches count one op per member)
+    reaches the cluster.
+    """
+
+    #: fire immediately before this logical operation index
+    at: int
+    #: one of :data:`CLUSTER_ACTIONS`
+    action: str
+    #: node name ("p0r1") or role selector ("primary:0" / "replica:0")
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"action offset must be >= 0, got {self.at}")
+        if self.action not in CLUSTER_ACTIONS:
+            raise ValueError(
+                f"unknown cluster action {self.action!r}; "
+                f"expected one of {CLUSTER_ACTIONS}"
+            )
+        if not self.target:
+            raise ValueError("cluster action needs a target")
+
+    @classmethod
+    def from_dict(cls, config: dict) -> "ClusterAction":
+        known = {f.name for f in fields(cls)}
+        unknown = set(config) - known
+        if unknown:
+            raise ValueError(
+                f"unknown cluster-action keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**config)
+
+
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """Seeded schedule of kill/restart/isolate events for a cluster.
+
+    Explicit ``actions`` express scripted scenarios ("kill replica:0 at
+    op 500, then primary:1 at op 1500"); ``random_kills`` adds seeded
+    surprise kills inside ``kill_window`` for property tests, each
+    optionally followed by a restart ``restart_after`` ops later.
+    """
+
+    #: every random draw flows from this seed (string seeds compose
+    #: with the ``f"{seed}:cluster"`` derivation like per-shard plans)
+    seed: Union[int, str] = 0
+    #: explicit scripted actions; accepts a list of dicts in JSON
+    actions: Tuple[ClusterAction, ...] = ()
+    #: number of additional seeded random kills to schedule
+    random_kills: int = 0
+    #: (lo, hi) op-offset window for random kills; None means the
+    #: middle half of the trace, resolved at schedule time
+    kill_window: Optional[Tuple[int, int]] = None
+    #: restart each random kill's victim this many ops after the kill
+    #: (0 disables restarts)
+    restart_after: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.actions, (list, tuple)):
+            coerced = tuple(
+                ClusterAction.from_dict(a) if isinstance(a, dict) else a
+                for a in self.actions
+            )
+            object.__setattr__(self, "actions", coerced)
+        if self.kill_window is not None:
+            window = tuple(self.kill_window)
+            if len(window) != 2 or window[0] < 0 or window[1] <= window[0]:
+                raise ValueError(
+                    f"kill_window must be (lo, hi) with 0 <= lo < hi, "
+                    f"got {self.kill_window!r}"
+                )
+            object.__setattr__(self, "kill_window", window)
+        if self.random_kills < 0:
+            raise ValueError("random_kills must be >= 0")
+        if self.restart_after < 0:
+            raise ValueError("restart_after must be >= 0")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, config: dict) -> "ClusterFaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(config) - known
+        if unknown:
+            raise ValueError(
+                f"unknown cluster-fault-plan keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**config)
+
+    @classmethod
+    def load(cls, path: str) -> "ClusterFaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            config = json.load(handle)
+        if not isinstance(config, dict):
+            raise ValueError(f"{path}: cluster fault plan must be a JSON object")
+        return cls.from_dict(config)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    # -- compilation ---------------------------------------------------------
+
+    def schedule(self, partitions: int, num_ops: int) -> List[ClusterAction]:
+        """Materialize the full action list for one replay.
+
+        Scripted actions carry over verbatim; random kills draw offset,
+        partition, and role from ``Random(f"{seed}:cluster")`` -- the
+        same seed-derivation idiom per-shard and per-blob plans use --
+        so the schedule is identical across runs of the same plan.
+        The result is sorted by offset, ready for an executor.
+        """
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        out: List[ClusterAction] = list(self.actions)
+        if self.random_kills:
+            rng = random.Random(f"{self.seed}:cluster")
+            lo, hi = self.kill_window or (num_ops // 4, max(1, (3 * num_ops) // 4))
+            hi = max(hi, lo + 1)
+            for _ in range(self.random_kills):
+                at = rng.randrange(lo, hi)
+                partition = rng.randrange(partitions)
+                role = "replica" if rng.random() < 0.5 else "primary"
+                target = f"{role}:{partition}"
+                out.append(ClusterAction(at=at, action="kill", target=target))
+                if self.restart_after:
+                    out.append(
+                        ClusterAction(
+                            at=at + self.restart_after,
+                            action="restart",
+                            target=target,
+                        )
+                    )
+        out.sort(key=lambda action: action.at)
+        return out
+
+
+def load_cluster_fault_plan(path: str) -> ClusterFaultPlan:
+    """Module-level convenience mirroring :meth:`ClusterFaultPlan.load`."""
+    return ClusterFaultPlan.load(path)

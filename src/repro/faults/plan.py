@@ -19,6 +19,7 @@ import random
 from dataclasses import asdict, dataclass, fields
 from typing import Iterator, List, Optional, Union
 
+from .cluster import ClusterFaultPlan
 from .corruption import DiskFaultPlan
 
 
@@ -68,10 +69,17 @@ class FaultPlan:
     #: compose with the process-level faults above; accepts a nested
     #: dict in JSON configs
     disk: Optional[DiskFaultPlan] = None
+    #: cluster topology events (kill/restart/isolate a store server) to
+    #: fire during a cluster replay; accepts a nested dict in JSON
+    cluster: Optional[ClusterFaultPlan] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.disk, dict):
             object.__setattr__(self, "disk", DiskFaultPlan.from_dict(self.disk))
+        if isinstance(self.cluster, dict):
+            object.__setattr__(
+                self, "cluster", ClusterFaultPlan.from_dict(self.cluster)
+            )
         for name in ("transient_error_rate", "latency_spike_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -125,8 +133,9 @@ class FaultPlan:
         the same trace at the same shard count.
 
         ``crash_at`` does not shard (sharded replayers reject crash
-        plans outright), and disk plans already derive per-blob seeds,
-        so both carry over unchanged.
+        plans outright), disk plans already derive per-blob seeds, and
+        cluster plans describe one shared topology, so all three carry
+        over unchanged.
         """
         if shard < 0:
             raise ValueError("shard index must be >= 0")

@@ -57,6 +57,14 @@ class StoreConnector:
     def take_background_ns(self) -> int:
         return self.store.take_background_ns()
 
+    def scan(self, start: bytes, end: bytes):
+        """Range scan passthrough (stores without scan support raise
+        :class:`~repro.kvstores.api.UnsupportedOperationError`); the
+        store server's admin ``scan`` command -- which feeds replica
+        resync and partition migration -- reaches the store through
+        this."""
+        return self.store.scan(start, end)
+
     def flush(self) -> None:
         self.store.flush()
 

@@ -37,11 +37,13 @@ Failure semantics (the robustness axis):
 
 from __future__ import annotations
 
+import json
 import selectors
 import socket
 import struct
 import threading
 import time
+from collections import deque
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import tracing
@@ -63,6 +65,14 @@ OP_CLOSE = 4
 #: the total payload length; the payload is ``count`` back-to-back
 #: :data:`_BATCH_ITEM`-framed ops.
 OP_BATCH = 5
+#: control plane: key = command name (``ping``, ``configure``, ``stats``,
+#: ``scan``), value = JSON arguments; the reply is a ``REPLY_VALUE``
+#: frame whose payload is command-specific (JSON, except ``scan`` which
+#: returns :data:`_BATCH_ITEM`-framed key/value pairs).  The cluster
+#: layer drives replication chains, failover probes, and partition
+#: migration entirely through this opcode, so reconfiguration is
+#: serialized on the server's event loop like any other request.
+OP_ADMIN = 6
 
 _KNOWN_OPS = frozenset((OP_GET, OP_PUT, OP_MERGE, OP_DELETE))
 _WRITE_OPS = frozenset((OP_PUT, OP_MERGE, OP_DELETE))
@@ -224,6 +234,225 @@ class _Connection:
 #: replies to slow readers before closing their sockets anyway
 _DRAIN_DEADLINE_S = 5.0
 
+#: exclusive upper bound used by the admin ``scan`` command; covers any
+#: key the harness generates (keys sort strictly below 64 0xff bytes)
+_SCAN_END = b"\xff" * 64
+
+
+class _ReplicationError(Exception):
+    """A downstream replication forward failed.  Internal to the server:
+    surfaced to the client as a ``REPLY_ERROR`` frame so the cluster
+    layer can repair the chain and retry."""
+
+
+class _ReplicationLink:
+    """Downstream half of a replication chain, owned by the loop thread.
+
+    A configured server forwards every write it accepts to one
+    downstream peer over a dedicated socket.  ``sync=True`` makes the
+    forward part of the request's critical path: the frame is sent and
+    its reply awaited *before* the local apply, so an acked write is
+    already at the next node (chain ack levels ``one``/``all``).
+    ``sync=False`` pipelines frames fire-and-forget and counts acks as
+    they drain back through the server's selector; the gap between
+    ``ops_sent`` and ``ops_acked`` is exactly the lost-ack window a
+    primary death would leave (ack level ``none``).
+
+    Because a downstream replica runs the same server code, its own
+    configured link forwards the write further -- chains of any length
+    compose without extra machinery.
+    """
+
+    def __init__(
+        self,
+        server: "StoreServer",
+        host: str,
+        port: int,
+        sync: bool,
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        self.peer = (host, port)
+        self.sync = sync
+        self.broken = False
+        self.ops_sent = 0
+        self.ops_acked = 0
+        self.errors = 0
+        self.lag_ms_last = 0.0
+        self.lag_ms_max = 0.0
+        self._lag_ms_sum = 0.0
+        self._lag_samples = 0
+        self._server = server
+        self._registered = False
+        #: (send monotonic, op count) per in-flight async frame
+        self._pending: "deque" = deque()
+        self._inbuf = bytearray()
+        try:
+            sock = socket.create_connection(self.peer, timeout=timeout)
+        except OSError as exc:
+            raise _ReplicationError(
+                f"cannot reach replica at {host}:{port}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(timeout)
+        self._sock = sock
+        if not sync:
+            server._selector.register(sock, selectors.EVENT_READ, self)
+            self._registered = True
+
+    # -- forwarding ----------------------------------------------------------
+
+    def forward(self, opcode: int, key: bytes, value: bytes) -> None:
+        frame = _HEADER.pack(opcode, len(key), len(value)) + key + value
+        self._transmit(frame, 1)
+
+    def forward_batch(self, items: Sequence[Tuple[int, bytes, bytes]]) -> None:
+        payload = b"".join(
+            _BATCH_ITEM.pack(opcode, len(key), len(value)) + key + value
+            for opcode, key, value in items
+        )
+        frame = _HEADER.pack(OP_BATCH, len(items), len(payload)) + payload
+        self._transmit(frame, len(items))
+
+    def _transmit(self, frame: bytes, ops: int) -> None:
+        if self.broken:
+            if self.sync:
+                raise _ReplicationError(
+                    f"replication link to {self.peer[0]}:{self.peer[1]} is down"
+                )
+            self.errors += ops
+            return
+        began = time.monotonic()
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            self._fail(ops, exc)
+            return  # _fail raised already when sync
+        self.ops_sent += ops
+        if self.sync:
+            try:
+                self._read_sync_ack(ops)
+            except (OSError, struct.error) as exc:
+                self._fail(ops, exc)
+                return
+            self.ops_acked += ops
+            self._record_lag((time.monotonic() - began) * 1000.0)
+        else:
+            self._pending.append((began, ops))
+
+    def _read_sync_ack(self, ops: int) -> None:
+        status, length = struct.unpack("<BI", _recv_exact(self._sock, 5))
+        body = _recv_exact(self._sock, length) if length else b""
+        if status == REPLY_OK:
+            return
+        if status == REPLY_BATCH:
+            if body == _OK_ITEM * ops:
+                return
+            offset = 0
+            for _ in range(ops):
+                item_status, item_len = _REPLY_ITEM.unpack_from(body, offset)
+                offset += _REPLY_ITEM.size
+                if item_status == REPLY_ERROR:
+                    message = body[offset : offset + item_len]
+                    raise _ReplicationError(
+                        f"replica {self.peer[0]}:{self.peer[1]} rejected a "
+                        f"forwarded write: {message.decode('utf-8', 'replace')}"
+                    )
+                offset += item_len
+            return
+        if status == REPLY_ERROR:
+            raise _ReplicationError(
+                f"replica {self.peer[0]}:{self.peer[1]} rejected a forwarded "
+                f"write: {body.decode('utf-8', 'replace')}"
+            )
+        raise _ReplicationError(
+            f"replica {self.peer[0]}:{self.peer[1]} protocol violation: "
+            f"reply {status} to a forwarded write"
+        )
+
+    def _fail(self, ops: int, exc: Exception) -> None:
+        self.errors += ops
+        self.broken = True
+        self.close()
+        if self.sync:
+            if isinstance(exc, _ReplicationError):
+                raise exc
+            raise _ReplicationError(
+                f"replication to {self.peer[0]}:{self.peer[1]} failed: {exc}"
+            ) from exc
+
+    # -- async ack drain (selector callback) ---------------------------------
+
+    def drain(self) -> None:
+        """Consume acks the downstream piped back; loop-thread only."""
+        try:
+            chunk = self._sock.recv(1 << 16)
+        except BlockingIOError:
+            return
+        except OSError as exc:
+            self._fail(self.pending_ops(), exc)
+            return
+        if not chunk:
+            self._fail(self.pending_ops(), ConnectionError("replica closed"))
+            return
+        buf = self._inbuf
+        buf += chunk
+        while len(buf) >= 5:
+            status, length = struct.unpack_from("<BI", buf, 0)
+            if len(buf) < 5 + length:
+                break
+            del buf[: 5 + length]
+            if not self._pending:
+                continue  # stray frame; nothing to attribute it to
+            sent, ops = self._pending.popleft()
+            self._record_lag((time.monotonic() - sent) * 1000.0)
+            if status == REPLY_ERROR:
+                self.errors += ops
+            else:
+                self.ops_acked += ops
+
+    def _record_lag(self, lag_ms: float) -> None:
+        self.lag_ms_last = lag_ms
+        if lag_ms > self.lag_ms_max:
+            self.lag_ms_max = lag_ms
+        self._lag_ms_sum += lag_ms
+        self._lag_samples += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def pending_ops(self) -> int:
+        """Writes acked to clients but not yet confirmed downstream --
+        the window that dies with this node."""
+        return sum(ops for _, ops in self._pending)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "peer": f"{self.peer[0]}:{self.peer[1]}",
+            "sync": self.sync,
+            "ops_sent": self.ops_sent,
+            "ops_acked": self.ops_acked,
+            "pending": self.pending_ops(),
+            "errors": self.errors,
+            "broken": self.broken,
+            "lag_ms_last": round(self.lag_ms_last, 3),
+            "lag_ms_max": round(self.lag_ms_max, 3),
+            "lag_ms_avg": round(
+                self._lag_ms_sum / self._lag_samples if self._lag_samples else 0.0,
+                3,
+            ),
+        }
+
+    def close(self) -> None:
+        if self._registered:
+            try:
+                self._server._selector.unregister(self._sock)
+            except (KeyError, ValueError, OSError):
+                pass
+            self._registered = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
 
 class StoreServer:
     """Serves a store on 127.0.0.1 from one ``selectors`` event loop.
@@ -258,12 +487,27 @@ class StoreServer:
         self._selector = selectors.DefaultSelector()
         self._connections: Dict[socket.socket, _Connection] = {}
         self._closing = False
+        self._killed = False
         self._stopped = False
         self._thread: Optional[threading.Thread] = None
+        #: downstream replication link (None = unreplicated); configured
+        #: via the ``configure`` admin command so changes serialize on
+        #: the event loop with the traffic they affect
+        self._replication: Optional[_ReplicationLink] = None
 
     @property
     def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound.  The listener is bound in
+        ``__init__``, so with ``port=0`` the kernel-assigned port is
+        readable here immediately after construction -- before
+        :meth:`start` -- which is how cluster tests spin up N servers
+        without port-collision flakes."""
         return self._listener.getsockname()  # type: ignore[return-value]
+
+    @property
+    def port(self) -> int:
+        """The kernel-assigned listening port (see :attr:`address`)."""
+        return self.address[1]
 
     def start(self) -> "StoreServer":
         self._selector.register(self._listener, selectors.EVENT_READ, "listener")
@@ -289,6 +533,8 @@ class StoreServer:
                             pass
                     except (BlockingIOError, OSError):
                         pass
+                elif isinstance(data, _ReplicationLink):
+                    data.drain()
                 else:
                     conn: _Connection = data
                     if mask & selectors.EVENT_READ:
@@ -298,7 +544,10 @@ class StoreServer:
                         and conn.sock in self._connections
                     ):
                         self._flush(conn)
-        self._drain_and_close()
+        if self._killed:
+            self._abrupt_close()
+        else:
+            self._drain_and_close()
 
     def _accept(self) -> None:
         while True:
@@ -355,9 +604,48 @@ class StoreServer:
                 except (ValueError, struct.error) as exc:
                     self._queue_error(conn, f"malformed batch: {exc}")
                     continue
+                repl = self._replication
+                writes = (
+                    [item for item in items if item[0] in _WRITE_OPS]
+                    if repl is not None
+                    else []
+                )
+                # Chain order: a sync link confirms the downstream copy
+                # BEFORE the local apply, so a write this server acks is
+                # already at the next node -- and a forward failure is
+                # reported before anything diverges locally.
+                if repl is not None and writes and repl.sync:
+                    try:
+                        repl.forward_batch(writes)
+                    except _ReplicationError as exc:
+                        self._queue_error(conn, str(exc))
+                        continue
                 body = _execute_batch(connector, items)
+                if repl is not None and writes and not repl.sync:
+                    repl.forward_batch(writes)
                 conn.outbuf += struct.pack("<BI", REPLY_BATCH, len(body))
                 conn.outbuf += body
+                continue
+            if opcode == OP_ADMIN:
+                frame_len = header_size + key_len + value_len
+                if len(buf) < frame_len:
+                    break
+                command = bytes(buf[header_size : header_size + key_len])
+                payload = bytes(buf[header_size + key_len : frame_len])
+                del buf[:frame_len]
+                if self._closing:
+                    self._queue_error(conn, "server is shutting down")
+                    conn.close_after_flush = True
+                    break
+                try:
+                    response = self._admin(
+                        command.decode("utf-8", errors="replace"), payload
+                    )
+                except Exception as exc:
+                    self._queue_error(conn, f"{type(exc).__name__}: {exc}")
+                    continue
+                conn.outbuf += struct.pack("<BI", REPLY_VALUE, len(response))
+                conn.outbuf += response
                 continue
             if opcode == OP_CLOSE:
                 self._close_connection(conn)
@@ -378,6 +666,7 @@ class StoreServer:
                 self._queue_error(conn, "server is shutting down")
                 conn.close_after_flush = True
                 break
+            repl = self._replication
             try:
                 if opcode == OP_GET:
                     result = connector.get(key)
@@ -387,17 +676,82 @@ class StoreServer:
                         conn.outbuf += struct.pack("<BI", REPLY_VALUE, len(result))
                         conn.outbuf += result
                     continue
+                # Downstream-first for sync links (see the batch path).
+                if repl is not None and repl.sync:
+                    repl.forward(opcode, key, value)
                 if opcode == OP_PUT:
                     connector.put(key, value)
                 elif opcode == OP_MERGE:
                     connector.merge(key, value)
                 else:  # OP_DELETE
                     connector.delete(key)
+                if repl is not None and not repl.sync:
+                    repl.forward(opcode, key, value)
+            except _ReplicationError as exc:
+                self._queue_error(conn, str(exc))
+                continue
             except Exception as exc:  # store failure: report, keep serving
                 self._queue_error(conn, f"{type(exc).__name__}: {exc}")
                 continue
             conn.outbuf += struct.pack("<BI", REPLY_OK, 0)
         return True
+
+    # -- control plane -------------------------------------------------------
+
+    def _admin(self, command: str, payload: bytes) -> bytes:
+        """Execute one :data:`OP_ADMIN` command on the loop thread."""
+        args = json.loads(payload.decode("utf-8")) if payload else {}
+        if command == "ping":
+            return b'{"ok": true}'
+        if command == "configure":
+            downstream = args.get("downstream")
+            sync = bool(args.get("sync", True))
+            self._configure_replication(
+                tuple(downstream) if downstream else None, sync
+            )
+            return b'{"ok": true}'
+        if command == "stats":
+            return json.dumps(self.replication_stats()).encode("utf-8")
+        if command == "scan":
+            items = list(self._connector.scan(b"", _SCAN_END))
+            body = b"".join(
+                _BATCH_ITEM.pack(OP_PUT, len(key), len(value)) + key + value
+                for key, value in items
+            )
+            return struct.pack("<I", len(items)) + body
+        raise ValueError(f"unknown admin command {command!r}")
+
+    def _configure_replication(
+        self, downstream: Optional[Tuple[str, int]], sync: bool
+    ) -> None:
+        if self._replication is not None:
+            self._replication.close()
+            self._replication = None
+        if downstream is not None:
+            self._replication = _ReplicationLink(
+                self, downstream[0], int(downstream[1]), sync
+            )
+
+    def replication_stats(self) -> Dict[str, object]:
+        """Snapshot of the downstream link's counters (all-zero when
+        unreplicated).  Plain attribute reads, safe to call from any
+        thread; the chaos harness reads a primary's ``pending`` the
+        instant before killing it to measure the lost-ack window."""
+        link = self._replication
+        if link is None:
+            return {
+                "peer": None,
+                "sync": False,
+                "ops_sent": 0,
+                "ops_acked": 0,
+                "pending": 0,
+                "errors": 0,
+                "broken": False,
+                "lag_ms_last": 0.0,
+                "lag_ms_max": 0.0,
+                "lag_ms_avg": 0.0,
+            }
+        return link.stats()
 
     def _queue_error(self, conn: _Connection, message: str) -> None:
         payload = message.encode("utf-8", errors="replace")
@@ -465,6 +819,38 @@ class StoreServer:
                     pass
         for conn in list(self._connections.values()):
             self._close_connection(conn)
+        if self._replication is not None:
+            self._replication.close()
+            self._replication = None
+        try:
+            self._selector.unregister(self._wake_r)
+        except (KeyError, ValueError):
+            pass
+        self._wake_r.close()
+        self._selector.close()
+
+    def _abrupt_close(self) -> None:
+        """Tear everything down like a process kill: no request drain,
+        no reply flush, connections reset (SO_LINGER 0 sends RST so
+        clients see the death immediately instead of a clean FIN)."""
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        for conn in list(self._connections.values()):
+            try:
+                conn.sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:
+                pass
+            self._close_connection(conn)
+        if self._replication is not None:
+            self._replication.close()
+            self._replication = None
         try:
             self._selector.unregister(self._wake_r)
         except (KeyError, ValueError):
@@ -473,6 +859,35 @@ class StoreServer:
         self._selector.close()
 
     # -- lifecycle -----------------------------------------------------------
+
+    def kill(self) -> None:
+        """Die abruptly, as a ``SIGKILL`` would: in-flight requests are
+        never answered, queued replies are dropped, connections are
+        reset, and the store is :meth:`~repro.kvstores.api.KVStore.abandon`-ed
+        (nothing flushed, background workers hard-stopped).  The chaos
+        harness's primitive; contrast :meth:`stop`, which drains."""
+        if self._stopped:
+            return
+        self._killed = True
+        self._closing = True
+        try:
+            self._wake_w.send(b"\x00")
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        else:
+            self._abrupt_close()
+        try:
+            self._wake_w.close()
+        except OSError:
+            pass
+        self._stopped = True
+        try:
+            self.store.abandon()
+        except Exception:
+            pass
 
     def stop(self) -> None:
         """Stop accepting, drain in-flight requests, then close the store.
@@ -483,6 +898,8 @@ class StoreServer:
         and exits; only then -- with no thread left that could touch
         the store -- does ``store.close()`` run.
         """
+        if self._stopped:
+            return
         self._closing = True
         try:
             self._wake_w.send(b"\x00")
@@ -533,6 +950,10 @@ class RemoteStoreClient:
     ) -> None:
         self.name = store_name
         self._address = (host, port)
+        #: ``host:port``, embedded in every error message -- with N
+        #: servers in play, "connection reset" without an address is
+        #: undebuggable
+        self._peer = f"{host}:{port}"
         self._timeout = timeout
         self._connect_timeout = connect_timeout if connect_timeout is not None else timeout
         self._retry_policy = retry_policy
@@ -553,8 +974,7 @@ class RemoteStoreClient:
                 )
             except OSError as exc:
                 raise RemoteStoreError(
-                    f"cannot connect to {self.name} at "
-                    f"{self._address[0]}:{self._address[1]}: {exc}"
+                    f"cannot connect to {self.name} at {self._peer}: {exc}"
                 ) from exc
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(self._timeout)
@@ -581,7 +1001,9 @@ class RemoteStoreClient:
     def _request_raw(self, opcode: int, key: bytes, value: bytes) -> Optional[bytes]:
         sock = self._sock
         if sock is None:
-            raise RemoteStoreError(f"{self.name} client is not connected")
+            raise RemoteStoreError(
+                f"{self.name} client is not connected to {self._peer}"
+            )
         try:
             sock.sendall(_HEADER.pack(opcode, len(key), len(value)) + key + value)
             status, length = struct.unpack("<BI", _recv_exact(sock, 5))
@@ -593,20 +1015,22 @@ class RemoteStoreClient:
                     if length
                     else "unspecified server error"
                 )
-                raise RemoteStoreError(f"{self.name} server error: {message}")
+                raise RemoteStoreError(
+                    f"{self.name} server at {self._peer} error: {message}"
+                )
             if status == REPLY_MISSING:
                 return None
             return None  # REPLY_OK
         except socket.timeout as exc:
             self._drop_socket()
             raise RemoteStoreError(
-                f"{self.name} operation timed out after {self._timeout}s "
-                "(server hung or dead)"
+                f"{self.name} operation against {self._peer} timed out "
+                f"after {self._timeout}s (server hung or dead)"
             ) from exc
         except (ConnectionError, OSError) as exc:
             self._drop_socket()
             raise RemoteStoreError(
-                f"lost connection to {self.name} server: {exc}"
+                f"lost connection to {self.name} server at {self._peer}: {exc}"
             ) from exc
 
     def _attempt(self, opcode: int, key: bytes, value: bytes) -> Optional[bytes]:
@@ -642,7 +1066,9 @@ class RemoteStoreClient:
     ) -> List[Tuple[int, bytes]]:
         sock = self._sock
         if sock is None:
-            raise RemoteStoreError(f"{self.name} client is not connected")
+            raise RemoteStoreError(
+                f"{self.name} client is not connected to {self._peer}"
+            )
         payload = b"".join(
             _BATCH_ITEM.pack(opcode, len(key), len(value)) + key + value
             for opcode, key, value in items
@@ -661,11 +1087,14 @@ class RemoteStoreClient:
                     # error, so discard the socket before falling back.
                     self._drop_socket()
                     raise _BatchUnsupportedError(message)
-                raise RemoteStoreError(f"{self.name} server error: {message}")
+                raise RemoteStoreError(
+                    f"{self.name} server at {self._peer} error: {message}"
+                )
             if status != REPLY_BATCH:
                 self._drop_socket()
                 raise RemoteStoreError(
-                    f"{self.name} protocol violation: reply {status} to a batch"
+                    f"{self.name} server at {self._peer} protocol violation: "
+                    f"reply {status} to a batch"
                 )
             body = _recv_exact(sock, length)
             if body == _OK_ITEM * len(items):
@@ -683,18 +1112,19 @@ class RemoteStoreClient:
         except struct.error as exc:
             self._drop_socket()
             raise RemoteStoreError(
-                f"{self.name} sent a malformed batch reply: {exc}"
+                f"{self.name} server at {self._peer} sent a malformed "
+                f"batch reply: {exc}"
             ) from exc
         except socket.timeout as exc:
             self._drop_socket()
             raise RemoteStoreError(
-                f"{self.name} operation timed out after {self._timeout}s "
-                "(server hung or dead)"
+                f"{self.name} operation against {self._peer} timed out "
+                f"after {self._timeout}s (server hung or dead)"
             ) from exc
         except (ConnectionError, OSError) as exc:
             self._drop_socket()
             raise RemoteStoreError(
-                f"lost connection to {self.name} server: {exc}"
+                f"lost connection to {self.name} server at {self._peer}: {exc}"
             ) from exc
 
     def _reconnect_for_fallback(self) -> None:
@@ -721,6 +1151,37 @@ class RemoteStoreClient:
         return self._retry_policy.call(
             self._batch_attempt, items, retry_on=(RemoteStoreError,)
         )
+
+    # -- control plane -------------------------------------------------------
+
+    def admin(self, command: str, payload: Optional[dict] = None) -> bytes:
+        """Send one :data:`OP_ADMIN` request; returns the raw response.
+
+        Used by the cluster layer for liveness probes (``ping``),
+        replication-chain reconfiguration (``configure``), counter
+        harvesting (``stats``), and migration snapshots (``scan``).
+        Honours the client's retry policy like any data operation.
+        """
+        body = json.dumps(payload).encode("utf-8") if payload else b""
+        return self._request(OP_ADMIN, command.encode("utf-8"), body) or b""
+
+    def admin_json(self, command: str, payload: Optional[dict] = None) -> dict:
+        """:meth:`admin`, decoding the JSON response."""
+        return json.loads(self.admin(command, payload).decode("utf-8"))
+
+    def admin_scan(self) -> List[Tuple[bytes, bytes]]:
+        """Full key/value snapshot of the server's store, decoded from
+        the ``scan`` admin command's binary framing.  Requires a
+        scan-capable backing store (memory, B+Tree, LSM -- not FASTER)."""
+        data = self.admin("scan")
+        (count,) = struct.unpack_from("<I", data, 0)
+        items = _decode_batch_items(data[4:], count)
+        return [(key, value) for _, key, value in items]
+
+    @property
+    def peer(self) -> str:
+        """``host:port`` of the server this client targets."""
+        return self._peer
 
     # -- connector API -------------------------------------------------------
 
@@ -754,7 +1215,7 @@ class RemoteStoreClient:
                         out.append(None)
                     else:
                         raise RemoteStoreError(
-                            f"{self.name} server error: "
+                            f"{self.name} server at {self._peer} error: "
                             f"{data.decode('utf-8', errors='replace')}"
                         )
                 return out
@@ -776,7 +1237,7 @@ class RemoteStoreClient:
                 for status, data in replies:
                     if status == REPLY_ERROR:
                         raise RemoteStoreError(
-                            f"{self.name} server error: "
+                            f"{self.name} server at {self._peer} error: "
                             f"{data.decode('utf-8', errors='replace')}"
                         )
                 return

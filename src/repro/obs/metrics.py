@@ -208,6 +208,23 @@ def register_store(registry: MetricsRegistry, store, prefix: str = "") -> int:
         registry.gauge(
             f"{prefix}remote.reconnects", lambda c=store: c.reconnects
         )
+
+    # -- cluster connector ---------------------------------------------------
+    if hasattr(store, "failovers") and hasattr(store, "endpoints"):
+        registry.gauge(f"{prefix}cluster.failovers", lambda c=store: c.failovers)
+        registry.gauge(
+            f"{prefix}cluster.chain_repairs", lambda c=store: c.chain_repairs
+        )
+        registry.gauge(
+            f"{prefix}cluster.isolated", lambda c=store: len(c._isolated)
+        )
+        # per-endpoint reconnect gauges: a failover's latency spike is
+        # attributed to the reconnect burst on the endpoint that died
+        for endpoint in store.endpoints():
+            registry.gauge(
+                f"{prefix}cluster.{endpoint}.reconnects",
+                (lambda c=store, e=endpoint: c.reconnects_for(e)),
+            )
     return len(registry.names()) - before
 
 

@@ -1,0 +1,174 @@
+"""Cluster/chaos configs, CLI wiring, and the remote-protocol satellites."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cluster import ACK_LEVELS, ClusterConfig, load_cluster_config
+from repro.core import ConfigError, SourceConfig, generate_workload_trace
+from repro.faults import (
+    CLUSTER_ACTIONS,
+    ClusterAction,
+    ClusterFaultPlan,
+    load_cluster_fault_plan,
+)
+from repro.kvstores import InMemoryStore
+from repro.kvstores.remote import (
+    RemoteStoreClient,
+    RemoteStoreError,
+    StoreServer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _guard(hang_guard):
+    hang_guard(60)
+
+
+class TestClusterConfig:
+    def test_defaults_and_label(self):
+        config = ClusterConfig()
+        assert config.partitions == 3 and config.replicas == 1
+        assert config.ack in ACK_LEVELS
+        assert config.label == "3x2@all"
+        assert ClusterConfig(partitions=4, replicas=0, ack="none").label == "4x1@none"
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            ClusterConfig.from_dict({"partitions": 2, "replicaz": 1})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(partitions=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(replicas=-1)
+        with pytest.raises(ValueError):
+            ClusterConfig(ack="quorum")
+
+    def test_roundtrips_through_dict(self):
+        config = ClusterConfig(partitions=2, replicas=2, ack="one")
+        assert ClusterConfig.from_dict(config.to_dict()) == config
+
+    def test_shipped_config_loads(self):
+        config = load_cluster_config("configs/cluster.json")
+        assert config.partitions == 3 and config.ack == "all"
+
+
+class TestChaosPlanConfig:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ClusterFaultPlan.from_dict({"seed": 1, "kils": 2})
+        with pytest.raises(ValueError, match="unknown"):
+            ClusterAction.from_dict({"at": 1, "action": "kill", "victim": "p0r0"})
+
+    def test_action_validation(self):
+        with pytest.raises(ValueError):
+            ClusterAction(at=-1, action="kill", target="p0r0")
+        with pytest.raises(ValueError, match="unknown cluster action"):
+            ClusterAction(at=0, action="explode", target="p0r0")
+        assert set(CLUSTER_ACTIONS) == {"kill", "restart", "isolate", "heal"}
+
+    def test_kill_window_validation(self):
+        with pytest.raises(ValueError, match="kill_window"):
+            ClusterFaultPlan(kill_window=(50, 10))
+
+    def test_plan_roundtrips_through_dict(self):
+        plan = ClusterFaultPlan(
+            seed=3,
+            actions=({"at": 5, "action": "kill", "target": "primary:0"},),
+            random_kills=1,
+            restart_after=10,
+        )
+        assert ClusterFaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_shipped_chaos_plan_loads(self):
+        plan = load_cluster_fault_plan("configs/chaos.json")
+        assert plan.seed == 42
+        assert [a.action for a in plan.actions] == ["kill", "kill", "restart"]
+
+
+class TestCliWiring:
+    def test_cluster_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "replay", "t.gdgt", "--store", "memory",
+                "--cluster", "3", "--replicas", "2", "--ack", "one",
+                "--chaos", "configs/chaos.json",
+            ]
+        )
+        assert args.cluster == 3 and args.replicas == 2 and args.ack == "one"
+        assert args.chaos == "configs/chaos.json"
+        args = parser.parse_args(
+            ["compare", "t.gdgt", "--cluster-config", "configs/cluster.json"]
+        )
+        assert args.cluster_config == "configs/cluster.json"
+
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "t.gdgt"
+        trace = generate_workload_trace(
+            "tumbling-incremental", [SourceConfig(num_events=200, seed=3)]
+        )
+        trace.save(str(path))
+        return str(path)
+
+    def test_chaos_without_cluster_is_an_error(self, trace_file):
+        with pytest.raises(SystemExit, match="cluster"):
+            main(
+                ["replay", trace_file, "--store", "memory",
+                 "--chaos", "configs/chaos.json"]
+            )
+
+    def test_cluster_rejects_sharded_replay(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(
+                ["replay", trace_file, "--store", "memory",
+                 "--cluster", "2", "--shards", "2"]
+            )
+
+
+class TestRemoteSatellites:
+    def test_errors_carry_peer_address(self):
+        """Satellite: every client-side failure names host:port, so a
+        multi-endpoint cluster log reads unambiguously."""
+        with StoreServer(InMemoryStore(), port=0) as server:
+            host, port = server.address
+            client = RemoteStoreClient(host, port, store_name="victim")
+        # server is now stopped; the next request must fail with the peer
+        with pytest.raises(RemoteStoreError) as excinfo:
+            client.put(b"k", b"v")
+        assert f"{host}:{port}" in str(excinfo.value)
+        client.close()
+
+    def test_port_zero_is_readable_before_serve(self):
+        """Satellite: ``port=0`` binds at construction, so the chosen
+        port is known before ``start()`` -- no sleep-and-probe races."""
+        server = StoreServer(InMemoryStore(), port=0)
+        try:
+            assert server.port > 0
+            chosen = server.port
+            server.start()
+            with RemoteStoreClient("127.0.0.1", chosen) as client:
+                client.put(b"k", b"v")
+                assert client.get(b"k") == b"v"
+        finally:
+            server.stop()
+
+    def test_two_port_zero_servers_get_distinct_ports(self):
+        a = StoreServer(InMemoryStore(), port=0)
+        b = StoreServer(InMemoryStore(), port=0)
+        try:
+            assert a.port != b.port
+        finally:
+            a.stop()
+            b.stop()
+
+
+def test_cluster_config_json_schema_matches_loader(tmp_path):
+    """A config written by hand with one typo fails loudly at load."""
+    bad = tmp_path / "cluster.json"
+    bad.write_text(json.dumps({"partitions": 2, "replicas": 1, "akk": "all"}))
+    with pytest.raises(ConfigError, match="akk"):
+        load_cluster_config(str(bad))

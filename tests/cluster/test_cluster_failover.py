@@ -1,0 +1,200 @@
+"""Replication chains, failover, and online rebalancing."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterConnector, StoreCluster
+from repro.faults import RetryPolicy
+from repro.kvstores.remote import RemoteStoreClient, RemoteStoreError
+
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.0, jitter=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _guard(hang_guard):
+    hang_guard(60)
+
+
+def make_cluster(ack="all", partitions=2, replicas=1):
+    return StoreCluster(
+        ClusterConfig(partitions=partitions, replicas=replicas, ack=ack)
+    )
+
+
+def read_node_directly(cluster, name, key):
+    """Bypass the connector: what does this node itself hold?"""
+    host, port = cluster.address(name)
+    with RemoteStoreClient(host, port, store_name=name) as client:
+        return client.get(key)
+
+
+class TestReplication:
+    @pytest.mark.parametrize("ack", ["all", "one"])
+    def test_sync_ack_replicates_before_returning(self, ack):
+        """With a synchronous first hop, an acked write is already on
+        the replica by the time ``put`` returns -- no drain needed."""
+        with make_cluster(ack=ack) as cluster:
+            with ClusterConnector(cluster) as connector:
+                for i in range(50):
+                    connector.put(b"k%02d" % i, b"v%02d" % i)
+                for i in range(50):
+                    key = b"k%02d" % i
+                    partition = connector._partition(key)
+                    replica = connector.chain(partition)[1]
+                    assert read_node_directly(cluster, replica, key) == b"v%02d" % i
+
+    def test_ack_none_pipelines_asynchronously(self):
+        with make_cluster(ack="none") as cluster:
+            with ClusterConnector(cluster) as connector:
+                for i in range(100):
+                    connector.put(b"k%02d" % (i % 20), b"v%03d" % i)
+                stats = cluster.replication_stats(connector.chain(0)[0])
+                assert stats["sync"] is False
+                assert stats["ops_sent"] > 0
+
+    def test_replication_stats_counts_forwards(self):
+        with make_cluster(ack="all") as cluster:
+            with ClusterConnector(cluster) as connector:
+                keys = [b"a", b"b", b"c", b"d", b"e", b"f"]
+                for key in keys:
+                    connector.put(key, b"v")
+                sent = 0
+                for partition in range(connector.partitions):
+                    stats = cluster.replication_stats(connector.chain(partition)[0])
+                    assert stats["sync"] is True
+                    assert stats["pending"] == 0  # sync: acked == sent
+                    sent += stats["ops_sent"]
+                assert sent == len(keys)
+
+
+class TestFailover:
+    def test_replica_kill_shrinks_chain(self):
+        with make_cluster() as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                connector.put(b"k", b"v")
+                replica = connector.chain(connector._partition(b"k"))[1]
+                cluster.kill(replica)
+                connector.repair_partition(connector._partition(b"k"))
+                assert connector.chain_repairs == 1
+                assert connector.failovers == 0  # primary unchanged
+                assert replica not in connector.chain(connector._partition(b"k"))
+                connector.put(b"k2", b"v2")  # writes keep flowing
+                assert connector.get(b"k") == b"v"
+
+    def test_primary_kill_promotes_replica(self):
+        with make_cluster() as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                for i in range(30):
+                    connector.put(b"k%02d" % i, b"v%02d" % i)
+                partition = connector._partition(b"k00")
+                old_primary = connector.chain(partition)[0]
+                old_replica = connector.chain(partition)[1]
+                cluster.kill(old_primary)
+                # next op on the partition discovers the death and fails over
+                assert connector.get(b"k00") == b"v00"
+                assert connector.failovers == 1
+                assert connector.chain(partition)[0] == old_replica
+                # acked writes survived the primary's death (ack=all)
+                for i in range(30):
+                    key = b"k%02d" % i
+                    if connector._partition(key) == partition:
+                        assert connector.get(key) == b"v%02d" % i
+
+    def test_failover_budget_is_bounded(self):
+        """When every chain member is dead the client gives up after the
+        retry policy's attempt budget instead of spinning."""
+        with make_cluster() as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                connector.put(b"k", b"v")
+                partition = connector._partition(b"k")
+                for name in list(connector.chain(partition)):
+                    cluster.kill(name)
+                with pytest.raises(
+                    RemoteStoreError, match="no live replicas|unavailable after"
+                ):
+                    connector.get(b"k")
+
+    def test_restart_and_resync_rejoins_chain(self):
+        with make_cluster() as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                for i in range(40):
+                    connector.put(b"k%02d" % i, b"v%02d" % i)
+                partition = 0
+                replica = connector.chain(partition)[1]
+                cluster.kill(replica)
+                connector.repair_partition(partition)
+                assert len(connector.chain(partition)) == 1
+                # replacement node: new port, empty store, resynced on attach
+                cluster.restart(replica)
+                connector.attach_replica(partition, replica)
+                assert connector.chain(partition) == [f"p{partition}r0", replica]
+                for i in range(40):
+                    key = b"k%02d" % i
+                    if connector._partition(key) == partition:
+                        assert read_node_directly(cluster, replica, key) == b"v%02d" % i
+
+    def test_isolate_blocks_then_heal_restores(self):
+        with make_cluster(partitions=1) as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                connector.put(b"k", b"v")
+                primary = connector.chain(0)[0]
+                replica = connector.chain(0)[1]
+                connector.isolate(primary)
+                # isolated primary looks dead to the client: failover
+                assert connector.get(b"k") == b"v"
+                assert connector.chain(0)[0] == replica
+                connector.heal(primary)
+                connector.attach_replica(0, primary)
+                assert primary in connector.chain(0)
+
+
+class TestRebalance:
+    def test_migrate_moves_partition_with_content(self):
+        with make_cluster() as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                for i in range(60):
+                    connector.put(b"k%02d" % i, b"v%02d" % i)
+                target = cluster.add_node(partition=0)
+                old_replicas = connector.chain(0)[1:]
+                connector.migrate(0, target)
+                assert connector.migrations_completed == 1
+                assert connector.chain(0) == [target] + old_replicas
+                for i in range(60):
+                    assert connector.get(b"k%02d" % i) == b"v%02d" % i
+
+    def test_dual_write_covers_migration_window(self):
+        with make_cluster() as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                connector.put(b"old", b"before")
+                target = cluster.add_node(partition=0)
+                connector.begin_migration(0, target)
+                # writes during the window land on old primary AND target
+                dirty = []
+                for i in range(30):
+                    key = b"w%02d" % i
+                    if connector._partition(key) == 0:
+                        connector.put(key, b"dual")
+                        dirty.append(key)
+                assert dirty, "need at least one partition-0 key"
+                for key in dirty:
+                    assert read_node_directly(cluster, target, key) == b"dual"
+                connector.complete_migration(0)
+                assert connector.chain(0)[0] == target
+                for key in dirty:
+                    assert connector.get(key) == b"dual"
+                if connector._partition(b"old") == 0:
+                    assert connector.get(b"old") == b"before"
+
+    def test_merge_during_migration_read_repairs(self):
+        with make_cluster() as cluster:
+            with ClusterConnector(cluster, retry_policy=FAST_RETRY) as connector:
+                key = next(
+                    b"m%03d" % i
+                    for i in range(1000)
+                    if connector._partition(b"m%03d" % i) == 0
+                )
+                connector.merge(key, b"a")
+                target = cluster.add_node(partition=0)
+                connector.begin_migration(0, target)
+                connector.merge(key, b"b")  # materialized value dual-written
+                connector.complete_migration(0)
+                assert connector.get(key) == b"ab"
