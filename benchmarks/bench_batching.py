@@ -28,16 +28,11 @@ Run:  PYTHONPATH=src python benchmarks/bench_batching.py [--smoke]
 from __future__ import annotations
 
 import json
-import os
-import platform
 import random
 import shutil
-import sys
 import tempfile
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+from _harness import SMOKE, env_block, median_run, one_cpu_note, scaled, write_bench
 
 from repro.core import TraceReplayer  # noqa: E402
 from repro.kvstores import InMemoryStore, connect, create_connector  # noqa: E402
@@ -56,11 +51,9 @@ SEED = 42
 VALUE_SIZE = 64
 NUM_KEYS = 2_000
 
-#: smoke mode shrinks everything so CI can validate the pipeline
-SMOKE = "--smoke" in sys.argv
-OPS = 2_000 if SMOKE else 20_000
-REMOTE_OPS = 2_000 if SMOKE else 8_000
-REPS = 1 if SMOKE else 5
+OPS = scaled(20_000, 2_000)
+REMOTE_OPS = scaled(8_000, 2_000)
+REPS = scaled(5, 1)
 
 
 def make_trace(ops: int, get_fraction: float) -> AccessTrace:
@@ -141,19 +134,11 @@ STORAGE_NOTE = {
 }
 
 
-def median_run(runner, trace, batch_size):
-    """Median-of-REPS by throughput; flush/compaction alignment makes
-    single runs noisy, the median is stable."""
-    runs = [runner(trace, batch_size) for _ in range(REPS)]
-    runs.sort(key=lambda r: r["throughput_kops"])
-    return runs[len(runs) // 2]
-
-
 def bench_store(name, runner, trace):
     cells = {}
     base_kops = None
     for batch_size in BATCH_SIZES:
-        cell = median_run(runner, trace, batch_size)
+        cell = median_run(lambda: runner(trace, batch_size), REPS)
         if base_kops is None:
             base_kops = cell["throughput_kops"]
         cell["speedup_vs_per_op"] = round(cell["throughput_kops"] / base_kops, 2)
@@ -170,21 +155,13 @@ def bench_store(name, runner, trace):
 
 
 def main():
-    out_path = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_batching.json",
-    )
     ingest = make_trace(OPS, 0.0)
     mixed = make_trace(OPS, 0.05)
     remote_ingest = make_trace(REMOTE_OPS, 0.0)
     remote_mixed = make_trace(REMOTE_OPS, 0.05)
 
     results = {
-        "env": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "smoke": SMOKE,
-        },
+        "env": env_block(),
         "method": {
             "batch_sizes": list(BATCH_SIZES),
             "reps_per_cell": REPS,
@@ -197,11 +174,10 @@ def main():
                 "the batch is included in the percentiles"
             ),
         },
-        "note": (
-            "single-process, 1-CPU measurements: client, server thread, and "
-            "store share one core and the GIL, so remote speedups reflect "
-            "round-trip amortization, not parallelism; absolute kops are "
-            "not comparable across machines"
+        "note": one_cpu_note(
+            "client, server thread, and store share one core and the "
+            "GIL, so remote speedups reflect round-trip amortization, "
+            "not parallelism."
         ),
         "workloads": {},
     }
@@ -238,10 +214,7 @@ def main():
     }
     results["claims"] = claims
 
-    with open(out_path, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
-    print(f"\nwrote {out_path}")
+    write_bench("batching", results)
     print(json.dumps(claims, indent=2))
 
     if not SMOKE:

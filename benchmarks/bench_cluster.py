@@ -30,15 +30,9 @@ Run:  PYTHONPATH=src python benchmarks/bench_cluster.py [--smoke]
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import random
-import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+from _harness import env_block, median_run, one_cpu_note, scaled, write_bench
 
 from repro.cluster import (  # noqa: E402
     ClusterConfig,
@@ -57,9 +51,8 @@ VALUE_SIZE = 64
 NUM_KEYS = 2_000
 STORE = "memory"  # bounds protocol cost, not store cost
 
-SMOKE = "--smoke" in sys.argv
-OPS = 2_000 if SMOKE else 20_000
-REPS = 1 if SMOKE else 3
+OPS = scaled(20_000, 2_000)
+REPS = scaled(3, 1)
 
 RETRY = RetryPolicy(max_attempts=5, base_delay_s=0.0, jitter=0.0)
 
@@ -143,24 +136,14 @@ MODES = {
 }
 
 
-def median_run(runner, trace):
-    runs = [runner(trace) for _ in range(REPS)]
-    runs.sort(key=lambda r: r["throughput_kops"])
-    return runs[len(runs) // 2]
-
-
 def main():
-    out_path = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_cluster.json",
-    )
     trace = make_trace(OPS)
     print(f"cluster benchmark: {OPS} ops, store={STORE}, reps={REPS}")
 
     modes = {}
     base = None
     for label, runner in MODES.items():
-        cell = median_run(runner, trace)
+        cell = median_run(lambda: runner(trace), REPS)
         if base is None:
             base = cell["throughput_kops"]
         cell["relative_to_local"] = round(cell["throughput_kops"] / base, 3)
@@ -182,11 +165,7 @@ def main():
     )
 
     results = {
-        "env": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "smoke": SMOKE,
-        },
+        "env": env_block(),
         "method": {
             "ops": OPS,
             "store": STORE,
@@ -199,21 +178,16 @@ def main():
                 "failover latency measured from error to promotion"
             ),
         },
-        "caveat": (
-            f"MEASURED ON {os.cpu_count()} CPU(S). Servers, replicas, and "
-            "the client time-slice a single core, so absolute throughput "
-            "is a scheduling artifact. The ack-level cost ordering "
-            "(none <= one <= all) and the failover-latency mechanism are "
-            "the portable results; re-run on a multi-core host before "
-            "quoting absolute numbers."
+        "caveat": one_cpu_note(
+            "servers, replicas, and the client time-slice a single "
+            "core, so absolute throughput is a scheduling artifact; "
+            "the ack-level cost ordering (none <= one <= all) and the "
+            "failover-latency mechanism are the portable results."
         ),
         "modes": modes,
         "failover": failover,
     }
-    with open(out_path, "w") as handle:
-        json.dump(results, handle, indent=1)
-        handle.write("\n")
-    print(f"wrote {out_path}")
+    write_bench("cluster", results)
 
 
 if __name__ == "__main__":

@@ -42,14 +42,9 @@ Run:  PYTHONPATH=src python benchmarks/bench_compaction.py [--smoke]
 from __future__ import annotations
 
 import json
-import os
-import platform
 import random
-import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+from _harness import SMOKE, env_block, median_run, one_cpu_note, scaled, write_bench
 
 from repro.core import TraceReplayer  # noqa: E402
 from repro.kvstores import connect  # noqa: E402
@@ -67,10 +62,8 @@ SEED = 42
 VALUE_SIZE = 64
 NUM_KEYS = 2_000
 
-#: smoke mode shrinks everything so CI can validate the pipeline
-SMOKE = "--smoke" in sys.argv
-OPS = 2_000 if SMOKE else 10_000
-REPS = 1 if SMOKE else 5
+OPS = scaled(10_000, 2_000)
+REPS = scaled(5, 1)
 
 
 def make_trace(ops: int) -> AccessTrace:
@@ -132,21 +125,7 @@ def run_cell(policy: str, write_buffer: int, rate: float, background: bool, trac
         connector.close()
 
 
-def median_run(policy, write_buffer, rate, background, trace):
-    """Median-of-REPS by p99: pacing pins throughput, so tail latency
-    is the quantity under test and the stable ranking key."""
-    runs = [
-        run_cell(policy, write_buffer, rate, background, trace) for _ in range(REPS)
-    ]
-    runs.sort(key=lambda r: r["p99_us"])
-    return runs[len(runs) // 2]
-
-
 def main():
-    out_path = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_compaction.json",
-    )
     trace = make_trace(OPS)
 
     grid = {}
@@ -155,8 +134,14 @@ def main():
         for write_buffer, rate in CELLS:
             cells = {}
             for mode in MODES:
+                # median by p99: pacing pins throughput, so tail
+                # latency is the quantity under test
                 cell = median_run(
-                    policy, write_buffer, rate, mode == "background", trace
+                    lambda: run_cell(
+                        policy, write_buffer, rate, mode == "background", trace
+                    ),
+                    REPS,
+                    key="p99_us",
                 )
                 for key in ("throughput_kops", "p50_us", "p99_us", "p999_us"):
                     cell[key] = round(cell[key], 1)
@@ -197,11 +182,7 @@ def main():
     }
 
     results = {
-        "env": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "smoke": SMOKE,
-        },
+        "env": env_block(),
         "method": {
             "modes": list(MODES),
             "policies": list(POLICIES),
@@ -225,25 +206,21 @@ def main():
                 "their write stalls"
             ),
         },
-        "note": (
-            "single-process, 1-CPU measurements: worker threads share one "
-            "core and the GIL with the writer, so background mode wins by "
-            "duty-cycling maintenance into the pacing gaps between "
-            "arrivals instead of absorbing a whole flush or compaction "
-            "inside one unlucky op; when the worker cannot keep up the "
+        "note": one_cpu_note(
+            "worker threads share one core and the GIL with the "
+            "writer, so background mode wins by duty-cycling "
+            "maintenance into the pacing gaps between arrivals instead "
+            "of absorbing a whole flush or compaction inside one "
+            "unlucky op; when the worker cannot keep up the "
             "write-stall gate blocks the writer and that stall time is "
-            "counted (write_stalls / stall_ms), not hidden; absolute "
-            "numbers are not comparable across machines"
+            "counted (write_stalls / stall_ms), not hidden."
         ),
         "workload": {"name": "ingest_100put", "operations": OPS},
         "grid": grid,
         "claims": claims,
     }
 
-    with open(out_path, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
-    print(f"\nwrote {out_path}")
+    write_bench("compaction", results)
     print(json.dumps(claims, indent=2))
 
     if not SMOKE:

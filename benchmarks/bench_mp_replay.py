@@ -30,15 +30,9 @@ Run:  PYTHONPATH=src python benchmarks/bench_mp_replay.py [--smoke]
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import random
-import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+from _harness import env_block, median_run, one_cpu_note, scaled, write_bench
 
 from repro.core import (  # noqa: E402
     ConnectorSpec,
@@ -55,9 +49,8 @@ NUM_KEYS = 2_000
 STORE = "memory"  # bounds orchestration overhead, not store cost
 WORKER_COUNTS = (2, 4)
 
-SMOKE = "--smoke" in sys.argv
-OPS = 4_000 if SMOKE else 60_000
-REPS = 1 if SMOKE else 5
+OPS = scaled(60_000, 4_000)
+REPS = scaled(5, 1)
 
 
 def make_trace(ops: int) -> AccessTrace:
@@ -115,17 +108,7 @@ MODES = {
 }
 
 
-def median_run(runner, trace, workers):
-    runs = [runner(trace, workers) for _ in range(REPS)]
-    runs.sort(key=lambda r: r["throughput_kops"])
-    return runs[len(runs) // 2]
-
-
 def main():
-    out_path = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_mp_replay.json",
-    )
     trace = make_trace(OPS)
     print(f"mp-replay benchmark: {OPS} ops, store={STORE}, reps={REPS}")
 
@@ -135,7 +118,7 @@ def main():
         for mode, runner in MODES.items():
             if mode == "single" and workers != WORKER_COUNTS[0]:
                 continue  # worker count is meaningless for the baseline
-            cell = median_run(runner, trace, workers)
+            cell = median_run(lambda: runner(trace, workers), REPS)
             if mode == "single":
                 base = cell["throughput_kops"]
             cell["speedup_vs_single"] = round(cell["throughput_kops"] / base, 2)
@@ -150,11 +133,7 @@ def main():
             )
 
     results = {
-        "env": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "smoke": SMOKE,
-        },
+        "env": env_block(),
         "method": {
             "ops": OPS,
             "store": STORE,
@@ -167,20 +146,16 @@ def main():
                 "transport -- end-to-end cost, not hot-loop-only"
             ),
         },
-        "caveat": (
-            f"MEASURED ON {os.cpu_count()} CPU(S). With one core the worker "
-            "processes time-slice instead of running in parallel, so "
-            "process mode shows pure orchestration overhead and NO speedup "
-            "here. These numbers establish the overhead floor and the "
-            "cross-mode equivalence of work done; re-run on a multi-core "
-            "host before quoting any scaling figure."
+        "caveat": one_cpu_note(
+            "with one core the worker processes time-slice instead of "
+            "running in parallel, so process mode shows pure "
+            "orchestration overhead and NO speedup here; these numbers "
+            "establish the overhead floor and the cross-mode "
+            "equivalence of work done."
         ),
         "modes": modes,
     }
-    with open(out_path, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {out_path}")
+    write_bench("mp_replay", results)
 
 
 if __name__ == "__main__":

@@ -36,13 +36,9 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import random
-import sys
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+from _harness import SMOKE, env_block, one_cpu_note, scaled, write_bench
 
 from repro.core import TraceReplayer  # noqa: E402
 from repro.kvstores import create_connector  # noqa: E402
@@ -53,9 +49,7 @@ SEED = 42
 VALUE_SIZE = 64
 NUM_KEYS = 2_000
 
-#: smoke mode shrinks everything so CI can validate the pipeline
-SMOKE = "--smoke" in sys.argv
-REPS = 1 if SMOKE else 5
+REPS = scaled(5, 1)
 
 #: ops per run, sized per store so every run lasts long enough to
 #: measure: the memory store clears 1.5M+ ops/s, so 50k ops finish in
@@ -147,14 +141,8 @@ def measure_modes(store_name, trace, scratch_dir):
 def main():
     import tempfile
 
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    out_path = os.path.join(root, "BENCH_obs_overhead.json")
     results = {
-        "env": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "smoke": SMOKE,
-        },
+        "env": env_block(),
         "method": {
             "operations": dict(OPS_BY_STORE),
             "workload": "50% get / 50% put, uniform keys",
@@ -174,11 +162,10 @@ def main():
                 "with no telemetry session wrapper"
             ),
         },
-        "note": (
-            "single-process, 1-CPU measurements: the sampler thread and "
-            "the replay share one core and the GIL, so metrics_only / "
-            "full_tracing overheads here are upper bounds; absolute kops "
-            "are not comparable across machines"
+        "note": one_cpu_note(
+            "the sampler thread and the replay share one core and the "
+            "GIL, so metrics_only / full_tracing overheads here are "
+            "upper bounds."
         ),
         "stores": {},
     }
@@ -228,10 +215,7 @@ def main():
     )
     results["claims"] = claims
 
-    with open(out_path, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
-    print(f"\nwrote {out_path}")
+    write_bench("obs_overhead", results)
     print(json.dumps(claims, indent=2))
 
     if not SMOKE:

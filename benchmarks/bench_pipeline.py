@@ -1,0 +1,227 @@
+"""Pipelined remote I/O benchmark: in-flight window depth ladder.
+
+Replays one mixed trace at pipeline depths 1/4/16/64 against the two
+networked deployments:
+
+* **remote** -- an in-memory store behind one :class:`StoreServer`:
+  the window coalesces frames into burst ``sendall`` calls and
+  correlates replies FIFO, so a depth-N window pays ~1 syscall pair
+  per N/2 ops instead of one pair per op.
+* **cluster** -- 3 partitions, no replicas: each window flush
+  scatter-gathers one ``OP_BATCH`` frame per touched partition (all
+  sends before the first reply read), so k partitions cost ~1 RTT,
+  not k.
+
+Depth 1 is the synchronous baseline (same wire protocol, no window).
+Each cell reports the median of ``REPS`` runs by throughput plus
+**syscalls_per_op**, measured from the client's own ``send_calls`` /
+``recv_calls`` counters -- the mechanism behind the speedup, and the
+number that transfers to multi-core hosts even when throughput does
+not.  Per-op latency stays honest: every op is stamped at submission
+and completed when its reply lands, so window queueing is inside the
+percentiles -- expect p50 to *rise* with depth while throughput rises
+faster.
+
+Writes ``BENCH_pipeline.json`` next to the repo root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pipeline.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from _harness import SMOKE, env_block, median_run, one_cpu_note, scaled, write_bench
+
+from repro.cluster import ClusterConfig, ClusterConnector, StoreCluster  # noqa: E402
+from repro.core import TraceReplayer  # noqa: E402
+from repro.faults import RetryPolicy  # noqa: E402
+from repro.kvstores import InMemoryStore  # noqa: E402
+from repro.kvstores.remote import RemoteStoreClient, StoreServer  # noqa: E402
+from repro.trace import AccessTrace, OpType  # noqa: E402
+
+DEPTHS = (1, 4, 16, 64)
+SEED = 42
+VALUE_SIZE = 64
+NUM_KEYS = 2_000
+PARTITIONS = 3
+
+OPS = scaled(20_000, 2_000)
+CLUSTER_OPS = scaled(10_000, 2_000)
+REPS = scaled(5, 1)
+
+RETRY = RetryPolicy(max_attempts=5, base_delay_s=0.0, jitter=0.0)
+
+
+def make_trace(ops: int) -> AccessTrace:
+    """Mixed workload (50% put / 40% get / 10% merge), uniform keys."""
+    rng = random.Random(SEED)
+    trace = AccessTrace()
+    for i in range(ops):
+        key = b"key%06d" % rng.randrange(NUM_KEYS)
+        draw = rng.random()
+        if draw < 0.5:
+            trace.record(OpType.PUT, key, VALUE_SIZE, i)
+        elif draw < 0.9:
+            trace.record(OpType.GET, key, 0, i)
+        else:
+            trace.record(OpType.MERGE, key, VALUE_SIZE, i)
+    return trace
+
+
+def _cell(result, send_calls, recv_calls, flushes):
+    summary = result.summary()
+    ops = result.operations
+    return {
+        "throughput_kops": summary["throughput_kops"],
+        "p50_us": summary["p50_us"],
+        "p99_us": summary["p99_us"],
+        "syscalls_per_op": round((send_calls + recv_calls) / ops, 3),
+        "send_calls_per_op": round(send_calls / ops, 3),
+        "recv_calls_per_op": round(recv_calls / ops, 3),
+        "flushes": flushes,
+    }
+
+
+def run_remote(trace, depth):
+    with StoreServer(InMemoryStore()) as server:
+        host, port = server.address
+        client = RemoteStoreClient(host, port, retry_policy=RETRY)
+        try:
+            result = TraceReplayer(
+                client, pipeline_depth=None if depth == 1 else depth
+            ).replay(trace)
+            return _cell(
+                result, client.send_calls, client.recv_calls,
+                client.pipeline_flushes,
+            )
+        finally:
+            client.close()
+
+
+def run_cluster(trace, depth):
+    config = ClusterConfig(
+        partitions=PARTITIONS, replicas=0, ack="all", store="memory"
+    )
+    cluster = StoreCluster(config)
+    try:
+        connector = ClusterConnector(cluster, retry_policy=RETRY)
+        try:
+            result = TraceReplayer(
+                connector, pipeline_depth=None if depth == 1 else depth
+            ).replay(trace)
+            clients = list(connector._clients.values())
+            send_calls = sum(c.send_calls for c in clients)
+            recv_calls = sum(c.recv_calls for c in clients)
+            return _cell(
+                result, send_calls, recv_calls, connector.pipeline_flushes
+            )
+        finally:
+            connector.close()
+    finally:
+        cluster.stop()
+
+
+MODES = {"remote": run_remote, "cluster": run_cluster}
+
+
+def bench_mode(name, runner, trace):
+    cells = {}
+    base_kops = None
+    for depth in DEPTHS:
+        cell = median_run(lambda: runner(trace, depth), REPS)
+        if base_kops is None:
+            base_kops = cell["throughput_kops"]
+        cell["speedup_vs_depth1"] = round(cell["throughput_kops"] / base_kops, 2)
+        for key in ("throughput_kops", "p50_us", "p99_us"):
+            cell[key] = round(cell[key], 1)
+        cells[str(depth)] = cell
+        print(
+            f"  {name:<8} depth {depth:>3}: "
+            f"{cell['throughput_kops']:>8.1f} kops "
+            f"({cell['speedup_vs_depth1']:.2f}x)  "
+            f"{cell['syscalls_per_op']:.2f} syscalls/op  "
+            f"p50={cell['p50_us']:.1f}us p99={cell['p99_us']:.1f}us"
+        )
+    return cells
+
+
+def main():
+    trace = make_trace(OPS)
+    cluster_trace = make_trace(CLUSTER_OPS)
+    print(f"pipeline benchmark: {OPS} ops remote, {CLUSTER_OPS} ops "
+          f"cluster, reps={REPS}")
+
+    modes = {}
+    for name, runner in MODES.items():
+        modes[name] = bench_mode(
+            name, runner, cluster_trace if name == "cluster" else trace
+        )
+
+    claims = {
+        "remote_depth16_speedup": modes["remote"]["16"]["speedup_vs_depth1"],
+        "cluster_depth16_speedup": modes["cluster"]["16"]["speedup_vs_depth1"],
+        "remote_depth16_syscalls_per_op": modes["remote"]["16"][
+            "syscalls_per_op"
+        ],
+        "remote_depth1_syscalls_per_op": modes["remote"]["1"][
+            "syscalls_per_op"
+        ],
+    }
+
+    results = {
+        "env": env_block(),
+        "method": {
+            "depths": list(DEPTHS),
+            "reps_per_cell": REPS,
+            "aggregation": "median by throughput",
+            "ops": OPS,
+            "cluster_ops": CLUSTER_OPS,
+            "value_size": VALUE_SIZE,
+            "num_keys": NUM_KEYS,
+            "cluster": f"{PARTITIONS} partitions, RF=1 (no replicas)",
+            "syscalls": (
+                "send_calls/recv_calls are counted by the client at "
+                "every socket sendall/recv_into; syscalls_per_op is "
+                "their sum over operations -- the round-trip "
+                "amortization mechanism, independent of scheduling"
+            ),
+            "latency": (
+                "per-op, arrival-stamped: each op's latency runs from "
+                "its submission into the window to its reply, so window "
+                "queueing is inside the percentiles; deeper windows "
+                "trade per-op latency for throughput and the numbers "
+                "show it"
+            ),
+        },
+        "note": one_cpu_note(
+            "client and server(s) time-slice one core, so pipelining "
+            "wins by cutting syscalls and context switches per op, not "
+            "by overlapping network latency with server work; on a "
+            "real network the depth ladder steepens (the overlapped "
+            "RTT is then physical)."
+        ),
+        "modes": modes,
+        "claims": claims,
+    }
+
+    write_bench("pipeline", results)
+    print(json.dumps(claims, indent=2))
+
+    if not SMOKE:
+        assert claims["remote_depth16_speedup"] >= 1.5, (
+            "pipeline depth 16 under 1.5x on the remote store"
+        )
+        assert claims["cluster_depth16_speedup"] >= 1.2, (
+            "pipeline depth 16 under 1.2x on the cluster"
+        )
+        assert (
+            claims["remote_depth16_syscalls_per_op"]
+            < claims["remote_depth1_syscalls_per_op"] / 3
+        ), "depth 16 should cut syscalls per op by >3x"
+    return results
+
+
+if __name__ == "__main__":
+    main()

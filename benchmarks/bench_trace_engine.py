@@ -21,16 +21,13 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 import resource
 import struct
 import sys
 import time
 from dataclasses import dataclass
 
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+from _harness import env_block, write_bench
 
 from repro.core import (  # noqa: E402
     Driver,
@@ -168,10 +165,6 @@ def peak_rss_bytes():
 
 
 def main():
-    out_path = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "BENCH_trace_engine.json",
-    )
     tmp_dir = os.environ.get("TMPDIR", "/tmp")
     columnar_path = os.path.join(tmp_dir, "bench_trace_engine_v2.gdgt")
     seed_path = os.path.join(tmp_dir, "bench_trace_engine_v1.gdgt")
@@ -183,10 +176,7 @@ def main():
             "operator": "sliding-window-incremental(5000,1000)",
             "seed": SEED,
         },
-        "env": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-        },
+        "env": env_block(),
     }
 
     # -- columnar pipeline --------------------------------------------------
@@ -274,11 +264,8 @@ def main():
         except OSError:
             pass
 
-    with open(out_path, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
     print(json.dumps(results, indent=2))
-    print(f"\nwrote {out_path}")
+    write_bench("trace_engine", results)
     speedup = results["speedup"]
     assert speedup["end_to_end"] >= 1.0, "columnar engine slower than seed?"
     return results

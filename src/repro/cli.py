@@ -261,6 +261,7 @@ def _replay_cluster(args, trace) -> int:
         retry_policy=policy,
         service_rate=args.service_rate,
         batch_size=args.batch,
+        pipeline_depth=args.pipeline,
         telemetry=telemetry,
     )
     print(render_table(["metric", "value"], _cluster_rows(result),
@@ -361,6 +362,33 @@ def _recovery_rows(result) -> List[List]:
     return rows
 
 
+def _check_pipeline_flags(args) -> None:
+    """Reject --pipeline combinations before any replay starts."""
+    if not args.pipeline or args.pipeline <= 1:
+        return
+    if args.batch and args.batch > 1:
+        raise SystemExit(
+            "error: --batch and --pipeline are alternative round-trip "
+            "amortizations; pick one"
+        )
+    if getattr(args, "processes", False):
+        raise SystemExit(
+            "error: --pipeline requires threads; --processes workers "
+            "replay synchronously"
+        )
+    if getattr(args, "crash_at", None) is not None:
+        raise SystemExit(
+            "error: --crash-at stops the replay at an exact op index; "
+            "a pipelined window makes that point ambiguous -- drop "
+            "--pipeline"
+        )
+    if getattr(args, "disk_faults", None):
+        raise SystemExit(
+            "error: disk-fault runs replay embedded stores synchronously; "
+            "drop --pipeline"
+        )
+
+
 def _telemetry_options(args):
     """Resolve --trace / --metrics / --progress into a ReplayTelemetry
     (or None when no recording was requested)."""
@@ -373,7 +401,11 @@ def _telemetry_options(args):
         metrics_path=args.metrics,
         progress_stream=sys.stderr if args.progress else None,
         interval_ms=args.metrics_interval_ms,
-        meta={"trace": args.trace, "batch": args.batch or 1},
+        meta={
+            "trace": args.trace,
+            "batch": args.batch or 1,
+            "pipeline": getattr(args, "pipeline", None) or 1,
+        },
     )
 
 
@@ -383,6 +415,7 @@ def _print_sharded_table(args, result, fault_plan, store_label) -> None:
     rows = [
         ["store", store_label],
         ["batch size", args.batch or 1],
+        ["pipeline depth", getattr(args, "pipeline", None) or 1],
         ["operations", result.operations],
         ["aggregate throughput (kops)", round(summary["throughput_kops"], 1)],
         ["p50 (us)", round(summary["p50_us"], 1)],
@@ -397,6 +430,7 @@ def _print_sharded_table(args, result, fault_plan, store_label) -> None:
 
 def cmd_replay(args) -> int:
     trace = AccessTrace.load(args.trace)
+    _check_pipeline_flags(args)
     if _cluster_requested(args):
         return _replay_cluster(args, trace)
     if args.chaos:
@@ -495,6 +529,7 @@ def cmd_replay(args) -> int:
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             batch_size=args.batch,
+            pipeline_depth=args.pipeline,
             telemetry=telemetry,
         )
         result = replayer.replay(trace)
@@ -508,7 +543,8 @@ def cmd_replay(args) -> int:
     replayer = TraceReplayer(
         connector, service_rate=args.service_rate,
         fault_plan=fault_plan, retry_policy=retry_policy,
-        batch_size=args.batch, telemetry=telemetry,
+        batch_size=args.batch, pipeline_depth=args.pipeline,
+        telemetry=telemetry,
     )
     result = replayer.replay(trace)
     stall_rows: List[List] = []
@@ -524,6 +560,7 @@ def cmd_replay(args) -> int:
     rows = [
         ["store", args.store],
         ["batch size", args.batch or 1],
+        ["pipeline depth", args.pipeline or 1],
         ["operations", result.operations],
         ["throughput (kops)", round(summary["throughput_kops"], 1)],
         ["p50 (us)", round(summary["p50_us"], 1)],
@@ -581,6 +618,7 @@ def cmd_ycsb(args) -> int:
 
 def cmd_compare(args) -> int:
     trace = AccessTrace.load(args.trace)
+    _check_pipeline_flags(args)
     if _cluster_requested(args):
         return _compare_cluster(args, trace)
     if args.chaos:
@@ -607,6 +645,11 @@ def cmd_compare(args) -> int:
             raise SystemExit(
                 "error: the --compaction sweep measures clean replays; "
                 "drop --faults/--crash-at/--disk-faults"
+            )
+        if args.pipeline and args.pipeline > 1:
+            raise SystemExit(
+                "error: the --compaction sweep runs embedded LSM stores "
+                "(no round trips to overlap); drop --pipeline"
             )
         return _compare_compaction(args, trace)
     if args.background:
@@ -684,28 +727,32 @@ def cmd_compare(args) -> int:
         return 0
     results = evaluator.evaluate(
         args.trace, trace, batch_size=args.batch,
+        pipeline_depth=args.pipeline,
         metrics_dir=args.metrics, metrics_interval_ms=args.metrics_interval_ms,
     )
     if fault_plan is not None:
         rows = [
-            [row.store, row.batch_size, round(row.throughput_kops, 1),
+            [row.store, row.batch_size, row.pipeline_depth,
+             round(row.throughput_kops, 1),
              round(row.p50_us, 1), round(row.p999_us, 1),
              row.injected_faults, row.retries, row.failed_ops]
             for row in results
         ]
         print(render_table(
-            ["store", "batch", "kops", "p50 us", "p99.9 us", "faults",
-             "retries", "failed"],
+            ["store", "batch", "pipe", "kops", "p50 us", "p99.9 us",
+             "faults", "retries", "failed"],
             rows, title=f"faulted store comparison on {args.trace}"))
     else:
         rows = [
-            [row.store, row.batch_size, round(row.throughput_kops, 1),
+            [row.store, row.batch_size, row.pipeline_depth,
+             round(row.throughput_kops, 1),
              round(row.p50_us, 1), round(row.p999_us, 1)]
             for row in results
         ]
-        print(render_table(["store", "batch", "kops", "p50 us", "p99.9 us"],
-                           rows, title=f"store comparison on {args.trace}"))
-    best = max(rows, key=lambda r: r[2])
+        print(render_table(
+            ["store", "batch", "pipe", "kops", "p50 us", "p99.9 us"],
+            rows, title=f"store comparison on {args.trace}"))
+    best = max(rows, key=lambda r: r[3])
     print(f"best throughput: {best[0]}")
     if args.metrics:
         paths = [row.timeseries_path for row in results if row.timeseries_path]
@@ -739,6 +786,7 @@ def _compare_cluster(args, trace) -> int:
         args.trace, trace,
         partitions=config.partitions, replicas=config.replicas,
         ack=config.ack, chaos=chaos, batch_size=args.batch,
+        pipeline_depth=args.pipeline,
     )
     rows = [
         [row.store, row.cluster, round(row.throughput_kops, 1),
@@ -1002,6 +1050,14 @@ def build_parser() -> argparse.ArgumentParser:
         "included",
     )
     replay.add_argument(
+        "--pipeline", type=_positive_int, default=None, metavar="N",
+        help="keep up to N ops in flight per connection instead of "
+        "blocking on each round trip (remote and cluster stores; "
+        "embedded stores run synchronously); per-op latency stays "
+        "honest -- measured from each op's arrival, window queueing "
+        "included; mutually exclusive with --batch",
+    )
+    replay.add_argument(
         "--trace-out", "--trace", dest="trace_out", metavar="FILE",
         default=None,
         help="record internal spans (flushes, compactions, WAL commits, "
@@ -1041,6 +1097,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch", type=_positive_int, default=None, metavar="N",
         help="micro-batch up to N consecutive same-kind ops into one "
         "multi_get/apply_batch call on every store (default: per-op)",
+    )
+    compare.add_argument(
+        "--pipeline", type=_positive_int, default=None, metavar="N",
+        help="keep up to N ops in flight per connection on every store "
+        "(remote and cluster stores; embedded stores run "
+        "synchronously); mutually exclusive with --batch",
     )
     compare.add_argument(
         "--metrics", metavar="DIR", default=None,

@@ -186,6 +186,17 @@ class ChaosConnector:
     def close(self) -> None:
         self._inner.close()
 
+    def pipeline(self, depth: int, on_complete):
+        """Pipelined session with the chaos clock at submit time.
+
+        Each submit ticks one logical op *before* the op enters the
+        window, so chaos actions fire at the same logical offsets as
+        synchronous replay -- a kill scheduled at op ``k`` lands while
+        ops ``< k`` may still be in flight, which is exactly the race a
+        real deployment exposes; the window's failover-driven replay of
+        those ops is part of what the experiment measures."""
+        return _ChaosPipeline(self, self._inner.pipeline(depth, on_complete))
+
     # -- metrics surface (mirrors ClusterConnector so register_store
     # finds the cluster gauges through the wrapper) --------------------------
 
@@ -206,6 +217,56 @@ class ChaosConnector:
 
     def reconnects_for(self, name: str) -> int:
         return self._inner.reconnects_for(name)
+
+    @property
+    def inflight_depth(self) -> int:
+        return self._inner.inflight_depth
+
+    @property
+    def flush_coalesced_ops(self) -> int:
+        return self._inner.flush_coalesced_ops
+
+    @property
+    def pipeline_flushes(self) -> int:
+        return self._inner.pipeline_flushes
+
+
+class _ChaosPipeline:
+    """Ticks the chaos schedule per submit, then delegates."""
+
+    def __init__(self, chaos: ChaosConnector, inner) -> None:
+        self._chaos = chaos
+        self._inner = inner
+
+    @property
+    def depth(self) -> int:
+        return self._inner.depth
+
+    @property
+    def pending(self) -> int:
+        return self._inner.pending
+
+    @property
+    def flushes(self) -> int:
+        return self._inner.flushes
+
+    @property
+    def coalesced_ops(self) -> int:
+        return self._inner.coalesced_ops
+
+    def submit(self, opcode: int, key: bytes, value: bytes,
+               arrival_ns: int) -> None:
+        self._chaos._tick(1)
+        self._inner.submit(opcode, key, value, arrival_ns)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def drain(self) -> None:
+        self._inner.drain()
+
+    def close(self) -> None:
+        self._inner.close()
 
 
 @dataclass
@@ -267,6 +328,7 @@ def evaluate_cluster_recovery(
     merge_operator: Optional[MergeOperator] = None,
     service_rate: Optional[float] = None,
     batch_size: Optional[int] = None,
+    pipeline_depth: Optional[int] = None,
     verify: bool = True,
     storage_root: Optional[str] = None,
     telemetry=None,
@@ -326,6 +388,7 @@ def evaluate_cluster_recovery(
                 target,
                 service_rate=service_rate,
                 batch_size=batch_size,
+                pipeline_depth=pipeline_depth,
                 telemetry=telemetry,
             ).replay(trace)
         target.finish()

@@ -32,8 +32,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from zlib import crc32
 
 from ..faults.retry import RetryPolicy
-from ..kvstores.api import OP_DELETE, OP_MERGE, OP_PUT, BatchOp
-from ..kvstores.remote import RemoteStoreClient, RemoteStoreError
+from ..kvstores.api import OP_DELETE, OP_GET, OP_MERGE, OP_PUT, BatchOp
+from ..kvstores.connectors import PipelineSession
+from ..kvstores.remote import (
+    _BATCH_ALL_OK,
+    REPLY_ERROR,
+    REPLY_MISSING,
+    REPLY_VALUE,
+    RemoteStoreClient,
+    RemoteStoreError,
+    _BatchUnsupportedError,
+)
 from ..obs import tracing
 from .manager import StoreCluster
 
@@ -88,6 +97,10 @@ class ClusterConnector:
         self.chain_repairs = 0  # all repairs, promotion or not
         self.migrations_completed = 0
         self.failover_ms: List[float] = []  # per-repair wall time
+        # pipelined-mode gauges (zero for synchronous use)
+        self.pipeline_flushes = 0
+        self.flush_coalesced_ops = 0
+        self.inflight_depth = 0
         for partition in range(self.partitions):
             self._configure_chain(partition)
 
@@ -439,6 +452,92 @@ class ClusterConnector:
         self._on_primary(partition, lambda c: c.delete(key))
         self._after_write(partition, OP_DELETE, key, b"")
 
+    # -- scatter-gather fan-out ---------------------------------------------
+
+    def _scatter(
+        self, frames: Dict[int, List[BatchOp]]
+    ) -> Dict[int, Optional[RemoteStoreClient]]:
+        """Issue every touched partition's :data:`OP_BATCH` frame before
+        any reply is read: the partitions' servers then process their
+        sub-batches concurrently and a k-partition batch costs ~1 RTT
+        instead of k.  A partition whose send fails (or whose client is
+        already downgraded to v1) maps to None -- its gather falls back
+        to the sequential :meth:`_on_primary` replay, which repairs the
+        chain and retries only that sub-batch."""
+        sent: Dict[int, Optional[RemoteStoreClient]] = {}
+        for partition, items in frames.items():
+            try:
+                client = self._client(self._chains[partition][0])
+                if not client._batch_supported:
+                    sent[partition] = None  # v1 peer: per-op replay
+                    continue
+                client.batch_send(items)
+            except RemoteStoreError:
+                sent[partition] = None
+                continue
+            tracing.instant(
+                "cluster.scatter", partition=partition, n=len(items)
+            )
+            sent[partition] = client
+        return sent
+
+    def _gather_get(
+        self,
+        partition: int,
+        scattered: Dict[int, Optional[RemoteStoreClient]],
+        subset: List[bytes],
+    ) -> List[Optional[bytes]]:
+        """Collect one scattered partition's get replies; any failure
+        (transport death, v1 downgrade, store error) replays only this
+        partition's sub-batch under the repair loop."""
+        client = scattered.get(partition)
+        if client is not None:
+            try:
+                replies = client.batch_recv(len(subset))
+            except (_BatchUnsupportedError, RemoteStoreError):
+                pass  # replay below: _on_primary repairs and retries
+            else:
+                tracing.instant(
+                    "cluster.gather", partition=partition, n=len(subset)
+                )
+                values: Optional[List[Optional[bytes]]] = []
+                for status, data in replies:
+                    if status == REPLY_VALUE:
+                        values.append(data)
+                    elif status == REPLY_MISSING:
+                        values.append(None)
+                    else:  # store-level error: replay the sub-batch
+                        values = None
+                        break
+                if values is not None:
+                    return values
+        return self._on_primary(partition, lambda c, s=subset: c.multi_get(s))
+
+    def _gather_write(
+        self,
+        partition: int,
+        scattered: Dict[int, Optional[RemoteStoreClient]],
+        group: List[BatchOp],
+    ) -> None:
+        """Collect one scattered partition's write acks (see
+        :meth:`_gather_get` for the failure contract; a replayed write
+        sub-batch is at-least-once, exactly like a retried sync op)."""
+        client = scattered.get(partition)
+        if client is not None:
+            try:
+                replies = client.batch_recv(len(group))
+            except (_BatchUnsupportedError, RemoteStoreError):
+                pass
+            else:
+                tracing.instant(
+                    "cluster.gather", partition=partition, n=len(group)
+                )
+                if replies is _BATCH_ALL_OK or all(
+                    status != REPLY_ERROR for status, _ in replies
+                ):
+                    return
+        self._on_primary(partition, lambda c, g=group: c.apply_batch(g))
+
     def multi_get(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
         if not keys:
             return []
@@ -446,11 +545,24 @@ class ClusterConnector:
         for index, key in enumerate(keys):
             groups.setdefault(self._partition(key), []).append(index)
         out: List[Optional[bytes]] = [None] * len(keys)
-        for partition, indices in groups.items():
+        if len(groups) == 1:
+            ((partition, indices),) = groups.items()
             subset = [keys[i] for i in indices]
             values = self._on_primary(
                 partition, lambda c, s=subset: c.multi_get(s)
             )
+            for index, value in zip(indices, values):
+                out[index] = value
+            return out
+        scattered = self._scatter(
+            {
+                partition: [(OP_GET, keys[i], b"") for i in indices]
+                for partition, indices in groups.items()
+            }
+        )
+        for partition, indices in groups.items():
+            subset = [keys[i] for i in indices]
+            values = self._gather_get(partition, scattered, subset)
             for index, value in zip(indices, values):
                 out[index] = value
         return out
@@ -461,9 +573,21 @@ class ClusterConnector:
         groups: Dict[int, List[BatchOp]] = {}
         for op in ops:
             groups.setdefault(self._partition(op[1]), []).append(op)
-        for partition, group in groups.items():
+        if len(groups) == 1:
+            ((partition, group),) = groups.items()
             self._on_primary(partition, lambda c, g=group: c.apply_batch(g))
             self._after_write_batch(partition, group)
+            return
+        scattered = self._scatter(groups)
+        for partition, group in groups.items():
+            self._gather_write(partition, scattered, group)
+            self._after_write_batch(partition, group)
+
+    def pipeline(self, depth: int, on_complete) -> "_ClusterPipeline":
+        """Open a pipelined session: submitted ops accumulate into a
+        window that flushes as one scatter-gather fan-out (see
+        :class:`_ClusterPipeline`)."""
+        return _ClusterPipeline(self, depth, on_complete)
 
     def take_background_ns(self) -> int:
         return 0
@@ -480,3 +604,138 @@ class ClusterConnector:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _ClusterPipeline(PipelineSession):
+    """Windowed scatter-gather over a :class:`ClusterConnector`.
+
+    Submitted ops accumulate until the window holds ``depth`` of them,
+    then flush as ONE fan-out: the window is split per partition, every
+    touched partition's :data:`~repro.kvstores.remote.OP_BATCH` frame
+    is sent before any reply is read, and replies are gathered in
+    scatter order -- so a full window costs ~1 RTT regardless of how
+    many partitions it touches.  Completion timestamps are taken at
+    gather, so histogram latency includes window queueing time.
+
+    Failover mid-gather repairs only the failed partition's chain and
+    replays only its sub-batch (per-op, under the connector's
+    :meth:`~ClusterConnector._on_primary` budget); the other
+    partitions' replies are unaffected.  Replayed writes are
+    at-least-once, exactly like a retried synchronous op.
+    """
+
+    def __init__(
+        self, connector: ClusterConnector, depth: int, on_complete
+    ) -> None:
+        super().__init__(connector, depth, on_complete)
+        self._conn = connector
+        #: (opcode, key, value, arrival_ns) awaiting the next fan-out
+        self._staged: List[Tuple[int, bytes, bytes, int]] = []
+
+    @property
+    def pending(self) -> int:
+        return len(self._staged)
+
+    def submit(self, opcode: int, key: bytes, value: bytes,
+               arrival_ns: int) -> None:
+        self._staged.append((opcode, key, value, arrival_ns))
+        if len(self._staged) >= self.requested_depth:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._staged:
+            return
+        window = self._staged
+        self._staged = []
+        if tracing.active() is None:
+            self._flush_window(window)
+            return
+        with tracing.span("remote.pipeline_flush", n=len(window)):
+            self._flush_window(window)
+
+    def _flush_window(self, window: List[Tuple[int, bytes, bytes, int]]) -> None:
+        conn = self._conn
+        conn.inflight_depth = len(window)
+        groups: Dict[int, List[Tuple[int, bytes, bytes, int]]] = {}
+        for item in window:
+            groups.setdefault(conn._partition(item[1]), []).append(item)
+        scattered = conn._scatter(
+            {
+                partition: [(op, key, value) for op, key, value, _ in items]
+                for partition, items in groups.items()
+            }
+        )
+        for partition, items in groups.items():
+            self._gather_window(partition, scattered, items)
+        conn.pipeline_flushes += 1
+        conn.flush_coalesced_ops += len(window)
+        conn.inflight_depth = 0
+        self.flushes += 1
+        self.coalesced_ops += len(window)
+
+    def _gather_window(
+        self,
+        partition: int,
+        scattered: Dict[int, Optional[RemoteStoreClient]],
+        items: List[Tuple[int, bytes, bytes, int]],
+    ) -> None:
+        conn = self._conn
+        client = scattered.get(partition)
+        replies = None
+        if client is not None:
+            try:
+                replies = client.batch_recv(len(items))
+            except (_BatchUnsupportedError, RemoteStoreError):
+                replies = None
+            else:
+                tracing.instant(
+                    "cluster.gather", partition=partition, n=len(items)
+                )
+        completed = False
+        if replies is not None:
+            now = time.perf_counter_ns()
+            if replies is _BATCH_ALL_OK:
+                for opcode, _key, _value, arrival in items:
+                    self._on_complete(opcode, arrival, now, None)
+                completed = True
+            elif all(status != REPLY_ERROR for status, _ in replies):
+                for (status, data), (opcode, _key, _value, arrival) in zip(
+                    replies, items
+                ):
+                    value = data if status == REPLY_VALUE else None
+                    self._on_complete(opcode, arrival, now, value)
+                completed = True
+        if not completed:
+            # transport death, v1 peer, or a store-level rejection:
+            # repair + per-op replay of ONLY this partition's sub-batch
+            self._replay_members(partition, items)
+        writes = [
+            (op, key, value) for op, key, value, _ in items if op in _WRITE_OPS
+        ]
+        if writes:
+            conn._after_write_batch(partition, writes)
+
+    def _replay_members(
+        self, partition: int, items: List[Tuple[int, bytes, bytes, int]]
+    ) -> None:
+        conn = self._conn
+        for opcode, key, value, arrival in items:
+            if opcode == OP_GET:
+                reply = conn._on_primary(partition, lambda c, k=key: c.get(k))
+            elif opcode == OP_PUT:
+                conn._on_primary(
+                    partition, lambda c, k=key, v=value: c.put(k, v)
+                )
+                reply = None
+            elif opcode == OP_MERGE:
+                conn._on_primary(
+                    partition, lambda c, k=key, v=value: c.merge(k, v)
+                )
+                reply = None
+            else:
+                conn._on_primary(partition, lambda c, k=key: c.delete(k))
+                reply = None
+            self._on_complete(opcode, arrival, time.perf_counter_ns(), reply)
+
+    def drain(self) -> None:
+        self.flush()

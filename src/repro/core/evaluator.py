@@ -88,6 +88,13 @@ class LockedConnector:
         with self._lock:
             self._inner.close()
 
+    def pipeline(self, depth: int, on_complete):
+        """Synchronous-fallback session executing each op under the
+        lock; a shared in-process store has no round trips to overlap."""
+        from ..kvstores.connectors import PipelineSession
+
+        return PipelineSession(self, depth, on_complete)
+
 
 @dataclass
 class EvaluationRow:
@@ -106,6 +113,8 @@ class EvaluationRow:
     failed_ops: int = 0
     #: micro-batch size the replay ran with (1 = per-op)
     batch_size: int = 1
+    #: in-flight window depth the replay ran with (1 = synchronous)
+    pipeline_depth: int = 1
     #: wall-clock of the store's recover() path (crash-recovery mode)
     recovery_ms: Optional[float] = None
     #: WAL records replayed during recovery (crash-recovery mode)
@@ -281,6 +290,7 @@ class PerformanceEvaluator:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: Optional[int] = None,
+        pipeline_depth: Optional[int] = None,
         metrics_dir: Optional[str] = None,
         metrics_interval_ms: float = 100.0,
     ) -> List[EvaluationRow]:
@@ -295,6 +305,9 @@ class PerformanceEvaluator:
         ``batch_size`` micro-batches the replay (see
         :class:`~repro.core.replayer.TraceReplayer`); rows carry the
         size so batched and per-op rows stay distinguishable.
+        ``pipeline_depth`` instead runs every store through a bounded
+        in-flight window (rows carry the depth); the two round-trip
+        amortizations are mutually exclusive.
         ``metrics_dir`` samples every store's replay into
         ``<dir>/<workload>-<store>.jsonl`` (see :mod:`repro.obs`) and
         records the path in the row's ``timeseries_path``.
@@ -328,6 +341,7 @@ class PerformanceEvaluator:
                 fault_plan=plan,
                 retry_policy=self._fresh_policy(retry_policy),
                 batch_size=batch_size,
+                pipeline_depth=pipeline_depth,
                 telemetry=telemetry,
             )
             result = replayer.replay(trace)
@@ -335,6 +349,7 @@ class PerformanceEvaluator:
             connector.close()
             row = EvaluationRow.from_result(workload_name, result)
             row.batch_size = batch_size or 1
+            row.pipeline_depth = pipeline_depth or 1
             row.timeseries_path = series_path
             if stalls:
                 row.write_stalls = stalls
@@ -517,6 +532,7 @@ class PerformanceEvaluator:
         stores: Optional[Sequence[str]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: Optional[int] = None,
+        pipeline_depth: Optional[int] = None,
     ) -> List[EvaluationRow]:
         """Replay through a partitioned + replicated cluster per store.
 
@@ -554,9 +570,11 @@ class PerformanceEvaluator:
                 retry_policy=self._fresh_policy(retry_policy),
                 service_rate=self.service_rate,
                 batch_size=batch_size,
+                pipeline_depth=pipeline_depth,
             )
             row = EvaluationRow.from_cluster(workload_name, result)
             row.batch_size = batch_size or 1
+            row.pipeline_depth = pipeline_depth or 1
             rows.append(row)
         return rows
 
@@ -608,6 +626,7 @@ class PerformanceEvaluator:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         batch_size: Optional[int] = None,
+        pipeline_depth: Optional[int] = None,
         processes: bool = False,
         storage_root: Optional[str] = None,
     ) -> ShardedReplayResult:
@@ -637,6 +656,11 @@ class PerformanceEvaluator:
                     "share_store requires threads; processes cannot "
                     "share one in-process store instance"
                 )
+            if pipeline_depth is not None and pipeline_depth > 1:
+                raise ValueError(
+                    "pipeline_depth requires threads; process workers "
+                    "replay synchronously"
+                )
             from .mp_replay import ConnectorSpec, ProcessShardedReplayer
 
             spec = ConnectorSpec.for_store(
@@ -662,6 +686,7 @@ class PerformanceEvaluator:
                 fault_plan=plan,
                 retry_policy=policy,
                 batch_size=batch_size,
+                pipeline_depth=pipeline_depth,
             )
             try:
                 return replayer.replay(trace)
@@ -674,6 +699,7 @@ class PerformanceEvaluator:
             fault_plan=plan,
             retry_policy=policy,
             batch_size=batch_size,
+            pipeline_depth=pipeline_depth,
         )
         try:
             return replayer.replay(trace)

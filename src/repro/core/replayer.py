@@ -205,11 +205,24 @@ class TraceReplayer:
         fault_plan=None,
         retry_policy=None,
         batch_size: Optional[int] = None,
+        pipeline_depth: Optional[int] = None,
         telemetry=None,
         stop_check: Optional[Callable[[], bool]] = None,
     ) -> None:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if pipeline_depth is not None and pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        if (
+            batch_size is not None
+            and batch_size > 1
+            and pipeline_depth is not None
+            and pipeline_depth > 1
+        ):
+            raise ValueError(
+                "batch_size and pipeline_depth are alternative round-trip "
+                "amortizations; pick one"
+            )
         self.connector = connector
         self.service_rate = service_rate
         self.measure_latency = measure_latency
@@ -217,6 +230,12 @@ class TraceReplayer:
         #: vs. writes) are grouped up to this many and dispatched via
         #: ``multi_get``/``apply_batch``.  ``None``/1 replays per-op.
         self.batch_size = batch_size
+        #: bounded in-flight window: ops are submitted into a
+        #: :meth:`~repro.kvstores.connectors.StoreConnector.pipeline`
+        #: session that keeps up to this many un-acked, with latency
+        #: stamped arrival-to-completion (queueing included).
+        #: ``None``/1 replays synchronously.
+        self.pipeline_depth = pipeline_depth
         #: record latencies into O(1)-memory histograms instead of
         #: per-sample lists -- for multi-million-op replays
         self.use_histograms = use_histograms
@@ -267,12 +286,19 @@ class TraceReplayer:
             gc.disable()
         try:
             batched = self.batch_size is not None and self.batch_size > 1
+            pipelined = (
+                self.pipeline_depth is not None and self.pipeline_depth > 1
+            )
             if self.fault_plan is not None or self.retry_policy is not None:
                 if batched:
                     return self._replay_batched_guarded(trace)
+                if pipelined:
+                    return self._replay_pipelined_guarded(trace)
                 return self._replay_guarded(trace)
             if batched:
                 return self._replay_batched(trace)
+            if pipelined:
+                return self._replay_pipelined(trace)
             return self._replay(trace)
         finally:
             if self.disable_gc and gc_was_enabled:
@@ -506,6 +532,181 @@ class TraceReplayer:
             elapsed_s=elapsed,
             latencies_ns=latencies,
             histograms=histograms,
+        )
+
+    def _make_completion_sink(self, sink, count):
+        """Completion callback for pipelined replay: latency is
+        ``completion - arrival`` (deferred stamping -- the arrival was
+        taken at submit, the completion when the reply frame landed, so
+        window queueing is measured, not hidden)."""
+        if self.measure_latency:
+            def on_complete(code, arrival_ns, complete_ns, value):
+                elapsed_ns = complete_ns - arrival_ns
+                sink[code](elapsed_ns if elapsed_ns > 0 else 0)
+            return on_complete
+        if count is not None:
+            def on_complete(code, arrival_ns, complete_ns, value):
+                count()
+            return on_complete
+        return lambda code, arrival_ns, complete_ns, value: None
+
+    def _replay_pipelined(self, trace: AccessTrace) -> ReplayResult:
+        """Pipelined replay: every op is submitted into a bounded
+        in-flight window (``pipeline_depth``) instead of blocking on
+        its own round trip.
+
+        The connector decides what the window buys: remote/cluster
+        sessions coalesce frames into burst ``sendall`` calls and
+        correlate replies FIFO, embedded stores degrade to synchronous
+        execution.  Latency accounting is deferred: each op carries its
+        arrival timestamp into the window and is stamped when its reply
+        completes, so percentiles include the queueing an op did inside
+        the window -- deeper pipelines honestly trade per-op latency
+        for throughput.
+        """
+        from .histogram import LatencyHistogram
+
+        connector = self.connector
+        latencies: Dict[OpType, List[int]] = {op: [] for op in OpType}
+        histograms: Dict[OpType, LatencyHistogram] = (
+            {op: LatencyHistogram() for op in OpType}
+            if self.use_histograms
+            else {}
+        )
+        if self.use_histograms:
+            sink = tuple(histograms[op].record for op in OPS_BY_CODE)
+        else:
+            sink = tuple(latencies[op].append for op in OPS_BY_CODE)
+        measure = self.measure_latency
+        progress = self._progress
+        if progress is not None and measure:
+            sink = _tee(sink, progress.record)
+        count = progress.count if progress is not None and not measure else None
+        session = connector.pipeline(
+            self.pipeline_depth, self._make_completion_sink(sink, count)
+        )
+        submit = session.submit
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
+        timer = time.perf_counter_ns
+        synth = synthesize_value
+        stop = self.stop_check
+        keys = trace.unique_keys()
+        columns = zip(trace.op_codes, trace.key_ids, trace.value_sizes)
+        started = time.perf_counter()
+        next_dispatch = started
+        for code, kid, size in columns:
+            if stop is not None and stop():
+                raise ReplayStopped
+            if interval:
+                if time.perf_counter() < next_dispatch:
+                    _throttle(next_dispatch)
+                next_dispatch += interval
+            key = keys[kid]
+            value = b"" if code == 0 or code == 3 else synth(size)
+            submit(code, key, value, timer() if measure else 0)
+        session.drain()
+        elapsed = time.perf_counter() - started
+        return ReplayResult(
+            store=connector.name,
+            operations=len(trace),
+            elapsed_s=elapsed,
+            latencies_ns=latencies,
+            histograms=histograms,
+        )
+
+    def _replay_pipelined_guarded(self, trace: AccessTrace) -> ReplayResult:
+        """Pipelined replay under a fault plan and/or retry policy.
+
+        Composition is retry(faults(connector)) exactly as in the
+        synchronous guarded loop: injected faults fire at submit time
+        (one schedule draw per logical op, before the op enters the
+        window), so fault timelines line up op-for-op with synchronous
+        replay.  An injected crash at op ``k`` stops submission; the
+        window is still drained -- the ops before ``k`` were already
+        on the wire, the same prefix a synchronous crash leaves
+        applied.  Remote transport recovery happens *inside* the
+        window (the client's own retry budget re-sends un-acked ops
+        after reconnecting), never here.
+        """
+        from ..faults.errors import InjectedCrash, TransientStoreError
+        from ..faults.injector import FaultInjectingConnector
+        from ..faults.retry import RetryingConnector
+        from .histogram import LatencyHistogram
+
+        target = self.connector
+        injector = None
+        if self.fault_plan is not None:
+            injector = FaultInjectingConnector(target, self.fault_plan)
+            target = injector
+        retrier = None
+        if self.retry_policy is not None:
+            retrier = RetryingConnector(target, self.retry_policy)
+            target = retrier
+        progress = self._progress
+        if progress is not None:
+            progress.attach_fault_sources(injector, retrier)
+        latencies: Dict[OpType, List[int]] = {op: [] for op in OpType}
+        histograms: Dict[OpType, LatencyHistogram] = (
+            {op: LatencyHistogram() for op in OpType}
+            if self.use_histograms
+            else {}
+        )
+        if self.use_histograms:
+            sink = tuple(histograms[op].record for op in OPS_BY_CODE)
+        else:
+            sink = tuple(latencies[op].append for op in OPS_BY_CODE)
+        measure = self.measure_latency
+        if progress is not None and measure:
+            sink = _tee(sink, progress.record)
+        count = progress.count if progress is not None and not measure else None
+        session = target.pipeline(
+            self.pipeline_depth, self._make_completion_sink(sink, count)
+        )
+        submit = session.submit
+        interval = 1.0 / self.service_rate if self.service_rate else 0.0
+        timer = time.perf_counter_ns
+        synth = synthesize_value
+        stop = self.stop_check
+        keys = trace.unique_keys()
+        columns = zip(trace.op_codes, trace.key_ids, trace.value_sizes)
+        operations = len(trace)
+        failed_ops = 0
+        crashed_at: Optional[int] = None
+        started = time.perf_counter()
+        next_dispatch = started
+        for index, (code, kid, size) in enumerate(columns):
+            if stop is not None and stop():
+                raise ReplayStopped
+            if interval:
+                if time.perf_counter() < next_dispatch:
+                    _throttle(next_dispatch)
+                next_dispatch += interval
+            key = keys[kid]
+            value = b"" if code == 0 or code == 3 else synth(size)
+            try:
+                submit(code, key, value, timer() if measure else 0)
+            except InjectedCrash:
+                crashed_at = index
+                operations = index
+                break
+            except TransientStoreError:
+                failed_ops += 1
+                if injector is not None:
+                    injector.abandon_op()
+                continue
+        session.drain()
+        elapsed = time.perf_counter() - started
+        return ReplayResult(
+            store=self.connector.name,
+            operations=operations,
+            elapsed_s=elapsed,
+            latencies_ns=latencies,
+            histograms=histograms,
+            failed_ops=failed_ops,
+            retries=retrier.retries if retrier is not None else 0,
+            injected_faults=injector.injected.total_faults if injector is not None else 0,
+            injected_delay_s=injector.injected.injected_delay_s if injector is not None else 0.0,
+            crashed_at=crashed_at,
         )
 
     def _replay_batched_guarded(self, trace: AccessTrace) -> ReplayResult:
@@ -908,6 +1109,7 @@ class ShardedReplayer:
         fault_plan=None,
         retry_policy=None,
         batch_size: Optional[int] = None,
+        pipeline_depth: Optional[int] = None,
         telemetry=None,
     ) -> None:
         if num_workers <= 0:
@@ -932,6 +1134,8 @@ class ShardedReplayer:
         self.retry_policy = retry_policy
         #: micro-batch size applied by every worker to its shard
         self.batch_size = batch_size
+        #: in-flight window depth applied by every worker to its shard
+        self.pipeline_depth = pipeline_depth
         #: optional :class:`~repro.obs.ReplayTelemetry` recording the
         #: whole fan-out; all workers share one progress object (the
         #: lock-protected recorder) and appear as separate trace lanes.
@@ -1006,6 +1210,7 @@ class ShardedReplayer:
                 ),
                 retry_policy=policy,
                 batch_size=self.batch_size,
+                pipeline_depth=self.pipeline_depth,
                 stop_check=stop_flag.is_set,
             )
             # all workers tee into the session's shared (lock-

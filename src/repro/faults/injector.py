@@ -258,3 +258,54 @@ class FaultInjectingConnector:
 
     def close(self) -> None:
         self._inner.close()
+
+    def pipeline(self, depth: int, on_complete):
+        """Pipelined session under the fault schedule.
+
+        Each submit passes :meth:`_gate` (one schedule draw per logical
+        op, cached across retries) *before* the op enters the inner
+        window, so injected faults fire deterministically at the same
+        logical offsets as synchronous replay.  ``flush``/``drain``
+        delegate ungated: after a crash the replay loop still drains
+        the inner window, so ops submitted before the crash point
+        complete -- the same "everything before op k applied" prefix
+        semantics a synchronous crash leaves behind."""
+        return _FaultGatedPipeline(self, self._inner.pipeline(depth, on_complete))
+
+
+class _FaultGatedPipeline:
+    """Gates each submit through the fault schedule, then delegates."""
+
+    def __init__(self, injector: FaultInjectingConnector, inner) -> None:
+        self._injector = injector
+        self._inner = inner
+
+    @property
+    def depth(self) -> int:
+        return self._inner.depth
+
+    @property
+    def pending(self) -> int:
+        return self._inner.pending
+
+    @property
+    def flushes(self) -> int:
+        return self._inner.flushes
+
+    @property
+    def coalesced_ops(self) -> int:
+        return self._inner.coalesced_ops
+
+    def submit(self, opcode: int, key: bytes, value: bytes,
+               arrival_ns: int) -> None:
+        self._injector._gate()
+        self._inner.submit(opcode, key, value, arrival_ns)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def drain(self) -> None:
+        self._inner.drain()
+
+    def close(self) -> None:
+        self._inner.close()

@@ -230,3 +230,51 @@ class RetryingConnector:
 
     def close(self) -> None:
         self._inner.close()
+
+    def pipeline(self, depth: int, on_complete):
+        """Pipelined session with per-submit retries.
+
+        Injected faults fire at submit time (before the op enters the
+        inner window -- see ``FaultInjectingConnector.pipeline``), so
+        retrying ``submit`` under the policy never double-enqueues an
+        op.  ``flush``/``drain`` pass through unguarded: a remote
+        window's transport recovery already runs under the client's own
+        retry policy, and nesting budgets would retry forever."""
+        return _RetryingPipeline(self, self._inner.pipeline(depth, on_complete))
+
+
+class _RetryingPipeline:
+    """Retries each submit under the owner's policy, then delegates."""
+
+    def __init__(self, retrier: RetryingConnector, inner) -> None:
+        self._retrier = retrier
+        self._inner = inner
+
+    @property
+    def depth(self) -> int:
+        return self._inner.depth
+
+    @property
+    def pending(self) -> int:
+        return self._inner.pending
+
+    @property
+    def flushes(self) -> int:
+        return self._inner.flushes
+
+    @property
+    def coalesced_ops(self) -> int:
+        return self._inner.coalesced_ops
+
+    def submit(self, opcode: int, key: bytes, value: bytes,
+               arrival_ns: int) -> None:
+        self._retrier._call(self._inner.submit, opcode, key, value, arrival_ns)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def drain(self) -> None:
+        self._inner.drain()
+
+    def close(self) -> None:
+        self._inner.close()

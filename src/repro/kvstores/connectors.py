@@ -13,10 +13,12 @@ operations its store actually supports (paper section 5.5):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import Callable, List, Optional, Sequence
 
 from .api import (
     OP_DELETE,
+    OP_GET,
     OP_MERGE,
     OP_PUT,
     AppendMergeOperator,
@@ -24,6 +26,81 @@ from .api import (
     KVStore,
     MergeOperator,
 )
+
+#: Completion callback for pipelined replay: ``(opcode, arrival_ns,
+#: complete_ns, value)``.  ``value`` is the reply payload for gets
+#: (None for missing keys and for writes).
+CompletionFn = Callable[[int, int, int, Optional[bytes]], None]
+
+
+class PipelineSession:
+    """A bounded-window pipelined view of a connector.
+
+    The replayer submits ops tagged with their arrival timestamp; the
+    session invokes ``on_complete(opcode, arrival_ns, complete_ns,
+    value)`` once the op's effect is durable at the store (for remote
+    backends: once its reply frame arrived).  Latency is measured
+    arrival-to-completion, so queueing inside the window is *included*
+    — deeper pipelines trade per-op latency for throughput and the
+    histograms must say so.
+
+    This base class is the degenerate depth-independent fallback for
+    embedded stores: each op executes synchronously at submit, so every
+    backend accepts ``--pipeline N`` (the window only changes behaviour
+    where deferral buys something, i.e. the remote/cluster paths, which
+    override this).  Subclasses keep the invariant that ``drain()``
+    leaves zero ops pending and that completions fire in submit order.
+    """
+
+    def __init__(self, connector: "StoreConnector", depth: int,
+                 on_complete: CompletionFn) -> None:
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+        self._connector = connector
+        self.requested_depth = depth
+        self._on_complete = on_complete
+        self.flushes = 0
+        self.coalesced_ops = 0
+
+    @property
+    def depth(self) -> int:
+        """The effective window bound (may be < requested after a
+        capability downgrade, e.g. a v1 remote peer)."""
+        return self.requested_depth
+
+    @property
+    def pending(self) -> int:
+        return 0
+
+    def submit(self, opcode: int, key: bytes, value: bytes,
+               arrival_ns: int) -> None:
+        conn = self._connector
+        if opcode == OP_GET:
+            reply = conn.get(key)
+        elif opcode == OP_PUT:
+            conn.put(key, value)
+            reply = None
+        elif opcode == OP_MERGE:
+            conn.merge(key, value)
+            reply = None
+        elif opcode == OP_DELETE:
+            conn.delete(key)
+            reply = None
+        else:
+            raise ValueError(f"unknown opcode {opcode}")
+        complete = time.perf_counter_ns() - conn.take_background_ns()
+        self._on_complete(opcode, arrival_ns, complete, reply)
+
+    def flush(self) -> None:
+        """Push any staged-but-unsent frames to the wire (no-op for
+        synchronous backends)."""
+
+    def drain(self) -> None:
+        """Flush and wait for every in-flight op to complete."""
+        self.flush()
+
+    def close(self) -> None:
+        self.drain()
 
 
 class StoreConnector:
@@ -81,6 +158,14 @@ class StoreConnector:
         """Drop the store like a process kill (no flush, workers
         hard-stopped); see :meth:`repro.kvstores.api.KVStore.abandon`."""
         self.store.abandon()
+
+    def pipeline(self, depth: int, on_complete: CompletionFn) -> PipelineSession:
+        """Open a pipelined session over this connector.
+
+        The base implementation is synchronous (window of 1 regardless
+        of ``depth``); connectors with a real wire between them and the
+        store override this to return a windowed session."""
+        return PipelineSession(self, depth, on_complete)
 
 
 class ReadModifyWriteConnector(StoreConnector):

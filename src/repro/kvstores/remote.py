@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import tracing
 from .api import BatchOp, KVStore, KVStoreError
-from .connectors import StoreConnector, connect
+from .connectors import PipelineSession, StoreConnector, connect
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.retry import RetryPolicy
@@ -80,6 +80,7 @@ _WRITE_OPS = frozenset((OP_PUT, OP_MERGE, OP_DELETE))
 #: one batched op on the wire: opcode, key length, value length
 _BATCH_ITEM = struct.Struct("<BII")
 _REPLY_ITEM = struct.Struct("<BI")  # per-op status, data length
+_REPLY_HEAD = struct.Struct("<BI")  # reply frame header: status, body length
 
 #: sentinel returned by the client's batch request when every op in the
 #: reply is ``REPLY_OK`` with no data (the common all-writes-succeeded
@@ -117,22 +118,81 @@ class _BatchUnsupportedError(Exception):
     retry policies never retry it."""
 
 
-def _recv_exact(sock: socket.socket, length: int) -> bytes:
-    """Receive exactly ``length`` bytes.
+def _recv_into_exact(sock: socket.socket, buf: bytearray, length: int) -> int:
+    """Fill ``buf[:length]`` from the socket without allocating.
 
-    Honours the socket's configured timeout: ``socket.timeout``
-    propagates to the caller (the client converts it to a
-    :class:`RemoteStoreError`; the server treats it like a dead peer).
+    The caller supplies (and reuses) the buffer; data lands in place via
+    ``recv_into`` so a reply header read costs zero heap churn.  Returns
+    the number of ``recv_into`` calls made (the client's syscalls-per-op
+    accounting).  Honours the socket's configured timeout:
+    ``socket.timeout`` propagates to the caller (the client converts it
+    to a :class:`RemoteStoreError`; the server treats it like a dead
+    peer).
     """
-    chunks = []
-    remaining = length
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise ConnectionError("peer closed the connection")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    calls = 0
+    received = 0
+    with memoryview(buf) as view:
+        while received < length:
+            n = sock.recv_into(view[received:length])
+            calls += 1
+            if n == 0:
+                raise ConnectionError("peer closed the connection")
+            received += n
+    return calls
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes:
+    """Receive exactly ``length`` bytes (one buffer, filled in place)."""
+    buf = bytearray(length)
+    _recv_into_exact(sock, buf, length)
+    return bytes(buf)
+
+
+def _grow(buf: bytearray, need: int) -> None:
+    """Amortized-doubling capacity growth for a reusable frame buffer."""
+    if len(buf) < need:
+        buf.extend(b"\x00" * max(need - len(buf), len(buf)))
+
+
+def _frame_op_into(
+    buf: bytearray, pos: int, opcode: int, key: bytes, value: bytes
+) -> int:
+    """Frame one op at ``buf[pos:]`` (caller guarantees capacity);
+    returns the end offset.  ``pack_into`` + slice assignment replaces
+    the old ``pack(...) + key + value`` concatenation, so a framed op
+    costs zero allocations on a warm buffer."""
+    key_len = len(key)
+    value_len = len(value)
+    _HEADER.pack_into(buf, pos, opcode, key_len, value_len)
+    pos += _HEADER.size
+    buf[pos : pos + key_len] = key
+    pos += key_len
+    buf[pos : pos + value_len] = value
+    return pos + value_len
+
+
+def _frame_batch_into(
+    buf: bytearray, items: Sequence[Tuple[int, bytes, bytes]]
+) -> int:
+    """Frame one :data:`OP_BATCH` request into a reusable buffer;
+    returns the frame length."""
+    payload_len = sum(
+        _BATCH_ITEM.size + len(key) + len(value) for _, key, value in items
+    )
+    need = _HEADER.size + payload_len
+    _grow(buf, need)
+    _HEADER.pack_into(buf, 0, OP_BATCH, len(items), payload_len)
+    pos = _HEADER.size
+    for opcode, key, value in items:
+        key_len = len(key)
+        value_len = len(value)
+        _BATCH_ITEM.pack_into(buf, pos, opcode, key_len, value_len)
+        pos += _BATCH_ITEM.size
+        buf[pos : pos + key_len] = key
+        pos += key_len
+        buf[pos : pos + value_len] = value
+        pos += value_len
+    return need
 
 
 def _decode_batch_items(payload: bytes, count: int) -> List[Tuple[int, bytes, bytes]]:
@@ -211,9 +271,11 @@ def _execute_batch(
         else:
             statuses[i] = (REPLY_ERROR, f"unknown batch opcode {opcode}".encode())
             i += 1
-    return b"".join(
-        _REPLY_ITEM.pack(status, len(data)) + data for status, data in statuses
-    )
+    body = bytearray()
+    for status, data in statuses:
+        body += _REPLY_ITEM.pack(status, len(data))
+        body += data
+    return bytes(body)
 
 
 class _Connection:
@@ -286,6 +348,10 @@ class _ReplicationLink:
         #: (send monotonic, op count) per in-flight async frame
         self._pending: "deque" = deque()
         self._inbuf = bytearray()
+        #: reusable frame-assembly and ack-header buffers: forwarding a
+        #: write allocates nothing once these are warm
+        self._framebuf = bytearray(4096)
+        self._ackbuf = bytearray(_REPLY_HEAD.size)
         try:
             sock = socket.create_connection(self.peer, timeout=timeout)
         except OSError as exc:
@@ -302,18 +368,16 @@ class _ReplicationLink:
     # -- forwarding ----------------------------------------------------------
 
     def forward(self, opcode: int, key: bytes, value: bytes) -> None:
-        frame = _HEADER.pack(opcode, len(key), len(value)) + key + value
-        self._transmit(frame, 1)
+        need = _HEADER.size + len(key) + len(value)
+        _grow(self._framebuf, need)
+        _frame_op_into(self._framebuf, 0, opcode, key, value)
+        self._transmit(need, 1)
 
     def forward_batch(self, items: Sequence[Tuple[int, bytes, bytes]]) -> None:
-        payload = b"".join(
-            _BATCH_ITEM.pack(opcode, len(key), len(value)) + key + value
-            for opcode, key, value in items
-        )
-        frame = _HEADER.pack(OP_BATCH, len(items), len(payload)) + payload
-        self._transmit(frame, len(items))
+        need = _frame_batch_into(self._framebuf, items)
+        self._transmit(need, len(items))
 
-    def _transmit(self, frame: bytes, ops: int) -> None:
+    def _transmit(self, length: int, ops: int) -> None:
         if self.broken:
             if self.sync:
                 raise _ReplicationError(
@@ -323,7 +387,8 @@ class _ReplicationLink:
             return
         began = time.monotonic()
         try:
-            self._sock.sendall(frame)
+            with memoryview(self._framebuf)[:length] as frame:
+                self._sock.sendall(frame)
         except OSError as exc:
             self._fail(ops, exc)
             return  # _fail raised already when sync
@@ -340,7 +405,8 @@ class _ReplicationLink:
             self._pending.append((began, ops))
 
     def _read_sync_ack(self, ops: int) -> None:
-        status, length = struct.unpack("<BI", _recv_exact(self._sock, 5))
+        _recv_into_exact(self._sock, self._ackbuf, _REPLY_HEAD.size)
+        status, length = _REPLY_HEAD.unpack_from(self._ackbuf)
         body = _recv_exact(self._sock, length) if length else b""
         if status == REPLY_OK:
             return
@@ -962,6 +1028,20 @@ class RemoteStoreClient:
         #: False once the server proved to be v1; batch calls then fall
         #: back to per-op requests for the life of this client
         self._batch_supported = True
+        #: syscalls-per-op accounting: data-path ``sendall`` bursts and
+        #: ``recv``/``recv_into`` calls (the pipeline benchmark's
+        #: coalescing evidence)
+        self.send_calls = 0
+        self.recv_calls = 0
+        #: pipelined-mode gauges (stay zero for synchronous use)
+        self.inflight_depth = 0
+        self.flush_coalesced_ops = 0
+        self.pipeline_flushes = 0
+        self.aborted_windows = 0
+        #: reusable frame-assembly + reply-header buffers; the hot path
+        #: allocates nothing once these are warm
+        self._framebuf = bytearray(4096)
+        self._replyhead = bytearray(_REPLY_HEAD.size)
         self._connect()
 
     # -- connection management ---------------------------------------------
@@ -1004,11 +1084,21 @@ class RemoteStoreClient:
             raise RemoteStoreError(
                 f"{self.name} client is not connected to {self._peer}"
             )
+        need = _HEADER.size + len(key) + len(value)
+        _grow(self._framebuf, need)
+        _frame_op_into(self._framebuf, 0, opcode, key, value)
         try:
-            sock.sendall(_HEADER.pack(opcode, len(key), len(value)) + key + value)
-            status, length = struct.unpack("<BI", _recv_exact(sock, 5))
+            with memoryview(self._framebuf)[:need] as frame:
+                sock.sendall(frame)
+            self.send_calls += 1
+            self.recv_calls += _recv_into_exact(
+                sock, self._replyhead, _REPLY_HEAD.size
+            )
+            status, length = _REPLY_HEAD.unpack_from(self._replyhead)
             if status == REPLY_VALUE:
-                return _recv_exact(sock, length)
+                body = bytearray(length)
+                self.recv_calls += _recv_into_exact(sock, body, length)
+                return bytes(body)
             if status == REPLY_ERROR:
                 message = (
                     _recv_exact(sock, length).decode("utf-8", errors="replace")
@@ -1064,18 +1154,54 @@ class RemoteStoreClient:
     def _batch_request_raw(
         self, items: Sequence[Tuple[int, bytes, bytes]]
     ) -> List[Tuple[int, bytes]]:
+        self.batch_send(items)
+        return self.batch_recv(len(items))
+
+    def batch_send(self, items: Sequence[Tuple[int, bytes, bytes]]) -> None:
+        """Frame and send one :data:`OP_BATCH` request WITHOUT reading
+        the reply -- the scatter half of the cluster layer's
+        scatter-gather fan-out.  Every :meth:`batch_send` must be paired
+        with a :meth:`batch_recv` on the same connection (the protocol
+        is strictly ordered, so replies correlate positionally)."""
         sock = self._sock
         if sock is None:
             raise RemoteStoreError(
                 f"{self.name} client is not connected to {self._peer}"
             )
-        payload = b"".join(
-            _BATCH_ITEM.pack(opcode, len(key), len(value)) + key + value
-            for opcode, key, value in items
-        )
+        need = _frame_batch_into(self._framebuf, items)
         try:
-            sock.sendall(_HEADER.pack(OP_BATCH, len(items), len(payload)) + payload)
-            status, length = struct.unpack("<BI", _recv_exact(sock, 5))
+            with memoryview(self._framebuf)[:need] as frame:
+                sock.sendall(frame)
+            self.send_calls += 1
+        except socket.timeout as exc:
+            self._drop_socket()
+            raise RemoteStoreError(
+                f"{self.name} operation against {self._peer} timed out "
+                f"after {self._timeout}s (server hung or dead)"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self._drop_socket()
+            raise RemoteStoreError(
+                f"lost connection to {self.name} server at {self._peer}: {exc}"
+            ) from exc
+
+    def batch_recv(self, count: int) -> List[Tuple[int, bytes]]:
+        """Read one batch reply for a ``count``-op :meth:`batch_send` --
+        the gather half.  Against a v1 server this marks the client
+        permanently downgraded, reconnects (the v1 server closes the
+        connection after its error), and raises
+        :class:`_BatchUnsupportedError` for the caller's per-op
+        fallback."""
+        sock = self._sock
+        if sock is None:
+            raise RemoteStoreError(
+                f"{self.name} client is not connected to {self._peer}"
+            )
+        try:
+            self.recv_calls += _recv_into_exact(
+                sock, self._replyhead, _REPLY_HEAD.size
+            )
+            status, length = _REPLY_HEAD.unpack_from(self._replyhead)
             if status == REPLY_ERROR:
                 message = (
                     _recv_exact(sock, length).decode("utf-8", errors="replace")
@@ -1086,6 +1212,8 @@ class RemoteStoreClient:
                     # v1 server: it closes the connection after the
                     # error, so discard the socket before falling back.
                     self._drop_socket()
+                    self._batch_supported = False
+                    self._reconnect_for_fallback()
                     raise _BatchUnsupportedError(message)
                 raise RemoteStoreError(
                     f"{self.name} server at {self._peer} error: {message}"
@@ -1096,17 +1224,20 @@ class RemoteStoreClient:
                     f"{self.name} server at {self._peer} protocol violation: "
                     f"reply {status} to a batch"
                 )
-            body = _recv_exact(sock, length)
-            if body == _OK_ITEM * len(items):
+            body = bytearray(length)
+            self.recv_calls += _recv_into_exact(sock, body, length)
+            if body == _OK_ITEM * count:
                 # All writes succeeded: one memcmp instead of per-item
                 # unpacking (the hot shape of batched write replay).
                 return _BATCH_ALL_OK
             replies: List[Tuple[int, bytes]] = []
             offset = 0
-            for _ in range(len(items)):
+            for _ in range(count):
                 item_status, item_len = _REPLY_ITEM.unpack_from(body, offset)
                 offset += _REPLY_ITEM.size
-                replies.append((item_status, body[offset : offset + item_len]))
+                replies.append(
+                    (item_status, bytes(body[offset : offset + item_len]))
+                )
                 offset += item_len
             return replies
         except struct.error as exc:
@@ -1259,6 +1390,11 @@ class RemoteStoreClient:
     def flush(self) -> None:
         """The server owns durability; nothing to do client-side."""
 
+    def pipeline(self, depth: int, on_complete) -> "_RemotePipeline":
+        """Open a bounded in-flight window over this connection (see
+        :class:`_RemotePipeline`)."""
+        return _RemotePipeline(self, depth, on_complete)
+
     def close(self) -> None:
         if self._sock is None:
             return
@@ -1273,3 +1409,254 @@ class RemoteStoreClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _RemotePipeline(PipelineSession):
+    """A bounded in-flight window over one client connection.
+
+    The protocol is strictly ordered per connection, so correlation is
+    positional: op k's reply is the k-th reply frame, no IDs on the
+    wire, v1/v2 frames unchanged.  Submitted ops are staged (framed
+    into one reusable buffer) and flushed in coalesced ``sendall``
+    bursts; replies drain through a chunked ``recv_into`` loop that
+    completes ops FIFO.  The window never exceeds ``depth`` un-acked
+    ops; once full, the session flushes and drains down to ``depth//2``
+    so reply reads overlap the next burst's framing (half-window
+    hysteresis -- at depth 16 a steady-state burst carries 8 ops per
+    ``sendall``/``recv`` pair instead of 1 per round trip).
+
+    Failure semantics: a transport failure (timeout, reset, dead
+    server) aborts the whole window -- every un-acked op is re-queued
+    and, under the client's single :class:`RetryPolicy` budget, re-sent
+    after a reconnect.  Re-sent ops are at-least-once, exactly like the
+    synchronous client's retry (idempotent put/delete, benchmark-
+    acceptable merge).  A ``REPLY_ERROR`` frame is NOT a transport
+    failure: the server processed and rejected that one op, so it is
+    completed exceptionally (raised to the submitter) and never
+    re-sent.  Against a v1 peer (permanent batch downgrade) the window
+    collapses to 1: v1 answers unknown opcodes with error-then-close,
+    so there is no reply stream worth coalescing against.
+    """
+
+    def __init__(self, client: RemoteStoreClient, depth: int, on_complete) -> None:
+        super().__init__(client, depth, on_complete)
+        self._client = client
+        #: framed-not-yet-sent (opcode, key, value, arrival_ns)
+        self._staged: deque = deque()
+        #: on the wire awaiting replies, FIFO == reply order
+        self._inflight: deque = deque()
+        self._recvbuf = bytearray()
+        self._chunkbuf = bytearray(1 << 16)
+        self._sendbuf = bytearray(4096)
+        self.aborted_windows = 0
+
+    @property
+    def depth(self) -> int:
+        return self.requested_depth if self._client._batch_supported else 1
+
+    @property
+    def pending(self) -> int:
+        return len(self._staged) + len(self._inflight)
+
+    def submit(self, opcode: int, key: bytes, value: bytes,
+               arrival_ns: int) -> None:
+        self._staged.append((opcode, key, value, arrival_ns))
+        depth = self.depth
+        if len(self._staged) + len(self._inflight) >= depth:
+            self.flush()
+            self._collect(depth // 2)
+
+    def flush(self) -> None:
+        if not self._staged:
+            return
+        if tracing.active() is None:
+            self._flush_raw()
+            return
+        with tracing.span(
+            "remote.pipeline_flush",
+            n=len(self._staged), inflight=len(self._inflight),
+        ):
+            self._flush_raw()
+
+    def _flush_raw(self) -> None:
+        try:
+            self._send_staged()
+        except RemoteStoreError as exc:
+            self._recover(exc)
+
+    def _send_staged(self) -> None:
+        """One coalesced ``sendall`` for every staged op; on success
+        they move to the in-flight queue.  Raises
+        :class:`RemoteStoreError` on transport failure (socket
+        dropped, ops left staged for the caller's recovery)."""
+        client = self._client
+        staged = self._staged
+        sock = client._sock
+        if sock is None:
+            raise RemoteStoreError(
+                f"{client.name} client is not connected to {client._peer}"
+            )
+        buf = self._sendbuf
+        need = 0
+        for _, key, value, _arrival in staged:
+            need += _HEADER.size + len(key) + len(value)
+        _grow(buf, need)
+        pos = 0
+        for opcode, key, value, _arrival in staged:
+            pos = _frame_op_into(buf, pos, opcode, key, value)
+        try:
+            with memoryview(buf)[:need] as frame:
+                sock.sendall(frame)
+        except socket.timeout as exc:
+            client._drop_socket()
+            raise RemoteStoreError(
+                f"{client.name} operation against {client._peer} timed out "
+                f"after {client._timeout}s (server hung or dead)"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            client._drop_socket()
+            raise RemoteStoreError(
+                f"lost connection to {client.name} server at "
+                f"{client._peer}: {exc}"
+            ) from exc
+        n = len(staged)
+        client.send_calls += 1
+        self._inflight.extend(staged)
+        staged.clear()
+        self.flushes += 1
+        self.coalesced_ops += n
+        client.pipeline_flushes += 1
+        client.flush_coalesced_ops += n
+        client.inflight_depth = len(self._inflight)
+
+    def drain(self) -> None:
+        """Flush staged frames and wait for every in-flight reply."""
+        self.flush()
+        self._collect(0)
+
+    def _collect(self, target: int) -> None:
+        while len(self._inflight) > target:
+            self._recv_some()
+        self._client.inflight_depth = len(self._inflight)
+
+    def _recv_some(self) -> None:
+        client = self._client
+        sock = client._sock
+        if sock is None:
+            self._recover(RemoteStoreError(
+                f"{client.name} client is not connected to {client._peer}"
+            ))
+            return
+        try:
+            n = sock.recv_into(self._chunkbuf)
+        except socket.timeout as exc:
+            client._drop_socket()
+            self._recover(RemoteStoreError(
+                f"{client.name} operation against {client._peer} timed out "
+                f"after {client._timeout}s (server hung or dead)"
+            ), cause=exc)
+            return
+        except (ConnectionError, OSError) as exc:
+            client._drop_socket()
+            self._recover(RemoteStoreError(
+                f"lost connection to {client.name} server at "
+                f"{client._peer}: {exc}"
+            ), cause=exc)
+            return
+        if n == 0:
+            client._drop_socket()
+            self._recover(RemoteStoreError(
+                f"lost connection to {client.name} server at "
+                f"{client._peer}: peer closed the connection"
+            ))
+            return
+        client.recv_calls += 1
+        with memoryview(self._chunkbuf)[:n] as chunk:
+            self._recvbuf += chunk
+        self._complete_replies()
+
+    def _complete_replies(self) -> None:
+        """Parse every complete reply frame staged in the receive
+        buffer and complete its in-flight op, oldest first."""
+        client = self._client
+        buf = self._recvbuf
+        inflight = self._inflight
+        on_complete = self._on_complete
+        head_size = _REPLY_HEAD.size
+        pos = 0
+        now = time.perf_counter_ns()
+        try:
+            while len(buf) - pos >= head_size:
+                status, length = _REPLY_HEAD.unpack_from(buf, pos)
+                if len(buf) - pos < head_size + length:
+                    break
+                body_start = pos + head_size
+                pos = body_start + length
+                if not inflight:
+                    client._drop_socket()
+                    raise RemoteStoreError(
+                        f"{client.name} server at {client._peer} protocol "
+                        f"violation: reply {status} with no request in flight"
+                    )
+                opcode, _key, _value, arrival = inflight.popleft()
+                if status == REPLY_VALUE:
+                    on_complete(opcode, arrival, now,
+                                bytes(buf[body_start:pos]))
+                elif status == REPLY_OK or status == REPLY_MISSING:
+                    on_complete(opcode, arrival, now, None)
+                elif status == REPLY_ERROR:
+                    message = bytes(buf[body_start:pos]).decode(
+                        "utf-8", errors="replace"
+                    ) or "unspecified server error"
+                    raise RemoteStoreError(
+                        f"{client.name} server at {client._peer} error: "
+                        f"{message}"
+                    )
+                else:
+                    client._drop_socket()
+                    raise RemoteStoreError(
+                        f"{client.name} server at {client._peer} protocol "
+                        f"violation: reply {status} to a pipelined op"
+                    )
+        finally:
+            del buf[:pos]
+        self._client.inflight_depth = len(inflight)
+
+    def _recover(self, error: RemoteStoreError,
+                 cause: Optional[BaseException] = None) -> None:
+        """Transport failure: abort the window, re-queue every un-acked
+        op, and -- under the client's retry policy -- reconnect and
+        re-send them.  Without a policy the pending ops stay staged and
+        the error propagates (an outer layer may reconnect and flush)."""
+        client = self._client
+        client._drop_socket()
+        pending = list(self._inflight)
+        pending.extend(self._staged)
+        self._inflight.clear()
+        self._staged.clear()
+        self._recvbuf.clear()
+        self._staged.extend(pending)
+        self.aborted_windows += 1
+        client.aborted_windows += 1
+        client.inflight_depth = 0
+        tracing.instant("remote.pipeline_abort", pending=len(pending))
+        policy = client._retry_policy
+        if policy is None:
+            raise error from cause
+        last: Exception = error
+        for delay in policy.base_delays():
+            time.sleep(policy._jittered(delay))
+            try:
+                client._connect()
+            except RemoteStoreError as exc:
+                last = exc
+                continue
+            client.reconnects += 1
+            tracing.instant("remote.reconnect", total=client.reconnects)
+            try:
+                self._send_staged()
+            except RemoteStoreError as exc:
+                last = exc
+                continue
+            return
+        raise last from cause

@@ -209,6 +209,16 @@ def register_store(registry: MetricsRegistry, store, prefix: str = "") -> int:
             f"{prefix}remote.reconnects", lambda c=store: c.reconnects
         )
 
+    # -- pipelined windows (remote client and cluster connector) ------------
+    if hasattr(store, "flush_coalesced_ops"):
+        registry.gauge(
+            f"{prefix}remote.inflight_depth", lambda c=store: c.inflight_depth
+        )
+        registry.gauge(
+            f"{prefix}remote.flush_coalesced_ops",
+            lambda c=store: c.flush_coalesced_ops,
+        )
+
     # -- cluster connector ---------------------------------------------------
     if hasattr(store, "failovers") and hasattr(store, "endpoints"):
         registry.gauge(f"{prefix}cluster.failovers", lambda c=store: c.failovers)
