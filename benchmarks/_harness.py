@@ -71,10 +71,36 @@ def one_cpu_note(detail: str) -> str:
 
 
 def write_bench(name: str, results: dict) -> str:
-    """Write ``BENCH_<name>.json`` at the repo root; returns the path."""
+    """Write ``BENCH_<name>.json`` at the repo root; returns the path.
+
+    Stamps a ``run`` stanza (schema version, monotonically-derived run
+    id, git SHA) so the file joins the results-lake trajectory;
+    ``repro lake import`` also accepts legacy unstamped files.  With
+    ``REPRO_LAKE`` set, the file is additionally appended to that lake
+    -- failures there warn rather than discard a finished measurement.
+    """
+    from repro.lake import RECORD_SCHEMA_VERSION, git_sha, next_run_id
+
+    results = dict(results)
+    results["run"] = {
+        "schema": RECORD_SCHEMA_VERSION,
+        "run_id": next_run_id(),
+        "git_sha": git_sha(REPO_ROOT),
+        "bench": name,
+    }
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")
     print(f"\nwrote {path}")
+    lake_dir = os.environ.get("REPRO_LAKE")
+    if lake_dir:
+        try:
+            from repro.lake import ResultsLake, ingest_bench, lake_path
+
+            lake = ResultsLake(lake_path(lake_dir))
+            rows = ingest_bench(lake, path)
+            print(f"appended {rows} rows to lake {lake_dir}")
+        except Exception as exc:  # noqa: BLE001 - results already on disk
+            print(f"warning: lake append failed: {exc}", file=sys.stderr)
     return path

@@ -13,6 +13,7 @@ Mirrors the workflow of the original tool's config-file driven binary::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -27,6 +28,7 @@ from .analysis import (
 )
 from .core import (
     DEFAULT_STORES,
+    EvaluationRow,
     Gadget,
     GadgetConfig,
     KeyConfig,
@@ -266,6 +268,11 @@ def _replay_cluster(args, trace) -> int:
     )
     print(render_table(["metric", "value"], _cluster_rows(result),
                        title="cluster replay result"))
+    cluster_row = EvaluationRow.from_cluster(args.trace, result)
+    cluster_row.batch_size = args.batch or 1
+    cluster_row.pipeline_depth = args.pipeline or 1
+    cluster_row.timeseries_path = args.metrics
+    _lake_record(args, [cluster_row])
     _telemetry_note(args)
     return 0 if result.recovered_ok else 1
 
@@ -409,6 +416,19 @@ def _telemetry_options(args):
     )
 
 
+def _sharded_row(args, result) -> EvaluationRow:
+    """Evaluation row for a sharded replay: latency percentiles come
+    from the merged per-shard populations, throughput from the
+    fan-out's wall clock (slowest worker dominates)."""
+    row = EvaluationRow.from_result(args.trace, result.merged_result())
+    row.throughput_kops = result.summary()["throughput_kops"]
+    row.store = f"{result.store}x{args.shards}"
+    row.batch_size = args.batch or 1
+    row.pipeline_depth = getattr(args, "pipeline", None) or 1
+    row.timeseries_path = args.metrics
+    return row
+
+
 def _print_sharded_table(args, result, fault_plan, store_label) -> None:
     merged = result.merged_result()
     summary = result.summary()
@@ -481,6 +501,9 @@ def cmd_replay(args) -> int:
                 tracer.export(args.trace_out)
         print(render_table(["metric", "value"], _recovery_rows(result),
                            title="crash-recovery result"))
+        recovery_row = EvaluationRow.from_recovery(args.trace, result)
+        recovery_row.batch_size = args.batch or 1
+        _lake_record(args, [recovery_row], fault_plan)
         return 0 if result.recovered_ok else 1
     if disk_plan is not None:
         raise SystemExit(
@@ -517,6 +540,7 @@ def cmd_replay(args) -> int:
             args, result, fault_plan,
             f"{args.store} x{args.shards} processes",
         )
+        _lake_record(args, [_sharded_row(args, result)], fault_plan)
         _telemetry_note(args)
         return 0
     if args.shards > 1:
@@ -537,6 +561,7 @@ def cmd_replay(args) -> int:
         _print_sharded_table(
             args, result, fault_plan, f"{args.store} x{args.shards} shards"
         )
+        _lake_record(args, [_sharded_row(args, result)], fault_plan)
         _telemetry_note(args)
         return 0
     connector = create_connector(args.store, **lsm_overrides)
@@ -571,8 +596,31 @@ def cmd_replay(args) -> int:
         rows.insert(1, ["compaction", f"{args.compaction or 'leveled'}"
                         f"{' (background)' if args.background else ''}"])
     print(render_table(["metric", "value"], rows, title="replay result"))
+    lake_row = EvaluationRow.from_result(args.trace, result)
+    lake_row.batch_size = args.batch or 1
+    lake_row.pipeline_depth = args.pipeline or 1
+    lake_row.compaction = args.compaction
+    lake_row.timeseries_path = args.metrics
+    if stall_rows:
+        lake_row.write_stalls = stall_rows[0][1]
+        lake_row.stall_ms = stall_rows[1][1]
+    _lake_record(args, [lake_row], fault_plan)
     _telemetry_note(args)
     return 0
+
+
+def _lake_record(args, rows, fault_plan=None) -> None:
+    """Append finished evaluation rows to the ``--lake`` directory.
+
+    Runs after every measurement closes, so recording history never
+    shows up inside it."""
+    if not getattr(args, "lake", None) or not rows:
+        return
+    from .lake import ResultsLake, append_rows, fault_plan_label, lake_path
+
+    lake = ResultsLake(lake_path(args.lake))
+    count = append_rows(lake, rows, fault_plan=fault_plan_label(fault_plan))
+    print(f"appended {count} rows to lake {args.lake}")
 
 
 def _telemetry_note(args) -> None:
@@ -629,7 +677,8 @@ def cmd_compare(args) -> int:
     fault_plan, retry_policy = _fault_options(args)
     disk_plan = _disk_plan(args)
     evaluator = PerformanceEvaluator(
-        stores=args.stores, fault_plan=fault_plan, retry_policy=retry_policy
+        stores=args.stores, fault_plan=fault_plan, retry_policy=retry_policy,
+        lake_dir=args.lake,
     )
     wants_compaction = bool(args.compaction or args.compaction_config)
     if args.metrics and (args.crash_at is not None or disk_plan is not None
@@ -781,7 +830,8 @@ def _compare_cluster(args, trace) -> int:
             "covers single-node rows only"
         )
     config, chaos, policy = _cluster_settings(args, store=args.stores[0])
-    evaluator = PerformanceEvaluator(stores=args.stores, retry_policy=policy)
+    evaluator = PerformanceEvaluator(stores=args.stores, retry_policy=policy,
+                                     lake_dir=args.lake)
     results = evaluator.evaluate_cluster(
         args.trace, trace,
         partitions=config.partitions, replicas=config.replicas,
@@ -832,6 +882,7 @@ def _compare_compaction(args, trace) -> int:
             {name: dict(store_overrides) for name in lsm_stores}
             if store_overrides else None
         ),
+        lake_dir=args.lake,
     )
     results = evaluator.evaluate_compaction_axis(
         args.trace, trace, policies,
@@ -874,8 +925,40 @@ def _compare_compaction(args, trace) -> int:
     return 0
 
 
+def _series_from_lake(args) -> List[str]:
+    """Resolve ``metrics diff --lake/--query`` into recorded series
+    paths: the non-null ``timeseries_path`` of matching runs, in run
+    order (so the oldest matching run is the baseline)."""
+    from .lake import LakeError, QueryError, ResultsLake, lake_path
+    from .lake.query import parse_query, select_rows
+
+    try:
+        lake = ResultsLake(lake_path(args.lake), create=False)
+        query = parse_query(f"timeseries_path {args.query or ''}".strip())
+        rows = select_rows(lake, query)
+    except (OSError, LakeError, QueryError) as exc:
+        raise SystemExit(f"error: {exc}")
+    order = sorted(
+        range(len(rows["run_id"])),
+        key=lambda i: (rows["run_id"][i] is None, rows["run_id"][i]),
+    )
+    paths: List[str] = []
+    for index in order:
+        path = rows["timeseries_path"][index]
+        if path and path not in paths:
+            paths.append(path)
+    return paths
+
+
 def cmd_metrics(args) -> int:
-    from .obs import diff_series, format_diff, format_summary, summarize_series
+    from .obs import (
+        diff_matrix,
+        diff_series,
+        format_diff,
+        format_matrix,
+        format_summary,
+        summarize_series,
+    )
 
     if args.metrics_command == "summarize":
         for index, path in enumerate(args.series):
@@ -884,9 +967,94 @@ def cmd_metrics(args) -> int:
             print(format_summary(summarize_series(path)))
         return 0
     if args.metrics_command == "diff":
-        print(format_diff(diff_series(args.a, args.b, bins=args.bins)))
+        paths = list(args.series)
+        if args.lake or args.query is not None:
+            if not args.lake:
+                raise SystemExit(
+                    "error: --query resolves series from a lake; add "
+                    "--lake DIR"
+                )
+            paths += _series_from_lake(args)
+        if len(paths) < 2:
+            raise SystemExit(
+                "error: metrics diff needs at least two series (paths "
+                "and/or a --lake query resolving to recorded runs)"
+            )
+        if len(paths) == 2:
+            print(format_diff(diff_series(paths[0], paths[1], bins=args.bins)))
+        else:
+            print(format_matrix(diff_matrix(paths, bins=args.bins)))
         return 0
     raise SystemExit(f"error: unknown metrics command {args.metrics_command!r}")
+
+
+#: set (to anything) to turn regress findings into a warning instead of
+#: a failing exit -- the CI waiver for understood trajectory shifts
+REGRESS_WAIVER_ENV = "REPRO_LAKE_WAIVE"
+
+
+def cmd_lake(args) -> int:
+    from .lake import (
+        LakeError,
+        QueryError,
+        RegressConfig,
+        ResultsLake,
+        detect_regressions,
+        format_query_result,
+        format_regress_report,
+        import_paths,
+        lake_path,
+        run_query,
+    )
+
+    path = lake_path(args.lake)
+    try:
+        if args.lake_command == "import":
+            lake = ResultsLake(path)
+            for file_path, kind, rows in import_paths(lake, args.files):
+                print(f"{file_path}: {kind}, {rows} rows")
+            tables = ", ".join(
+                f"{name}={lake.num_rows(name)}" for name in lake.tables()
+            )
+            print(f"lake {path}: {tables}")
+            return 0
+        if args.lake_command == "query":
+            lake = ResultsLake(path, create=False)
+            result = run_query(lake, args.query, table=args.table)
+            print(format_query_result(result))
+            return 0
+        if args.lake_command == "verify":
+            lake = ResultsLake(path, create=False)
+            chunks = lake.verify()
+            for name in lake.tables():
+                print(f"{name}: {lake.num_rows(name)} rows in "
+                      f"{len(lake.batches(name))} batches, "
+                      f"{len(lake.columns(name))} columns")
+            print(f"verified {chunks} column chunks")
+            return 0
+        if args.lake_command == "regress":
+            import json
+
+            data = {}
+            if args.config:
+                with open(args.config) as handle:
+                    data = json.load(handle)
+            for key in ("table", "window", "k", "min_runs", "rel_floor",
+                        "metrics", "by"):
+                value = getattr(args, key, None)
+                if value is not None:
+                    data[key] = value
+            config = RegressConfig.from_dict(data)
+            lake = ResultsLake(path, create=False)
+            report = detect_regressions(lake, config)
+            print(format_regress_report(report, config))
+            if report.findings and os.environ.get(REGRESS_WAIVER_ENV):
+                print(f"waived via {REGRESS_WAIVER_ENV}; not failing")
+                return 0
+            return 0 if report.ok else 1
+    except (OSError, ValueError, LakeError, QueryError) as exc:
+        raise SystemExit(f"error: {exc}")
+    raise SystemExit(f"error: unknown lake command {args.lake_command!r}")
 
 
 def cmd_scrub(args) -> int:
@@ -983,6 +1151,14 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--retry-attempts", type=_positive_int, default=4,
             help="max attempts per operation under faults (default: 4)",
+        )
+
+    def add_lake_option(sub) -> None:
+        sub.add_argument(
+            "--lake", metavar="DIR", default=None,
+            help="append this run's evaluation rows to the columnar "
+            "results lake in DIR (query with 'repro lake query', gate "
+            "with 'repro lake regress')",
         )
 
     def add_metrics_interval(sub) -> None:
@@ -1088,6 +1264,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_interval(replay)
     add_fault_options(replay)
     add_cluster_options(replay)
+    add_lake_option(replay)
 
     compare = subparsers.add_parser("compare", help="replay on several stores")
     compare.add_argument("trace")
@@ -1129,6 +1306,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_metrics_interval(compare)
     add_fault_options(compare)
     add_cluster_options(compare)
+    add_lake_option(compare)
 
     metrics = subparsers.add_parser(
         "metrics", help="report on recorded metrics time series"
@@ -1139,15 +1317,107 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument("series", nargs="+", metavar="FILE")
     diff = metrics_sub.add_parser(
-        "diff", help="align two runs by replay progress; attribute the "
-        "worst phase to the internal-activity series that diverged most"
+        "diff", help="align runs by replay progress; attribute the "
+        "worst phase to the internal-activity series that diverged most "
+        "(two runs: full phase table; more: comparison matrix against "
+        "the first)"
     )
-    diff.add_argument("a", metavar="A.jsonl")
-    diff.add_argument("b", metavar="B.jsonl")
+    diff.add_argument(
+        "series", nargs="*", metavar="FILE",
+        help="series files; the first is the baseline",
+    )
     diff.add_argument(
         "--bins", type=_positive_int, default=10,
         help="number of progress-aligned phase bins (default: 10)",
     )
+    diff.add_argument(
+        "--lake", metavar="DIR", default=None,
+        help="resolve additional series from the recorded "
+        "timeseries_path of runs in this results lake",
+    )
+    diff.add_argument(
+        "--query", metavar="FILTER", default=None,
+        help="lake run filter in the query grammar, e.g. "
+        "\"where store=rocksdb last 3\" (default: every recorded run)",
+    )
+
+    lake = subparsers.add_parser(
+        "lake", help="columnar results lake: import artifacts, query "
+        "history, gate on trajectory regressions"
+    )
+    lake_sub = lake.add_subparsers(dest="lake_command", required=True)
+
+    def add_lake_location(sub) -> None:
+        sub.add_argument(
+            "--lake", metavar="DIR",
+            default=os.environ.get("REPRO_LAKE", "."),
+            help="lake directory or file (default: $REPRO_LAKE or .)",
+        )
+
+    lake_import = lake_sub.add_parser(
+        "import", help="ingest artifacts: BENCH_*.json (stamped or "
+        "legacy), metrics JSONL series, Chrome span traces"
+    )
+    lake_import.add_argument("files", nargs="+", metavar="FILE")
+    add_lake_location(lake_import)
+    lake_query = lake_sub.add_parser(
+        "query", help="filtered group-by aggregation over recorded "
+        "history, e.g. \"p99 by backend,batch_size,fault_plan last 50\""
+    )
+    lake_query.add_argument("query", metavar="QUERY")
+    lake_query.add_argument(
+        "--table", default="runs",
+        choices=["runs", "series", "spans", "bench"],
+        help="lake table to query (default: runs)",
+    )
+    add_lake_location(lake_query)
+    lake_regress = lake_sub.add_parser(
+        "regress", help="flag runs outside their group's recorded "
+        "median +- k*MAD trajectory band (exit 1 on findings; set "
+        f"{REGRESS_WAIVER_ENV} to waive)"
+    )
+    add_lake_location(lake_regress)
+    lake_regress.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="JSON regress settings (see configs/lake.json); explicit "
+        "flags win",
+    )
+    lake_regress.add_argument(
+        "--table", default=None,
+        choices=["runs", "series", "spans", "bench"],
+        help="lake table to gate (default: runs)",
+    )
+    lake_regress.add_argument(
+        "--window", type=_positive_int, default=None,
+        help="baseline runs fitted per group (default: 20)",
+    )
+    lake_regress.add_argument(
+        "--k", type=float, default=None,
+        help="band half-width in scaled-MAD units (default: 4.0)",
+    )
+    lake_regress.add_argument(
+        "--min-runs", type=_positive_int, default=None, dest="min_runs",
+        help="minimum baseline runs before a group is gated (default: 5)",
+    )
+    lake_regress.add_argument(
+        "--rel-floor", type=float, default=None, dest="rel_floor",
+        help="relative band floor as a fraction of the median "
+        "(default: 0.05)",
+    )
+    lake_regress.add_argument(
+        "--metrics", nargs="+", metavar="METRIC", default=None,
+        help="metric columns to gate (default: throughput_kops p99_us)",
+    )
+    lake_regress.add_argument(
+        "--by", nargs="+", metavar="COL", default=None,
+        help="group axes (default: store workload batch_size "
+        "pipeline_depth fault_plan)",
+    )
+    lake_verify = lake_sub.add_parser(
+        "verify", help="re-checksum every column chunk and report "
+        "per-table stats"
+    )
+    add_lake_location(lake_verify)
 
     scrub = subparsers.add_parser(
         "scrub", help="verify on-disk checksums after replaying a trace"
@@ -1188,6 +1458,7 @@ _COMMANDS = {
     "replay": cmd_replay,
     "compare": cmd_compare,
     "metrics": cmd_metrics,
+    "lake": cmd_lake,
     "scrub": cmd_scrub,
     "ycsb": cmd_ycsb,
 }

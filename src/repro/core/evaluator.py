@@ -151,6 +151,24 @@ class EvaluationRow:
     #: run was not sampled); lets ``compare`` runs keep their series
     timeseries_path: Optional[str] = None
 
+    def to_record(self) -> dict:
+        """Flat dict of every field, for results-lake ingestion.
+
+        Derived from ``dataclasses.fields`` (the StoreStats.snapshot
+        pattern), so a field added to the row lands in the lake without
+        anyone remembering to mirror it here -- the serialization drift
+        this replaces hand-listed keys to fix.  Carries the record
+        schema version so readers can gate on it.
+        """
+        from ..lake.schema import RECORD_SCHEMA_VERSION
+
+        record = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+        record["record_schema"] = RECORD_SCHEMA_VERSION
+        return record
+
     @classmethod
     def from_result(cls, workload: str, result: ReplayResult) -> "EvaluationRow":
         summary = result.summary()
@@ -260,6 +278,7 @@ class PerformanceEvaluator:
         service_rate: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        lake_dir: Optional[str] = None,
     ) -> None:
         self.stores = tuple(stores)
         self.store_configs = store_configs or {}
@@ -269,6 +288,25 @@ class PerformanceEvaluator:
         #: the identical fault timeline
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
+        #: results-lake directory: every evaluation's rows are appended
+        #: there as one run (after measurement, never on the hot path)
+        self.lake_dir = lake_dir
+        self._lake = None
+
+    def _record_rows(
+        self, rows: "List[EvaluationRow]", plan: Optional[FaultPlan]
+    ) -> None:
+        """Append finished rows to the results lake, if one is wired.
+
+        Runs strictly after the replay's timing window closes, so lake
+        ingest cost never lands inside a measurement."""
+        if self.lake_dir is None or not rows:
+            return
+        from ..lake import ResultsLake, append_rows, fault_plan_label, lake_path
+
+        if self._lake is None:
+            self._lake = ResultsLake(lake_path(self.lake_dir))
+        append_rows(self._lake, rows, fault_plan=fault_plan_label(plan))
 
     def _connector(self, store_name: str) -> StoreConnector:
         overrides = self.store_configs.get(store_name, {})
@@ -355,6 +393,7 @@ class PerformanceEvaluator:
                 row.write_stalls = stalls
                 row.stall_ms = stall_ms
             rows.append(row)
+        self._record_rows(rows, plan)
         return rows
 
     def evaluate_compaction_axis(
@@ -406,6 +445,7 @@ class PerformanceEvaluator:
                     row.write_stalls = stalls
                     row.stall_ms = stall_ms
                 rows.append(row)
+        self._record_rows(rows, None)
         return rows
 
     def evaluate_matrix(
@@ -519,6 +559,7 @@ class PerformanceEvaluator:
             row = EvaluationRow.from_recovery(workload_name, result)
             row.batch_size = batch_size or 1
             rows.append(row)
+        self._record_rows(rows, plan)
         return rows
 
     def evaluate_cluster(
@@ -576,6 +617,7 @@ class PerformanceEvaluator:
             row.batch_size = batch_size or 1
             row.pipeline_depth = pipeline_depth or 1
             rows.append(row)
+        self._record_rows(rows, None)
         return rows
 
     def evaluate_integrity(
@@ -615,6 +657,7 @@ class PerformanceEvaluator:
             row.scrub_ms = report.scrub_ms
             rows.append(row)
             connector.close()
+        self._record_rows(rows, None)
         return rows
 
     def evaluate_sharded(

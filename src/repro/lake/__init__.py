@@ -1,0 +1,86 @@
+"""Columnar results lake: queryable evaluation history.
+
+A single append-only columnar file (``lake.rlk``) holding every
+artifact the harness emits -- evaluation rows, metrics-series
+aggregates, span summaries, BENCH results -- plus a query surface and
+trajectory-based regression gates over the recorded history.  See
+``DESIGN.md`` section 6.12 for the on-disk format.
+"""
+
+from .format import (
+    LAKE_FILENAME,
+    LakeCorruptionError,
+    LakeError,
+    ResultsLake,
+    lake_path,
+)
+from .ingest import (
+    append_rows,
+    import_paths,
+    ingest_bench,
+    ingest_series,
+    ingest_spans,
+    sniff_kind,
+)
+from .query import (
+    Finding,
+    Query,
+    QueryError,
+    QueryResult,
+    RegressConfig,
+    RegressReport,
+    detect_regressions,
+    format_query_result,
+    format_regress_report,
+    parse_query,
+    run_query,
+)
+from .schema import (
+    BENCH_TABLE,
+    META_COLUMNS,
+    RECORD_SCHEMA_VERSION,
+    RUNS_TABLE,
+    SERIES_TABLE,
+    SPANS_TABLE,
+    fault_plan_label,
+    git_sha,
+    next_run_id,
+    normalize_record,
+    run_meta,
+)
+
+__all__ = [
+    "LAKE_FILENAME",
+    "LakeCorruptionError",
+    "LakeError",
+    "ResultsLake",
+    "lake_path",
+    "append_rows",
+    "import_paths",
+    "ingest_bench",
+    "ingest_series",
+    "ingest_spans",
+    "sniff_kind",
+    "Finding",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "RegressConfig",
+    "RegressReport",
+    "detect_regressions",
+    "format_query_result",
+    "format_regress_report",
+    "parse_query",
+    "run_query",
+    "BENCH_TABLE",
+    "META_COLUMNS",
+    "RECORD_SCHEMA_VERSION",
+    "RUNS_TABLE",
+    "SERIES_TABLE",
+    "SPANS_TABLE",
+    "fault_plan_label",
+    "git_sha",
+    "next_run_id",
+    "normalize_record",
+    "run_meta",
+]

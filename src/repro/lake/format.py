@@ -1,0 +1,458 @@
+"""Columnar lake file format: footer-indexed record batches.
+
+The lake stores evaluation history as **record batches** appended one
+per run, in the struct-of-arrays idiom of the trace-v2 engine
+(:mod:`repro.trace`): every column is a typed ``array`` buffer, string
+columns are dictionary-encoded against a per-batch interned pool, and
+all structural metadata lives in a footer rewritten on each append --
+the Parquet play (column chunks + footer index + per-chunk min/max
+statistics for predicate pushdown) built from the stdlib, like the
+rest of the harness.
+
+File layout::
+
+    [RLKE][u16 version]
+    column chunk | column chunk | ...        <- the body, append-only
+    [footer JSON][u32 crc][u64 len][RLKF]    <- rewritten per append
+
+Every column chunk is CRC32-checksummed individually (same fail-stop
+posture as the PR 3 on-disk store formats: a flipped bit raises
+:class:`LakeCorruptionError`, never returns wrong numbers), and the
+footer itself carries a CRC so a torn append is detected on open.
+
+Readers fetch only the chunks a query references -- the footer knows
+every chunk's offset, type, and min/max -- and count every chunk
+actually read in :attr:`ResultsLake.chunks_read`, which is how the
+tests assert predicate pushdown instead of trusting it.
+
+Columns are nullable (a validity chunk is written only when a batch
+actually contains nulls) and self-describing per batch, so schema
+evolution is free: a new column simply reads as ``None`` for batches
+written before it existed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from array import array
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+MAGIC = b"RLKE"
+FOOTER_MAGIC = b"RLKF"
+FORMAT_VERSION = 1
+#: default file name when the lake is addressed by directory
+LAKE_FILENAME = "lake.rlk"
+
+_HEADER_LEN = 6  # magic + u16 version
+_TRAILER_LEN = 4 + 8 + 4  # crc + footer len + magic
+
+#: column type tags -> array typecodes
+_TYPECODES = {"i64": "q", "f64": "d"}
+
+
+class LakeError(Exception):
+    """The file is not a lake, or an operation on it is invalid."""
+
+
+class LakeCorruptionError(LakeError):
+    """A chunk or the footer failed its CRC check (fail-stop)."""
+
+
+def lake_path(path: str) -> str:
+    """Resolve a ``--lake`` argument: a directory means ``DIR/lake.rlk``."""
+    if os.path.isdir(path) or not os.path.splitext(path)[1]:
+        return os.path.join(path, LAKE_FILENAME)
+    return path
+
+
+def _classify(values: Sequence[Any]) -> str:
+    """Pick the narrowest column type holding every non-null value."""
+    kind = None
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool) or isinstance(value, int):
+            kind = kind or "i64"
+        elif isinstance(value, float):
+            kind = "f64" if kind in (None, "i64", "f64") else kind
+        else:
+            return "str"
+    if kind == "i64" and any(
+        isinstance(v, int) and not -(2**63) <= v < 2**63
+        for v in values
+        if v is not None and not isinstance(v, bool)
+    ):
+        return "str"  # out-of-range ints survive as strings
+    return kind or "str"
+
+
+def _as_str(value: Any) -> str:
+    """Stringify a non-string scalar for a str column (JSON for
+    structured values, so dict payloads stay machine-readable)."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (dict, list, bool)):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+class ResultsLake:
+    """One lake file: named tables of appended record batches.
+
+    The writer is single-process (like every on-disk artifact of the
+    harness); readers can share the file because every read is a
+    seek+read against offsets pinned by the footer they opened with.
+    """
+
+    def __init__(self, path: str, create: bool = True) -> None:
+        self.path = lake_path(path)
+        #: column chunks actually read from disk (predicate-pushdown
+        #: accounting; validity sub-chunks count with their column)
+        self.chunks_read = 0
+        self._footer: Dict[str, Any] = {"version": FORMAT_VERSION, "tables": {}}
+        #: end of the last durable footer's trailer -- the only safe
+        #: append point (everything beyond it is torn-append garbage)
+        self._tail = _HEADER_LEN
+        if os.path.exists(self.path):
+            self._open_existing()
+        elif create:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "wb") as handle:
+                handle.write(MAGIC)
+                handle.write(FORMAT_VERSION.to_bytes(2, "little"))
+                self._write_footer(handle)
+                self._tail = handle.tell()
+        else:
+            raise LakeError(f"no lake at {self.path}")
+
+    # -- footer ------------------------------------------------------------
+
+    def _open_existing(self) -> None:
+        with open(self.path, "rb") as handle:
+            head = handle.read(_HEADER_LEN)
+            if len(head) < _HEADER_LEN or head[:4] != MAGIC:
+                raise LakeError(f"{self.path} is not a results lake")
+            version = int.from_bytes(head[4:6], "little")
+            if version != FORMAT_VERSION:
+                raise LakeError(
+                    f"unsupported lake format version {version} "
+                    f"(this build reads version {FORMAT_VERSION})"
+                )
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            loaded = self._try_footer(handle, size)
+            if loaded is None:
+                # Torn append: chunks (or a partial footer) were written
+                # but the trailing footer never landed.  Fall back to
+                # the last valid footer in the file; the next append
+                # truncates the unreachable partial chunks.
+                loaded = self._recover_footer(handle, size)
+            if loaded is None:
+                raise LakeCorruptionError(
+                    f"{self.path}: no valid footer (torn append or "
+                    f"corrupted file)"
+                )
+            self._footer, self._tail = loaded
+
+    def _try_footer(self, handle, end: int) -> Optional[Tuple[dict, int]]:
+        """Parse a footer whose trailer ends at ``end``; None if the
+        trailer, CRC, or JSON there does not check out."""
+        if end < _HEADER_LEN + _TRAILER_LEN:
+            return None
+        handle.seek(end - _TRAILER_LEN)
+        trailer = handle.read(_TRAILER_LEN)
+        if trailer[-4:] != FOOTER_MAGIC:
+            return None
+        footer_crc = int.from_bytes(trailer[:4], "little")
+        footer_len = int.from_bytes(trailer[4:12], "little")
+        footer_start = end - _TRAILER_LEN - footer_len
+        if footer_start < _HEADER_LEN:
+            return None
+        handle.seek(footer_start)
+        payload = handle.read(footer_len)
+        if crc32(payload) & 0xFFFFFFFF != footer_crc:
+            return None
+        try:
+            footer = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(footer, dict) or "tables" not in footer:
+            return None
+        return footer, end
+
+    def _recover_footer(self, handle, size: int) -> Optional[Tuple[dict, int]]:
+        """Scan backwards for the last footer that still validates."""
+        handle.seek(0)
+        data = handle.read(size)
+        position = data.rfind(FOOTER_MAGIC)
+        while position != -1:
+            loaded = self._try_footer(handle, position + len(FOOTER_MAGIC))
+            if loaded is not None:
+                return loaded
+            position = data.rfind(FOOTER_MAGIC, 0, position)
+        return None
+
+    def _write_footer(self, handle) -> None:
+        payload = json.dumps(self._footer, separators=(",", ":")).encode("utf-8")
+        handle.write(payload)
+        handle.write((crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little"))
+        handle.write(len(payload).to_bytes(8, "little"))
+        handle.write(FOOTER_MAGIC)
+
+    # -- introspection -----------------------------------------------------
+
+    def tables(self) -> List[str]:
+        return sorted(self._footer["tables"])
+
+    def batches(self, table: str) -> List[dict]:
+        """Footer metadata for every batch of ``table`` (oldest first)."""
+        return list(self._footer["tables"].get(table, []))
+
+    def num_rows(self, table: str) -> int:
+        return sum(b["rows"] for b in self.batches(table))
+
+    def columns(self, table: str) -> List[str]:
+        """Union of column names across all batches of ``table``."""
+        names: List[str] = []
+        for batch in self.batches(table):
+            for name in batch["columns"]:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def total_chunks(self, table: str) -> int:
+        """Column chunks on disk for ``table`` (pushdown denominator)."""
+        return sum(len(b["columns"]) for b in self.batches(table))
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, table: str, records: Sequence[Dict[str, Any]]) -> int:
+        """Append one record batch; returns the rows written.
+
+        ``records`` is a list of flat dicts; the union of their keys
+        becomes the batch's columns, each typed by the narrowest of
+        i64/f64/str that holds its values (bools count as ints,
+        structured values are stored as JSON strings).  Appends go
+        strictly past the previous footer, which stays in place as
+        dead bytes (chunk offsets are absolute, so readers never see
+        it) -- a crash at ANY point mid-append leaves that footer the
+        newest valid one, and the next append truncates the torn tail.
+        """
+        if not records:
+            return 0
+        names: List[str] = []
+        for record in records:
+            for name in record:
+                if name not in names:
+                    names.append(name)
+        nrows = len(records)
+        meta_columns: Dict[str, dict] = {}
+        with open(self.path, "r+b") as handle:
+            handle.seek(self._tail)
+            handle.truncate()
+            for name in names:
+                values = [record.get(name) for record in records]
+                meta_columns[name] = self._write_column(handle, values)
+            batches = self._footer["tables"].setdefault(table, [])
+            batches.append({"rows": nrows, "columns": meta_columns})
+            self._write_footer(handle)
+            self._tail = handle.tell()
+        return nrows
+
+    def _write_chunk(self, handle, payload: bytes) -> dict:
+        offset = handle.tell()
+        handle.write(payload)
+        return {
+            "off": offset,
+            "len": len(payload),
+            "crc": crc32(payload) & 0xFFFFFFFF,
+        }
+
+    def _write_column(self, handle, values: List[Any]) -> dict:
+        kind = _classify(values)
+        nulls = sum(1 for v in values if v is None)
+        meta: Dict[str, Any] = {"type": kind, "nulls": nulls}
+        present = [v for v in values if v is not None]
+        if kind in _TYPECODES:
+            fill = 0 if kind == "i64" else 0.0
+            data = array(
+                _TYPECODES[kind],
+                [
+                    fill if v is None else (int(v) if kind == "i64" else float(v))
+                    for v in values
+                ],
+            )
+            meta["chunk"] = self._write_chunk(handle, _le_bytes(data))
+            if present:
+                meta["min"] = min(present)
+                meta["max"] = max(present)
+        else:
+            texts = [None if v is None else _as_str(v) for v in values]
+            pool: List[str] = []
+            index: Dict[str, int] = {}
+            ids = array("I")
+            for text in texts:
+                if text is None:
+                    ids.append(0)
+                    continue
+                pos = index.get(text)
+                if pos is None:
+                    pos = index[text] = len(pool)
+                    pool.append(text)
+                ids.append(pos)
+            blob = b"".join(s.encode("utf-8") for s in pool)
+            offs = array("Q", [0])
+            total = 0
+            for text in pool:
+                total += len(text.encode("utf-8"))
+                offs.append(total)
+            meta["pool"] = len(pool)
+            meta["chunk"] = self._write_chunk(
+                handle, _le_bytes(offs) + blob + _le_bytes(ids)
+            )
+            strings = [t for t in texts if t is not None]
+            # Stats only when every value is short: truncating the max
+            # would lower it, and an unsound bound turns pushdown into
+            # silent row loss.
+            if strings and all(len(s) <= 64 for s in strings):
+                meta["min"] = min(strings)
+                meta["max"] = max(strings)
+        if nulls:
+            meta["validity"] = self._write_chunk(
+                handle, bytes(0 if v is None else 1 for v in values)
+            )
+        return meta
+
+    # -- reading -----------------------------------------------------------
+
+    def _read_chunk(self, handle, chunk: dict, what: str) -> bytes:
+        handle.seek(chunk["off"])
+        payload = handle.read(chunk["len"])
+        if len(payload) != chunk["len"]:
+            raise LakeCorruptionError(f"{self.path}: truncated {what}")
+        if crc32(payload) & 0xFFFFFFFF != chunk["crc"]:
+            raise LakeCorruptionError(
+                f"{self.path}: CRC mismatch in {what}"
+            )
+        return payload
+
+    def read_column(self, handle, batch: dict, name: str) -> List[Any]:
+        """Decode one column of one batch (``None`` rows for columns
+        the batch predates).  Counts one chunk read."""
+        meta = batch["columns"].get(name)
+        if meta is None:
+            return [None] * batch["rows"]
+        self.chunks_read += 1
+        nrows = batch["rows"]
+        kind = meta["type"]
+        payload = self._read_chunk(handle, meta["chunk"], f"column {name!r}")
+        if kind in _TYPECODES:
+            data = _from_le_bytes(_TYPECODES[kind], payload)
+            values: List[Any] = list(data)
+        elif kind == "str":
+            npool = meta["pool"]
+            offs_len = (npool + 1) * 8
+            offs = _from_le_bytes("Q", payload[:offs_len])
+            blob_len = offs[-1] if npool else 0
+            blob = payload[offs_len : offs_len + blob_len]
+            ids = _from_le_bytes("I", payload[offs_len + blob_len :])
+            pool = [
+                blob[offs[i] : offs[i + 1]].decode("utf-8")
+                for i in range(npool)
+            ]
+            values = [pool[i] if npool else None for i in ids]
+        else:
+            raise LakeError(f"unknown column type {kind!r} for {name!r}")
+        if len(values) != nrows:
+            raise LakeCorruptionError(
+                f"{self.path}: column {name!r} decoded {len(values)} rows, "
+                f"footer says {nrows}"
+            )
+        if meta.get("nulls"):
+            validity = self._read_chunk(
+                handle, meta["validity"], f"validity of {name!r}"
+            )
+            values = [
+                value if valid else None
+                for value, valid in zip(values, validity)
+            ]
+        return values
+
+    def scan(
+        self,
+        table: str,
+        columns: Optional[Sequence[str]] = None,
+        batch_filter=None,
+    ) -> Dict[str, List[Any]]:
+        """Read ``columns`` of ``table`` into column lists.
+
+        ``batch_filter(batch_meta)`` may return False to skip a batch
+        entirely -- zero chunks of it are read.  This is the predicate
+        pushdown hook: :mod:`repro.lake.query` derives the filter from
+        the query's WHERE clause and the footer's min/max stats.
+        """
+        wanted = list(columns) if columns is not None else self.columns(table)
+        out: Dict[str, List[Any]] = {name: [] for name in wanted}
+        out["_batch"] = []
+        with open(self.path, "rb") as handle:
+            for number, batch in enumerate(self.batches(table)):
+                if batch_filter is not None and not batch_filter(batch):
+                    continue
+                for name in wanted:
+                    out[name].extend(self.read_column(handle, batch, name))
+                out["_batch"].extend([number] * batch["rows"])
+        return out
+
+    def verify(self) -> int:
+        """Re-read and CRC-check every chunk; returns chunks verified.
+
+        The lake's ``scrub``: raises :class:`LakeCorruptionError` on
+        the first damaged chunk rather than returning wrong history.
+        """
+        verified = 0
+        with open(self.path, "rb") as handle:
+            for table in self.tables():
+                for batch in self.batches(table):
+                    for name, meta in batch["columns"].items():
+                        self._read_chunk(
+                            handle, meta["chunk"], f"{table}.{name}"
+                        )
+                        verified += 1
+                        if meta.get("nulls"):
+                            self._read_chunk(
+                                handle,
+                                meta["validity"],
+                                f"{table}.{name} validity",
+                            )
+        return verified
+
+
+def _le_bytes(arr: array) -> bytes:
+    """Array contents as little-endian bytes (the on-disk byte order)."""
+    if sys.byteorder == "little" or arr.itemsize == 1:
+        return arr.tobytes()
+    swapped = array(arr.typecode, arr)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _from_le_bytes(typecode: str, data: bytes) -> array:
+    arr = array(typecode)
+    arr.frombytes(data)
+    if sys.byteorder != "little" and arr.itemsize > 1:
+        arr.byteswap()
+    return arr
+
+
+def batch_stats(batch: dict, column: str) -> Optional[Tuple[Any, Any]]:
+    """(min, max) recorded for ``column`` in ``batch``, or None when
+    the batch predates the column or recorded no values."""
+    meta = batch["columns"].get(column)
+    if meta is None or "min" not in meta:
+        return None
+    return meta["min"], meta["max"]

@@ -1,0 +1,279 @@
+"""Ingesters: every artifact the harness emits, into lake tables.
+
+Four artifact families, four tables:
+
+* ``runs``    -- :class:`~repro.core.evaluator.EvaluationRow` records
+  (one per store per evaluation), via the schema-versioned
+  ``to_record()``.  The evaluator appends these automatically when
+  constructed with a ``lake_dir``.
+* ``series``  -- metrics JSONL time series, downsampled to one row of
+  per-run interval aggregates (mean/min-interval throughput, max p99,
+  activity counter deltas) plus the final merged latency histogram
+  re-aggregated through
+  :meth:`~repro.core.histogram.LatencyHistogram.from_dict`.
+* ``spans``   -- Chrome span traces summarized to total time per span
+  name per thread lane (the "where did the time go" columns).
+* ``bench``   -- ``BENCH_*.json`` files flattened to one row per
+  result cell, keyed by the slash-joined path to the cell.  Stamped
+  files (PR 10+) carry their run id / git SHA / schema version;
+  legacy unstamped files backfill from the file's mtime at schema 0.
+
+:func:`import_paths` sniffs which family a file belongs to, so
+``repro lake import`` takes any mix of artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .format import ResultsLake
+from .schema import (
+    BENCH_TABLE,
+    RUNS_TABLE,
+    SERIES_TABLE,
+    SPANS_TABLE,
+    normalize_record,
+    run_meta,
+)
+
+#: BENCH sections that describe the measurement, not results
+_BENCH_NON_RESULT_KEYS = {"env", "method", "note", "caveat", "run"}
+
+_BENCH_NAME_RE = re.compile(r"BENCH_(?P<name>[A-Za-z0-9_]+)\.json$")
+
+
+def append_rows(
+    lake: ResultsLake,
+    rows: Sequence[Any],
+    workload: Optional[str] = None,
+    fault_plan: Optional[str] = None,
+    run_id: Optional[int] = None,
+) -> int:
+    """Append evaluation rows as one run's record batch.
+
+    ``rows`` are :class:`~repro.core.evaluator.EvaluationRow` objects
+    (anything with ``to_record()``); all rows of one call share one
+    run id, which is what groups a multi-store comparison back
+    together at query time.
+    """
+    meta = run_meta("evaluate", run_id=run_id)
+    records = []
+    for row in rows:
+        record = dict(row.to_record() if hasattr(row, "to_record") else vars(row))
+        if workload is not None:
+            record.setdefault("workload", workload)
+        record["fault_plan"] = fault_plan if fault_plan is not None else "none"
+        record.update(meta)
+        records.append(normalize_record(record))
+    return lake.append(RUNS_TABLE, records)
+
+
+def ingest_series(
+    lake: ResultsLake, path: str, run_id: Optional[int] = None
+) -> int:
+    """Downsample one metrics JSONL series into a per-run aggregate row.
+
+    Reuses :func:`~repro.obs.dashboard.summarize_series` for the
+    interval aggregates and re-merges every interval histogram into the
+    run's final latency distribution (merge-preserving, so the stored
+    percentiles equal what a single whole-run histogram would report).
+    """
+    from ..core.histogram import LatencyHistogram
+    from ..obs.dashboard import summarize_series
+    from ..obs.metrics import read_series
+
+    summary = summarize_series(path)
+    header, samples = read_series(path)
+    merged: Optional[LatencyHistogram] = None
+    for sample in samples:
+        payload = sample.get("latency_hist")
+        if not payload:
+            continue
+        histogram = LatencyHistogram.from_dict(payload)
+        if merged is None:
+            merged = histogram
+        else:
+            merged.merge(histogram)
+    record: Dict[str, Any] = {
+        "series_path": path,
+        "store": summary.get("store", ""),
+        "samples": summary.get("samples", 0),
+        "duration_s": summary.get("duration_s", 0.0),
+        "ops": summary.get("ops", 0),
+        "mean_throughput_ops": summary.get("mean_throughput_ops", 0.0),
+        "min_interval_throughput_ops": summary.get(
+            "min_interval_throughput_ops", 0.0
+        ),
+        "max_p99_us": summary.get("max_p99_us", 0.0),
+        "shards": header.get("shards", 1),
+        "faults": summary.get("faults"),
+        "retries": summary.get("retries"),
+    }
+    for name, delta in summary.get("activity", {}).items():
+        record[f"activity.{name}"] = delta
+    if merged is not None:
+        final = merged.summary()
+        record["p50_us"] = round(final["p50"], 3)
+        record["p99_us"] = round(final["p99"], 3)
+        record["p999_us"] = round(final["p99.9"], 3)
+        record["latency_hist"] = merged.to_dict()
+    record.update(run_meta("series", run_id=run_id))
+    return lake.append(SERIES_TABLE, [normalize_record(record)])
+
+
+def ingest_spans(
+    lake: ResultsLake, path: str, run_id: Optional[int] = None
+) -> int:
+    """Summarize a Chrome span trace: total time per span name per lane."""
+    with open(path) as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents")
+    if events is None:
+        raise ValueError(f"{path} is not a Chrome trace-event file")
+    lanes: Dict[Tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            lanes[(event.get("pid", 0), event.get("tid", 0))] = (
+                event.get("args", {}).get("name", "")
+            )
+    totals: Dict[Tuple[str, str], List[float]] = {}
+    for event in events:
+        if event.get("ph") not in ("X", "i"):
+            continue
+        lane = lanes.get(
+            (event.get("pid", 0), event.get("tid", 0)),
+            str(event.get("tid", 0)),
+        )
+        key = (event["name"], lane)
+        bucket = totals.setdefault(key, [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += event.get("dur", 0.0)  # us; instants add 0
+    meta = run_meta("spans", run_id=run_id)
+    records = []
+    for (name, lane), (count, total_us) in sorted(totals.items()):
+        record = {
+            "trace_path": path,
+            "name": name,
+            "lane": lane,
+            "count": count,
+            "total_ms": round(total_us / 1000.0, 6),
+        }
+        record.update(meta)
+        records.append(normalize_record(record))
+    return lake.append(SPANS_TABLE, records)
+
+
+def _bench_cells(
+    node: Any, path: Tuple[str, ...]
+) -> Iterable[Tuple[Tuple[str, ...], Dict[str, Any]]]:
+    """Leaf result cells of a BENCH json: dicts of scalars with at
+    least one numeric value, keyed by their path."""
+    if not isinstance(node, dict):
+        return
+    scalars = {
+        k: v
+        for k, v in node.items()
+        if v is None or isinstance(v, (bool, int, float, str))
+    }
+    nested = {k: v for k, v in node.items() if isinstance(v, (dict, list))}
+    if scalars and any(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in scalars.values()
+    ):
+        yield path, scalars
+    for key, child in nested.items():
+        if isinstance(child, dict):
+            yield from _bench_cells(child, path + (str(key),))
+
+
+def ingest_bench(
+    lake: ResultsLake, path: str, run_id: Optional[int] = None
+) -> int:
+    """Flatten one ``BENCH_*.json`` into bench-table rows.
+
+    Stamped files (a ``run`` stanza with run_id / git_sha / schema)
+    key their rows by the recorded run; legacy files backfill a run id
+    from the file's mtime with schema 0, so a pre-stamp trajectory is
+    still ingestable and ordered.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    match = _BENCH_NAME_RE.search(os.path.basename(path))
+    bench = match.group("name") if match else os.path.basename(path)
+    stamp = data.get("run") if isinstance(data.get("run"), dict) else {}
+    meta = run_meta(
+        "bench",
+        run_id=run_id
+        if run_id is not None
+        else stamp.get("run_id", int(os.path.getmtime(path) * 1e9)),
+        sha=stamp.get("git_sha", ""),
+    )
+    if not stamp:
+        meta["schema"] = 0  # legacy unstamped file
+    elif "schema" in stamp:
+        meta["schema"] = stamp["schema"]
+    if meta.get("git_sha") == "":
+        meta["git_sha"] = None
+    records = []
+    for key, section in data.items():
+        if key in _BENCH_NON_RESULT_KEYS:
+            continue
+        for cell_path, scalars in _bench_cells(section, (str(key),)):
+            record: Dict[str, Any] = {
+                "bench": bench,
+                "label": "/".join(cell_path),
+            }
+            record.update(scalars)
+            record.update(meta)
+            records.append(normalize_record(record))
+    return lake.append(BENCH_TABLE, records)
+
+
+def sniff_kind(path: str) -> str:
+    """Which ingester a file belongs to: bench | series | spans."""
+    if _BENCH_NAME_RE.search(os.path.basename(path)):
+        return "bench"
+    with open(path) as handle:
+        head = handle.read(4096).lstrip()
+    if head.startswith("{"):
+        try:
+            first = json.loads(head.splitlines()[0])
+            if first.get("sample") == "header":
+                return "series"
+        except (json.JSONDecodeError, AttributeError):
+            pass
+        if '"traceEvents"' in head:
+            return "spans"
+        # fall through: whole-file JSON with traceEvents later on
+        with open(path) as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError:
+                raise ValueError(f"cannot identify artifact kind of {path}")
+        if isinstance(data, dict) and "traceEvents" in data:
+            return "spans"
+        if isinstance(data, dict):
+            return "bench"
+    raise ValueError(f"cannot identify artifact kind of {path}")
+
+
+_INGESTERS = {
+    "bench": ingest_bench,
+    "series": ingest_series,
+    "spans": ingest_spans,
+}
+
+
+def import_paths(
+    lake: ResultsLake, paths: Sequence[str]
+) -> List[Tuple[str, str, int]]:
+    """Ingest a mixed list of artifacts; returns (path, kind, rows)."""
+    out = []
+    for path in paths:
+        kind = sniff_kind(path)
+        rows = _INGESTERS[kind](lake, path)
+        out.append((path, kind, rows))
+    return out

@@ -1,0 +1,551 @@
+"""Query surface and trajectory regression gates over the lake.
+
+Two consumers:
+
+* :func:`run_query` -- ``"p99 by store,batch_size,fault_plan last 50"``
+  style filtered group-by aggregation.  The planner reads **only** the
+  column chunks the query references (metric + group keys + predicate
+  columns + run ordering) and skips whole batches whose footer min/max
+  statistics exclude the predicate -- classic Parquet-style pushdown,
+  asserted in tests via :attr:`~repro.lake.format.ResultsLake.chunks_read`.
+* :func:`detect_regressions` -- fits a **noise band** per group from
+  the recorded trajectory (median +- k * scaled MAD over a baseline
+  window, with a relative floor so an all-identical synthetic history
+  never yields a zero-width band) and flags candidate runs that fall
+  outside it in the bad direction (throughput below, latency above).
+  A trajectory beats a single golden number: the band tracks where the
+  metric actually lives on this machine, not where it lived the day
+  someone recorded a constant.
+
+The grammar is deliberately tiny::
+
+    query   := metric [ 'by' col[,col...] ] [ 'where' cond [and cond...] ]
+               [ 'last' N ]
+    cond    := col op value        op := = != > >= < <=
+
+Metric aliases map benchmark vocabulary onto lake columns (``p99`` ->
+``p99_us``, ``throughput`` -> ``throughput_kops``, ``backend`` ->
+``store``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .format import ResultsLake, batch_stats
+from .schema import RUNS_TABLE
+
+#: friendly name -> lake column
+ALIASES = {
+    "p50": "p50_us",
+    "p99": "p99_us",
+    "p999": "p999_us",
+    "p99.9": "p999_us",
+    "throughput": "throughput_kops",
+    "kops": "throughput_kops",
+    "backend": "store",
+    "batch": "batch_size",
+    "pipeline": "pipeline_depth",
+}
+
+#: metrics where larger is better (regressions are drops); everything
+#: latency-shaped is smaller-is-better (regressions are climbs)
+HIGHER_IS_BETTER = ("throughput_kops", "mean_throughput_ops",
+                    "min_interval_throughput_ops", "speedup")
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">": lambda a, b: a is not None and a > b,
+    ">=": lambda a, b: a is not None and a >= b,
+    "<": lambda a, b: a is not None and a < b,
+    "<=": lambda a, b: a is not None and a <= b,
+}
+
+_COND_RE = re.compile(r"^(?P<col>[A-Za-z0-9_.]+)\s*(?P<op>!=|>=|<=|=|>|<)\s*(?P<val>.+)$")
+
+
+class QueryError(ValueError):
+    """The query text does not parse or names unknown columns."""
+
+
+@dataclass
+class Query:
+    metric: str
+    by: Tuple[str, ...] = ()
+    where: Tuple[Tuple[str, str, Any], ...] = ()
+    last: Optional[int] = None
+    table: str = RUNS_TABLE
+
+    @property
+    def columns_needed(self) -> List[str]:
+        """Every column the planner must read (run_id orders rows)."""
+        needed = [self.metric]
+        for column in self.by:
+            if column not in needed:
+                needed.append(column)
+        for column, _, _ in self.where:
+            if column not in needed:
+                needed.append(column)
+        if "run_id" not in needed:
+            needed.append("run_id")
+        return needed
+
+
+def _coerce(text: str) -> Any:
+    text = text.strip().strip("'\"")
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    if text.lower() in ("none", "null"):
+        return None
+    return text
+
+
+def resolve(name: str) -> str:
+    return ALIASES.get(name, name)
+
+
+def parse_query(text: str, table: str = RUNS_TABLE) -> Query:
+    """Parse the mini query grammar (see module docstring)."""
+    tokens = text.replace(",", " , ").split()
+    if not tokens:
+        raise QueryError("empty query")
+    metric = resolve(tokens[0])
+    index = 1
+    by: List[str] = []
+    where: List[Tuple[str, str, Any]] = []
+    last: Optional[int] = None
+    while index < len(tokens):
+        word = tokens[index].lower()
+        if word == "by":
+            index += 1
+            expect_column = True
+            while index < len(tokens):
+                token = tokens[index]
+                if token == ",":
+                    expect_column = True
+                    index += 1
+                    continue
+                if not expect_column or token.lower() in ("where", "last", "by"):
+                    break
+                by.append(resolve(token))
+                expect_column = False
+                index += 1
+            if not by:
+                raise QueryError("'by' needs at least one column")
+        elif word == "where":
+            index += 1
+            conds: List[str] = []
+            current: List[str] = []
+            while index < len(tokens):
+                token = tokens[index]
+                if token.lower() in ("last", "by") and current:
+                    break
+                if token.lower() == "and" or token == ",":
+                    if current:
+                        conds.append(" ".join(current))
+                        current = []
+                    index += 1
+                    continue
+                current.append(token)
+                index += 1
+            if current:
+                conds.append(" ".join(current))
+            for cond in conds:
+                match = _COND_RE.match(cond)
+                if not match:
+                    raise QueryError(f"cannot parse condition {cond!r}")
+                where.append(
+                    (
+                        resolve(match.group("col")),
+                        match.group("op"),
+                        _coerce(match.group("val")),
+                    )
+                )
+            if not where:
+                raise QueryError("'where' needs at least one condition")
+        elif word == "last":
+            index += 1
+            if index >= len(tokens):
+                raise QueryError("'last' needs a run count")
+            try:
+                last = int(tokens[index])
+            except ValueError:
+                raise QueryError(f"'last' needs an integer, got {tokens[index]!r}")
+            if last < 1:
+                raise QueryError("'last' needs a positive run count")
+            index += 1
+        else:
+            raise QueryError(
+                f"unexpected token {tokens[index]!r} (expected by/where/last)"
+            )
+    return Query(metric=metric, by=tuple(by), where=tuple(where), last=last,
+                 table=table)
+
+
+def _batch_filter(query: Query) -> Callable[[dict], bool]:
+    """Footer-stats batch skipper for the query's equality/range
+    predicates: a batch whose recorded [min, max] for a predicate
+    column excludes every satisfying value is skipped unread."""
+    conds = [
+        (column, op, value)
+        for column, op, value in query.where
+        if value is not None and op in ("=", ">", ">=", "<", "<=")
+    ]
+
+    def keep(batch: dict) -> bool:
+        for column, op, value in conds:
+            stats = batch_stats(batch, column)
+            if stats is None:
+                continue  # no stats recorded: cannot exclude
+            low, high = stats
+            try:
+                if op == "=" and (value < low or value > high):
+                    return False
+                if op in (">", ">=") and high < value:
+                    return False
+                if op in ("<", "<=") and low > value:
+                    return False
+            except TypeError:
+                continue  # mixed-type comparison: cannot exclude
+        return True
+
+    return keep
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _mad(values: Sequence[float], center: float) -> float:
+    return _median([abs(v - center) for v in values])
+
+
+@dataclass
+class GroupRow:
+    key: Tuple[Any, ...]
+    count: int
+    median: float
+    mean: float
+    min: float
+    max: float
+    latest: float
+
+
+@dataclass
+class QueryResult:
+    query: Query
+    groups: List[GroupRow] = field(default_factory=list)
+    rows_scanned: int = 0
+    runs_seen: int = 0
+
+
+def select_rows(
+    lake: ResultsLake, query: Query
+) -> Dict[str, List[Any]]:
+    """Execute scan + filter + last-N; returns the surviving rows as
+    column lists (the relational core shared by query and regress)."""
+    data = lake.scan(
+        query.table, query.columns_needed, batch_filter=_batch_filter(query)
+    )
+    nrows = len(data["run_id"])
+    keep = [True] * nrows
+    for column, op, value in query.where:
+        compare = _OPS[op]
+        values = data[column]
+        for i in range(nrows):
+            if keep[i] and not compare(values[i], value):
+                keep[i] = False
+    if query.last is not None:
+        run_ids = data["run_id"]
+        recent: List[Any] = []
+        seen = set()
+        for i in range(nrows - 1, -1, -1):
+            if not keep[i]:
+                continue
+            if run_ids[i] not in seen:
+                if len(seen) == query.last:
+                    keep[i] = False
+                    continue
+                seen.add(run_ids[i])
+                recent.append(run_ids[i])
+        cutoff = set(recent)
+        for i in range(nrows):
+            if keep[i] and run_ids[i] not in cutoff:
+                keep[i] = False
+    return {
+        name: [v for v, k in zip(values, keep) if k]
+        for name, values in data.items()
+    }
+
+
+def run_query(lake: ResultsLake, text: str, table: str = RUNS_TABLE) -> QueryResult:
+    """Parse and execute one query; groups are sorted by key."""
+    query = parse_query(text, table=table)
+    if query.table not in lake.tables():
+        raise QueryError(
+            f"table {query.table!r} not in lake (has: {', '.join(lake.tables()) or 'nothing'})"
+        )
+    known = set(lake.columns(query.table))
+    for column in query.columns_needed:
+        if column != "run_id" and column not in known:
+            raise QueryError(
+                f"unknown column {column!r} in table {query.table!r}"
+            )
+    rows = select_rows(lake, query)
+    metric_values = rows[query.metric]
+    run_ids = rows["run_id"]
+    order = sorted(range(len(run_ids)), key=lambda i: (run_ids[i] is None, run_ids[i]))
+    groups: Dict[Tuple[Any, ...], List[float]] = {}
+    for i in order:
+        value = metric_values[i]
+        if value is None or isinstance(value, str):
+            continue
+        key = tuple(rows[column][i] for column in query.by)
+        groups.setdefault(key, []).append(float(value))
+    result = QueryResult(query=query, rows_scanned=len(run_ids),
+                         runs_seen=len(set(run_ids)))
+    for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+        values = groups[key]
+        result.groups.append(
+            GroupRow(
+                key=key,
+                count=len(values),
+                median=_median(values),
+                mean=sum(values) / len(values),
+                min=min(values),
+                max=max(values),
+                latest=values[-1],
+            )
+        )
+    return result
+
+
+def format_query_result(result: QueryResult) -> str:
+    from ..analysis.report import render_table
+
+    query = result.query
+    headers = list(query.by) + ["runs", "median", "mean", "min", "max", "latest"]
+    rows = []
+    for group in result.groups:
+        rows.append(
+            [str(part) for part in group.key]
+            + [
+                group.count,
+                round(group.median, 3),
+                round(group.mean, 3),
+                round(group.min, 3),
+                round(group.max, 3),
+                round(group.latest, 3),
+            ]
+        )
+    title = f"{query.metric}"
+    if query.by:
+        title += f" by {', '.join(query.by)}"
+    if query.last:
+        title += f" (last {query.last} runs)"
+    table = render_table(headers, rows, title=title)
+    return (
+        f"{table}\n{result.rows_scanned} rows / {result.runs_seen} runs "
+        f"scanned, {len(result.groups)} groups"
+    )
+
+
+# -- regression gates --------------------------------------------------------
+
+#: 1.4826 scales MAD to the standard deviation of a normal sample
+_MAD_SIGMA = 1.4826
+
+
+@dataclass
+class Finding:
+    """One out-of-band run."""
+
+    group: Tuple[Any, ...]
+    metric: str
+    value: float
+    median: float
+    band_low: float
+    band_high: float
+    run_id: Any
+    baseline_runs: int
+    direction: str  # "drop" | "climb"
+
+    def describe(self) -> str:
+        return (
+            f"{'/'.join(str(p) for p in self.group)}: {self.metric} "
+            f"{self.value:g} outside [{self.band_low:g}, {self.band_high:g}] "
+            f"(median {self.median:g} over {self.baseline_runs} runs, "
+            f"{self.direction})"
+        )
+
+
+@dataclass
+class RegressReport:
+    findings: List[Finding] = field(default_factory=list)
+    groups_checked: int = 0
+    groups_skipped: int = 0  # too little history
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+@dataclass
+class RegressConfig:
+    """Tunables of the trajectory gate (see ``configs/lake.json``)."""
+
+    table: str = RUNS_TABLE
+    metrics: Tuple[str, ...] = ("throughput_kops", "p99_us")
+    by: Tuple[str, ...] = ("store", "workload", "batch_size",
+                           "pipeline_depth", "fault_plan")
+    #: baseline runs fitted per group (the newest run is the candidate)
+    window: int = 20
+    #: band half-width in scaled-MAD units
+    k: float = 4.0
+    #: minimum baseline runs before a group is gated at all
+    min_runs: int = 5
+    #: relative band floor: a dead-flat history still tolerates this
+    #: fraction of the median before flagging
+    rel_floor: float = 0.05
+    where: Tuple[Tuple[str, str, Any], ...] = ()
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegressConfig":
+        known = {f_.name for f_ in cls.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown regress config keys: {', '.join(sorted(unknown))} "
+                f"(expected {', '.join(sorted(known))})"
+            )
+        kwargs = dict(data)
+        for name in ("metrics", "by"):
+            if name in kwargs:
+                kwargs[name] = tuple(
+                    resolve(part) for part in kwargs[name]
+                )
+        if "where" in kwargs:
+            kwargs["where"] = tuple(
+                (resolve(c), o, v) for c, o, v in kwargs["where"]
+            )
+        return cls(**kwargs)
+
+    @classmethod
+    def load(cls, path: str) -> "RegressConfig":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def detect_regressions(
+    lake: ResultsLake, config: Optional[RegressConfig] = None
+) -> RegressReport:
+    """Gate the newest run of every group against its own trajectory.
+
+    Per (group x metric): order the group's rows by run id, hold out
+    the newest run as the candidate, fit median and MAD over up to
+    ``window`` preceding runs, and flag the candidate if it falls
+    outside ``median +- k * 1.4826 * MAD`` (never narrower than
+    ``rel_floor * |median|``) in the bad direction for that metric.
+    Groups with fewer than ``min_runs`` baseline runs are skipped, so
+    a young lake gates nothing and tightens as history accrues.
+    """
+    config = config or RegressConfig()
+    report = RegressReport()
+    if config.table not in lake.tables():
+        return report
+    known = set(lake.columns(config.table))
+    metrics = [m for m in config.metrics if m in known]
+    group_columns = [c for c in config.by if c in known]
+    if not metrics:
+        return report
+    query = Query(
+        metric=metrics[0],
+        by=tuple(group_columns),
+        where=config.where,
+        table=config.table,
+    )
+    columns = query.columns_needed + [m for m in metrics[1:] if m not in query.columns_needed]
+    data = lake.scan(config.table, columns, batch_filter=_batch_filter(query))
+    nrows = len(data["run_id"])
+    keep = [True] * nrows
+    for column, op, value in config.where:
+        compare = _OPS[op]
+        values = data[column]
+        for i in range(nrows):
+            if keep[i] and not compare(values[i], value):
+                keep[i] = False
+    order = sorted(
+        (i for i in range(nrows) if keep[i]),
+        key=lambda i: (data["run_id"][i] is None, data["run_id"][i]),
+    )
+    for metric in metrics:
+        trajectories: Dict[Tuple[Any, ...], List[Tuple[Any, float]]] = {}
+        for i in order:
+            value = data[metric][i]
+            if value is None or isinstance(value, str):
+                continue
+            key = tuple(data[column][i] for column in group_columns)
+            trajectories.setdefault(key, []).append(
+                (data["run_id"][i], float(value))
+            )
+        for key, points in trajectories.items():
+            report.groups_checked += 1
+            if len(points) < config.min_runs + 1:
+                report.groups_skipped += 1
+                continue
+            candidate_run, candidate = points[-1]
+            baseline = [v for _, v in points[:-1]][-config.window:]
+            center = _median(baseline)
+            spread = _MAD_SIGMA * _mad(baseline, center)
+            half = max(config.k * spread, config.rel_floor * abs(center))
+            low, high = center - half, center + half
+            if low <= candidate <= high:
+                continue
+            bad_drop = metric in HIGHER_IS_BETTER and candidate < low
+            bad_climb = metric not in HIGHER_IS_BETTER and candidate > high
+            if not (bad_drop or bad_climb):
+                continue  # moved out of band in the *good* direction
+            report.findings.append(
+                Finding(
+                    group=key,
+                    metric=metric,
+                    value=candidate,
+                    median=center,
+                    band_low=low,
+                    band_high=high,
+                    run_id=candidate_run,
+                    baseline_runs=len(baseline),
+                    direction="drop" if bad_drop else "climb",
+                )
+            )
+    return report
+
+
+def format_regress_report(
+    report: RegressReport, config: Optional[RegressConfig] = None
+) -> str:
+    config = config or RegressConfig()
+    lines = [
+        f"checked {report.groups_checked} group-metric trajectories "
+        f"({report.groups_skipped} with < {config.min_runs + 1} runs skipped)"
+    ]
+    if report.ok:
+        lines.append("no out-of-band runs: trajectory clean")
+    else:
+        lines.append(f"{len(report.findings)} regression(s):")
+        for finding in report.findings:
+            lines.append(f"  {finding.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Run identity and record schema for the results lake.
+
+Everything the lake stores is keyed by a **run**: one invocation of a
+replay, comparison, or benchmark.  A run carries
+
+* ``run_id`` -- monotonically derived from the wall clock
+  (:func:`next_run_id` never repeats or goes backwards within a
+  process, and nanosecond stamps keep cross-process collisions out of
+  practical reach), so sorting by run id reproduces append order even
+  across lake files;
+* ``git_sha`` -- the commit the harness ran from (None outside a
+  checkout), which is what lets ``lake regress`` answer *which change*
+  moved a trajectory;
+* ``schema`` -- :data:`RECORD_SCHEMA_VERSION`, stamped into every
+  record and every ``BENCH_*.json`` so readers can gate on it.
+  Legacy artifacts without a stamp ingest as schema 0 (backfill).
+
+Records are flat dicts of scalars.  :func:`normalize_record` flattens
+structured values to JSON strings and drops unserializable ones, so
+anything shaped like a result row can enter the lake without its
+producer knowing the column format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import threading
+import time
+from typing import Any, Dict, Optional
+
+#: version of the run-record schema (EvaluationRow.to_record, BENCH
+#: stamps, series/span/bench rows); bump on incompatible field changes
+RECORD_SCHEMA_VERSION = 1
+
+#: meta columns stamped onto every ingested record
+META_COLUMNS = ("run_id", "ts", "git_sha", "schema", "source")
+
+#: table names the standard ingesters write to
+RUNS_TABLE = "runs"
+SERIES_TABLE = "series"
+SPANS_TABLE = "spans"
+BENCH_TABLE = "bench"
+
+_id_lock = threading.Lock()
+_last_id = 0
+
+
+def next_run_id() -> int:
+    """Monotonic run id (nanosecond wall clock, never non-increasing).
+
+    Wall-clock derived so ids order identically across processes and
+    machines to the precision that matters for a trajectory (runs are
+    seconds apart); the lock-guarded floor keeps ids strictly
+    increasing even if the clock steps backwards.
+    """
+    global _last_id
+    with _id_lock:
+        candidate = time.time_ns()
+        if candidate <= _last_id:
+            candidate = _last_id + 1
+        _last_id = candidate
+        return candidate
+
+
+_git_sha_cache: Dict[str, Optional[str]] = {}
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """Current HEAD commit, or None when not in a git checkout."""
+    key = cwd or os.getcwd()
+    if key not in _git_sha_cache:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=cwd,
+                capture_output=True,
+                timeout=5,
+            )
+            sha = out.stdout.decode("ascii", "replace").strip()
+            _git_sha_cache[key] = sha if out.returncode == 0 and sha else None
+        except (OSError, subprocess.SubprocessError):
+            _git_sha_cache[key] = None
+    return _git_sha_cache[key]
+
+
+def run_meta(
+    source: str,
+    run_id: Optional[int] = None,
+    sha: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The meta stanza every ingested record carries."""
+    return {
+        "run_id": run_id if run_id is not None else next_run_id(),
+        "ts": time.time(),
+        "git_sha": sha if sha is not None else git_sha(),
+        "schema": RECORD_SCHEMA_VERSION,
+        "source": source,
+    }
+
+
+def normalize_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Flatten a record to lake-storable scalars.
+
+    Scalars pass through; dicts/lists become JSON strings; values that
+    cannot serialize are dropped (a record must never fail to ingest
+    because one diagnostic field held an exotic object).
+    """
+    out: Dict[str, Any] = {}
+    for name, value in record.items():
+        if value is None or isinstance(value, (bool, int, float, str)):
+            out[name] = value
+        else:
+            try:
+                out[name] = json.dumps(value, sort_keys=True, default=str)
+            except (TypeError, ValueError):
+                continue
+    return out
+
+
+def fault_plan_label(plan) -> str:
+    """Stable label for the fault-plan config axis of a run.
+
+    ``none`` for unfaulted runs; otherwise the plan's seed, which is
+    what makes two runs comparable (same seed = identical schedule).
+    """
+    if plan is None:
+        return "none"
+    seed = getattr(plan, "seed", None)
+    return f"seed={seed}" if seed is not None else "unlabelled"

@@ -8,8 +8,10 @@ the same loops it ran before this package existed, and a disabled
 
 from .dashboard import (
     ProgressView,
+    diff_matrix,
     diff_series,
     format_diff,
+    format_matrix,
     format_summary,
     summarize_series,
 )
@@ -34,8 +36,10 @@ __all__ = [
     "ReplayTelemetry",
     "Sampler",
     "SpanTracer",
+    "diff_matrix",
     "diff_series",
     "format_diff",
+    "format_matrix",
     "format_summary",
     "instant",
     "merge_shard_series",

@@ -318,3 +318,67 @@ def format_diff(diff: Dict[str, Any]) -> str:
             )
         lines.append(sentence)
     return "\n".join(lines)
+
+
+def diff_matrix(paths: Sequence[str], bins: int = 10) -> Dict[str, Any]:
+    """N-way comparison: every run diffed pairwise against the first.
+
+    Generalizes :func:`diff_series` past exactly two runs -- the first
+    path is the baseline, and every other run gets the full phase-
+    aligned diff (and attribution) against it.  Returns per-run overall
+    throughput ratios plus the individual pairwise diffs.
+    """
+    if len(paths) < 2:
+        raise ValueError("diff matrix needs at least two series")
+    baseline = summarize_series(paths[0])
+    runs: List[Dict[str, Any]] = []
+    diffs: List[Dict[str, Any]] = []
+    for path in paths[1:]:
+        diff = diff_series(paths[0], path, bins=bins)
+        diffs.append(diff)
+        summary = summarize_series(path)
+        entry: Dict[str, Any] = {
+            "path": path,
+            "store": summary.get("store", ""),
+            "mean_throughput_ops": summary.get("mean_throughput_ops", 0.0),
+            "max_p99_us": summary.get("max_p99_us", 0.0),
+        }
+        base_mean = baseline.get("mean_throughput_ops") or 0.0
+        if base_mean:
+            entry["throughput_ratio"] = round(
+                (summary.get("mean_throughput_ops") or 0.0) / base_mean, 3
+            )
+        attribution = diff.get("attribution")
+        if attribution:
+            entry["worst_phase"] = attribution["progress"]
+            entry["worst_ratio"] = attribution["throughput_ratio"]
+            if "series" in attribution:
+                entry["worst_series"] = attribution["series"]
+        runs.append(entry)
+    return {"baseline": baseline, "bins": bins, "runs": runs, "diffs": diffs}
+
+
+def format_matrix(matrix: Dict[str, Any]) -> str:
+    baseline = matrix["baseline"]
+    lines = [
+        f"baseline: {baseline['path']} ({baseline.get('store') or '?'})"
+        f"  {_si(baseline.get('mean_throughput_ops', 0.0))}op/s mean,"
+        f" max p99 {baseline.get('max_p99_us', 0.0):.0f}us",
+        f"{'run':>3s} {'store':>14s} {'mean op/s':>12s} {'vs base':>8s}"
+        f" {'max p99us':>10s}  worst phase",
+    ]
+    for index, run in enumerate(matrix["runs"], start=1):
+        worst = ""
+        if "worst_phase" in run:
+            worst = f"{run['worst_phase']} at {run['worst_ratio']:.2f}x"
+            if "worst_series" in run:
+                worst += f" ({run['worst_series']})"
+        ratio = run.get("throughput_ratio")
+        lines.append(
+            f"{index:>3d} {run.get('store') or '?':>14s}"
+            f" {run.get('mean_throughput_ops', 0.0):>12.0f}"
+            f" {ratio if ratio is not None else float('nan'):>7.2f}x"
+            f" {run.get('max_p99_us', 0.0):>10.0f}  {worst}"
+        )
+        lines.append(f"    {run['path']}")
+    return "\n".join(lines)

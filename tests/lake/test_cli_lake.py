@@ -1,0 +1,199 @@
+"""CLI flows: lake import/query/verify/regress, --lake wiring, N-way diff."""
+
+import json
+
+import pytest
+
+from repro.cli import REGRESS_WAIVER_ENV, main
+from repro.lake import ResultsLake, lake_path, run_meta
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = str(tmp_path / "t.gdgt")
+    main(["generate", "-w", "tumbling-incremental", "-o", path,
+          "--events", "300"])
+    return path
+
+
+def fill_runs(path, runs=8, drop_last=False):
+    lake = ResultsLake(lake_path(path))
+    for index in range(runs):
+        bad = drop_last and index == runs - 1
+        lake.append("runs", [{
+            "store": "memory", "workload": "uniform", "batch_size": 1,
+            "pipeline_depth": 1, "fault_plan": "none",
+            "throughput_kops": 50.0 if bad else 200.0 + index % 3,
+            "p99_us": 40.0 + index % 3,
+            **run_meta("evaluate"),
+        }])
+    return lake
+
+
+class TestReplayLakeFlag:
+    def test_replay_appends_one_row(self, tmp_path, trace_path, capsys):
+        lake_dir = str(tmp_path / "lake")
+        assert main(["replay", trace_path, "--store", "memory",
+                     "--lake", lake_dir]) == 0
+        assert "appended 1 rows to lake" in capsys.readouterr().out
+        lake = ResultsLake(lake_path(lake_dir), create=False)
+        data = lake.scan("runs")
+        assert data["store"] == ["memory"]
+        assert data["fault_plan"] == ["none"]
+        assert data["source"] == ["evaluate"]
+
+    def test_compare_rows_share_run_id(self, tmp_path, trace_path):
+        lake_dir = str(tmp_path / "lake")
+        assert main(["compare", trace_path, "--stores", "memory", "faster",
+                     "--lake", lake_dir]) == 0
+        data = ResultsLake(lake_path(lake_dir), create=False).scan("runs")
+        assert sorted(data["store"]) == ["faster", "memory"]
+        assert len(set(data["run_id"])) == 1
+
+
+class TestLakeCommands:
+    def test_import_query_verify(self, tmp_path, capsys):
+        bench = str(tmp_path / "BENCH_x.json")
+        with open(bench, "w") as handle:
+            json.dump({"grid": {"memory": {"throughput_kops": 10.0}}}, handle)
+        lake_dir = str(tmp_path / "lake")
+        assert main(["lake", "import", bench, "--lake", lake_dir]) == 0
+        out = capsys.readouterr().out
+        assert "bench, 1 rows" in out and "bench=1" in out
+        assert main(["lake", "query", "throughput_kops by label",
+                     "--table", "bench", "--lake", lake_dir]) == 0
+        assert "grid/memory" in capsys.readouterr().out
+        assert main(["lake", "verify", "--lake", lake_dir]) == 0
+        assert "column chunks" in capsys.readouterr().out
+
+    def test_lake_env_var_default(self, tmp_path, capsys, monkeypatch):
+        lake_dir = str(tmp_path / "lake")
+        fill_runs(lake_dir, runs=2)
+        monkeypatch.setenv("REPRO_LAKE", lake_dir)
+        assert main(["lake", "query", "p99 by backend"]) == 0
+        assert "memory" in capsys.readouterr().out
+
+    def test_query_missing_lake_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lake", "query", "p99", "--lake", str(tmp_path / "nope")])
+
+    def test_bad_query_errors(self, tmp_path):
+        fill_runs(str(tmp_path / "lake"), runs=1)
+        with pytest.raises(SystemExit):
+            main(["lake", "query", "p99 by nonexistent_axis",
+                  "--lake", str(tmp_path / "lake")])
+
+
+class TestLakeRegress:
+    def test_clean_trajectory_exits_zero(self, tmp_path, capsys):
+        fill_runs(str(tmp_path / "lake"), runs=8)
+        assert main(["lake", "regress", "--lake",
+                     str(tmp_path / "lake")]) == 0
+        assert "trajectory clean" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(REGRESS_WAIVER_ENV, raising=False)
+        fill_runs(str(tmp_path / "lake"), runs=8, drop_last=True)
+        assert main(["lake", "regress", "--lake",
+                     str(tmp_path / "lake")]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_waiver_env_downgrades_to_warning(self, tmp_path, capsys,
+                                              monkeypatch):
+        monkeypatch.setenv(REGRESS_WAIVER_ENV, "1")
+        fill_runs(str(tmp_path / "lake"), runs=8, drop_last=True)
+        assert main(["lake", "regress", "--lake",
+                     str(tmp_path / "lake")]) == 0
+        assert "waived" in capsys.readouterr().out
+
+    def test_config_file_and_flag_overrides(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.delenv(REGRESS_WAIVER_ENV, raising=False)
+        fill_runs(str(tmp_path / "lake"), runs=8, drop_last=True)
+        config = tmp_path / "lake.json"
+        config.write_text(json.dumps({"metrics": ["p99"], "min_runs": 3}))
+        # p99 trajectory is clean; only throughput was damaged.
+        assert main(["lake", "regress", "--lake", str(tmp_path / "lake"),
+                     "--config", str(config)]) == 0
+        # Flag overrides the config back to the damaged metric.
+        assert main(["lake", "regress", "--lake", str(tmp_path / "lake"),
+                     "--config", str(config),
+                     "--metrics", "throughput"]) == 1
+
+    def test_bad_config_key_errors(self, tmp_path):
+        fill_runs(str(tmp_path / "lake"), runs=1)
+        config = tmp_path / "bad.json"
+        config.write_text(json.dumps({"bogus": 1}))
+        with pytest.raises(SystemExit):
+            main(["lake", "regress", "--lake", str(tmp_path / "lake"),
+                  "--config", str(config)])
+
+    def test_shipped_config_parses(self, tmp_path):
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        fill_runs(str(tmp_path / "lake"), runs=2)
+        assert main(["lake", "regress", "--lake", str(tmp_path / "lake"),
+                     "--config", os.path.join(root, "configs",
+                                              "lake.json")]) == 0
+
+
+def write_series(path, store, throughputs):
+    header = {"sample": "header", "store": store, "total_ops": 1000,
+              "interval_ms": 100.0, "metrics": []}
+    with open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        ops = 0
+        for index, throughput in enumerate(throughputs):
+            ops += 100
+            handle.write(json.dumps({
+                "t_s": 0.1 * (index + 1), "ops": ops,
+                "progress": (index + 1) / len(throughputs),
+                "interval_ops": 100, "throughput_ops": throughput,
+                "p50_us": 5.0, "p95_us": 9.0, "p99_us": 10.0,
+                "gauges": {},
+            }) + "\n")
+
+
+class TestMetricsDiffNary:
+    def test_two_way_still_works(self, tmp_path, capsys):
+        path = str(tmp_path / "a.jsonl")
+        write_series(path, "memory", [1000.0] * 4)
+        assert main(["metrics", "diff", path, path, "--bins", "2"]) == 0
+
+    def test_three_way_matrix(self, tmp_path, capsys):
+        paths = []
+        for name, level in (("a", 1000.0), ("b", 900.0), ("c", 500.0)):
+            path = str(tmp_path / f"{name}.jsonl")
+            write_series(path, name, [level] * 4)
+            paths.append(path)
+        assert main(["metrics", "diff", *paths, "--bins", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "vs base" in out
+        assert "0.50x" in out  # run c at half the baseline throughput
+
+    def test_fewer_than_two_errors(self, tmp_path):
+        path = str(tmp_path / "a.jsonl")
+        write_series(path, "memory", [1000.0] * 2)
+        with pytest.raises(SystemExit):
+            main(["metrics", "diff", path])
+
+    def test_query_without_lake_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["metrics", "diff", "--query", "where store=memory"])
+
+    def test_lake_query_resolves_recorded_series(self, tmp_path, capsys):
+        lake = ResultsLake(lake_path(str(tmp_path / "lake")))
+        paths = []
+        for name in ("a", "b"):
+            path = str(tmp_path / f"{name}.jsonl")
+            write_series(path, name, [1000.0] * 3)
+            paths.append(path)
+            lake.append("runs", [{
+                "store": name, "timeseries_path": path,
+                **run_meta("evaluate"),
+            }])
+        assert main(["metrics", "diff", "--lake", str(tmp_path / "lake"),
+                     "--query", ""]) == 0
+        assert "worst phase" in capsys.readouterr().out

@@ -1,0 +1,270 @@
+"""Ingesters: evaluation rows, series, span traces, BENCH files."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core.evaluator import EvaluationRow
+from repro.core.histogram import LatencyHistogram
+from repro.lake import (
+    RECORD_SCHEMA_VERSION,
+    ResultsLake,
+    append_rows,
+    fault_plan_label,
+    import_paths,
+    ingest_bench,
+    ingest_series,
+    ingest_spans,
+    next_run_id,
+    normalize_record,
+    sniff_kind,
+)
+
+
+def make_row(**overrides):
+    defaults = dict(
+        store="rocksdb", workload="uniform", throughput_kops=100.0,
+        p50_us=10.0, p99_us=50.0, p999_us=90.0,
+    )
+    defaults.update(overrides)
+    return EvaluationRow(**defaults)
+
+
+# -- EvaluationRow.to_record (serialization drift fix) -----------------------
+
+
+def test_to_record_covers_every_dataclass_field():
+    """The drift guard: a field added to EvaluationRow must land in the
+    record without anyone hand-listing it."""
+    record = make_row().to_record()
+    for field in dataclasses.fields(EvaluationRow):
+        assert field.name in record, f"field {field.name!r} missing from record"
+    assert record["record_schema"] == RECORD_SCHEMA_VERSION
+    assert record["store"] == "rocksdb"
+    assert record["throughput_kops"] == 100.0
+
+
+def test_to_record_round_trips_through_lake(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    rows = [make_row(), make_row(store="faster", batch_size=64)]
+    assert append_rows(lake, rows, fault_plan="seed=7") == 2
+    data = lake.scan("runs")
+    assert data["store"] == ["rocksdb", "faster"]
+    assert data["batch_size"] == [1, 64]
+    assert data["fault_plan"] == ["seed=7", "seed=7"]
+    # Both rows of one append share one run id.
+    assert data["run_id"][0] == data["run_id"][1]
+    assert data["schema"] == [RECORD_SCHEMA_VERSION] * 2
+    assert data["source"] == ["evaluate", "evaluate"]
+
+
+def test_fault_plan_label():
+    class Plan:
+        seed = 42
+
+    assert fault_plan_label(None) == "none"
+    assert fault_plan_label(Plan()) == "seed=42"
+
+
+def test_next_run_id_strictly_increases():
+    ids = [next_run_id() for _ in range(100)]
+    assert ids == sorted(set(ids))
+
+
+def test_normalize_record_flattens_structured_values():
+    record = normalize_record({
+        "a": 1, "b": None, "c": {"z": 1, "a": 2}, "d": [1, 2],
+        "e": object(),
+    })
+    assert record["a"] == 1 and record["b"] is None
+    assert json.loads(record["c"]) == {"z": 1, "a": 2}
+    assert json.loads(record["d"]) == [1, 2]
+    assert "e" in record  # stringified via default=str, never dropped silently
+
+
+# -- series ------------------------------------------------------------------
+
+
+def write_series(path, store="rocksdb", samples=None, header_extra=None):
+    header = {
+        "sample": "header", "store": store, "total_ops": 1000,
+        "interval_ms": 100.0, "metrics": [],
+    }
+    header.update(header_extra or {})
+    with open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for sample in samples or []:
+            handle.write(json.dumps(sample) + "\n")
+
+
+def series_sample(t_s, ops, progress, throughput, p99, hist=None, **extra):
+    row = {
+        "t_s": t_s, "ops": ops, "progress": progress,
+        "interval_ops": 100, "throughput_ops": throughput,
+        "p50_us": p99 / 2, "p95_us": p99 * 0.9, "p99_us": p99,
+        "gauges": {},
+    }
+    if hist is not None:
+        row["latency_hist"] = hist
+    row.update(extra)
+    return row
+
+
+def test_ingest_series_aggregates_and_remerges_histograms(tmp_path):
+    hist_a = LatencyHistogram()
+    hist_a.record_many([1000, 2000, 3000])
+    hist_b = LatencyHistogram()
+    hist_b.record_many([4000, 5000])
+    path = str(tmp_path / "run.jsonl")
+    write_series(path, samples=[
+        series_sample(0.1, 100, 0.5, 1000.0, 20.0, hist=hist_a.to_dict()),
+        series_sample(0.2, 200, 1.0, 2000.0, 40.0, hist=hist_b.to_dict()),
+    ])
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    assert ingest_series(lake, path) == 1
+    data = lake.scan("series")
+    assert data["store"] == ["rocksdb"]
+    assert data["samples"] == [2]
+    assert data["max_p99_us"] == [40.0]
+    # The stored histogram equals the merge of every interval histogram.
+    merged = LatencyHistogram.from_dict(json.loads(data["latency_hist"][0]))
+    assert merged.total == 5
+    assert merged.max_value == 5000
+    assert data["source"] == ["series"]
+
+
+# -- spans -------------------------------------------------------------------
+
+
+def test_ingest_spans_totals_per_name_per_lane(tmp_path):
+    trace = {"traceEvents": [
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+         "args": {"name": "replay"}},
+        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 2,
+         "args": {"name": "compaction-worker"}},
+        {"ph": "X", "name": "flush", "pid": 1, "tid": 1, "ts": 0, "dur": 1500.0},
+        {"ph": "X", "name": "flush", "pid": 1, "tid": 1, "ts": 10, "dur": 500.0},
+        {"ph": "X", "name": "compact", "pid": 1, "tid": 2, "ts": 5, "dur": 3000.0},
+        {"ph": "i", "name": "fault", "pid": 1, "tid": 1, "ts": 7},
+    ]}
+    path = str(tmp_path / "spans.json")
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    assert ingest_spans(lake, path) == 3
+    data = lake.scan("spans")
+    by_key = {
+        (name, lane): (count, total)
+        for name, lane, count, total in zip(
+            data["name"], data["lane"], data["count"], data["total_ms"]
+        )
+    }
+    assert by_key[("flush", "replay")] == (2, 2.0)
+    assert by_key[("compact", "compaction-worker")] == (1, 3.0)
+    assert by_key[("fault", "replay")] == (1, 0.0)
+
+
+def test_ingest_spans_rejects_non_trace(tmp_path):
+    path = str(tmp_path / "x.json")
+    with open(path, "w") as handle:
+        json.dump({"nope": 1}, handle)
+    with pytest.raises(ValueError):
+        ingest_spans(ResultsLake(str(tmp_path / "lake.rlk")), path)
+
+
+# -- bench -------------------------------------------------------------------
+
+
+def test_ingest_stamped_bench(tmp_path):
+    path = str(tmp_path / "BENCH_demo.json")
+    with open(path, "w") as handle:
+        json.dump({
+            "env": {"python": "3.11", "cpu_count": 1, "smoke": False},
+            "run": {"schema": RECORD_SCHEMA_VERSION, "run_id": 12345,
+                    "git_sha": "abc123", "bench": "demo"},
+            "grid": {
+                "rocksdb": {"throughput_kops": 150.0, "p99_us": 40.0},
+                "faster": {"throughput_kops": 420.0, "p99_us": 12.0},
+            },
+            "note": "prose, not results",
+        }, handle)
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    assert ingest_bench(lake, path) == 2
+    data = lake.scan("bench")
+    assert sorted(data["label"]) == ["grid/faster", "grid/rocksdb"]
+    assert data["bench"] == ["demo", "demo"]
+    assert data["run_id"] == [12345, 12345]
+    assert data["git_sha"] == ["abc123", "abc123"]
+    assert data["schema"] == [RECORD_SCHEMA_VERSION] * 2
+
+
+def test_ingest_legacy_unstamped_bench_backfills(tmp_path):
+    path = str(tmp_path / "BENCH_old.json")
+    with open(path, "w") as handle:
+        json.dump({"results": {"throughput_kops": 99.0}}, handle)
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    assert ingest_bench(lake, path) == 1
+    data = lake.scan("bench")
+    assert data["schema"] == [0]  # legacy marker
+    # Backfilled run id derives from the file's mtime, so trajectories
+    # over pre-stamp history still order correctly.
+    assert data["run_id"] == [int(os.path.getmtime(path) * 1e9)]
+    assert data["git_sha"] == [None]
+
+
+def test_ingest_nested_bench_cells(tmp_path):
+    path = str(tmp_path / "BENCH_deep.json")
+    with open(path, "w") as handle:
+        json.dump({
+            "modes": {
+                "remote": {"1": {"p99_us": 100.0}, "8": {"p99_us": 40.0}},
+            },
+        }, handle)
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    assert ingest_bench(lake, path) == 2
+    assert sorted(lake.scan("bench")["label"]) == [
+        "modes/remote/1", "modes/remote/8",
+    ]
+
+
+def test_shipped_bench_files_ingest():
+    """Every BENCH_*.json at the repo root (all legacy) must ingest."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    shipped = sorted(
+        os.path.join(root, name) for name in os.listdir(root)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+    assert shipped, "no shipped BENCH files found"
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        lake = ResultsLake(os.path.join(tmp, "lake.rlk"))
+        for path in shipped:
+            assert ingest_bench(lake, path) > 0, f"{path} produced no rows"
+        assert lake.num_rows("bench") > 0
+
+
+# -- sniffing ----------------------------------------------------------------
+
+
+def test_sniff_and_import_paths(tmp_path):
+    bench = str(tmp_path / "BENCH_x.json")
+    with open(bench, "w") as handle:
+        json.dump({"cell": {"v": 1.0}}, handle)
+    series = str(tmp_path / "run.jsonl")
+    write_series(series, samples=[series_sample(0.1, 10, 1.0, 100.0, 5.0)])
+    spans = str(tmp_path / "trace.json")
+    with open(spans, "w") as handle:
+        json.dump({"traceEvents": []}, handle)
+    assert sniff_kind(bench) == "bench"
+    assert sniff_kind(series) == "series"
+    assert sniff_kind(spans) == "spans"
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    results = import_paths(lake, [bench, series, spans])
+    assert [(kind, rows > 0) for _, kind, rows in results] == [
+        ("bench", True), ("series", True), ("spans", False),
+    ]
+    assert lake.tables() == ["bench", "series"]

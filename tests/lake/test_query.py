@@ -1,0 +1,252 @@
+"""Query grammar, group-by aggregation, pushdown accounting, regression gates."""
+
+import pytest
+
+from repro.lake import (
+    Query,
+    QueryError,
+    RegressConfig,
+    ResultsLake,
+    detect_regressions,
+    format_query_result,
+    format_regress_report,
+    parse_query,
+    run_query,
+    run_meta,
+)
+from repro.lake.query import select_rows
+
+
+def test_parse_full_grammar():
+    query = parse_query(
+        "p99 by backend,batch_size,fault_plan where backend = rocksdb "
+        "and batch_size >= 8 last 50"
+    )
+    assert query.metric == "p99_us"
+    assert query.by == ("store", "batch_size", "fault_plan")
+    assert query.where == (("store", "=", "rocksdb"), ("batch_size", ">=", 8))
+    assert query.last == 50
+
+
+def test_parse_aliases():
+    assert parse_query("throughput").metric == "throughput_kops"
+    assert parse_query("p50").metric == "p50_us"
+    assert parse_query("p999").metric == "p999_us"
+    assert parse_query("custom_column").metric == "custom_column"
+
+
+def test_parse_value_coercion():
+    query = parse_query("p99 where batch_size = 64 and rate > 1.5 and ok = true")
+    assert query.where[0][2] == 64
+    assert query.where[1][2] == 1.5
+    assert query.where[2][2] is True
+
+
+def test_parse_errors():
+    for text in ("", "p99 by", "p99 where", "p99 last", "p99 last x",
+                 "p99 last 0", "p99 bogus", "p99 where garbage"):
+        with pytest.raises(QueryError):
+            parse_query(text)
+
+
+def _fill(lake, runs=60, seed=3):
+    """Synthetic trajectory: `runs` comparison runs, 2 stores x 2 batch
+    sizes x 1 fault plan, stable metrics with small seeded noise."""
+    import random
+
+    rng = random.Random(seed)
+    for _ in range(runs):
+        meta = run_meta("evaluate")
+        records = []
+        for store, base in (("rocksdb", 200.0), ("faster", 400.0)):
+            for batch in (1, 64):
+                records.append({
+                    "store": store,
+                    "workload": "uniform",
+                    "batch_size": batch,
+                    "pipeline_depth": 1,
+                    "fault_plan": "none",
+                    "throughput_kops": base * (1 + batch / 100.0)
+                    * (1 + rng.uniform(-0.02, 0.02)),
+                    "p99_us": 500.0 / (1 + batch / 100.0)
+                    * (1 + rng.uniform(-0.02, 0.02)),
+                    **meta,
+                })
+        lake.append("runs", records)
+
+
+def test_grouped_query_over_fifty_runs_reads_only_needed_chunks(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=60)
+    reader = ResultsLake(lake.path, create=False)
+    result = run_query(
+        reader, "p99 by backend,batch_size,fault_plan last 50"
+    )
+    assert result.runs_seen == 50
+    assert len(result.groups) == 4
+    for group in result.groups:
+        assert group.count == 50
+    # Pushdown accounting: only the 5 referenced columns of each batch
+    # were read (metric + 3 group keys + run_id), out of 12 on disk.
+    batches = len(reader.batches("runs"))
+    assert reader.chunks_read == batches * 5
+    assert reader.total_chunks("runs") == batches * 12
+    text = format_query_result(result)
+    assert "rocksdb" in text and "last 50 runs" in text
+
+
+def test_where_predicate_skips_batches_via_footer_stats(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=10)
+    reader = ResultsLake(lake.path, create=False)
+    result = run_query(reader, "throughput where batch_size = 9999")
+    assert result.rows_scanned == 0
+    assert reader.chunks_read == 0  # every batch excluded by min/max
+
+
+def test_where_filters_rows_inside_batches(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=10)
+    result = run_query(
+        ResultsLake(lake.path, create=False),
+        "throughput by backend where batch_size = 64",
+    )
+    assert len(result.groups) == 2
+    assert all(group.count == 10 for group in result.groups)
+
+
+def test_last_n_counts_distinct_runs_not_rows(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=8)
+    result = run_query(ResultsLake(lake.path, create=False), "p99 last 3")
+    assert result.runs_seen == 3
+    assert result.rows_scanned == 12  # 4 rows per comparison run
+
+
+def test_unknown_table_and_column_rejected(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=2)
+    with pytest.raises(QueryError):
+        run_query(lake, "p99", table="nope")
+    with pytest.raises(QueryError):
+        run_query(lake, "no_such_metric")
+    with pytest.raises(QueryError):
+        run_query(lake, "p99 by no_such_axis")
+
+
+def test_select_rows_handles_string_metric(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    meta = run_meta("evaluate")
+    lake.append("runs", [
+        {"store": "a", "timeseries_path": "m/a.jsonl", **meta},
+        {"store": "b", "timeseries_path": None, **meta},
+    ])
+    rows = select_rows(lake, Query(metric="timeseries_path", by=("store",)))
+    assert rows["timeseries_path"] == ["m/a.jsonl", None]
+
+
+# -- regression gates --------------------------------------------------------
+
+
+def test_clean_trajectory_passes(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=30)
+    report = detect_regressions(lake, RegressConfig())
+    assert report.ok
+    assert report.groups_checked == 8  # 4 groups x 2 metrics
+    assert report.groups_skipped == 0
+    assert "trajectory clean" in format_regress_report(report)
+
+
+def test_injected_regression_is_flagged_both_directions(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=30)
+    bad = {
+        "store": "rocksdb", "workload": "uniform", "batch_size": 1,
+        "pipeline_depth": 1, "fault_plan": "none",
+        "throughput_kops": 100.0,  # trajectory lives near 200
+        "p99_us": 2000.0,          # trajectory lives near 500
+        **run_meta("evaluate"),
+    }
+    lake.append("runs", [bad])
+    report = detect_regressions(lake, RegressConfig())
+    assert not report.ok
+    directions = {(f.metric, f.direction) for f in report.findings}
+    assert ("throughput_kops", "drop") in directions
+    assert ("p99_us", "climb") in directions
+    # Only the damaged group is flagged.
+    assert all(f.group[0] == "rocksdb" and f.group[2] == 1
+               for f in report.findings)
+    text = format_regress_report(report)
+    assert "regression" in text and "drop" in text
+
+
+def test_improvement_is_not_flagged(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=30)
+    better = {
+        "store": "rocksdb", "workload": "uniform", "batch_size": 1,
+        "pipeline_depth": 1, "fault_plan": "none",
+        "throughput_kops": 400.0,  # out of band, good direction
+        "p99_us": 100.0,           # out of band, good direction
+        **run_meta("evaluate"),
+    }
+    lake.append("runs", [better])
+    assert detect_regressions(lake, RegressConfig()).ok
+
+
+def test_short_history_is_skipped_not_gated(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    _fill(lake, runs=3)  # below min_runs + 1
+    report = detect_regressions(lake, RegressConfig())
+    assert report.ok
+    assert report.groups_skipped == report.groups_checked == 8
+
+
+def test_dead_flat_history_tolerates_rel_floor(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    for _ in range(10):
+        lake.append("runs", [{
+            "store": "m", "workload": "w", "batch_size": 1,
+            "pipeline_depth": 1, "fault_plan": "none",
+            "throughput_kops": 100.0, "p99_us": 50.0,
+            **run_meta("evaluate"),
+        }])
+    # MAD is zero; a 3% wiggle must stay inside the relative floor.
+    lake.append("runs", [{
+        "store": "m", "workload": "w", "batch_size": 1,
+        "pipeline_depth": 1, "fault_plan": "none",
+        "throughput_kops": 97.0, "p99_us": 51.5,
+        **run_meta("evaluate"),
+    }])
+    assert detect_regressions(lake, RegressConfig()).ok
+    # ...while a 10% drop falls outside it.
+    lake.append("runs", [{
+        "store": "m", "workload": "w", "batch_size": 1,
+        "pipeline_depth": 1, "fault_plan": "none",
+        "throughput_kops": 90.0, "p99_us": 50.0,
+        **run_meta("evaluate"),
+    }])
+    report = detect_regressions(lake, RegressConfig())
+    assert [f.metric for f in report.findings] == ["throughput_kops"]
+
+
+def test_empty_lake_and_missing_metrics_are_clean(tmp_path):
+    lake = ResultsLake(str(tmp_path / "lake.rlk"))
+    assert detect_regressions(lake, RegressConfig()).ok
+    lake.append("runs", [{"store": "m", **run_meta("evaluate")}])
+    assert detect_regressions(lake, RegressConfig()).ok
+
+
+def test_regress_config_from_dict():
+    config = RegressConfig.from_dict({
+        "metrics": ["throughput", "p99"],
+        "by": ["backend"],
+        "window": 5,
+        "k": 2.0,
+    })
+    assert config.metrics == ("throughput_kops", "p99_us")
+    assert config.by == ("store",)
+    assert config.window == 5
+    with pytest.raises(ValueError):
+        RegressConfig.from_dict({"bogus_knob": 1})

@@ -1,0 +1,118 @@
+"""Edge cases for merge_shard_series and summarize_series."""
+
+import json
+
+from repro.core.histogram import LatencyHistogram
+from repro.obs.dashboard import summarize_series
+from repro.obs.metrics import merge_shard_series, read_series
+
+
+def write_series(path, store="rocksdb", total_ops=100, metrics=None,
+                 samples=None, **header_extra):
+    header = {"sample": "header", "store": store, "total_ops": total_ops,
+              "interval_ms": 100.0, "metrics": metrics or []}
+    header.update(header_extra)
+    with open(path, "w") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for sample in samples or []:
+            handle.write(json.dumps(sample) + "\n")
+
+
+def sample(t_s, ops, throughput=1000.0, p99=10.0, hist=None, **extra):
+    row = {"t_s": t_s, "ops": ops, "progress": 0.5, "interval_ops": 50,
+           "throughput_ops": throughput, "p50_us": p99 / 2,
+           "p95_us": p99 * 0.9, "p99_us": p99, "gauges": {}}
+    if hist is not None:
+        row["latency_hist"] = hist
+    row.update(extra)
+    return row
+
+
+class TestSummarizeEdgeCases:
+    def test_empty_series_header_only(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        write_series(path, samples=[])
+        summary = summarize_series(path)
+        assert summary["samples"] == 0
+        assert summary["store"] == "rocksdb"
+
+    def test_single_sample_series(self, tmp_path):
+        path = str(tmp_path / "one.jsonl")
+        write_series(path, samples=[sample(0.1, 50, throughput=500.0)])
+        summary = summarize_series(path)
+        assert summary["samples"] == 1
+        assert summary["ops"] == 50
+        assert summary["mean_throughput_ops"] == 500.0
+        assert summary["min_interval_throughput_ops"] == 500.0
+        assert summary["max_p99_us"] == 10.0
+
+
+class TestMergeShardSeries:
+    def test_merge_empty_shards(self, tmp_path):
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"s{index}.jsonl")
+            write_series(path, total_ops=10, samples=[])
+            paths.append(path)
+        out = str(tmp_path / "merged.jsonl")
+        header = merge_shard_series(paths, out)
+        assert header["total_ops"] == 20
+        assert header["shards"] == 2
+        _, samples = read_series(out)
+        assert samples == []
+        assert summarize_series(out)["samples"] == 0
+
+    def test_mismatched_headers_first_wins_counts_sum(self, tmp_path):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        write_series(a, store="rocksdb", total_ops=60, metrics=["x"],
+                     samples=[sample(0.2, 60)])
+        write_series(b, store="faster", total_ops=40, metrics=["x", "y"],
+                     interval_ms=250.0, samples=[sample(0.1, 40)])
+        out = str(tmp_path / "merged.jsonl")
+        header = merge_shard_series([a, b], out)
+        # First shard's header is the base; counts sum, metrics union.
+        assert header["store"] == "rocksdb"
+        assert header["interval_ms"] == 100.0
+        assert header["total_ops"] == 100
+        assert header["metrics"] == ["x", "y"]
+        # Samples are re-ordered by time and tagged with their shard.
+        _, samples = read_series(out)
+        assert [s["t_s"] for s in samples] == [0.1, 0.2]
+        assert [s["shard"] for s in samples] == [1, 0]
+
+    def test_per_shard_cumulative_counters_sum_not_last(self, tmp_path):
+        # Each shard's `ops` is its own cumulative counter; the summary
+        # must sum the per-shard finals, not read the globally last
+        # sample (which would report one shard's count as the run's).
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        write_series(a, total_ops=100,
+                     samples=[sample(0.1, 30), sample(0.3, 70)])
+        write_series(b, total_ops=100,
+                     samples=[sample(0.1, 20), sample(0.2, 30)])
+        out = str(tmp_path / "merged.jsonl")
+        merge_shard_series([a, b], out)
+        assert summarize_series(out)["ops"] == 100  # 70 + 30
+
+    def test_merged_histogram_population_equality(self, tmp_path):
+        # Merging shards then merging every interval histogram must see
+        # exactly the union of all recorded latencies.
+        populations = [[1000, 2000, 3000], [4000], [5000, 6000]]
+        paths = []
+        for index, values in enumerate(populations):
+            hist = LatencyHistogram()
+            hist.record_many(values)
+            path = str(tmp_path / f"s{index}.jsonl")
+            write_series(path, samples=[
+                sample(0.1 * (index + 1), len(values), hist=hist.to_dict()),
+            ])
+            paths.append(path)
+        out = str(tmp_path / "merged.jsonl")
+        merge_shard_series(paths, out)
+        _, samples = read_series(out)
+        merged = LatencyHistogram()
+        for row in samples:
+            merged.merge(LatencyHistogram.from_dict(row["latency_hist"]))
+        assert merged.total == sum(len(v) for v in populations)
+        assert merged.max_value == 6000
